@@ -1,0 +1,142 @@
+// Ablation: which generator mechanism produces which paper property.
+// Each row disables one design choice of the calibrated generator and
+// re-measures the Section IV statistics — the evidence behind DESIGN.md's
+// substitution claims (communities -> clustering, follow-back planting ->
+// reciprocity, sink celebrities -> attracting components, zeta tail ->
+// power-law alpha).
+
+#include <cstdio>
+
+#include "analysis/assortativity.h"
+#include "analysis/clustering.h"
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+#include "bench_common.h"
+#include "stats/powerlaw.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace elitenet;
+
+struct Row {
+  std::string name;
+  double reciprocity = 0.0;
+  double clustering = 0.0;
+  double assortativity = 0.0;
+  double gscc = 0.0;
+  double alpha = 0.0;
+  uint64_t attracting = 0;
+};
+
+Row Measure(const std::string& name, const gen::VerifiedNetworkConfig& cfg) {
+  Row row;
+  row.name = name;
+  auto net = gen::GenerateVerifiedNetwork(cfg);
+  if (!net.ok()) {
+    std::fprintf(stderr, "  %s: generation failed: %s\n", name.c_str(),
+                 net.status().ToString().c_str());
+    return row;
+  }
+  const auto& g = net->graph;
+  row.reciprocity = analysis::ComputeReciprocity(g).rate;
+  util::Rng rng(5);
+  row.clustering =
+      analysis::ComputeClusteringSampled(g, 4000, &rng).average_local;
+  row.assortativity =
+      analysis::DegreeAssortativity(g, analysis::DegreeMode::kOutIn);
+  const auto scc = analysis::StronglyConnectedComponents(g);
+  row.gscc = scc.GiantFraction();
+  row.attracting = analysis::FindAttractingComponents(g, scc).count;
+  std::vector<double> degrees;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > 0) {
+      degrees.push_back(static_cast<double>(g.OutDegree(u)));
+    }
+  }
+  auto fit = stats::FitDiscrete(degrees);
+  if (fit.ok()) row.alpha = fit->alpha;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  // Ablations regenerate the graph many times; default to a lighter size.
+  if (args.num_users == 40000) args.num_users = 15000;
+  util::PrintBanner("Ablation: generator design choices");
+  std::printf("n=%u users per variant\n\n", args.num_users);
+
+  gen::VerifiedNetworkConfig base;
+  base.num_users = args.num_users;
+  base.seed = args.seed;
+
+  std::vector<Row> rows;
+  rows.push_back(Measure("full generator", base));
+
+  {
+    auto cfg = base;
+    cfg.community_fraction = 0.0;
+    rows.push_back(Measure("- communities", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.triadic_closure = 0.0;
+    cfg.social_circle = 0.0;
+    rows.push_back(Measure("- triadic closure", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.reciprocity = 0.01;  // effectively no follow-back planting
+    rows.push_back(Measure("- follow-back planting", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.tail_fraction = 0.0001;  // effectively no zeta tail
+    rows.push_back(Measure("- power-law tail", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.sink_fraction = 1e-9;  // min 1 sink enforced internally
+    cfg.isolated_fraction = 0.0;
+    cfg.small_component_fraction = 0.0;
+    rows.push_back(Measure("- periphery (sinks/isolated)", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.superfollower_fraction = 0.0;
+    rows.push_back(Measure("- superfollower", cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.repair_in_degree = false;
+    rows.push_back(Measure("- in-degree repair", cfg));
+  }
+
+  util::TextTable table({"variant", "recip", "clust", "assort", "gscc",
+                         "alpha", "attracting"});
+  for (const Row& r : rows) {
+    table.AddRow();
+    table.AddCell(r.name);
+    table.AddCell(r.reciprocity, 3);
+    table.AddCell(r.clustering, 3);
+    table.AddCell(r.assortativity, 3);
+    table.AddCell(r.gscc, 4);
+    table.AddCell(r.alpha, 4);
+    table.AddCell(r.attracting);
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper targets: recip 0.337, clust 0.158, assort -0.04, gscc "
+      "0.9724, alpha 3.24, attracting ~%.0f (scaled)\n",
+      6091.0 * args.num_users / 231246.0);
+  std::printf(
+      "reading: each removed mechanism should visibly degrade exactly the "
+      "properties it was introduced for.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation: accuracy/cost trade-offs of the sampled estimators used by
+// the benches — BFS source count for the distance distribution (Fig. 3),
+// betweenness pivot count (Fig. 5), clustering sample size, and bootstrap
+// replicate count for the power-law p-value. Exact values are computed on
+// a reduced graph so the error of each sampling level is measurable.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/centrality.h"
+#include "analysis/clustering.h"
+#include "analysis/distance.h"
+#include "bench_common.h"
+#include "gen/verified_network.h"
+#include "stats/correlation.h"
+#include "stats/powerlaw.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  if (args.num_users == 40000) args.num_users = 8000;  // exact pass feasible
+  util::PrintBanner("Ablation: sampling fidelity vs cost");
+
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = args.num_users;
+  cfg.seed = args.seed;
+  auto net = gen::GenerateVerifiedNetwork(cfg);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const auto& g = net->graph;
+  std::printf("n=%u m=%llu\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // ---- Distance sources ---------------------------------------------------
+  {
+    util::Rng rng(11);
+    util::Stopwatch sw;
+    const auto exact = analysis::SampleDistances(g, g.num_nodes(), &rng);
+    const double exact_time = sw.Seconds();
+    std::printf("\n-- Fig. 3 distance estimate vs BFS source count "
+                "(exact mean=%.4f, %.1fs) --\n",
+                exact.mean_distance, exact_time);
+    util::TextTable table({"sources", "mean_dist", "rel_err", "seconds"});
+    for (uint32_t sources : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      util::Rng r2(100 + sources);
+      sw.Reset();
+      const auto est = analysis::SampleDistances(g, sources, &r2);
+      table.AddRow();
+      table.AddCell(static_cast<uint64_t>(sources));
+      table.AddCell(est.mean_distance, 5);
+      table.AddCell(bench::RelDev(est.mean_distance, exact.mean_distance),
+                    3);
+      table.AddCell(sw.Seconds(), 3);
+    }
+    table.Print();
+  }
+
+  // ---- Betweenness pivots -------------------------------------------------
+  {
+    util::Stopwatch sw;
+    const auto exact = analysis::Betweenness(g);
+    const double exact_time = sw.Seconds();
+    if (exact.ok()) {
+      std::printf("\n-- Fig. 5 betweenness estimate vs pivot count "
+                  "(exact in %.1fs) --\n",
+                  exact_time);
+      util::TextTable table({"pivots", "spearman_vs_exact", "seconds"});
+      for (uint32_t pivots : {16u, 64u, 256u, 1024u}) {
+        analysis::BetweennessOptions opts;
+        opts.pivots = pivots;
+        opts.seed = 13;
+        sw.Reset();
+        const auto est = analysis::Betweenness(g, opts);
+        if (!est.ok()) continue;
+        table.AddRow();
+        table.AddCell(static_cast<uint64_t>(pivots));
+        table.AddCell(stats::SpearmanCorrelation(*exact, *est), 4);
+        table.AddCell(sw.Seconds(), 3);
+      }
+      table.Print();
+    }
+  }
+
+  // ---- Clustering samples --------------------------------------------------
+  {
+    util::Stopwatch sw;
+    const auto exact = analysis::ComputeClustering(g);
+    const double exact_time = sw.Seconds();
+    std::printf("\n-- clustering coefficient vs sample size (exact=%.4f, "
+                "%.1fs) --\n",
+                exact.average_local, exact_time);
+    util::TextTable table({"samples", "clustering", "rel_err", "seconds"});
+    for (uint32_t samples : {250u, 1000u, 4000u, 16000u}) {
+      util::Rng rng(17 + samples);
+      sw.Reset();
+      const auto est = analysis::ComputeClusteringSampled(g, samples, &rng);
+      table.AddRow();
+      table.AddCell(static_cast<uint64_t>(samples));
+      table.AddCell(est.average_local, 4);
+      table.AddCell(bench::RelDev(est.average_local, exact.average_local),
+                    3);
+      table.AddCell(sw.Seconds(), 3);
+    }
+    table.Print();
+  }
+
+  // ---- Bootstrap replicates -------------------------------------------------
+  {
+    std::vector<double> degrees;
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.OutDegree(u) > 0) {
+        degrees.push_back(static_cast<double>(g.OutDegree(u)));
+      }
+    }
+    const auto fit = stats::FitDiscrete(degrees);
+    if (fit.ok()) {
+      std::printf("\n-- power-law bootstrap p vs replicate count "
+                  "(alpha=%.3f) --\n",
+                  fit->alpha);
+      util::TextTable table({"replicates", "p_value", "seconds"});
+      for (int reps : {10, 30, 100}) {
+        util::Rng rng(19 + static_cast<uint64_t>(reps));
+        util::Stopwatch sw;
+        const auto gof =
+            stats::BootstrapGoodness(degrees, *fit, reps, &rng);
+        if (!gof.ok()) continue;
+        table.AddRow();
+        table.AddCell(static_cast<int64_t>(reps));
+        table.AddCell(gof->p_value, 3);
+        table.AddCell(sw.Seconds(), 3);
+      }
+      table.Print();
+    }
+  }
+  return 0;
+}

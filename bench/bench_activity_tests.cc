@@ -1,0 +1,94 @@
+// Section V reproduction: the full activity-analysis battery —
+// Ljung-Box and Box-Pierce portmanteau tests to lag 185 (paper: max p of
+// 3.81e-38 / 7.57e-38), the Augmented Dickey-Fuller stationarity test
+// (paper: -3.86 vs the -3.42 critical value), and the PELT penalty-sweep
+// change-point vote (paper: exactly two — Dec 23-25 and ~first week of
+// April).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/paper_reference.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  util::PrintBanner("Section V: activity analysis battery");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+
+  const auto act = study.RunActivity();
+  if (!act.ok()) {
+    std::fprintf(stderr, "activity analysis failed: %s\n",
+                 act.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n-- Portmanteau tests (lags 1..%d) --\n",
+              act->ljung_box.max_lag);
+  std::printf("  %-14s max p=%-12.3g (paper %.3g)  [tiny: %s]\n",
+              "Ljung-Box", act->ljung_box.max_p_value, paper::kLjungBoxMaxP,
+              act->ljung_box.max_p_value < 1e-20 ? "OK" : "DEVIATES");
+  std::printf("  %-14s max p=%-12.3g (paper %.3g)  [tiny: %s]\n",
+              "Box-Pierce", act->box_pierce.max_p_value,
+              paper::kBoxPierceMaxP,
+              act->box_pierce.max_p_value < 1e-20 ? "OK" : "DEVIATES");
+  std::printf(
+      "  (Statistically, tiny p-values mean the null of *no*\n"
+      "   autocorrelation is rejected; the paper reads them as ruling\n"
+      "   out lagged correlation. We reproduce the reported numbers.)\n");
+
+  std::printf("\n-- Augmented Dickey-Fuller (constant + trend) --\n");
+  std::printf("  statistic=%.3f  auto-lag=%d  n=%zu\n", act->adf.statistic,
+              act->adf.used_lag, act->adf.n_obs);
+  std::printf("  critical values: 1%%=%.3f 5%%=%.3f 10%%=%.3f\n",
+              act->adf.crit_1pct, act->adf.crit_5pct, act->adf.crit_10pct);
+  std::printf("  paper: %.2f vs critical %.2f => stationary\n",
+              paper::kAdfStatistic, paper::kAdfCritical95);
+  std::printf("  measured verdict: %s  [matches paper: %s]\n",
+              act->adf.stationary_at_5pct ? "stationary" : "unit root",
+              act->adf.stationary_at_5pct ? "OK" : "DEVIATES");
+
+  std::printf("\n-- PELT change-point penalty sweep (%d runs) --\n",
+              act->pelt.runs);
+  for (size_t i = 0; i < act->pelt.stable.size(); ++i) {
+    std::printf("  change-point at %s (support %.0f%%)\n",
+                timeseries::FormatDate(act->change_dates[i]).c_str(),
+                100.0 * act->pelt.stable[i].support);
+  }
+  const bool two_points =
+      act->pelt.stable.size() == static_cast<size_t>(paper::kChangePoints);
+  bool calendar_match = two_points;
+  if (two_points) {
+    calendar_match &= act->change_dates[0].month == 12 &&
+                      act->change_dates[0].day >= 20 &&
+                      act->change_dates[0].day <= 28;
+    calendar_match &=
+        act->change_dates[1].month == 4 && act->change_dates[1].day <= 10;
+  }
+  std::printf("  paper: exactly two — Dec 23-25, 2017 and ~Apr 3, 2018\n");
+  std::printf("  [count: %s] [calendar windows: %s]\n",
+              two_points ? "OK" : "DEVIATES",
+              calendar_match ? "OK" : "DEVIATES");
+
+  // CSV: the per-lag p-value series for both tests.
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "activity_tests.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"lag", "ljung_box_stat", "ljung_box_p",
+                  "box_pierce_stat", "box_pierce_p"})
+        .ok();
+    for (size_t i = 0; i < act->ljung_box.p_values.size(); ++i) {
+      csv.WriteRow({std::to_string(i + 1),
+                    util::FormatNumber(act->ljung_box.statistics[i], 8),
+                    util::FormatNumber(act->ljung_box.p_values[i], 8),
+                    util::FormatNumber(act->box_pierce.statistics[i], 8),
+                    util::FormatNumber(act->box_pierce.p_values[i], 8)})
+          .ok();
+    }
+    csv.Close().ok();
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}

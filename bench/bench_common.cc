@@ -1,0 +1,84 @@
+#include "bench_common.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace elitenet {
+namespace bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      const char* value = arg + 8;
+      if (std::strcmp(value, "full") == 0) {
+        args.num_users = 231246;
+      } else {
+        args.num_users = static_cast<uint32_t>(std::atoi(value));
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      args.out_dir = arg + 6;
+    }
+  }
+  return args;
+}
+
+core::StudyConfig MakeStudyConfig(const BenchArgs& args) {
+  core::StudyConfig cfg;
+  cfg.network.num_users = args.num_users;
+  cfg.network.seed = args.seed;
+  cfg.bootstrap_replicates = 30;
+  cfg.distance_sources = 64;
+  cfg.betweenness_pivots = 256;
+  cfg.clustering_samples = 12000;
+  cfg.eigenvalue_k = 250;
+  return cfg;
+}
+
+core::VerifiedStudy MakeStudy(const BenchArgs& args) {
+  core::VerifiedStudy study(MakeStudyConfig(args));
+  util::Stopwatch sw;
+  const Status s = study.Generate();
+  if (!s.ok()) {
+    std::fprintf(stderr, "study generation failed: %s\n",
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("generated n=%s users, m=%s edges in %.1fs (seed %llu)\n",
+              util::FormatWithCommas(study.network().graph.num_nodes()).c_str(),
+              util::FormatWithCommas(study.network().graph.num_edges()).c_str(),
+              sw.Seconds(),
+              static_cast<unsigned long long>(args.seed));
+  return study;
+}
+
+std::string CsvPath(const BenchArgs& args, const std::string& name) {
+  ::mkdir(args.out_dir.c_str(), 0755);  // best-effort; Open reports errors
+  return args.out_dir + "/" + name;
+}
+
+double RelDev(double measured, double paper) {
+  if (paper == 0.0) return std::fabs(measured);
+  return std::fabs(measured - paper) / std::fabs(paper);
+}
+
+bool Compare(const std::string& metric, double paper, double measured,
+             double rel_tolerance) {
+  const bool ok = RelDev(measured, paper) <= rel_tolerance;
+  util::PrintComparison(metric, util::FormatNumber(paper, 5),
+                        util::FormatNumber(measured, 5), ok);
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace elitenet

@@ -1,0 +1,51 @@
+// Shared plumbing for the figure/table reproduction benches: scale
+// parsing, study construction, CSV output location, and the
+// paper-vs-measured comparison printer.
+
+#ifndef ELITENET_BENCH_BENCH_COMMON_H_
+#define ELITENET_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/study.h"
+
+namespace elitenet {
+namespace bench {
+
+struct BenchArgs {
+  /// Number of users to generate. Default 40,000; `--scale=full` selects
+  /// the paper's 231,246, `--scale=<n>` any custom size.
+  uint32_t num_users = 40000;
+  uint64_t seed = 2018;
+  /// Where CSV artifacts are written (`--out=DIR`), default
+  /// "bench_out".
+  std::string out_dir = "bench_out";
+};
+
+/// Parses --scale= / --seed= / --out= flags; ignores unknown flags so
+/// binaries stay runnable under generic runners.
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// Study configuration at the requested scale with bench-grade analysis
+/// settings (deeper than quickstart, still minutes not hours).
+core::StudyConfig MakeStudyConfig(const BenchArgs& args);
+
+/// Generates the study, printing timing. Aborts the process with a
+/// message on failure (benches have no meaningful recovery path).
+core::VerifiedStudy MakeStudy(const BenchArgs& args);
+
+/// Ensures the output directory exists; returns out_dir + "/" + name.
+std::string CsvPath(const BenchArgs& args, const std::string& name);
+
+/// Relative deviation |measured - paper| / |paper|.
+double RelDev(double measured, double paper);
+
+/// Prints one comparison row and returns whether the shape band holds.
+bool Compare(const std::string& metric, double paper, double measured,
+             double rel_tolerance);
+
+}  // namespace bench
+}  // namespace elitenet
+
+#endif  // ELITENET_BENCH_BENCH_COMMON_H_

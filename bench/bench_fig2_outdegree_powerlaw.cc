@@ -1,0 +1,91 @@
+// Fig. 2 + Section IV-B reproduction: the out-degree distribution on
+// log-log axes, the Clauset-Shalizi-Newman discrete MLE fit (paper:
+// alpha 3.24, xmin 1334, bootstrap p 0.13), and the Vuong tests against
+// log-normal / exponential / Poisson alternatives.
+
+#include <cstdio>
+
+#include "analysis/degree.h"
+#include "bench_common.h"
+#include "core/paper_reference.h"
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  util::PrintBanner("Fig. 2 / Section IV-B: out-degree power law");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+
+  // Log-log distribution of proportion of users vs out-degree (Fig. 2).
+  const auto degrees = analysis::OutDegreeVector(study.network().graph);
+  util::LogHistogram hist(1.0, 1.5, 40);
+  for (double d : degrees) hist.Add(d);
+  std::printf("\nLog-binned out-degree distribution:\n");
+  std::fputs(hist.ToAsciiChart("out-degree").c_str(), stdout);
+
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "fig2_outdegree.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"bin_lo", "bin_hi", "count", "fraction"}).ok();
+    for (const auto& b : hist.bins()) {
+      if (b.count == 0) continue;
+      csv.WriteRow({util::FormatNumber(b.lo, 8), util::FormatNumber(b.hi, 8),
+                    std::to_string(b.count),
+                    util::FormatNumber(b.fraction, 8)})
+          .ok();
+    }
+    csv.Close().ok();
+  }
+
+  // CSN fit with bootstrap + Vuong (the expensive part).
+  std::printf("\nFitting discrete power law (CSN xmin scan + %d bootstrap "
+              "replicates)...\n",
+              study.config().bootstrap_replicates);
+  const auto fit = study.RunOutDegreeFit(/*with_bootstrap=*/true);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 fit.status().ToString().c_str());
+    return 1;
+  }
+
+  const double scale = static_cast<double>(args.num_users) /
+                       static_cast<double>(paper::kUsersEnglish);
+  std::printf("\n");
+  bench::Compare("alpha", paper::kOutDegreeAlpha, fit->fit.alpha, 0.12);
+  bench::Compare("xmin (scaled)", paper::kOutDegreeXmin * scale,
+                 fit->fit.xmin, 0.5);
+  std::printf("  %-36s tail_n=%llu  KS=%.4f\n", "tail",
+              static_cast<unsigned long long>(fit->fit.tail_n),
+              fit->fit.ks_distance);
+  if (fit->gof) {
+    const bool plausible = fit->gof->p_value > 0.1;
+    std::printf("  %-36s paper=%-16.2f measured=%-16.3f [shape: %s]\n",
+                "bootstrap p (p>0.1 => plausible)", paper::kOutDegreePValue,
+                fit->gof->p_value, plausible ? "OK" : "DEVIATES");
+  }
+
+  std::printf("\nVuong likelihood-ratio tests (positive favors the power "
+              "law; paper reports 2-3 digit LRs):\n");
+  auto print_vuong = [](const char* name,
+                        const std::optional<stats::VuongResult>& v) {
+    if (!v) {
+      std::printf("  vs %-12s (fit unavailable)\n", name);
+      return;
+    }
+    std::printf("  vs %-12s LR=%-10.1f stat=%-8.2f p(two-sided)=%.3g\n",
+                name, v->log_likelihood_ratio, v->statistic,
+                v->p_two_sided);
+  };
+  print_vuong("log-normal", fit->vs_lognormal);
+  print_vuong("exponential", fit->vs_exponential);
+  print_vuong("poisson", fit->vs_poisson);
+  std::printf(
+      "\nNote: with an exactly power-law tail the fitted log-normal is\n"
+      "asymptotically indistinguishable (LR ~ 0); the paper's large LR\n"
+      "values reflect real-data deviations from log-normality. Shape\n"
+      "criterion here: log-normal must not win decisively (stat > -2).\n");
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

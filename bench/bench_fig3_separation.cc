@@ -1,0 +1,91 @@
+// Fig. 3 + Section IV-D reproduction: distribution of pairwise node
+// distances (log-scaled counts per hop), mean degree of separation
+// (paper: 2.74 vs 4.12 sampled / 3.43 optimal for whole Twitter), median
+// and effective diameter.
+
+#include <cstdio>
+
+#include "analysis/bidirectional.h"
+#include "bench_common.h"
+#include "core/paper_reference.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  util::PrintBanner("Fig. 3 / Section IV-D: degrees of separation");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+
+  std::printf("\nBFS from %u sampled sources (isolated users omitted, as "
+              "in the paper)...\n",
+              study.config().distance_sources);
+  const auto dist = study.RunDistances();
+  if (!dist.ok()) {
+    std::fprintf(stderr, "distance analysis failed: %s\n",
+                 dist.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nHop-count distribution (Fig. 3 series):\n");
+  std::fputs(dist->hops.ToAsciiChart("hops").c_str(), stdout);
+
+  std::printf("\n");
+  bench::Compare("mean distance", paper::kMeanDistance,
+                 dist->mean_distance, 0.12);
+  std::printf("  %-36s measured=%llu\n", "median separation",
+              static_cast<unsigned long long>(dist->median_distance));
+  std::printf("  %-36s measured=%llu\n", "effective diameter (90th pct)",
+              static_cast<unsigned long long>(dist->effective_diameter));
+  std::printf("  %-36s measured=%u\n", "diameter lower bound",
+              dist->diameter_lower_bound);
+  std::printf("  reachable pairs=%llu unreachable=%llu\n",
+              static_cast<unsigned long long>(dist->reachable_pairs),
+              static_cast<unsigned long long>(dist->unreachable_pairs));
+
+  std::printf("\nComparison points:\n");
+  std::printf("  whole Twitter, sampled (Kwak et al.):    %.2f\n",
+              paper::kMeanDistanceWholeTwitterSampled);
+  std::printf("  whole Twitter, optimal (Bakhshandeh et al.): %.2f\n",
+              paper::kMeanDistanceWholeTwitterOptimal);
+  std::printf("  verified sub-graph is denser => shorter paths: %s\n",
+              dist->mean_distance < paper::kMeanDistanceWholeTwitterOptimal
+                  ? "OK"
+                  : "DEVIATES");
+
+  // Cross-check with the cited methodology: Bakhshandeh et al. measured
+  // whole-Twitter separation with bounded bidirectional search over
+  // sampled pairs; the same estimator on our graph must agree with the
+  // BFS histogram above.
+  {
+    util::Rng rng(314);
+    const auto pairs =
+        analysis::SamplePairDistances(study.network().graph, 2000, &rng);
+    std::printf("\nbidirectional pair sampling (Bakhshandeh-style, 2000 "
+                "pairs):\n");
+    std::printf("  mean distance=%.3f (BFS estimate %.3f) "
+                "[estimators agree: %s]\n",
+                pairs.mean_distance, dist->mean_distance,
+                bench::RelDev(pairs.mean_distance, dist->mean_distance) <
+                        0.05
+                    ? "OK"
+                    : "DEVIATES");
+    std::printf("  mean nodes expanded per pair=%.0f of %u total\n",
+                pairs.mean_expanded, study.network().graph.num_nodes());
+  }
+
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "fig3_separation.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"hops", "pairs"}).ok();
+    for (uint64_t h = 0; h <= dist->hops.max_value(); ++h) {
+      csv.WriteRow({std::to_string(h),
+                    std::to_string(dist->hops.CountOf(h))})
+          .ok();
+    }
+    csv.Close().ok();
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}

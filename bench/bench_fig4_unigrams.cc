@@ -1,0 +1,74 @@
+// Fig. 4 reproduction: the word cloud of most frequent unigrams in
+// verified-user bios. A word cloud is a frequency table rendered with
+// size ~ count; we print the ranked table with proportional bars and
+// check the paper's named unigram themes are all present.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "text/ngram.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  util::PrintBanner("Fig. 4: word cloud of bio unigrams");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+
+  text::NGramCounter unigrams(1);
+  for (const std::string& bio : study.bios().bios) {
+    unigrams.AddDocument(bio);
+  }
+  const auto top = unigrams.TopK(30);
+
+  std::printf("\nTop unigrams (bar length ~ count):\n");
+  const double max_count =
+      top.empty() ? 1.0 : static_cast<double>(top[0].count);
+  for (const auto& g : top) {
+    const int len = static_cast<int>(40.0 * g.count / max_count);
+    std::printf("  %-16s %8llu %s\n", g.ngram.c_str(),
+                static_cast<unsigned long long>(g.count),
+                std::string(static_cast<size_t>(len), '#').c_str());
+  }
+
+  // The paper's themes: cross-links, personal descriptors, professional
+  // descriptors, business terms, geography, journalism.
+  struct Theme {
+    const char* name;
+    std::vector<const char*> words;
+  };
+  const Theme themes[] = {
+      {"cross-links", {"instagram", "facebook", "snapchat"}},
+      {"personal", {"husband", "father", "gay"}},
+      {"professional",
+       {"producer", "founder", "director", "tech", "author", "sport"}},
+      {"business", {"booking", "support", "international", "official"}},
+      {"geography", {"american", "london"}},
+      {"journalism", {"journalist", "reporter", "editor"}},
+  };
+  std::printf("\nTheme coverage (all Fig. 4 themes must appear):\n");
+  bool all_ok = true;
+  for (const Theme& t : themes) {
+    uint64_t total = 0;
+    for (const char* w : t.words) total += unigrams.CountOf(w);
+    const bool ok = total > 0;
+    all_ok &= ok;
+    std::printf("  %-14s total=%8llu [%s]\n", t.name,
+                static_cast<unsigned long long>(total),
+                ok ? "OK" : "MISSING");
+  }
+  std::printf("\nFig. 4 shape: %s\n", all_ok ? "OK" : "DEVIATES");
+
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "fig4_unigrams.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"unigram", "count"}).ok();
+    for (const auto& g : top) {
+      csv.WriteRow({g.ngram, std::to_string(g.count)}).ok();
+    }
+    csv.Close().ok();
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Conclusion-section reproduction: the "unique fingerprint" claim. The
+// verified-network signature (reciprocity, clustering, dissortativity,
+// GSCC, mean distance, power-law alpha, attracting fraction) should
+// discriminate the calibrated network from generic random-graph families
+// of the same size — and the structural-feature model should predict
+// top-tier reach well above chance.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/fingerprint.h"
+#include "core/reach_predictor.h"
+#include "gen/generators.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  if (args.num_users == 40000) args.num_users = 15000;  // several graphs
+  util::PrintBanner("Conclusion: verified-user fingerprint");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+  const uint32_t n = study.network().graph.num_nodes();
+  const uint64_t m = study.network().graph.num_edges();
+
+  const core::GraphFingerprint paper = core::PaperFingerprint();
+  struct Entry {
+    std::string name;
+    double similarity;
+    std::string fingerprint;
+  };
+  std::vector<Entry> entries;
+  auto measure = [&](const std::string& name, const graph::DiGraph& g) {
+    auto fp = core::ComputeFingerprint(g);
+    if (fp.ok()) {
+      entries.push_back({name, core::FingerprintSimilarity(*fp, paper),
+                         fp->ToString()});
+    }
+  };
+
+  measure("verified (calibrated)", study.network().graph);
+  util::Rng rng(19);
+  if (auto g = gen::ErdosRenyi(n, m, &rng); g.ok()) {
+    measure("erdos-renyi", *g);
+  }
+  const uint32_t fanout = std::max<uint32_t>(1, static_cast<uint32_t>(m / n));
+  if (auto g = gen::PreferentialAttachment(n, fanout, &rng); g.ok()) {
+    measure("preferential-attachment", *g);
+  }
+  if (auto g = gen::WattsStrogatz(n, fanout, 0.1, &rng); g.ok()) {
+    measure("watts-strogatz", *g);
+  }
+
+  util::TextTable table({"network", "similarity to paper", "fingerprint"});
+  for (const Entry& e : entries) {
+    table.AddRow();
+    table.AddCell(e.name);
+    table.AddCell(e.similarity, 3);
+    table.AddCell(e.fingerprint);
+  }
+  std::printf("\n");
+  table.Print();
+
+  bool discriminates = entries.size() >= 2;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    discriminates &= entries[0].similarity > entries[i].similarity + 0.05;
+  }
+  std::printf("\nfingerprint discriminates verified-style from generic "
+              "networks: %s\n",
+              discriminates ? "OK" : "DEVIATES");
+
+  // Reach prediction (the verification-worthiness screen).
+  auto report =
+      core::RunReachPrediction(study.network().graph, study.profiles());
+  if (report.ok()) {
+    std::printf("\nreach prediction from structure only: AUC=%.3f "
+                "accuracy=%.3f (chance AUC=0.5)  [predictive: %s]\n",
+                report->auc, report->accuracy,
+                report->auc > 0.75 ? "OK" : "DEVIATES");
+  }
+
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "fingerprint.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"network", "similarity"}).ok();
+    for (const Entry& e : entries) {
+      csv.WriteRow({e.name, util::FormatNumber(e.similarity, 6)}).ok();
+    }
+    csv.Close().ok();
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

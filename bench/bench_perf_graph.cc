@@ -1,0 +1,144 @@
+// google-benchmark micro-benchmarks for the graph algorithm core:
+// generation, BFS, PageRank, SCC, reciprocity, clustering, betweenness,
+// and Laplacian matvec throughput on a fixed mid-size verified network.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/centrality.h"
+#include "analysis/clustering.h"
+#include "analysis/components.h"
+#include "analysis/distance.h"
+#include "analysis/reciprocity.h"
+#include "analysis/spectral.h"
+#include "gen/verified_network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace elitenet;
+
+const gen::VerifiedNetwork& FixtureNetwork() {
+  static const gen::VerifiedNetwork* net = [] {
+    gen::VerifiedNetworkConfig cfg;
+    cfg.num_users = 20000;
+    auto r = gen::GenerateVerifiedNetwork(cfg);
+    if (!r.ok()) std::abort();
+    return new gen::VerifiedNetwork(std::move(r).value());
+  }();
+  return *net;
+}
+
+void BM_GenerateVerifiedNetwork(benchmark::State& state) {
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = gen::GenerateVerifiedNetwork(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_users);
+}
+BENCHMARK(BM_GenerateVerifiedNetwork)->Arg(5000)->Arg(20000);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto dist = analysis::Bfs(
+        g, static_cast<graph::NodeId>(rng.UniformU64(g.num_nodes())));
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Bfs);
+
+void BM_PageRank(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  for (auto _ : state) {
+    auto pr = analysis::PageRank(g);
+    benchmark::DoNotOptimize(pr);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_PageRank);
+
+void BM_Scc(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  for (auto _ : state) {
+    auto scc = analysis::StronglyConnectedComponents(g);
+    benchmark::DoNotOptimize(scc);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Scc);
+
+void BM_WeakComponents(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  for (auto _ : state) {
+    auto weak = analysis::WeaklyConnectedComponents(g);
+    benchmark::DoNotOptimize(weak);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_WeakComponents);
+
+void BM_Reciprocity(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  for (auto _ : state) {
+    auto rec = analysis::ComputeReciprocity(g);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Reciprocity);
+
+void BM_ClusteringSampled(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    auto c = analysis::ComputeClusteringSampled(
+        g, static_cast<uint32_t>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ClusteringSampled)->Arg(500)->Arg(2000);
+
+void BM_BetweennessPivots(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  analysis::BetweennessOptions opts;
+  opts.pivots = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto bc = analysis::Betweenness(g, opts);
+    benchmark::DoNotOptimize(bc);
+  }
+  state.SetItemsProcessed(state.iterations() * opts.pivots *
+                          g.num_edges());
+}
+BENCHMARK(BM_BetweennessPivots)->Arg(8)->Arg(32);
+
+void BM_LaplacianMatvec(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  const analysis::LaplacianOperator op(g);
+  std::vector<double> x(op.dimension(), 1.0), y(op.dimension());
+  for (auto _ : state) {
+    op.Apply(x, &y);
+    benchmark::DoNotOptimize(y);
+    std::swap(x, y);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_LaplacianMatvec);
+
+void BM_SampledDistances(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto d = analysis::SampleDistances(
+        g, static_cast<uint32_t>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_SampledDistances)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// google-benchmark micro-benchmarks for the statistics / time-series
+// machinery: zeta sampling, power-law fitting, bootstrap replicates,
+// Vuong tests, portmanteau tests, ADF, and PELT.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/activity.h"
+#include "stats/distributions.h"
+#include "stats/powerlaw.h"
+#include "stats/special.h"
+#include "stats/vuong.h"
+#include "timeseries/acf.h"
+#include "timeseries/adf.h"
+#include "timeseries/pelt.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace elitenet;
+
+const std::vector<double>& ZetaData() {
+  static const std::vector<double>* data = [] {
+    util::Rng rng(3);
+    auto* d = new std::vector<double>();
+    for (int i = 0; i < 30000; ++i) {
+      d->push_back(static_cast<double>(stats::SampleZeta(3.24, 50, &rng)));
+    }
+    return d;
+  }();
+  return *data;
+}
+
+const std::vector<double>& ActivityData() {
+  static const std::vector<double>* data = [] {
+    auto s = gen::GenerateActivity();
+    if (!s.ok()) std::abort();
+    return new std::vector<double>(s->daily_tweets);
+  }();
+  return *data;
+}
+
+void BM_HurwitzZeta(benchmark::State& state) {
+  double q = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::HurwitzZeta(3.24, q));
+    q = q < 1e6 ? q + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_HurwitzZeta);
+
+void BM_SampleZeta(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SampleZeta(3.24, 229, &rng));
+  }
+}
+BENCHMARK(BM_SampleZeta);
+
+void BM_FitDiscreteAlphaFixedXmin(benchmark::State& state) {
+  const auto& data = ZetaData();
+  for (auto _ : state) {
+    auto fit = stats::FitDiscreteAlpha(data, 50.0);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FitDiscreteAlphaFixedXmin);
+
+void BM_FitDiscreteWithXminScan(benchmark::State& state) {
+  const auto& data = ZetaData();
+  for (auto _ : state) {
+    auto fit = stats::FitDiscrete(data);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FitDiscreteWithXminScan);
+
+void BM_BootstrapReplicate(benchmark::State& state) {
+  const auto& data = ZetaData();
+  auto fit = stats::FitDiscrete(data);
+  if (!fit.ok()) std::abort();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto gof = stats::BootstrapGoodness(data, *fit, 1, &rng);
+    benchmark::DoNotOptimize(gof);
+  }
+}
+BENCHMARK(BM_BootstrapReplicate);
+
+void BM_VuongVsLogNormal(benchmark::State& state) {
+  // Fit at a deep xmin so the tail is a few hundred points — the size
+  // the Section IV-B pipeline actually hands to the Vuong stage.
+  const auto& data = ZetaData();
+  auto fit = stats::FitDiscreteAlpha(data, 300.0);
+  if (!fit.ok()) std::abort();
+  const auto tail = stats::TailOf(data, 300.0);
+  const auto pl_ll = stats::PointwiseLogLikelihood(tail, *fit);
+  for (auto _ : state) {
+    auto ln = stats::FitLogNormalTail(data, 300.0, /*discrete=*/true);
+    if (!ln.ok()) std::abort();
+    auto v = stats::VuongTest(
+        pl_ll, stats::AltPointwiseLogLikelihood(tail, *ln));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_VuongVsLogNormal);
+
+void BM_LjungBox185(benchmark::State& state) {
+  const auto& series = ActivityData();
+  for (auto _ : state) {
+    auto r = timeseries::LjungBoxTest(series, 185);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LjungBox185);
+
+void BM_AdfAutoLag(benchmark::State& state) {
+  const auto& series = ActivityData();
+  for (auto _ : state) {
+    auto r = timeseries::AdfTest(series);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AdfAutoLag);
+
+void BM_PeltSingleRun(benchmark::State& state) {
+  const auto& series = ActivityData();
+  for (auto _ : state) {
+    auto r = timeseries::Pelt(series);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(BM_PeltSingleRun);
+
+void BM_PeltPenaltySweep(benchmark::State& state) {
+  const auto& series = ActivityData();
+  for (auto _ : state) {
+    auto r = timeseries::PeltPenaltySweep(series);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PeltPenaltySweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Section IV-C reproduction: link reciprocity of the verified network
+// (paper: 33.7%) against the published comparison points — 22.1% for the
+// whole Twitter graph (Kwak et al. 2010) and 68% for Flickr — plus
+// baseline generators to show the verified level is a planted social
+// property, not a byproduct of density.
+
+#include <cstdio>
+
+#include "analysis/reciprocity.h"
+#include "bench_common.h"
+#include "core/paper_reference.h"
+#include "gen/generators.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  util::PrintBanner("Section IV-C: reciprocity");
+  core::VerifiedStudy study = bench::MakeStudy(args);
+
+  const auto rec = analysis::ComputeReciprocity(study.network().graph);
+  std::printf("\n");
+  bench::Compare("verified-network reciprocity", paper::kReciprocity,
+                 rec.rate, 0.1);
+  std::printf("  mutual pairs=%llu of %llu edges\n",
+              static_cast<unsigned long long>(rec.mutual_pairs),
+              static_cast<unsigned long long>(rec.total_edges));
+
+  // Baseline: an Erdős–Rényi graph of identical size/density has
+  // essentially zero reciprocity — the verified level is social.
+  util::Rng rng(7);
+  auto er = gen::ErdosRenyi(study.network().graph.num_nodes(),
+                            study.network().graph.num_edges(), &rng);
+  double er_rate = 0.0;
+  if (er.ok()) {
+    er_rate = analysis::ComputeReciprocity(*er).rate;
+  }
+
+  util::TextTable table({"network", "reciprocity", "source"});
+  table.AddRowCells({"verified users (measured)",
+                     util::FormatNumber(rec.rate, 4), "this run"});
+  table.AddRowCells({"verified users (paper)",
+                     util::FormatNumber(paper::kReciprocity, 4),
+                     "Paul et al. 2019"});
+  table.AddRowCells({"whole Twitter",
+                     util::FormatNumber(paper::kReciprocityWholeTwitter, 4),
+                     "Kwak et al. 2010"});
+  table.AddRowCells({"Flickr",
+                     util::FormatNumber(paper::kReciprocityFlickr, 4),
+                     "Chun et al. 2008"});
+  table.AddRowCells({"Erdos-Renyi (same n, m)",
+                     util::FormatNumber(er_rate, 4), "baseline"});
+  std::printf("\n");
+  table.Print();
+
+  std::printf("\nOrdering check (paper's qualitative claim): "
+              "ER << whole Twitter < verified < Flickr : %s\n",
+              (er_rate < paper::kReciprocityWholeTwitter &&
+               paper::kReciprocityWholeTwitter < rec.rate &&
+               rec.rate < paper::kReciprocityFlickr)
+                  ? "OK"
+                  : "DEVIATES");
+
+  util::CsvWriter csv;
+  const std::string path = bench::CsvPath(args, "reciprocity.csv");
+  if (csv.Open(path).ok()) {
+    csv.WriteRow({"network", "reciprocity"}).ok();
+    csv.WriteRow({"verified_measured", util::FormatNumber(rec.rate, 6)}).ok();
+    csv.WriteRow({"verified_paper", "0.337"}).ok();
+    csv.WriteRow({"whole_twitter", "0.221"}).ok();
+    csv.WriteRow({"flickr", "0.68"}).ok();
+    csv.WriteRow({"erdos_renyi", util::FormatNumber(er_rate, 6)}).ok();
+    csv.Close().ok();
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,231 @@
+// elitenet_cli — run the library's analyses on YOUR graph. Reads a SNAP-
+// style edge list ("src dst" per line, '#' comments) or an elitenet
+// binary snapshot, and exposes the paper's measurement battery as
+// subcommands. This is the adoption path for downstream users with their
+// own follow/interaction graphs.
+//
+//   elitenet_cli stats <graph>         basic analysis (paper Section IV-A)
+//   elitenet_cli powerlaw <graph>      out-degree CSN fit + Vuong tests
+//   elitenet_cli distance <graph>      separation distribution (Fig. 3)
+//   elitenet_cli fingerprint <graph>   signature + similarity to the paper
+//   elitenet_cli rank <graph> [k]      top-k users by PageRank
+//   elitenet_cli convert <in> <out>    edge list <-> binary snapshot
+//
+// <graph> ending in ".eng" is loaded as a binary snapshot, anything else
+// as a text edge list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/centrality.h"
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/distance.h"
+#include "analysis/reciprocity.h"
+#include "core/fingerprint.h"
+#include "graph/io.h"
+#include "stats/distributions.h"
+#include "stats/powerlaw.h"
+#include "stats/vuong.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace elitenet;
+
+Result<graph::DiGraph> LoadGraph(const std::string& path) {
+  if (util::EndsWith(path, ".eng")) return graph::LoadBinary(path);
+  return graph::ReadEdgeListText(path);
+}
+
+int CmdStats(const graph::DiGraph& g) {
+  const auto deg = analysis::ComputeDegreeStats(g);
+  const auto rec = analysis::ComputeReciprocity(g);
+  const auto weak = analysis::WeaklyConnectedComponents(g);
+  const auto scc = analysis::StronglyConnectedComponents(g);
+  const auto att = analysis::FindAttractingComponents(g, scc);
+
+  std::printf("nodes                 %s\n",
+              util::FormatWithCommas(g.num_nodes()).c_str());
+  std::printf("edges                 %s\n",
+              util::FormatWithCommas(g.num_edges()).c_str());
+  std::printf("density               %.6g\n", deg.density);
+  std::printf("avg out-degree        %.2f\n", deg.avg_out_degree);
+  std::printf("max out-degree        %u (node %u)\n", deg.max_out_degree,
+              deg.argmax_out_degree);
+  std::printf("max in-degree         %u (node %u)\n", deg.max_in_degree,
+              deg.argmax_in_degree);
+  std::printf("isolated nodes        %s\n",
+              util::FormatWithCommas(deg.isolated_nodes).c_str());
+  std::printf("reciprocity           %.4f\n", rec.rate);
+  std::printf("weak components       %u (giant %.2f%%)\n",
+              weak.num_components, 100.0 * weak.GiantFraction());
+  std::printf("strong components     %u (giant %.2f%%)\n",
+              scc.num_components, 100.0 * scc.GiantFraction());
+  std::printf("attracting components %s (%s singletons)\n",
+              util::FormatWithCommas(att.count).c_str(),
+              util::FormatWithCommas(att.singletons).c_str());
+  return 0;
+}
+
+int CmdPowerLaw(const graph::DiGraph& g) {
+  std::vector<double> degrees;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > 0) {
+      degrees.push_back(static_cast<double>(g.OutDegree(u)));
+    }
+  }
+  if (degrees.empty()) {
+    std::fprintf(stderr, "graph has no edges\n");
+    return 1;
+  }
+  auto fit = stats::FitDiscrete(degrees);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 fit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("discrete power-law fit (Clauset-Shalizi-Newman):\n");
+  std::printf("  alpha   %.4f\n", fit->alpha);
+  std::printf("  xmin    %.0f\n", fit->xmin);
+  std::printf("  tail n  %llu of %zu\n",
+              static_cast<unsigned long long>(fit->tail_n), degrees.size());
+  std::printf("  KS      %.4f\n", fit->ks_distance);
+
+  util::Rng rng(7);
+  if (auto gof = stats::BootstrapGoodness(degrees, *fit, 30, &rng);
+      gof.ok()) {
+    std::printf("  bootstrap p = %.3f (p > 0.1 => power law plausible)\n",
+                gof->p_value);
+  }
+
+  const auto tail = stats::TailOf(degrees, fit->xmin);
+  const auto pl = stats::PointwiseLogLikelihood(tail, *fit);
+  auto report = [&](const char* name, const Result<stats::AltFit>& alt) {
+    if (!alt.ok()) return;
+    auto v = stats::VuongTest(
+        pl, stats::AltPointwiseLogLikelihood(tail, *alt));
+    if (!v.ok()) return;
+    std::printf("  Vuong vs %-11s LR=%+9.1f stat=%+6.2f (positive "
+                "favors the power law)\n",
+                name, v->log_likelihood_ratio, v->statistic);
+  };
+  report("log-normal", stats::FitLogNormalTail(degrees, fit->xmin, true));
+  report("exponential",
+         stats::FitExponentialTail(degrees, fit->xmin, true));
+  report("poisson", stats::FitPoissonTail(degrees, fit->xmin));
+  return 0;
+}
+
+int CmdDistance(const graph::DiGraph& g) {
+  util::Rng rng(11);
+  const auto d = analysis::SampleDistances(g, 64, &rng);
+  if (d.reachable_pairs == 0) {
+    std::fprintf(stderr, "no reachable pairs\n");
+    return 1;
+  }
+  std::printf("mean distance       %.3f\n", d.mean_distance);
+  std::printf("median              %llu\n",
+              static_cast<unsigned long long>(d.median_distance));
+  std::printf("effective diameter  %llu (90th percentile)\n",
+              static_cast<unsigned long long>(d.effective_diameter));
+  std::printf("diameter >=         %u\n", d.diameter_lower_bound);
+  std::printf("\n%s", d.hops.ToAsciiChart("hops").c_str());
+  return 0;
+}
+
+int CmdFingerprint(const graph::DiGraph& g) {
+  auto fp = core::ComputeFingerprint(g);
+  if (!fp.ok()) {
+    std::fprintf(stderr, "fingerprint failed: %s\n",
+                 fp.status().ToString().c_str());
+    return 1;
+  }
+  const auto paper = core::PaperFingerprint();
+  std::printf("fingerprint: %s\n", fp->ToString().c_str());
+  std::printf("similarity to the ICDE'19 verified-network signature: "
+              "%.3f\n",
+              core::FingerprintSimilarity(*fp, paper));
+  return 0;
+}
+
+int CmdRank(const graph::DiGraph& g, uint32_t k) {
+  auto pr = analysis::PageRank(g);
+  if (!pr.ok()) {
+    std::fprintf(stderr, "pagerank failed\n");
+    return 1;
+  }
+  util::TextTable table({"rank", "node", "pagerank", "in-deg", "out-deg"});
+  const auto top = analysis::TopKByScore(pr->scores, k);
+  for (size_t i = 0; i < top.size(); ++i) {
+    table.AddRow();
+    table.AddCell(static_cast<uint64_t>(i + 1));
+    table.AddCell(static_cast<uint64_t>(top[i]));
+    table.AddCell(pr->scores[top[i]], 4);
+    table.AddCell(static_cast<uint64_t>(g.InDegree(top[i])));
+    table.AddCell(static_cast<uint64_t>(g.OutDegree(top[i])));
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdConvert(const graph::DiGraph& g, const std::string& out) {
+  const Status s = util::EndsWith(out, ".eng")
+                       ? graph::SaveBinary(g, out)
+                       : graph::WriteEdgeListText(g, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: elitenet_cli <stats|powerlaw|distance|fingerprint|rank|"
+      "convert> <graph> [args]\n"
+      "  graph: text edge list, or .eng binary snapshot\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  auto g = LoadGraph(argv[2]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %u nodes, %llu edges\n", g->num_nodes(),
+               static_cast<unsigned long long>(g->num_edges()));
+
+  if (command == "stats") return CmdStats(*g);
+  if (command == "powerlaw") return CmdPowerLaw(*g);
+  if (command == "distance") return CmdDistance(*g);
+  if (command == "fingerprint") return CmdFingerprint(*g);
+  if (command == "rank") {
+    const uint32_t k =
+        argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 10;
+    return CmdRank(*g, k);
+  }
+  if (command == "convert") {
+    if (argc < 4) {
+      Usage();
+      return 2;
+    }
+    return CmdConvert(*g, argv[3]);
+  }
+  Usage();
+  return 2;
+}

@@ -1,0 +1,99 @@
+// Network fingerprinting and reach prediction — the two applications the
+// paper's conclusion proposes:
+//
+//  1. "The above-mentioned deviations likely constitute a unique
+//     fingerprint for verified users": we measure the fingerprint of the
+//     calibrated verified network and of three classic random-graph
+//     families, and score each against the paper's published signature.
+//
+//  2. "This can further help evaluate the strength of an unverified
+//     user's case for getting verified": we train a logistic model on
+//     purely structural features to predict top-tier reach, and report
+//     held-out AUC plus the learned feature weights.
+//
+//   ./build/examples/network_fingerprint [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fingerprint.h"
+#include "core/reach_predictor.h"
+#include "core/study.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+
+  const uint32_t n =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 12000;
+
+  core::StudyConfig cfg;
+  cfg.network.num_users = n;
+  core::VerifiedStudy study(cfg);
+  if (const Status s = study.Generate(); !s.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const uint64_t m = study.network().graph.num_edges();
+
+  // ---- Part 1: fingerprints -----------------------------------------------
+  std::printf("== Part 1: network fingerprints vs the paper's signature "
+              "==\n\n");
+  const core::GraphFingerprint paper = core::PaperFingerprint();
+  std::printf("paper signature: %s\n\n", paper.ToString().c_str());
+
+  util::TextTable table({"network", "similarity", "fingerprint"});
+  auto add_row = [&](const std::string& name, const graph::DiGraph& g) {
+    auto fp = core::ComputeFingerprint(g);
+    if (!fp.ok()) return;
+    table.AddRow();
+    table.AddCell(name);
+    table.AddCell(core::FingerprintSimilarity(*fp, paper), 3);
+    table.AddCell(fp->ToString());
+  };
+
+  add_row("verified (this library)", study.network().graph);
+  util::Rng rng(11);
+  if (auto er = gen::ErdosRenyi(n, m, &rng); er.ok()) {
+    add_row("Erdos-Renyi (same n, m)", *er);
+  }
+  const uint32_t ba_fanout =
+      std::max<uint32_t>(1, static_cast<uint32_t>(m / n));
+  if (auto ba = gen::PreferentialAttachment(n, ba_fanout, &rng); ba.ok()) {
+    add_row("preferential attachment", *ba);
+  }
+  if (auto ws = gen::WattsStrogatz(n, ba_fanout, 0.1, &rng); ws.ok()) {
+    add_row("Watts-Strogatz", *ws);
+  }
+  table.Print();
+  std::printf("\nreading: only the verified-style network matches the "
+              "paper's signature; the generic families miss on "
+              "reciprocity, clustering, or the attracting-component "
+              "structure.\n");
+
+  // ---- Part 2: reach prediction --------------------------------------------
+  std::printf("\n== Part 2: predicting top-decile reach from structure "
+              "alone ==\n\n");
+  auto report =
+      core::RunReachPrediction(study.network().graph, study.profiles());
+  if (!report.ok()) {
+    std::fprintf(stderr, "prediction failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("train=%zu test=%zu positives=%.1f%%\n", report->train_n,
+              report->test_n, 100.0 * report->positive_rate);
+  std::printf("held-out AUC=%.3f accuracy=%.3f\n\n", report->auc,
+              report->accuracy);
+  std::printf("learned weights (standardized features):\n");
+  for (const auto& [name, weight] : report->feature_weights) {
+    std::printf("  %-22s %+.3f\n", name.c_str(), weight);
+  }
+  std::printf(
+      "\nreading: sub-graph embedding predicts whole-Twitter reach "
+      "(Section IV-F); the in-degree and PageRank weights carry the "
+      "signal, matching Fig. 5's strongest panels.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Spam white-listing by degrees of separation — the application from the
+// related work the paper highlights (Hentschel et al., ICWSM 2014): most
+// legitimate users sit within a few hops of a verified account, while
+// spam handles live 7-10 hops out. This example embeds the verified
+// network in a larger population of unverified accounts, computes each
+// account's distance to the verified core, and prints the white-list
+// coverage per hop radius.
+//
+//   ./build/examples/spam_whitelist [verified_users] [unverified_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/distance.h"
+#include "gen/verified_network.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+
+  const uint32_t n_verified =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 8000;
+  const uint32_t n_unverified =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 40000;
+
+  // Verified core.
+  gen::VerifiedNetworkConfig vcfg;
+  vcfg.num_users = n_verified;
+  auto verified = gen::GenerateVerifiedNetwork(vcfg);
+  if (!verified.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+
+  // Embed in a larger population: unverified accounts follow a mix of
+  // verified and unverified handles; a "spam ring" at the end follows
+  // only itself plus a thin chain into the periphery.
+  const uint32_t n_total = n_verified + n_unverified;
+  const uint32_t spam_ring = n_unverified / 50;
+  graph::GraphBuilder builder(n_total);
+  for (graph::NodeId u = 0; u < n_verified; ++u) {
+    for (graph::NodeId v : verified->graph.OutNeighbors(u)) {
+      if (!builder.AddEdge(u, v).ok()) return 1;
+    }
+  }
+  util::Rng rng(7);
+  const uint32_t spam_begin = n_total - spam_ring;
+  for (graph::NodeId u = n_verified; u < spam_begin; ++u) {
+    // Regular unverified account: follows 2-20 handles, ~30% verified.
+    const uint32_t fanout = 2 + static_cast<uint32_t>(rng.UniformU64(19));
+    for (uint32_t j = 0; j < fanout; ++j) {
+      graph::NodeId v;
+      if (rng.Bernoulli(0.3)) {
+        v = static_cast<graph::NodeId>(rng.UniformU64(n_verified));
+      } else {
+        v = static_cast<graph::NodeId>(
+            n_verified + rng.UniformU64(spam_begin - n_verified));
+      }
+      if (v != u && !builder.AddEdge(u, v).ok()) return 1;
+    }
+    // ~60% are followed back by someone, making distance-to-user finite.
+    if (rng.Bernoulli(0.6)) {
+      const graph::NodeId follower = static_cast<graph::NodeId>(
+          n_verified + rng.UniformU64(spam_begin - n_verified));
+      if (follower != u && !builder.AddEdge(follower, u).ok()) return 1;
+    }
+  }
+  // Spam ring: a long chain hanging off one peripheral account.
+  graph::NodeId prev = spam_begin > 0 ? spam_begin - 1 : 0;
+  for (graph::NodeId u = spam_begin; u < n_total; ++u) {
+    if (!builder.AddEdge(prev, u).ok()) return 1;  // chain inward
+    prev = u;
+  }
+  auto g = builder.Build();
+  if (!g.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+
+  // Distance from the verified core: multi-source BFS implemented by
+  // measuring, for each account, hops along *follower* edges from any
+  // verified user (reverse BFS from a virtual source = BFS over in-edges
+  // from all verified nodes). We approximate multi-source BFS by running
+  // a frontier initialized with all verified nodes.
+  std::vector<uint32_t> dist(g->num_nodes(), analysis::kUnreachable);
+  std::vector<graph::NodeId> frontier, next;
+  for (graph::NodeId u = 0; u < n_verified; ++u) {
+    dist[u] = 0;
+    frontier.push_back(u);
+  }
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      // Treat edges as undirected for "separation", as in Milgram-style
+      // analyses.
+      for (graph::NodeId v : g->OutNeighbors(u)) {
+        if (dist[v] == analysis::kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+      for (graph::NodeId v : g->InNeighbors(u)) {
+        if (dist[v] == analysis::kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  // Coverage per hop radius.
+  std::printf("white-list coverage of %u unverified accounts by distance "
+              "to the verified core:\n\n",
+              n_unverified);
+  util::TextTable table({"radius", "covered", "cumulative %",
+                         "spam-ring accounts inside"});
+  uint64_t covered = 0;
+  for (uint32_t r = 1; r <= 12; ++r) {
+    uint64_t at_r = 0, spam_inside = 0;
+    for (graph::NodeId u = n_verified; u < n_total; ++u) {
+      if (dist[u] == r) {
+        ++at_r;
+        if (u >= spam_begin) ++spam_inside;
+      }
+    }
+    covered += at_r;
+    uint64_t spam_cum = 0;
+    for (graph::NodeId u = spam_begin; u < n_total; ++u) {
+      if (dist[u] != analysis::kUnreachable && dist[u] <= r) ++spam_cum;
+    }
+    table.AddRow();
+    table.AddCell(static_cast<uint64_t>(r));
+    table.AddCell(at_r);
+    table.AddCell(100.0 * static_cast<double>(covered) / n_unverified, 4);
+    table.AddCell(spam_cum);
+  }
+  table.Print();
+
+  uint64_t unreachable = 0;
+  for (graph::NodeId u = n_verified; u < n_total; ++u) {
+    if (dist[u] == analysis::kUnreachable) ++unreachable;
+  }
+  std::printf("\nunreachable from the core: %llu accounts\n",
+              static_cast<unsigned long long>(unreachable));
+  std::printf(
+      "\nreading (Hentschel et al.): legitimate accounts white-list "
+      "within ~7 hops;\nspam-ring accounts only enter at large radii — "
+      "a hop-distance cutoff separates them.\n");
+  return 0;
+}

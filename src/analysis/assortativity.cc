@@ -1,0 +1,76 @@
+#include "analysis/assortativity.h"
+
+#include <cmath>
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+double DegreeAssortativity(const DiGraph& g, DegreeMode mode) {
+  const uint64_t m = g.num_edges();
+  if (m == 0) return 0.0;
+
+  auto src_degree = [&](NodeId u) -> double {
+    switch (mode) {
+      case DegreeMode::kOutIn:
+      case DegreeMode::kOutOut:
+        return g.OutDegree(u);
+      case DegreeMode::kInIn:
+      case DegreeMode::kInOut:
+        return g.InDegree(u);
+      case DegreeMode::kTotal:
+        return static_cast<double>(g.OutDegree(u)) + g.InDegree(u);
+    }
+    return 0.0;
+  };
+  auto dst_degree = [&](NodeId v) -> double {
+    switch (mode) {
+      case DegreeMode::kOutIn:
+      case DegreeMode::kInIn:
+        return g.InDegree(v);
+      case DegreeMode::kOutOut:
+      case DegreeMode::kInOut:
+        return g.OutDegree(v);
+      case DegreeMode::kTotal:
+        return static_cast<double>(g.OutDegree(v)) + g.InDegree(v);
+    }
+    return 0.0;
+  };
+
+  // Single numerically stable pass: accumulate raw sums with doubles
+  // (values are degrees <= 2^32, m <= 2^37; products stay well inside
+  // double's 2^53 integer range divided by m).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double x = src_degree(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      const double y = dst_degree(v);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+    }
+  }
+  const double n = static_cast<double>(m);
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+AssortativityReport ComputeAssortativity(const DiGraph& g) {
+  AssortativityReport r;
+  r.out_in = DegreeAssortativity(g, DegreeMode::kOutIn);
+  r.out_out = DegreeAssortativity(g, DegreeMode::kOutOut);
+  r.in_in = DegreeAssortativity(g, DegreeMode::kInIn);
+  r.in_out = DegreeAssortativity(g, DegreeMode::kInOut);
+  r.total = DegreeAssortativity(g, DegreeMode::kTotal);
+  return r;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

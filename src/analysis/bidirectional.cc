@@ -1,0 +1,114 @@
+#include "analysis/bidirectional.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
+                                   NodeId target) {
+  EN_CHECK(source < g.num_nodes());
+  EN_CHECK(target < g.num_nodes());
+  PairDistance out;
+  if (source == target) {
+    out.distance = 0;
+    return out;
+  }
+
+  constexpr uint32_t kUnset = UINT32_MAX;
+  std::vector<uint32_t> fwd(g.num_nodes(), kUnset);
+  std::vector<uint32_t> bwd(g.num_nodes(), kUnset);
+  std::vector<NodeId> fwd_frontier{source}, bwd_frontier{target}, next;
+  fwd[source] = 0;
+  bwd[target] = 0;
+  uint32_t fwd_depth = 0, bwd_depth = 0;
+
+  while (!fwd_frontier.empty() && !bwd_frontier.empty()) {
+    // Advance the cheaper side (fewer frontier nodes). A meeting found
+    // mid-level may not be minimal (another node in the same level can
+    // carry a smaller opposite-side label), so the level is completed
+    // and the best meeting taken; BFS level-exactness makes that the
+    // global optimum.
+    const bool advance_forward = fwd_frontier.size() <= bwd_frontier.size();
+    uint32_t best = kUnset;
+    next.clear();
+    if (advance_forward) {
+      ++fwd_depth;
+      for (NodeId u : fwd_frontier) {
+        ++out.expanded;
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (fwd[v] != kUnset) continue;
+          fwd[v] = fwd_depth;
+          if (bwd[v] != kUnset) {
+            best = std::min(best, fwd_depth + bwd[v]);
+          }
+          next.push_back(v);
+        }
+      }
+      fwd_frontier.swap(next);
+    } else {
+      ++bwd_depth;
+      for (NodeId u : bwd_frontier) {
+        ++out.expanded;
+        for (NodeId v : g.InNeighbors(u)) {
+          if (bwd[v] != kUnset) continue;
+          bwd[v] = bwd_depth;
+          if (fwd[v] != kUnset) {
+            best = std::min(best, bwd_depth + fwd[v]);
+          }
+          next.push_back(v);
+        }
+      }
+      bwd_frontier.swap(next);
+    }
+    if (best != kUnset) {
+      out.distance = best;
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+PairSampleResult SamplePairDistances(const DiGraph& g, uint32_t pairs,
+                                     util::Rng* rng) {
+  EN_CHECK(rng != nullptr);
+  PairSampleResult out;
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) + g.InDegree(u) > 0) candidates.push_back(u);
+  }
+  if (candidates.size() < 2) return out;
+
+  double dist_sum = 0.0, expanded_sum = 0.0;
+  for (uint32_t i = 0; i < pairs; ++i) {
+    const NodeId s = candidates[rng->UniformU64(candidates.size())];
+    NodeId t;
+    do {
+      t = candidates[rng->UniformU64(candidates.size())];
+    } while (t == s);
+    const PairDistance d = BidirectionalDistance(g, s, t);
+    expanded_sum += static_cast<double>(d.expanded);
+    if (d.distance == UINT32_MAX) {
+      ++out.unreachable_pairs;
+    } else {
+      ++out.reachable_pairs;
+      dist_sum += d.distance;
+    }
+  }
+  if (out.reachable_pairs > 0) {
+    out.mean_distance = dist_sum / static_cast<double>(out.reachable_pairs);
+  }
+  if (pairs > 0) {
+    out.mean_expanded = expanded_sum / static_cast<double>(pairs);
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

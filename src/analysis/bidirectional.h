@@ -1,0 +1,48 @@
+// Bidirectional BFS point-to-point shortest path — the "bounded
+// bi-directional search" technique of Bakhshandeh et al. (SoCS 2011) the
+// paper cites for the whole-Twitter 3.43 average separation. Expands the
+// smaller frontier from each side; on small-world graphs this touches
+// O(sqrt) of the nodes a one-sided BFS would.
+
+#ifndef ELITENET_ANALYSIS_BIDIRECTIONAL_H_
+#define ELITENET_ANALYSIS_BIDIRECTIONAL_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+
+struct PairDistance {
+  /// Directed distance from source to target; UINT32_MAX if unreachable.
+  uint32_t distance = UINT32_MAX;
+  /// Nodes expanded across both frontiers (the cost measure).
+  uint64_t expanded = 0;
+};
+
+/// Directed s->t shortest path: forward frontier over out-edges from s,
+/// backward frontier over in-edges from t, always advancing the smaller
+/// side.
+PairDistance BidirectionalDistance(const graph::DiGraph& g,
+                                   graph::NodeId source,
+                                   graph::NodeId target);
+
+struct PairSampleResult {
+  double mean_distance = 0.0;
+  uint64_t reachable_pairs = 0;
+  uint64_t unreachable_pairs = 0;
+  /// Average nodes expanded per pair — compare against n for full BFS.
+  double mean_expanded = 0.0;
+};
+
+/// Estimates mean separation from `pairs` random (source, target) pairs of
+/// non-isolated distinct nodes, the way the cited work samples Twitter.
+PairSampleResult SamplePairDistances(const graph::DiGraph& g,
+                                     uint32_t pairs, util::Rng* rng);
+
+}  // namespace analysis
+}  // namespace elitenet
+
+#endif  // ELITENET_ANALYSIS_BIDIRECTIONAL_H_

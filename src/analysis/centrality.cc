@@ -1,0 +1,223 @@
+#include "analysis/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+Result<PageRankResult> PageRank(const DiGraph& g,
+                                const PageRankOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const NodeId n = g.num_nodes();
+  PageRankResult out;
+  if (n == 0) return out;
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n), next(n, 0.0);
+
+  for (out.iterations = 1; out.iterations <= options.max_iterations;
+       ++out.iterations) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = g.OutNeighbors(u);
+      if (nbrs.empty()) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(nbrs.size());
+      for (NodeId v : nbrs) next[v] += share;
+    }
+    const double base =
+        (1.0 - options.damping) * inv_n +
+        options.damping * dangling_mass * inv_n;
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double value = base + options.damping * next[u];
+      delta += std::fabs(value - rank[u]);
+      rank[u] = value;
+    }
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.iterations = std::min(out.iterations, options.max_iterations);
+  out.scores = std::move(rank);
+  return out;
+}
+
+Result<PageRankResult> PersonalizedPageRank(
+    const DiGraph& g, const std::vector<double>& teleport_weights,
+    const PageRankOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const NodeId n = g.num_nodes();
+  if (teleport_weights.size() != n) {
+    return Status::InvalidArgument("teleport weight size mismatch");
+  }
+  PageRankResult out;
+  if (n == 0) return out;
+
+  double weight_sum = 0.0;
+  for (double w : teleport_weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative teleport weight");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument("teleport weights sum to zero");
+  }
+  std::vector<double> teleport(n);
+  for (NodeId u = 0; u < n; ++u) {
+    teleport[u] = teleport_weights[u] / weight_sum;
+  }
+
+  std::vector<double> rank = teleport;
+  std::vector<double> next(n, 0.0);
+  for (out.iterations = 1; out.iterations <= options.max_iterations;
+       ++out.iterations) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = g.OutNeighbors(u);
+      if (nbrs.empty()) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(nbrs.size());
+      for (NodeId v : nbrs) next[v] += share;
+    }
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double value =
+          (1.0 - options.damping) * teleport[u] +
+          options.damping * (next[u] + dangling_mass * teleport[u]);
+      delta += std::fabs(value - rank[u]);
+      rank[u] = value;
+    }
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.iterations = std::min(out.iterations, options.max_iterations);
+  out.scores = std::move(rank);
+  return out;
+}
+
+namespace {
+
+// One Brandes source accumulation: BFS orders nodes by distance, then the
+// dependency back-propagation adds this source's contribution to `bc`.
+void BrandesFromSource(const DiGraph& g, NodeId s, std::vector<double>* bc,
+                       std::vector<uint32_t>* dist,
+                       std::vector<double>* sigma,
+                       std::vector<double>* delta,
+                       std::vector<NodeId>* order) {
+  const NodeId n = g.num_nodes();
+  std::fill(dist->begin(), dist->end(), UINT32_MAX);
+  std::fill(sigma->begin(), sigma->end(), 0.0);
+  std::fill(delta->begin(), delta->end(), 0.0);
+  order->clear();
+
+  (*dist)[s] = 0;
+  (*sigma)[s] = 1.0;
+  size_t head = 0;
+  order->push_back(s);
+  while (head < order->size()) {
+    const NodeId u = (*order)[head++];
+    const uint32_t du = (*dist)[u];
+    for (NodeId v : g.OutNeighbors(u)) {
+      if ((*dist)[v] == UINT32_MAX) {
+        (*dist)[v] = du + 1;
+        order->push_back(v);
+      }
+      if ((*dist)[v] == du + 1) {
+        (*sigma)[v] += (*sigma)[u];
+      }
+    }
+  }
+  // Reverse BFS order = non-increasing distance; accumulate dependencies.
+  for (size_t i = order->size(); i-- > 1;) {  // skip the source itself
+    const NodeId w = (*order)[i];
+    const uint32_t dw = (*dist)[w];
+    const double coeff = (1.0 + (*delta)[w]) / (*sigma)[w];
+    for (NodeId p : g.InNeighbors(w)) {
+      if ((*dist)[p] != UINT32_MAX && (*dist)[p] + 1 == dw) {
+        (*delta)[p] += (*sigma)[p] * coeff;
+      }
+    }
+    (*bc)[w] += (*delta)[w];
+  }
+  (void)n;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Betweenness(const DiGraph& g,
+                                        const BetweennessOptions& options) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+
+  std::vector<NodeId> sources;
+  double scale = 1.0;
+  if (options.pivots == 0 || options.pivots >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), NodeId{0});
+  } else {
+    util::Rng rng(options.seed);
+    const std::vector<uint32_t> picks =
+        rng.SampleWithoutReplacement(n, options.pivots);
+    sources.assign(picks.begin(), picks.end());
+    scale = static_cast<double>(n) / static_cast<double>(options.pivots);
+  }
+
+  std::vector<uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId s : sources) {
+    if (g.OutDegree(s) == 0) continue;  // contributes nothing
+    BrandesFromSource(g, s, &bc, &dist, &sigma, &delta, &order);
+  }
+  if (scale != 1.0) {
+    for (double& x : bc) x *= scale;
+  }
+  return bc;
+}
+
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores,
+                                uint32_t k) {
+  std::vector<NodeId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  const size_t take = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + take, ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

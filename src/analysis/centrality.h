@@ -1,0 +1,67 @@
+// Centrality measures for Fig. 5: PageRank (power iteration with dangling
+// mass redistribution) and betweenness centrality (Brandes 2001, exact or
+// pivot-sampled per Brandes & Pich 2007).
+
+#ifndef ELITENET_ANALYSIS_CENTRALITY_H_
+#define ELITENET_ANALYSIS_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace analysis {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Convergence threshold on the L1 change per iteration.
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  ///< Sums to 1.
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Power iteration on the Google matrix. Dangling nodes (out-degree 0)
+/// spread their mass uniformly — the standard fix, important here because
+/// the verified graph's celebrity "sinks" are exactly such nodes.
+Result<PageRankResult> PageRank(const graph::DiGraph& g,
+                                const PageRankOptions& options = {});
+
+/// Topic-sensitive PageRank (Haveliwala 2002; the mechanism behind
+/// TwitterRank, which Section II discusses): teleportation lands on node
+/// v with probability proportional to teleport_weights[v] instead of
+/// uniformly, and dangling mass follows the same distribution. Weights
+/// must be non-negative with a positive sum and size num_nodes.
+Result<PageRankResult> PersonalizedPageRank(
+    const graph::DiGraph& g, const std::vector<double>& teleport_weights,
+    const PageRankOptions& options = {});
+
+struct BetweennessOptions {
+  /// 0 = exact (all sources). Otherwise the number of random pivot
+  /// sources; scores are scaled by n/pivots so they estimate the exact
+  /// values.
+  uint32_t pivots = 0;
+  uint64_t seed = 42;
+};
+
+/// Directed, unweighted betweenness centrality. Endpoints excluded, no
+/// normalization (same convention as igraph's `betweenness`).
+Result<std::vector<double>> Betweenness(const graph::DiGraph& g,
+                                        const BetweennessOptions& options = {});
+
+/// Top-k node ids by score, descending (ties broken by id).
+std::vector<graph::NodeId> TopKByScore(const std::vector<double>& scores,
+                                       uint32_t k);
+
+}  // namespace analysis
+}  // namespace elitenet
+
+#endif  // ELITENET_ANALYSIS_CENTRALITY_H_

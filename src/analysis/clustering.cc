@@ -1,0 +1,142 @@
+#include "analysis/clustering.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+std::vector<NodeId> UndirectedNeighbors(const DiGraph& g, NodeId u) {
+  const auto outs = g.OutNeighbors(u);
+  const auto ins = g.InNeighbors(u);
+  std::vector<NodeId> merged;
+  merged.reserve(outs.size() + ins.size());
+  std::set_union(outs.begin(), outs.end(), ins.begin(), ins.end(),
+                 std::back_inserter(merged));
+  return merged;
+}
+
+namespace {
+
+// Number of elements common to two sorted ranges.
+uint64_t SortedIntersectionSize(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+struct NodeClustering {
+  double coefficient = 0.0;
+  uint64_t closed_pairs = 0;  // ordered neighbor pairs that are linked
+  uint64_t degree = 0;
+  bool eligible = false;  // undirected degree >= 2
+};
+
+NodeClustering LocalClustering(
+    const DiGraph& g, NodeId u,
+    const std::vector<std::vector<NodeId>>* cache) {
+  NodeClustering out;
+  const std::vector<NodeId> nu =
+      cache != nullptr ? (*cache)[u] : UndirectedNeighbors(g, u);
+  out.degree = nu.size();
+  if (nu.size() < 2) return out;
+  out.eligible = true;
+
+  uint64_t linked = 0;  // ordered pairs (v, w) in N(u) x N(u) with v~w
+  for (NodeId v : nu) {
+    const std::vector<NodeId> nv =
+        cache != nullptr ? (*cache)[v] : UndirectedNeighbors(g, v);
+    linked += SortedIntersectionSize(nu, nv);
+  }
+  // Each unordered linked neighbor pair was counted twice (once from each
+  // endpoint); u itself is never in nu so no self-correction is needed.
+  out.closed_pairs = linked;
+  const double possible =
+      static_cast<double>(nu.size()) * static_cast<double>(nu.size() - 1);
+  out.coefficient = static_cast<double>(linked) / possible;
+  return out;
+}
+
+}  // namespace
+
+ClusteringStats ComputeClustering(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId u = 0; u < n; ++u) adj[u] = UndirectedNeighbors(g, u);
+
+  ClusteringStats s;
+  double coeff_sum = 0.0;
+  uint64_t closed = 0;
+  uint64_t open_pairs = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeClustering c = LocalClustering(g, u, &adj);
+    if (!c.eligible) continue;
+    ++s.nodes_evaluated;
+    coeff_sum += c.coefficient;
+    closed += c.closed_pairs;
+    open_pairs += c.degree * (c.degree - 1);
+  }
+  if (s.nodes_evaluated > 0) {
+    s.average_local = coeff_sum / static_cast<double>(s.nodes_evaluated);
+  }
+  // closed counts every triangle 6 times (3 apexes x 2 orientations);
+  // open_pairs counts every connected triple twice.
+  s.triangles = closed / 6;
+  if (open_pairs > 0) {
+    s.transitivity = static_cast<double>(closed) /
+                     static_cast<double>(open_pairs);
+  }
+  return s;
+}
+
+ClusteringStats ComputeClusteringSampled(const DiGraph& g, uint32_t samples,
+                                         util::Rng* rng) {
+  EN_CHECK(rng != nullptr);
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> eligible;
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.OutDegree(u) + g.InDegree(u) >= 2) eligible.push_back(u);
+  }
+  if (eligible.size() <= samples) return ComputeClustering(g);
+
+  rng->Shuffle(&eligible);
+  ClusteringStats s;
+  double coeff_sum = 0.0;
+  uint64_t closed = 0, open_pairs = 0;
+  for (uint32_t i = 0; i < samples; ++i) {
+    const NodeClustering c = LocalClustering(g, eligible[i], nullptr);
+    if (!c.eligible) continue;  // out+in >= 2 can still collapse to deg 1
+    ++s.nodes_evaluated;
+    coeff_sum += c.coefficient;
+    closed += c.closed_pairs;
+    open_pairs += c.degree * (c.degree - 1);
+  }
+  if (s.nodes_evaluated > 0) {
+    s.average_local = coeff_sum / static_cast<double>(s.nodes_evaluated);
+  }
+  s.triangles = closed / 6;
+  if (open_pairs > 0) {
+    s.transitivity = static_cast<double>(closed) /
+                     static_cast<double>(open_pairs);
+  }
+  return s;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

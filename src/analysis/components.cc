@@ -1,0 +1,207 @@
+#include "analysis/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+uint32_t ComponentLabeling::GiantId() const {
+  EN_CHECK(num_components > 0);
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_components; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  return best;
+}
+
+uint64_t ComponentLabeling::GiantSize() const {
+  return num_components == 0 ? 0 : sizes[GiantId()];
+}
+
+double ComponentLabeling::GiantFraction() const {
+  if (label.empty()) return 0.0;
+  return static_cast<double>(GiantSize()) / static_cast<double>(label.size());
+}
+
+std::vector<NodeId> ComponentLabeling::Members(uint32_t id) const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < label.size(); ++u) {
+    if (label[u] == id) out.push_back(u);
+  }
+  return out;
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<uint64_t> size_;
+};
+
+}  // namespace
+
+ComponentLabeling WeaklyConnectedComponents(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) uf.Union(u, v);
+  }
+  ComponentLabeling out;
+  out.label.assign(n, 0);
+  std::vector<uint32_t> root_to_id(n, UINT32_MAX);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId root = uf.Find(u);
+    if (root_to_id[root] == UINT32_MAX) {
+      root_to_id[root] = out.num_components++;
+      out.sizes.push_back(0);
+    }
+    out.label[u] = root_to_id[root];
+    ++out.sizes[root_to_id[root]];
+  }
+  return out;
+}
+
+ComponentLabeling StronglyConnectedComponents(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  ComponentLabeling out;
+  out.label.assign(n, UINT32_MAX);
+  if (n == 0) return out;
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS frames: node + position within its neighbor list.
+  struct Frame {
+    NodeId node;
+    uint32_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    dfs.push_back({start, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const NodeId u = f.node;
+      if (f.edge_pos == 0) {
+        index[u] = lowlink[u] = next_index++;
+        scc_stack.push_back(u);
+        on_stack[u] = true;
+      }
+      const auto nbrs = g.OutNeighbors(u);
+      bool descended = false;
+      while (f.edge_pos < nbrs.size()) {
+        const NodeId v = nbrs[f.edge_pos++];
+        if (index[v] == kUnvisited) {
+          dfs.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      }
+      if (descended) continue;
+
+      // All neighbors processed: maybe emit an SCC, then retreat.
+      if (lowlink[u] == index[u]) {
+        const uint32_t comp = out.num_components++;
+        out.sizes.push_back(0);
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          out.label[w] = comp;
+          ++out.sizes[comp];
+        } while (w != u);
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return out;
+}
+
+DiGraph Condensation(const DiGraph& g, const ComponentLabeling& scc) {
+  EN_CHECK(scc.label.size() == g.num_nodes());
+  graph::GraphBuilder builder(scc.num_components);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint32_t cu = scc.label[u];
+    for (NodeId v : g.OutNeighbors(u)) {
+      const uint32_t cv = scc.label[v];
+      if (cu != cv) {
+        EN_CHECK(builder.AddEdge(cu, cv).ok());
+      }
+    }
+  }
+  auto result = builder.Build();
+  EN_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+AttractingComponents FindAttractingComponents(const DiGraph& g,
+                                              const ComponentLabeling& scc) {
+  EN_CHECK(scc.label.size() == g.num_nodes());
+  std::vector<bool> has_out_edge(scc.num_components, false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint32_t cu = scc.label[u];
+    if (has_out_edge[cu]) continue;
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (scc.label[v] != cu) {
+        has_out_edge[cu] = true;
+        break;
+      }
+    }
+  }
+  AttractingComponents out;
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    if (!has_out_edge[c]) {
+      out.ids.push_back(c);
+      ++out.count;
+      if (scc.sizes[c] == 1) ++out.singletons;
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,67 @@
+#include "analysis/degree.h"
+
+#include <limits>
+
+namespace elitenet {
+namespace analysis {
+
+DegreeStats ComputeDegreeStats(const graph::DiGraph& g) {
+  DegreeStats s;
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) return s;
+
+  s.min_out_degree = std::numeric_limits<uint32_t>::max();
+  s.min_in_degree = std::numeric_limits<uint32_t>::max();
+  uint64_t out_sum = 0, in_sum = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const uint32_t od = g.OutDegree(u);
+    const uint32_t id = g.InDegree(u);
+    out_sum += od;
+    in_sum += id;
+    if (od < s.min_out_degree) s.min_out_degree = od;
+    if (od > s.max_out_degree) {
+      s.max_out_degree = od;
+      s.argmax_out_degree = u;
+    }
+    if (id < s.min_in_degree) s.min_in_degree = id;
+    if (id > s.max_in_degree) {
+      s.max_in_degree = id;
+      s.argmax_in_degree = u;
+    }
+    if (od == 0 && id == 0) ++s.isolated_nodes;
+    if (od == 0 && id > 0) ++s.sink_nodes;
+    if (id == 0 && od > 0) ++s.source_nodes;
+  }
+  s.avg_out_degree = static_cast<double>(out_sum) / static_cast<double>(n);
+  s.avg_in_degree = static_cast<double>(in_sum) / static_cast<double>(n);
+  s.density = g.Density();
+  return s;
+}
+
+std::vector<double> OutDegreeVector(const graph::DiGraph& g) {
+  std::vector<double> out(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    out[u] = static_cast<double>(g.OutDegree(u));
+  }
+  return out;
+}
+
+std::vector<double> InDegreeVector(const graph::DiGraph& g) {
+  std::vector<double> out(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    out[u] = static_cast<double>(g.InDegree(u));
+  }
+  return out;
+}
+
+std::vector<double> TotalDegreeVector(const graph::DiGraph& g) {
+  std::vector<double> out(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    out[u] = static_cast<double>(g.OutDegree(u)) +
+             static_cast<double>(g.InDegree(u));
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

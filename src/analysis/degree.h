@@ -1,0 +1,48 @@
+// Degree statistics (Section IV-A of the paper: min/avg/max out-degree,
+// isolated users, density) and degree vectors feeding the power-law fits.
+
+#ifndef ELITENET_ANALYSIS_DEGREE_H_
+#define ELITENET_ANALYSIS_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace elitenet {
+namespace analysis {
+
+struct DegreeStats {
+  uint32_t min_out_degree = 0;
+  uint32_t max_out_degree = 0;
+  /// A node attaining the maximum out-degree (the paper's
+  /// '@6BillionPeople' slot).
+  graph::NodeId argmax_out_degree = 0;
+  double avg_out_degree = 0.0;
+  uint32_t min_in_degree = 0;
+  uint32_t max_in_degree = 0;
+  graph::NodeId argmax_in_degree = 0;
+  double avg_in_degree = 0.0;
+  uint64_t isolated_nodes = 0;
+  /// Nodes with out-degree 0 but in-degree > 0: the "famous personalities
+  /// who do not follow any other handle" at the core of attracting
+  /// components.
+  uint64_t sink_nodes = 0;
+  /// Nodes with in-degree 0 but out-degree > 0.
+  uint64_t source_nodes = 0;
+  double density = 0.0;
+};
+
+/// Computes all degree statistics in one pass.
+DegreeStats ComputeDegreeStats(const graph::DiGraph& g);
+
+/// Out-degrees (or in-degrees) as doubles, ready for the stats:: fitters.
+std::vector<double> OutDegreeVector(const graph::DiGraph& g);
+std::vector<double> InDegreeVector(const graph::DiGraph& g);
+/// Total (in + out) degrees, counting reciprocal pairs twice.
+std::vector<double> TotalDegreeVector(const graph::DiGraph& g);
+
+}  // namespace analysis
+}  // namespace elitenet
+
+#endif  // ELITENET_ANALYSIS_DEGREE_H_

@@ -1,0 +1,97 @@
+#include "analysis/distance.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+namespace {
+
+// BFS parameterized over the adjacency accessor.
+template <typename NeighborFn>
+std::vector<uint32_t> BfsImpl(const DiGraph& g, NodeId source,
+                              NeighborFn neighbors) {
+  EN_CHECK(source < g.num_nodes());
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier, next;
+  dist[source] = 0;
+  frontier.push_back(source);
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<uint32_t> Bfs(const DiGraph& g, NodeId source) {
+  return BfsImpl(g, source, [&](NodeId u) { return g.OutNeighbors(u); });
+}
+
+std::vector<uint32_t> ReverseBfs(const DiGraph& g, NodeId target) {
+  return BfsImpl(g, target, [&](NodeId u) { return g.InNeighbors(u); });
+}
+
+DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
+                                     util::Rng* rng) {
+  EN_CHECK(rng != nullptr);
+  DistanceDistribution out;
+
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) + g.InDegree(u) > 0) candidates.push_back(u);
+  }
+  if (candidates.empty()) return out;
+
+  std::vector<NodeId> sources;
+  if (candidates.size() <= num_sources) {
+    sources = candidates;
+  } else {
+    const std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(candidates.size()), num_sources);
+    sources.reserve(picks.size());
+    for (uint32_t p : picks) sources.push_back(candidates[p]);
+  }
+  out.sources_used = static_cast<uint32_t>(sources.size());
+
+  double total_dist = 0.0;
+  for (NodeId s : sources) {
+    const std::vector<uint32_t> dist = Bfs(g, s);
+    for (NodeId v : candidates) {
+      if (v == s) continue;
+      if (dist[v] == kUnreachable) {
+        ++out.unreachable_pairs;
+        continue;
+      }
+      ++out.reachable_pairs;
+      total_dist += dist[v];
+      out.hops.Add(dist[v]);
+      out.diameter_lower_bound = std::max(out.diameter_lower_bound, dist[v]);
+    }
+  }
+  if (out.reachable_pairs > 0) {
+    out.mean_distance = total_dist / static_cast<double>(out.reachable_pairs);
+    out.median_distance = out.hops.Quantile(0.5);
+    out.effective_diameter = out.hops.Quantile(0.9);
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,55 @@
+// Pairwise-distance structure (Section IV-D / Fig. 3): hop-count
+// histogram, mean shortest-path length (paper: 2.74 after omitting
+// isolated nodes), median separation, and effective diameter (90th
+// percentile, per Leskovec & Horvitz).
+
+#ifndef ELITENET_ANALYSIS_DISTANCE_H_
+#define ELITENET_ANALYSIS_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+
+/// Distances are directed shortest paths (BFS over out-edges).
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// Single-source BFS; dist[v] == kUnreachable when v is not reachable.
+std::vector<uint32_t> Bfs(const graph::DiGraph& g, graph::NodeId source);
+
+/// BFS over in-edges (distances *to* `target`).
+std::vector<uint32_t> ReverseBfs(const graph::DiGraph& g,
+                                 graph::NodeId target);
+
+struct DistanceDistribution {
+  /// Histogram of finite pairwise distances (>=1) among sampled pairs.
+  util::IntHistogram hops;
+  double mean_distance = 0.0;
+  uint64_t median_distance = 0;
+  /// 90th-percentile distance — the "effective diameter".
+  uint64_t effective_diameter = 0;
+  /// Largest finite distance seen (lower bound on the true diameter when
+  /// sampling).
+  uint32_t diameter_lower_bound = 0;
+  /// Ordered (source, target) pairs evaluated, reachable pairs only.
+  uint64_t reachable_pairs = 0;
+  uint64_t unreachable_pairs = 0;
+  uint32_t sources_used = 0;
+};
+
+/// Estimates the pairwise-distance distribution by full BFS from
+/// `num_sources` random non-isolated sources (all n-1 targets each). With
+/// num_sources >= n the computation is exact. Isolated nodes are excluded
+/// as in the paper.
+DistanceDistribution SampleDistances(const graph::DiGraph& g,
+                                     uint32_t num_sources, util::Rng* rng);
+
+}  // namespace analysis
+}  // namespace elitenet
+
+#endif  // ELITENET_ANALYSIS_DISTANCE_H_

@@ -1,0 +1,69 @@
+#include "analysis/hits.h"
+
+#include <cmath>
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+Result<HitsResult> Hits(const DiGraph& g, const HitsOptions& options) {
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const NodeId n = g.num_nodes();
+  HitsResult out;
+  if (n == 0) return out;
+
+  std::vector<double> hub(n, 1.0), auth(n, 1.0);
+
+  auto normalize = [&](std::vector<double>* v) {
+    double norm = 0.0;
+    for (double x : *v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& x : *v) x /= norm;
+    }
+  };
+  normalize(&hub);
+  normalize(&auth);
+
+  for (out.iterations = 1; out.iterations <= options.max_iterations;
+       ++out.iterations) {
+    // authority(v) = sum of hub scores of followers of v.
+    std::vector<double> new_auth(n, 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const double h = hub[u];
+      for (NodeId v : g.OutNeighbors(u)) new_auth[v] += h;
+    }
+    normalize(&new_auth);
+    // hub(u) = sum of authority scores of who u follows.
+    std::vector<double> new_hub(n, 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (NodeId v : g.OutNeighbors(u)) acc += new_auth[v];
+      new_hub[u] = acc;
+    }
+    normalize(&new_hub);
+
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      delta += std::fabs(new_hub[u] - hub[u]) +
+               std::fabs(new_auth[u] - auth[u]);
+    }
+    hub.swap(new_hub);
+    auth.swap(new_auth);
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.iterations = std::min(out.iterations, options.max_iterations);
+  out.hub = std::move(hub);
+  out.authority = std::move(auth);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,38 @@
+// HITS (Kleinberg 1999): hub and authority scores. On a follow graph,
+// authorities are the followed elites and hubs are the curators who
+// follow them — a natural complement to PageRank for Twitter-style
+// influence analysis (TwitterRank and the paper's Section IV-F lineage).
+
+#ifndef ELITENET_ANALYSIS_HITS_H_
+#define ELITENET_ANALYSIS_HITS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace analysis {
+
+struct HitsOptions {
+  int max_iterations = 100;
+  /// Convergence threshold on the L1 change of either vector.
+  double tolerance = 1e-10;
+};
+
+struct HitsResult {
+  std::vector<double> hub;        ///< L2-normalized
+  std::vector<double> authority;  ///< L2-normalized
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration on AᵀA / AAᵀ. Scores are non-negative; isolated
+/// nodes get zero.
+Result<HitsResult> Hits(const graph::DiGraph& g,
+                        const HitsOptions& options = {});
+
+}  // namespace analysis
+}  // namespace elitenet
+
+#endif  // ELITENET_ANALYSIS_HITS_H_

@@ -1,0 +1,81 @@
+#include "analysis/kcore.h"
+
+#include <algorithm>
+
+#include "analysis/clustering.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+KCoreResult KCoreDecomposition(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  KCoreResult out;
+  out.coreness.assign(n, 0);
+  if (n == 0) return out;
+
+  // Undirected adjacency (built once; peeling needs repeated neighbor
+  // scans).
+  std::vector<std::vector<NodeId>> adj(n);
+  std::vector<uint32_t> degree(n, 0);
+  uint32_t max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    adj[u] = UndirectedNeighbors(g, u);
+    degree[u] = static_cast<uint32_t>(adj[u].size());
+    max_degree = std::max(max_degree, degree[u]);
+  }
+
+  // Bucket sort by degree (Batagelj–Zaveršnik bin layout).
+  std::vector<uint64_t> bin(max_degree + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bin[degree[u]];
+  uint64_t start = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    const uint64_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);   // nodes sorted by current degree
+  std::vector<uint64_t> pos(n);   // node -> index in order
+  {
+    std::vector<uint64_t> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]]++;
+      order[pos[u]] = u;
+    }
+  }
+
+  // Peel in nondecreasing degree order; each removal may demote
+  // neighbors by one degree, which is a constant-time bucket swap.
+  for (uint64_t i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    out.coreness[u] = degree[u];
+    for (NodeId v : adj[u]) {
+      if (degree[v] > degree[u]) {
+        // Swap v with the first node of its degree bucket, then shrink
+        // the bucket boundary and decrement.
+        const uint32_t dv = degree[v];
+        const uint64_t pv = pos[v];
+        const uint64_t pw = bin[dv];
+        const NodeId w = order[pw];
+        if (v != w) {
+          std::swap(order[pv], order[pw]);
+          pos[v] = pw;
+          pos[w] = pv;
+        }
+        ++bin[dv];
+        --degree[v];
+      }
+    }
+  }
+
+  for (uint32_t c : out.coreness) out.max_core = std::max(out.max_core, c);
+  for (uint32_t c : out.coreness) {
+    if (c == out.max_core) ++out.innermost_size;
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

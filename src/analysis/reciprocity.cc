@@ -1,0 +1,38 @@
+#include "analysis/reciprocity.h"
+
+#include <algorithm>
+
+namespace elitenet {
+namespace analysis {
+
+ReciprocityStats ComputeReciprocity(const graph::DiGraph& g) {
+  ReciprocityStats s;
+  s.total_edges = g.num_edges();
+  // Merge-count the intersection of out(u) and in(u): v appears in both
+  // exactly when u->v and v->u both exist.
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto outs = g.OutNeighbors(u);
+    const auto ins = g.InNeighbors(u);
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i] < ins[j]) {
+        ++i;
+      } else if (outs[i] > ins[j]) {
+        ++j;
+      } else {
+        ++s.reciprocated_edges;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  s.mutual_pairs = s.reciprocated_edges / 2;
+  if (s.total_edges > 0) {
+    s.rate = static_cast<double>(s.reciprocated_edges) /
+             static_cast<double>(s.total_edges);
+  }
+  return s;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,243 @@
+#include "analysis/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace analysis {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+LaplacianOperator::LaplacianOperator(const DiGraph& g) : g_(g) {
+  const NodeId n = g.num_nodes();
+  degree_.assign(n, 0.0);
+  recip_offsets_.assign(n + 1, 0);
+
+  // First pass: count reciprocal neighbors per node.
+  std::vector<uint32_t> recip_count(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto outs = g.OutNeighbors(u);
+    const auto ins = g.InNeighbors(u);
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i] < ins[j]) {
+        ++i;
+      } else if (outs[i] > ins[j]) {
+        ++j;
+      } else {
+        ++recip_count[u];
+        ++i;
+        ++j;
+      }
+    }
+    degree_[u] = static_cast<double>(outs.size()) +
+                 static_cast<double>(ins.size()) -
+                 static_cast<double>(recip_count[u]);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    recip_offsets_[u + 1] = recip_offsets_[u] + recip_count[u];
+  }
+  recip_targets_.resize(recip_offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto outs = g.OutNeighbors(u);
+    const auto ins = g.InNeighbors(u);
+    size_t i = 0, j = 0;
+    uint64_t w = recip_offsets_[u];
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i] < ins[j]) {
+        ++i;
+      } else if (outs[i] > ins[j]) {
+        ++j;
+      } else {
+        recip_targets_[w++] = outs[i];
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+void LaplacianOperator::Apply(const std::vector<double>& x,
+                              std::vector<double>* y) const {
+  const NodeId n = dimension();
+  EN_CHECK(x.size() == n);
+  EN_CHECK(y->size() == n);
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = degree_[u] * x[u];
+    for (NodeId v : g_.OutNeighbors(u)) acc -= x[v];
+    for (NodeId v : g_.InNeighbors(u)) acc -= x[v];
+    for (uint64_t e = recip_offsets_[u]; e < recip_offsets_[u + 1]; ++e) {
+      acc += x[recip_targets_[e]];  // undo the double subtraction
+    }
+    (*y)[u] = acc;
+  }
+}
+
+Result<std::vector<double>> SymmetricTridiagonalEigenvalues(
+    std::vector<double> diag, std::vector<double> offdiag) {
+  const size_t n = diag.size();
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  if (offdiag.size() + 1 != n) {
+    return Status::InvalidArgument("offdiag must have n-1 entries");
+  }
+  if (n == 1) return std::vector<double>{diag[0]};
+
+  // Implicit-shift QL (tql1-style). e is padded to length n.
+  std::vector<double>& d = diag;
+  std::vector<double> e(offdiag.begin(), offdiag.end());
+  e.push_back(0.0);
+
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 50) {
+          return Status::Internal("tridiagonal QL failed to converge");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+Result<LanczosResult> TopLaplacianEigenvalues(const DiGraph& g,
+                                              const LanczosOptions& options) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+
+  const LaplacianOperator op(g);
+  uint32_t m = options.subspace != 0 ? options.subspace : options.k + 40;
+  m = std::min<uint32_t>(m, n);
+  m = std::max<uint32_t>(m, std::min<uint32_t>(options.k, n));
+
+  util::Rng rng(options.seed);
+  std::vector<std::vector<double>> basis;  // Lanczos vectors v_1..v_j
+  basis.reserve(m);
+  std::vector<double> alpha, beta;  // T diagonal / off-diagonal
+
+  // Initial random unit vector.
+  std::vector<double> v(n), w(n);
+  double norm = 0.0;
+  for (double& x : v) {
+    x = rng.Normal();
+  }
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  for (double& x : v) x /= norm;
+  basis.push_back(v);
+
+  for (uint32_t j = 0; j < m; ++j) {
+    op.Apply(basis[j], &w);
+    double a = 0.0;
+    for (NodeId i = 0; i < n; ++i) a += w[i] * basis[j][i];
+    alpha.push_back(a);
+
+    // w -= a * v_j + beta_{j-1} * v_{j-1}
+    for (NodeId i = 0; i < n; ++i) w[i] -= a * basis[j][i];
+    if (j > 0) {
+      const double b = beta[j - 1];
+      for (NodeId i = 0; i < n; ++i) w[i] -= b * basis[j - 1][i];
+    }
+    // Full reorthogonalization (two passes of classical Gram-Schmidt).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::vector<double>& q : basis) {
+        double dot = 0.0;
+        for (NodeId i = 0; i < n; ++i) dot += w[i] * q[i];
+        for (NodeId i = 0; i < n; ++i) w[i] -= dot * q[i];
+      }
+    }
+
+    double b = 0.0;
+    for (double x : w) b += x * x;
+    b = std::sqrt(b);
+    if (j + 1 == m) break;  // T is complete
+    if (b < 1e-12) {
+      // Invariant subspace found: the Krylov space is exhausted. The
+      // eigenvalues of the current T are exact; stop early.
+      break;
+    }
+    beta.push_back(b);
+    for (double& x : w) x /= b;
+    basis.push_back(w);
+  }
+
+  EN_ASSIGN_OR_RETURN(std::vector<double> evals,
+                      SymmetricTridiagonalEigenvalues(alpha, beta));
+  std::sort(evals.begin(), evals.end(), std::greater<double>());
+  // The Laplacian is PSD; clamp tiny negative round-off.
+  for (double& ev : evals) {
+    if (ev < 0.0 && ev > -1e-9) ev = 0.0;
+  }
+  LanczosResult out;
+  const size_t take = std::min<size_t>(options.k, evals.size());
+  out.eigenvalues.assign(evals.begin(), evals.begin() + take);
+  out.iterations = static_cast<uint32_t>(alpha.size());
+  return out;
+}
+
+Result<double> PowerIterationLargest(const LaplacianOperator& op,
+                                     int max_iterations, double tolerance,
+                                     uint64_t seed) {
+  const uint32_t n = op.dimension();
+  if (n == 0) return Status::InvalidArgument("empty operator");
+  util::Rng rng(seed);
+  std::vector<double> v(n), w(n);
+  for (double& x : v) x = rng.Normal();
+
+  double lambda = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    op.Apply(v, &w);
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;  // zero operator (edgeless graph)
+    double rayleigh = 0.0;
+    for (uint32_t i = 0; i < n; ++i) rayleigh += w[i] * v[i];
+    for (uint32_t i = 0; i < n; ++i) v[i] = w[i] / norm;
+    if (std::fabs(rayleigh - lambda) <=
+        tolerance * std::max(1.0, std::fabs(rayleigh))) {
+      return rayleigh;
+    }
+    lambda = rayleigh;
+  }
+  return lambda;
+}
+
+}  // namespace analysis
+}  // namespace elitenet

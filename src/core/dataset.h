@@ -1,0 +1,46 @@
+// Dataset persistence: saves a generated study (graph + roles +
+// popularity + profiles + bios + activity) to a directory of versioned
+// binary/text files, and loads it back. Benches and examples use this to
+// reuse a paper-scale generation run instead of regenerating; the layout
+// is also the publishable form of the synthetic dataset (the paper
+// intended to release its crawl "once we have pursued all our inquiries").
+//
+// Layout:
+//   <dir>/graph.eng        binary CSR snapshot (graph/io.h format)
+//   <dir>/users.bin        versioned binary: roles, popularity, profiles
+//   <dir>/bios.txt         one bio per line, in node-id order
+//   <dir>/activity.csv     date,value rows
+//   <dir>/MANIFEST         "elitenet-dataset v1", counts and checksums
+
+#ifndef ELITENET_CORE_DATASET_H_
+#define ELITENET_CORE_DATASET_H_
+
+#include <string>
+
+#include "gen/activity.h"
+#include "gen/bios.h"
+#include "gen/profiles.h"
+#include "gen/verified_network.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace core {
+
+struct StudyDataset {
+  gen::VerifiedNetwork network;
+  std::vector<gen::UserProfile> profiles;
+  gen::BioCorpus bios;
+  gen::ActivitySeries activity;
+};
+
+/// Writes every dataset component under `dir` (created if missing).
+Status SaveDataset(const StudyDataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset; validates the
+/// manifest, per-file magic numbers, and cross-file size consistency.
+Result<StudyDataset> LoadDataset(const std::string& dir);
+
+}  // namespace core
+}  // namespace elitenet
+
+#endif  // ELITENET_CORE_DATASET_H_

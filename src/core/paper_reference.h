@@ -1,0 +1,99 @@
+// Every number the paper reports, as named constants, so benches and
+// EXPERIMENTS.md compare measured values against a single source of
+// truth. Section references are to Paul et al., ICDE 2019
+// (arXiv:1812.09710v3).
+
+#ifndef ELITENET_CORE_PAPER_REFERENCE_H_
+#define ELITENET_CORE_PAPER_REFERENCE_H_
+
+#include <cstdint>
+
+namespace elitenet {
+namespace paper {
+
+// ---- Section III (dataset) ------------------------------------------------
+inline constexpr uint32_t kUsersTotal = 297776;      ///< all verified, Jul 2018
+inline constexpr uint32_t kUsersEnglish = 231246;    ///< English subset
+inline constexpr uint64_t kEdges = 79213811;
+inline constexpr double kDensity = 0.00148;
+inline constexpr uint32_t kIsolatedUsers = 6027;
+inline constexpr double kAvgOutDegree = 342.55;
+inline constexpr uint32_t kMaxOutDegree = 114815;    ///< '@6BillionPeople'
+inline constexpr uint32_t kGiantSccSize = 224872;
+inline constexpr double kGiantSccFraction = 0.9724;
+inline constexpr uint32_t kConnectedComponents = 6251;
+
+// ---- Section IV-A (basic analysis) ---------------------------------------
+inline constexpr double kAvgLocalClustering = 0.1583;
+inline constexpr double kDegreeAssortativity = -0.04;
+inline constexpr uint32_t kAttractingComponents = 6091;
+
+// ---- Section IV-B (degree / eigenvalue power laws) ------------------------
+inline constexpr double kOutDegreeAlpha = 3.24;
+inline constexpr double kOutDegreeXmin = 1334.0;
+inline constexpr double kOutDegreePValue = 0.13;
+inline constexpr double kEigenAlpha = 3.18;
+inline constexpr double kEigenXmin = 9377.26;
+inline constexpr double kEigenPValue = 0.3;
+inline constexpr uint32_t kEigenvaluesComputed = 10000;
+/// "2-3 digit likelihood-ratio values" against every alternative.
+inline constexpr double kVuongMinLogLikelihoodRatio = 10.0;
+
+// ---- Section IV-C (reciprocity) -------------------------------------------
+inline constexpr double kReciprocity = 0.337;
+inline constexpr double kReciprocityWholeTwitter = 0.221;  ///< Kwak et al.
+inline constexpr double kReciprocityFlickr = 0.68;
+
+// ---- Section IV-D (degrees of separation) ---------------------------------
+inline constexpr double kMeanDistance = 2.74;
+inline constexpr double kMeanDistanceWholeTwitterSampled = 4.12;
+inline constexpr double kMeanDistanceWholeTwitterOptimal = 3.43;
+
+// ---- Section IV-E (bios, Tables I-II): counts at 231,246 users -------------
+struct NamedCount {
+  const char* phrase;
+  uint32_t count;
+};
+inline constexpr NamedCount kTopBigrams[] = {
+    {"official twitter", 12166}, {"official account", 2788},
+    {"award winning", 2270},     {"follow us", 2268},
+    {"co founder", 1581},        {"husband father", 1540},
+    {"opinions own", 1222},      {"new album", 1088},
+    {"singer songwriter", 1043}, {"co host", 933},
+    {"latest news", 904},        {"breaking news", 898},
+    {"anchor reporter", 855},    {"rugby player", 799},
+    {"managing editor", 769},
+};
+inline constexpr NamedCount kTopTrigrams[] = {
+    {"official twitter account", 5457},
+    {"official twitter page", 1774},
+    {"weather alerts en", 847},
+    {"emmy award winning", 475},
+    {"new york times", 464},
+    {"editor in chief", 461},
+    {"best selling author", 296},
+    {"professional rugby player", 253},
+    {"wall street journal", 252},
+    {"professional baseball player", 241},
+    {"report crime here", 238},
+    {"award winning journalist", 223},
+    {"for customer service", 174},
+    {"olympic gold medalist", 174},
+    {"monday to friday", 174},
+};
+
+// ---- Section V (activity analysis) ----------------------------------------
+inline constexpr int kPortmanteauMaxLag = 185;
+inline constexpr double kLjungBoxMaxP = 3.81e-38;
+inline constexpr double kBoxPierceMaxP = 7.57e-38;
+inline constexpr double kAdfStatistic = -3.86;
+inline constexpr double kAdfCritical95 = -3.42;
+inline constexpr int kActivityObservations = 366;
+/// PELT recovers two change-points: Dec 23-25, 2017 and ~first week of
+/// April 2018.
+inline constexpr int kChangePoints = 2;
+
+}  // namespace paper
+}  // namespace elitenet
+
+#endif  // ELITENET_CORE_PAPER_REFERENCE_H_

@@ -1,0 +1,280 @@
+#include "core/reach_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/centrality.h"
+#include "analysis/hits.h"
+#include "analysis/kcore.h"
+#include "stats/correlation.h"
+#include "timeseries/linalg.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace core {
+
+std::vector<double> NodeFeatures::ToVector() const {
+  return {log_in_degree, log_out_degree, reciprocal_fraction,
+          log_pagerank,  coreness,       hub,
+          authority};
+}
+
+const char* NodeFeatures::Name(int index) {
+  static const char* kNames[NodeFeatures::kCount] = {
+      "log(in-degree)",  "log(out-degree)", "reciprocal fraction",
+      "log(pagerank)",   "coreness",        "hub score",
+      "authority score"};
+  if (index < 0 || index >= kCount) return "?";
+  return kNames[index];
+}
+
+Result<std::vector<NodeFeatures>> ExtractNodeFeatures(
+    const graph::DiGraph& g) {
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  EN_ASSIGN_OR_RETURN(const analysis::PageRankResult pr,
+                      analysis::PageRank(g));
+  const analysis::KCoreResult kcore = analysis::KCoreDecomposition(g);
+  EN_ASSIGN_OR_RETURN(const analysis::HitsResult hits, analysis::Hits(g));
+
+  std::vector<NodeFeatures> out(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    NodeFeatures& f = out[u];
+    const double in_deg = g.InDegree(u);
+    const double out_deg = g.OutDegree(u);
+    f.log_in_degree = std::log1p(in_deg);
+    f.log_out_degree = std::log1p(out_deg);
+
+    // Mutual ties among all ties.
+    const auto outs = g.OutNeighbors(u);
+    const auto ins = g.InNeighbors(u);
+    uint64_t mutual = 0;
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i] < ins[j]) {
+        ++i;
+      } else if (outs[i] > ins[j]) {
+        ++j;
+      } else {
+        ++mutual;
+        ++i;
+        ++j;
+      }
+    }
+    const double total_ties = in_deg + out_deg;
+    f.reciprocal_fraction =
+        total_ties > 0.0 ? 2.0 * static_cast<double>(mutual) / total_ties
+                         : 0.0;
+
+    f.log_pagerank = std::log(std::max(pr.scores[u], 1e-300));
+    f.coreness = static_cast<double>(kcore.coreness[u]);
+    f.hub = hits.hub[u];
+    f.authority = hits.authority[u];
+  }
+  return out;
+}
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticModel::Fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<int>& y,
+                          const Options& options) {
+  const size_t n = x.size();
+  if (n != y.size()) return Status::InvalidArgument("x/y size mismatch");
+  if (n < 10) return Status::InvalidArgument("need >= 10 examples");
+  const size_t k = x[0].size();
+  int positives = 0;
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    positives += label;
+  }
+  if (positives == 0 || positives == static_cast<int>(n)) {
+    return Status::FailedPrecondition("need both classes present");
+  }
+
+  // Standardize features.
+  mean_.assign(k, 0.0);
+  stddev_.assign(k, 0.0);
+  for (const auto& row : x) {
+    if (row.size() != k) return Status::InvalidArgument("ragged rows");
+    for (size_t j = 0; j < k; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < k; ++j) mean_[j] /= static_cast<double>(n);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < k; ++j) {
+      const double d = row[j] - mean_[j];
+      stddev_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(n));
+    if (stddev_[j] < 1e-12) stddev_[j] = 1.0;  // constant feature
+  }
+  auto standardized = [&](size_t i, size_t j) {
+    return (x[i][j] - mean_[j]) / stddev_[j];
+  };
+
+  // IRLS: each Newton step solves the weighted least squares
+  //   (Xᵀ W X + λI) Δ = Xᵀ (y - p) - λ w
+  // which we express as an augmented ordinary least-squares problem on
+  // sqrt(W)-scaled rows plus sqrt(λ) ridge rows.
+  weights_.assign(k + 1, 0.0);
+  const double lambda = options.l2 * static_cast<double>(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    timeseries::Matrix a(n + k + 1, k + 1, 0.0);
+    std::vector<double> b(n + k + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double z = weights_[0];
+      for (size_t j = 0; j < k; ++j) {
+        z += weights_[j + 1] * standardized(i, j);
+      }
+      const double p = Sigmoid(z);
+      const double w = std::max(p * (1.0 - p), 1e-6);
+      const double sw = std::sqrt(w);
+      // Working response: z + (y - p)/w, times sqrt(w).
+      b[i] = sw * (z + (static_cast<double>(y[i]) - p) / w);
+      a(i, 0) = sw;
+      for (size_t j = 0; j < k; ++j) a(i, j + 1) = sw * standardized(i, j);
+    }
+    // Ridge rows (intercept unpenalized beyond a whisper for stability).
+    const double sqrt_lambda = std::sqrt(lambda);
+    a(n, 0) = 1e-4;
+    for (size_t j = 0; j < k; ++j) a(n + 1 + j, j + 1) = sqrt_lambda;
+
+    const auto sol = timeseries::SolveLeastSquares(a, b);
+    if (!sol.ok()) return sol.status();
+
+    double delta = 0.0;
+    for (size_t j = 0; j <= k; ++j) {
+      delta += std::fabs(sol->x[j] - weights_[j]);
+    }
+    weights_ = sol->x;
+    if (delta < options.tolerance) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LogisticModel::PredictProba(const std::vector<double>& x) const {
+  EN_CHECK(fitted_);
+  EN_CHECK(x.size() + 1 == weights_.size());
+  double z = weights_[0];
+  for (size_t j = 0; j < x.size(); ++j) {
+    z += weights_[j + 1] * (x[j] - mean_[j]) / stddev_[j];
+  }
+  return Sigmoid(z);
+}
+
+double AucScore(const std::vector<double>& scores,
+                const std::vector<int>& labels) {
+  EN_CHECK(scores.size() == labels.size());
+  uint64_t positives = 0;
+  for (int label : labels) positives += label;
+  const uint64_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  const std::vector<double> ranks = stats::FractionalRanks(scores);
+  double rank_sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) rank_sum += ranks[i];
+  }
+  const double p = static_cast<double>(positives);
+  return (rank_sum - p * (p + 1.0) / 2.0) /
+         (p * static_cast<double>(negatives));
+}
+
+Result<ReachPredictionReport> RunReachPrediction(
+    const graph::DiGraph& g, const std::vector<gen::UserProfile>& profiles,
+    double top_fraction, double test_fraction, uint64_t seed) {
+  if (profiles.size() != g.num_nodes()) {
+    return Status::InvalidArgument("profiles size mismatch");
+  }
+  if (top_fraction <= 0.0 || top_fraction >= 1.0 || test_fraction <= 0.0 ||
+      test_fraction >= 1.0) {
+    return Status::InvalidArgument("fractions must be in (0, 1)");
+  }
+
+  EN_ASSIGN_OR_RETURN(const std::vector<NodeFeatures> features,
+                      ExtractNodeFeatures(g));
+
+  // Label: followers in the top `top_fraction`.
+  std::vector<double> followers;
+  followers.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    followers.push_back(static_cast<double>(p.followers));
+  }
+  std::vector<double> sorted = followers;
+  std::sort(sorted.begin(), sorted.end());
+  const double threshold =
+      sorted[static_cast<size_t>((1.0 - top_fraction) *
+                                 static_cast<double>(sorted.size() - 1))];
+
+  // Shuffled split.
+  std::vector<uint32_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0u);
+  util::Rng rng(seed);
+  rng.Shuffle(&order);
+  const size_t test_n =
+      static_cast<size_t>(test_fraction * static_cast<double>(order.size()));
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<int> train_y;
+  std::vector<std::vector<double>> test_x;
+  std::vector<int> test_y;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t u = order[i];
+    const int label = followers[u] >= threshold ? 1 : 0;
+    if (i < test_n) {
+      test_x.push_back(features[u].ToVector());
+      test_y.push_back(label);
+    } else {
+      train_x.push_back(features[u].ToVector());
+      train_y.push_back(label);
+    }
+  }
+
+  LogisticModel model;
+  EN_RETURN_IF_ERROR(model.Fit(train_x, train_y));
+
+  ReachPredictionReport report;
+  report.train_n = train_x.size();
+  report.test_n = test_x.size();
+  std::vector<double> scores;
+  scores.reserve(test_x.size());
+  uint64_t correct = 0, positives = 0;
+  for (size_t i = 0; i < test_x.size(); ++i) {
+    const double p = model.PredictProba(test_x[i]);
+    scores.push_back(p);
+    const int predicted = p >= 0.5 ? 1 : 0;
+    correct += predicted == test_y[i];
+    positives += test_y[i];
+  }
+  report.auc = AucScore(scores, test_y);
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(test_x.size());
+  report.positive_rate =
+      static_cast<double>(positives) / static_cast<double>(test_x.size());
+  for (int j = 0; j < NodeFeatures::kCount; ++j) {
+    report.feature_weights.emplace_back(NodeFeatures::Name(j),
+                                        model.weights()[j + 1]);
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace elitenet

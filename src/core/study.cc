@@ -1,0 +1,415 @@
+#include "core/study.h"
+
+#include <cmath>
+
+#include "core/paper_reference.h"
+#include "stats/distributions.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace elitenet {
+namespace core {
+
+Status VerifiedStudy::Generate() {
+  EN_ASSIGN_OR_RETURN(gen::VerifiedNetwork net,
+                      gen::GenerateVerifiedNetwork(config_.network));
+  network_ = std::move(net);
+  EN_ASSIGN_OR_RETURN(std::vector<gen::UserProfile> profiles,
+                      gen::GenerateProfiles(*network_, config_.profiles));
+  profiles_ = std::move(profiles);
+  EN_ASSIGN_OR_RETURN(gen::BioCorpus bios,
+                      gen::GenerateBios(*network_, config_.bios));
+  bios_ = std::move(bios);
+  EN_ASSIGN_OR_RETURN(gen::ActivitySeries activity,
+                      gen::GenerateActivity(config_.activity));
+  activity_ = std::move(activity);
+  return Status::OK();
+}
+
+Status VerifiedStudy::AdoptDataset(gen::VerifiedNetwork network,
+                                   std::vector<gen::UserProfile> profiles,
+                                   gen::BioCorpus bios,
+                                   gen::ActivitySeries activity) {
+  const uint64_t n = network.graph.num_nodes();
+  if (network.roles.size() != n || profiles.size() != n ||
+      bios.bios.size() != n) {
+    return Status::InvalidArgument("dataset components disagree in size");
+  }
+  if (activity.daily_tweets.empty()) {
+    return Status::InvalidArgument("empty activity series");
+  }
+  network_ = std::move(network);
+  profiles_ = std::move(profiles);
+  bios_ = std::move(bios);
+  activity_ = std::move(activity);
+  return Status::OK();
+}
+
+namespace {
+
+Status RequireGenerated(bool generated) {
+  if (!generated) {
+    return Status::FailedPrecondition("call Generate() first");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BasicReport> VerifiedStudy::RunBasic() const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  const graph::DiGraph& g = network_->graph;
+
+  BasicReport r;
+  r.degrees = analysis::ComputeDegreeStats(g);
+  r.reciprocity = analysis::ComputeReciprocity(g);
+  util::Rng rng(config_.analysis_seed);
+  r.clustering =
+      analysis::ComputeClusteringSampled(g, config_.clustering_samples, &rng);
+  r.assortativity = analysis::ComputeAssortativity(g);
+
+  const analysis::ComponentLabeling weak =
+      analysis::WeaklyConnectedComponents(g);
+  r.weak_components = weak.num_components;
+  r.giant_weak_size = weak.GiantSize();
+
+  const analysis::ComponentLabeling scc =
+      analysis::StronglyConnectedComponents(g);
+  r.strong_components = scc.num_components;
+  r.giant_scc_size = scc.GiantSize();
+  r.giant_scc_fraction = scc.GiantFraction();
+
+  const analysis::AttractingComponents attracting =
+      analysis::FindAttractingComponents(g, scc);
+  r.attracting_components = attracting.count;
+  r.attracting_singletons = attracting.singletons;
+  return r;
+}
+
+namespace {
+
+// Shared §IV-B pipeline: CSN fit + bootstrap + the three Vuong tests.
+Result<PowerLawReport> AnalyzeDistribution(const std::vector<double>& data,
+                                           bool discrete, int replicates,
+                                           bool with_bootstrap,
+                                           uint64_t seed) {
+  PowerLawReport report;
+  if (discrete) {
+    EN_ASSIGN_OR_RETURN(report.fit, stats::FitDiscrete(data));
+  } else {
+    EN_ASSIGN_OR_RETURN(report.fit, stats::FitContinuous(data));
+  }
+
+  if (with_bootstrap && replicates > 0) {
+    util::Rng rng(seed);
+    EN_ASSIGN_OR_RETURN(
+        stats::GoodnessOfFit gof,
+        stats::BootstrapGoodness(data, report.fit, replicates, &rng));
+    report.gof = gof;
+  }
+
+  const std::vector<double> tail = stats::TailOf(data, report.fit.xmin);
+  const std::vector<double> pl_ll =
+      stats::PointwiseLogLikelihood(tail, report.fit);
+
+  auto vuong_against = [&](const Result<stats::AltFit>& alt)
+      -> std::optional<stats::VuongResult> {
+    if (!alt.ok()) return std::nullopt;
+    const std::vector<double> alt_ll =
+        stats::AltPointwiseLogLikelihood(tail, *alt);
+    const Result<stats::VuongResult> v = stats::VuongTest(pl_ll, alt_ll);
+    if (!v.ok()) return std::nullopt;
+    return *v;
+  };
+  report.vs_lognormal = vuong_against(
+      stats::FitLogNormalTail(data, report.fit.xmin, discrete));
+  report.vs_exponential = vuong_against(
+      stats::FitExponentialTail(data, report.fit.xmin, discrete));
+  if (discrete) {
+    report.vs_poisson =
+        vuong_against(stats::FitPoissonTail(data, report.fit.xmin));
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<PowerLawReport> VerifiedStudy::RunOutDegreeFit(
+    bool with_bootstrap) const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  std::vector<double> degrees = analysis::OutDegreeVector(network_->graph);
+  // The fitters require positive data; zero out-degrees (sinks, isolated)
+  // are outside any power-law support, as in the paper's Fig. 2 which
+  // plots out-degree >= 1.
+  std::vector<double> positive;
+  positive.reserve(degrees.size());
+  for (double d : degrees) {
+    if (d > 0.0) positive.push_back(d);
+  }
+  return AnalyzeDistribution(positive, /*discrete=*/true,
+                             config_.bootstrap_replicates, with_bootstrap,
+                             config_.analysis_seed ^ 0xD15C0);
+}
+
+Result<PowerLawReport> VerifiedStudy::RunEigenvalueFit(
+    bool with_bootstrap) const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  analysis::LanczosOptions opts;
+  opts.k = config_.eigenvalue_k;
+  opts.seed = config_.analysis_seed ^ 0xE16E;
+  EN_ASSIGN_OR_RETURN(analysis::LanczosResult lanczos,
+                      analysis::TopLaplacianEigenvalues(network_->graph,
+                                                        opts));
+  // Drop near-zero eigenvalues, mirroring the paper ("we discarded most
+  // of the smaller eigenvalues as ... close to zero").
+  std::vector<double> evals;
+  for (double ev : lanczos.eigenvalues) {
+    if (ev > 1e-6) evals.push_back(ev);
+  }
+  if (evals.size() < 25) {
+    return Status::FailedPrecondition("too few nonzero eigenvalues");
+  }
+  return AnalyzeDistribution(evals, /*discrete=*/false,
+                             config_.bootstrap_replicates, with_bootstrap,
+                             config_.analysis_seed ^ 0xE16E1);
+}
+
+Result<analysis::DistanceDistribution> VerifiedStudy::RunDistances() const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  util::Rng rng(config_.analysis_seed ^ 0xD157);
+  return analysis::SampleDistances(network_->graph,
+                                   config_.distance_sources, &rng);
+}
+
+Result<std::vector<RelationReport>> VerifiedStudy::RunCentralityRelations()
+    const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  const graph::DiGraph& g = network_->graph;
+
+  analysis::PageRankOptions pr_opts;
+  EN_ASSIGN_OR_RETURN(analysis::PageRankResult pr,
+                      analysis::PageRank(g, pr_opts));
+
+  analysis::BetweennessOptions bw_opts;
+  bw_opts.pivots = config_.betweenness_pivots;
+  bw_opts.seed = config_.analysis_seed ^ 0xB37;
+  EN_ASSIGN_OR_RETURN(std::vector<double> betweenness,
+                      analysis::Betweenness(g, bw_opts));
+
+  const std::vector<double> followers = gen::FollowersColumn(*profiles_);
+  const std::vector<double> listed = gen::ListedColumn(*profiles_);
+  const std::vector<double> statuses = gen::StatusesColumn(*profiles_);
+
+  // The six panels of Fig. 5, in paper order.
+  struct Panel {
+    const char* x;
+    const char* y;
+    const std::vector<double>* xs;
+    const std::vector<double>* ys;
+  };
+  const Panel panels[] = {
+      {"betweenness", "list memberships", &betweenness, &listed},
+      {"betweenness", "followers", &betweenness, &followers},
+      {"pagerank", "list memberships", &pr.scores, &listed},
+      {"pagerank", "followers", &pr.scores, &followers},
+      {"statuses", "followers", &statuses, &followers},
+      {"list memberships", "followers", &listed, &followers},
+  };
+
+  std::vector<RelationReport> out;
+  for (const Panel& p : panels) {
+    RelationReport rel;
+    rel.x_name = p.x;
+    rel.y_name = p.y;
+    EN_ASSIGN_OR_RETURN(rel.curve, stats::SmoothLogLog(*p.xs, *p.ys));
+    out.push_back(std::move(rel));
+  }
+  return out;
+}
+
+Result<TextReport> VerifiedStudy::RunText(size_t top_k) const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  text::NGramCounter unigrams(1), bigrams(2), trigrams(3), fourgrams(4);
+  for (const std::string& bio : bios_->bios) {
+    const auto clauses = text::TokenizeClauses(bio);
+    unigrams.AddClauses(clauses);
+    bigrams.AddClauses(clauses);
+    trigrams.AddClauses(clauses);
+    fourgrams.AddClauses(clauses);
+  }
+  TextReport report;
+  report.top_unigrams = unigrams.TopK(top_k * 2);
+  // Tables I-II are curated: phrases fully subsumed by a longer phrase
+  // are reported once, at the longest length (see FilterSubsumed docs).
+  report.top_bigrams =
+      text::FilterSubsumed(bigrams.TopK(top_k * 4), trigrams);
+  report.top_bigrams.resize(
+      std::min(report.top_bigrams.size(), top_k));
+  report.top_trigrams =
+      text::FilterSubsumed(trigrams.TopK(top_k * 4), fourgrams);
+  report.top_trigrams.resize(
+      std::min(report.top_trigrams.size(), top_k));
+  return report;
+}
+
+Result<ActivityReport> VerifiedStudy::RunActivity() const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  const std::vector<double>& series = activity_->daily_tweets;
+  const int max_lag = std::min<int>(config_.portmanteau_max_lag,
+                                    static_cast<int>(series.size()) - 2);
+
+  ActivityReport report;
+  EN_ASSIGN_OR_RETURN(report.ljung_box,
+                      timeseries::LjungBoxTest(series, max_lag));
+  EN_ASSIGN_OR_RETURN(report.box_pierce,
+                      timeseries::BoxPierceTest(series, max_lag));
+
+  timeseries::AdfOptions adf_opts;
+  adf_opts.regression = timeseries::AdfRegression::kConstantTrend;
+  EN_ASSIGN_OR_RETURN(report.adf, timeseries::AdfTest(series, adf_opts));
+
+  timeseries::PenaltySweepOptions pelt_opts;
+  EN_ASSIGN_OR_RETURN(report.pelt,
+                      timeseries::PeltPenaltySweep(series, pelt_opts));
+  for (const timeseries::StableChangePoint& cp : report.pelt.stable) {
+    report.change_dates.push_back(
+        timeseries::AddDays(activity_->start,
+                            static_cast<int64_t>(cp.index)));
+  }
+  return report;
+}
+
+Result<StudyReport> VerifiedStudy::RunAll() const {
+  EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  StudyReport report;
+  EN_ASSIGN_OR_RETURN(report.basic, RunBasic());
+  EN_ASSIGN_OR_RETURN(report.out_degree, RunOutDegreeFit());
+  const Result<PowerLawReport> eigen = RunEigenvalueFit();
+  if (eigen.ok()) report.eigenvalues = *eigen;
+  EN_ASSIGN_OR_RETURN(report.distances, RunDistances());
+  EN_ASSIGN_OR_RETURN(report.relations, RunCentralityRelations());
+  EN_ASSIGN_OR_RETURN(report.text, RunText());
+  EN_ASSIGN_OR_RETURN(report.activity, RunActivity());
+  return report;
+}
+
+std::string RenderReport(const StudyReport& r, uint32_t num_users) {
+  std::string out;
+  char line[512];
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  const double scale =
+      static_cast<double>(num_users) / static_cast<double>(paper::kUsersEnglish);
+
+  add("== Verified-network study (n=%u users; paper n=%u) ==\n", num_users,
+      paper::kUsersEnglish);
+  add("\n-- Section IV-A: basic analysis --\n");
+  add("  %-28s measured=%-12.6f paper=%.5f\n", "density",
+      r.basic.degrees.density, paper::kDensity);
+  add("  %-28s measured=%-12.2f paper=%.2f (at full scale)\n",
+      "avg out-degree", r.basic.degrees.avg_out_degree,
+      paper::kAvgOutDegree);
+  add("  %-28s measured=%-12llu paper~%.0f (scaled)\n", "isolated users",
+      static_cast<unsigned long long>(r.basic.degrees.isolated_nodes),
+      paper::kIsolatedUsers * scale);
+  add("  %-28s measured=%-12.4f paper=%.4f\n", "giant SCC fraction",
+      r.basic.giant_scc_fraction, paper::kGiantSccFraction);
+  add("  %-28s measured=%-12u paper~%.0f (scaled)\n", "weak components",
+      r.basic.weak_components, paper::kConnectedComponents * scale);
+  add("  %-28s measured=%-12llu paper~%.0f (scaled)\n",
+      "attracting components",
+      static_cast<unsigned long long>(r.basic.attracting_components),
+      paper::kAttractingComponents * scale);
+  add("  %-28s measured=%-12.4f paper=%.4f\n", "avg local clustering",
+      r.basic.clustering.average_local, paper::kAvgLocalClustering);
+  add("  %-28s measured=%-12.4f paper=%.2f\n", "assortativity (out-in)",
+      r.basic.assortativity.out_in, paper::kDegreeAssortativity);
+  add("  %-28s measured=%-12.4f paper=%.3f\n", "reciprocity",
+      r.basic.reciprocity.rate, paper::kReciprocity);
+
+  add("\n-- Section IV-B: out-degree power law --\n");
+  add("  alpha=%.3f (paper %.2f)  xmin=%.0f  tail_n=%llu  KS=%.4f\n",
+      r.out_degree.fit.alpha, paper::kOutDegreeAlpha, r.out_degree.fit.xmin,
+      static_cast<unsigned long long>(r.out_degree.fit.tail_n),
+      r.out_degree.fit.ks_distance);
+  if (r.out_degree.gof) {
+    add("  bootstrap p=%.3f (paper %.2f; p>0.1 supports the power law)\n",
+        r.out_degree.gof->p_value, paper::kOutDegreePValue);
+  }
+  auto add_vuong = [&](const char* name,
+                       const std::optional<stats::VuongResult>& v) {
+    if (v) {
+      add("  Vuong vs %-12s LR=%-10.1f stat=%-8.2f (positive favors "
+          "power law)\n",
+          name, v->log_likelihood_ratio, v->statistic);
+    }
+  };
+  add_vuong("log-normal", r.out_degree.vs_lognormal);
+  add_vuong("exponential", r.out_degree.vs_exponential);
+  add_vuong("poisson", r.out_degree.vs_poisson);
+
+  if (r.eigenvalues) {
+    add("\n-- Section IV-B: Laplacian eigenvalue power law --\n");
+    add("  alpha=%.3f (paper %.2f)  xmin=%.1f  tail_n=%llu\n",
+        r.eigenvalues->fit.alpha, paper::kEigenAlpha,
+        r.eigenvalues->fit.xmin,
+        static_cast<unsigned long long>(r.eigenvalues->fit.tail_n));
+    if (r.eigenvalues->gof) {
+      add("  bootstrap p=%.3f (paper %.2f)\n", r.eigenvalues->gof->p_value,
+          paper::kEigenPValue);
+    }
+  }
+
+  add("\n-- Section IV-D: degrees of separation --\n");
+  add("  mean distance=%.3f (paper %.2f; whole Twitter %.2f)\n",
+      r.distances.mean_distance, paper::kMeanDistance,
+      paper::kMeanDistanceWholeTwitterSampled);
+  add("  median=%llu  effective diameter (90th pct)=%llu\n",
+      static_cast<unsigned long long>(r.distances.median_distance),
+      static_cast<unsigned long long>(r.distances.effective_diameter));
+
+  add("\n-- Fig. 5: centrality vs reach (Spearman rank correlations) --\n");
+  for (const RelationReport& rel : r.relations) {
+    add("  %-18s vs %-18s rho=%+.3f  log-log slope=%+.3f\n",
+        rel.x_name.c_str(), rel.y_name.c_str(), rel.curve.spearman,
+        rel.curve.ols_slope);
+  }
+
+  add("\n-- Section IV-E: top bio phrases --\n");
+  add("  bigrams:\n");
+  for (size_t i = 0; i < r.text.top_bigrams.size() && i < 15; ++i) {
+    add("    %-28s %8llu\n",
+        text::TitleCase(r.text.top_bigrams[i].ngram).c_str(),
+        static_cast<unsigned long long>(r.text.top_bigrams[i].count));
+  }
+  add("  trigrams:\n");
+  for (size_t i = 0; i < r.text.top_trigrams.size() && i < 15; ++i) {
+    add("    %-28s %8llu\n",
+        text::TitleCase(r.text.top_trigrams[i].ngram).c_str(),
+        static_cast<unsigned long long>(r.text.top_trigrams[i].count));
+  }
+
+  add("\n-- Section V: activity analysis --\n");
+  add("  Ljung-Box  max p=%.3g (paper %.3g)\n",
+      r.activity.ljung_box.max_p_value, paper::kLjungBoxMaxP);
+  add("  Box-Pierce max p=%.3g (paper %.3g)\n",
+      r.activity.box_pierce.max_p_value, paper::kBoxPierceMaxP);
+  add("  ADF stat=%.3f crit(5%%)=%.3f -> %s (paper: %.2f vs %.2f, "
+      "stationary)\n",
+      r.activity.adf.statistic, r.activity.adf.crit_5pct,
+      r.activity.adf.stationary_at_5pct ? "stationary" : "unit root",
+      paper::kAdfStatistic, paper::kAdfCritical95);
+  add("  PELT stable change-points (paper: Dec 23-25 and ~first week of "
+      "April):\n");
+  for (size_t i = 0; i < r.activity.change_dates.size(); ++i) {
+    add("    %s (support %.0f%%)\n",
+        timeseries::FormatDate(r.activity.change_dates[i]).c_str(),
+        100.0 * r.activity.pelt.stable[i].support);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace elitenet

@@ -1,0 +1,59 @@
+#include "gen/activity.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+
+using timeseries::Date;
+using timeseries::DaysFromCivil;
+
+Result<ActivitySeries> GenerateActivity(const ActivityConfig& config) {
+  if (config.num_days < 30) {
+    return Status::InvalidArgument("need at least 30 days");
+  }
+  if (!timeseries::IsValidDate(config.start)) {
+    return Status::InvalidArgument("invalid start date");
+  }
+  if (config.base_level <= 0.0) {
+    return Status::InvalidArgument("base level must be positive");
+  }
+
+  util::Rng rng(config.seed);
+  ActivitySeries out;
+  out.start = config.start;
+  out.daily_tweets.reserve(static_cast<size_t>(config.num_days));
+
+  const int64_t xmas_lo = DaysFromCivil(config.christmas_start);
+  const int64_t xmas_hi = DaysFromCivil(config.christmas_end);
+  const int64_t april = DaysFromCivil(config.april_shift);
+
+  int64_t day = DaysFromCivil(config.start);
+  double ar_state = 0.0;  // persistent log-level deviation
+  for (int i = 0; i < config.num_days; ++i, ++day) {
+    const bool post_april = day >= april;
+    const double sigma = post_april
+                             ? config.noise_sigma * config.april_noise_multiplier
+                             : config.noise_sigma;
+    ar_state = config.ar_phi * ar_state + sigma * rng.Normal();
+
+    double log_level = std::log(config.base_level) + ar_state;
+    const int dow = static_cast<int>(((day % 7) + 11) % 7);  // 0 = Sunday
+    if (dow == 0) {
+      log_level += std::log(config.sunday_factor);
+    } else if (dow == 6) {
+      log_level += std::log(config.saturday_factor);
+    }
+    if (day >= xmas_lo && day <= xmas_hi) {
+      log_level += std::log(config.christmas_factor);
+    }
+    if (post_april) log_level += std::log(config.april_factor);
+    out.daily_tweets.push_back(std::exp(log_level));
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace elitenet

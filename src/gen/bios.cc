@@ -1,0 +1,389 @@
+#include "gen/bios.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+
+namespace {
+
+constexpr int kNumRoles = static_cast<int>(BioRole::kNumRoles);
+
+// Global role mix (core users). Journalism-adjacent roles dominate, per
+// the paper's observation.
+constexpr std::array<double, kNumRoles> kRoleWeights = {
+    0.16,   // journalist
+    0.07,   // news outlet
+    0.015,  // weather outlet
+    0.035,  // rugby
+    0.030,  // baseball
+    0.040,  // other athlete
+    0.080,  // musician
+    0.085,  // tv/film
+    0.055,  // author
+    0.130,  // brand
+    0.045,  // politician
+    0.255,  // generic personality
+};
+
+// A clause the grammar can emit. `global_prob` is the expected fraction
+// of *all* users whose bio contains the clause (calibrated to the paper's
+// table counts / 231,246); `mult` redistributes that probability across
+// roles without changing the global expectation.
+struct Clause {
+  const char* name;
+  double global_prob;
+  std::array<double, kNumRoles> mult;
+};
+
+// Role multiplier shorthand: every role listed gets `hi`, others get 1.
+constexpr std::array<double, kNumRoles> Ones() {
+  return {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+}
+
+std::array<double, kNumRoles> Boost(std::initializer_list<BioRole> roles,
+                                    double hi, double lo = 0.25) {
+  std::array<double, kNumRoles> m;
+  m.fill(lo);
+  for (BioRole r : roles) m[static_cast<int>(r)] = hi;
+  return m;
+}
+
+// Calibrated from Tables I-II: count / 231,246.
+const double kP_OfficialTwitter = 12166.0 / 231246.0;
+const double kP_AwardWinningGeneric = 1572.0 / 231246.0;
+const double kP_EmmyAwardWinning = 475.0 / 231246.0;
+const double kP_AwardWinningJournalist = 223.0 / 231246.0;
+const double kP_FollowUs = 2268.0 / 231246.0;
+const double kP_CoFounder = 1581.0 / 231246.0;
+const double kP_HusbandFather = 1540.0 / 231246.0;
+const double kP_OpinionsOwn = 1222.0 / 231246.0;
+const double kP_NewAlbum = 1088.0 / 231246.0;
+const double kP_SingerSongwriter = 1043.0 / 231246.0;
+const double kP_CoHost = 933.0 / 231246.0;
+const double kP_LatestNews = 904.0 / 231246.0;
+const double kP_BreakingNews = 898.0 / 231246.0;
+const double kP_AnchorReporter = 855.0 / 231246.0;
+const double kP_RugbyClub = 546.0 / 231246.0;       // 799 - 253
+const double kP_ProRugby = 253.0 / 231246.0;
+const double kP_ManagingEditor = 769.0 / 231246.0;
+const double kP_WeatherAlerts = 847.0 / 231246.0;
+const double kP_NewYorkTimes = 464.0 / 231246.0;
+const double kP_EditorInChief = 461.0 / 231246.0;
+const double kP_BestSelling = 296.0 / 231246.0;
+const double kP_WallStreet = 252.0 / 231246.0;
+const double kP_ProBaseball = 241.0 / 231246.0;
+const double kP_ReportCrime = 238.0 / 231246.0;
+const double kP_CustomerService = 174.0 / 231246.0;
+const double kP_Olympic = 174.0 / 231246.0;
+
+class BioWriter {
+ public:
+  BioWriter(util::Rng* rng, BioRole role) : rng_(rng), role_(role) {}
+
+  // Emits `text` with the clause's role-adjusted probability; returns
+  // true if emitted.
+  bool Maybe(const Clause& clause, const std::string& text) {
+    double norm = 0.0;
+    for (int r = 0; r < kNumRoles; ++r) {
+      norm += kRoleWeights[r] * clause.mult[r];
+    }
+    const double p = std::min(
+        1.0, clause.global_prob * clause.mult[static_cast<int>(role_)] /
+                 norm);
+    if (!rng_->Bernoulli(p)) return false;
+    Append(text);
+    return true;
+  }
+
+  void Append(const std::string& text) {
+    if (!bio_.empty()) bio_ += ". ";
+    bio_ += text;
+  }
+
+  std::string Finish() {
+    if (!bio_.empty()) bio_ += '.';
+    return std::move(bio_);
+  }
+
+  util::Rng* rng() { return rng_; }
+  BioRole role() const { return role_; }
+
+ private:
+  util::Rng* rng_;
+  BioRole role_;
+  std::string bio_;
+};
+
+// Unique-ish proper-noun pools: a large id space keeps every synthetic
+// entity name rare so it cannot intrude into the top n-gram tables.
+std::string PoolName(util::Rng* rng, const char* prefix) {
+  return std::string(prefix) + std::to_string(rng->UniformU64(90000) + 10000);
+}
+
+std::string Pick(util::Rng* rng, std::initializer_list<const char*> options) {
+  const auto* begin = options.begin();
+  return begin[rng->UniformU64(options.size())];
+}
+
+std::string GenerateBio(util::Rng* rng, BioRole role) {
+  using R = BioRole;
+  BioWriter w(rng, role);
+
+  // --- "Official Twitter ..." family (brands and outlets above all).
+  static const Clause official{
+      "official_twitter", kP_OfficialTwitter,
+      Boost({R::kBrand, R::kNewsOutlet, R::kWeatherOutlet, R::kPolitician},
+            4.0, 0.45)};
+  {
+    double norm = 0.0;
+    for (int r = 0; r < kNumRoles; ++r) {
+      norm += kRoleWeights[r] * official.mult[r];
+    }
+    const double p = std::min(
+        1.0, official.global_prob *
+                 official.mult[static_cast<int>(role)] / norm);
+    if (rng->Bernoulli(p)) {
+      const double v = rng->UniformDouble();
+      if (v < 5457.0 / 12166.0) {
+        w.Append("Official Twitter account, " + PoolName(rng, "Entity"));
+      } else if (v < (5457.0 + 1774.0) / 12166.0) {
+        w.Append("Official Twitter page, " + PoolName(rng, "Entity"));
+      } else {
+        // Bare form: contributes to the "Official Twitter" bigram without
+        // creating any competing trigram.
+        w.Append("Official Twitter, " + PoolName(rng, "Entity"));
+      }
+    }
+  }
+  // "Official account" is its own (non-Twitter-branded) phrase in Table I.
+  static const Clause official_account{
+      "official_account", 2788.0 / 231246.0,
+      Boost({R::kBrand, R::kPolitician, R::kNewsOutlet}, 4.0, 0.4)};
+  w.Maybe(official_account, "Official account, " + PoolName(rng, "Entity"));
+
+  // --- Journalism block.
+  static const Clause anchor{"anchor_reporter", kP_AnchorReporter,
+                             Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(anchor, "Anchor Reporter");
+  static const Clause managing{"managing_editor", kP_ManagingEditor,
+                               Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(managing, "Managing editor, " + PoolName(rng, "Daily"));
+  static const Clause chief{"editor_in_chief", kP_EditorInChief,
+                            Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(chief, "Editor in Chief, " + PoolName(rng, "Daily"));
+  static const Clause nyt{"nyt", kP_NewYorkTimes,
+                          Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(nyt, Pick(rng, {"Reporter", "Columnist", "Correspondent"}) +
+                   ", New York Times");
+  static const Clause wsj{"wsj", kP_WallStreet,
+                          Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(wsj, Pick(rng, {"Reporter", "Columnist"}) +
+                   ", Wall Street Journal");
+  static const Clause awj{"award_winning_journalist",
+                          kP_AwardWinningJournalist,
+                          Boost({R::kJournalist}, 6.0, 0.0)};
+  w.Maybe(awj, "Award winning journalist");
+  static const Clause opinions{"opinions_own", kP_OpinionsOwn,
+                               Boost({R::kJournalist, R::kPolitician}, 4.0,
+                                     0.4)};
+  w.Maybe(opinions, "Opinions own");
+
+  // --- Outlet block.
+  static const Clause latest{"latest_news", kP_LatestNews,
+                             Boost({R::kNewsOutlet}, 8.0, 0.05)};
+  w.Maybe(latest, "Latest news");
+  static const Clause breaking{"breaking_news", kP_BreakingNews,
+                               Boost({R::kNewsOutlet}, 8.0, 0.05)};
+  w.Maybe(breaking, "Breaking news");
+  static const Clause weather{"weather_alerts", kP_WeatherAlerts,
+                              Boost({R::kWeatherOutlet}, 30.0, 0.0)};
+  w.Maybe(weather, "Weather alerts EN, " + PoolName(rng, "Region"));
+  static const Clause crime{"report_crime", kP_ReportCrime,
+                            Boost({R::kBrand, R::kNewsOutlet}, 2.0, 0.2)};
+  w.Maybe(crime, "Report crime here");
+
+  // --- Brand block.
+  static const Clause follow{"follow_us", kP_FollowUs,
+                             Boost({R::kBrand, R::kNewsOutlet}, 4.0, 0.3)};
+  w.Maybe(follow, "Follow us");
+  static const Clause service{"customer_service", kP_CustomerService,
+                              Boost({R::kBrand}, 6.0, 0.0)};
+  if (w.Maybe(service, "For customer service")) {
+    w.Append("Monday to Friday");
+  }
+  static const Clause founder{"co_founder", kP_CoFounder,
+                              Boost({R::kBrand, R::kGeneric}, 3.0, 0.3)};
+  w.Maybe(founder, "Co founder, " + PoolName(rng, "Startup"));
+
+  // --- Entertainment block.
+  static const Clause album{"new_album", kP_NewAlbum,
+                            Boost({R::kMusician}, 10.0, 0.0)};
+  w.Maybe(album, "New album " + PoolName(rng, "Record") + " " +
+                     Pick(rng, {"out now", "available everywhere",
+                                "streaming today", "drops soon",
+                                "arriving friday", "live tonight"}));
+  static const Clause singer{"singer_songwriter", kP_SingerSongwriter,
+                             Boost({R::kMusician}, 10.0, 0.0)};
+  w.Maybe(singer, "Singer songwriter");
+  static const Clause cohost{"co_host", kP_CoHost,
+                             Boost({R::kTvFilm, R::kJournalist}, 4.0, 0.2)};
+  w.Maybe(cohost, "Co host, " + PoolName(rng, "Show"));
+  static const Clause emmy{"emmy", kP_EmmyAwardWinning,
+                           Boost({R::kTvFilm}, 8.0, 0.05)};
+  w.Maybe(emmy, "Emmy award winning, " +
+                    Pick(rng, {"producer", "writer", "director", "host"}));
+  static const Clause award{"award_winning", kP_AwardWinningGeneric,
+                            Boost({R::kTvFilm, R::kAuthor, R::kMusician,
+                                   R::kGeneric},
+                                  2.5, 0.4)};
+  w.Maybe(award, "Award winning " +
+                     Pick(rng, {"chef", "director", "filmmaker",
+                                "photographer", "comedian", "designer",
+                                "broadcaster", "producer", "writer",
+                                "presenter", "actor", "composer"}));
+
+  // --- Sports block.
+  static const Clause prorugby{"pro_rugby", kP_ProRugby,
+                               Boost({R::kAthleteRugby}, 30.0, 0.0)};
+  w.Maybe(prorugby, "Professional rugby player");
+  static const Clause rugbyclub{"rugby_club", kP_RugbyClub,
+                                Boost({R::kAthleteRugby}, 30.0, 0.0)};
+  w.Maybe(rugbyclub, "Rugby player, " + PoolName(rng, "Club"));
+  static const Clause baseball{"pro_baseball", kP_ProBaseball,
+                               Boost({R::kAthleteBaseball}, 30.0, 0.0)};
+  w.Maybe(baseball, "Professional baseball player");
+  static const Clause olympic{"olympic", kP_Olympic,
+                              Boost({R::kAthleteOther}, 20.0, 0.0)};
+  w.Maybe(olympic, "Olympic gold medalist");
+
+  // --- Author block.
+  static const Clause bestselling{"best_selling", kP_BestSelling,
+                                  Boost({R::kAuthor}, 10.0, 0.05)};
+  w.Maybe(bestselling, "Best selling author");
+
+  // --- Personal descriptors / unigram enrichment.
+  static const Clause husband{"husband_father", kP_HusbandFather, Ones()};
+  w.Maybe(husband, "Husband Father");
+  static const Clause gay{"gay", 0.004, Ones()};
+  w.Maybe(gay, "Gay");
+  static const Clause american{"american", 0.018, Ones()};
+  w.Maybe(american, "American");
+  static const Clause london{"london", 0.014, Ones()};
+  w.Maybe(london, "London");
+  static const Clause insta{"instagram", 0.030,
+                            Boost({R::kMusician, R::kTvFilm, R::kGeneric,
+                                   R::kBrand},
+                                  2.0, 0.5)};
+  w.Maybe(insta, "Instagram " + PoolName(rng, "handle"));
+  static const Clause fb{"facebook", 0.016, Ones()};
+  w.Maybe(fb, "Facebook " + PoolName(rng, "handle"));
+  static const Clause snap{"snapchat", 0.012, Ones()};
+  w.Maybe(snap, "Snapchat " + PoolName(rng, "handle"));
+  static const Clause booking{"booking", 0.012,
+                              Boost({R::kMusician, R::kGeneric}, 3.0, 0.3)};
+  w.Maybe(booking, "Booking " + PoolName(rng, "mail"));
+  static const Clause support{"support", 0.010, Boost({R::kBrand}, 4.0, 0.3)};
+  w.Maybe(support, "Support " + PoolName(rng, "desk"));
+  static const Clause intl{"international", 0.010,
+                           Boost({R::kBrand, R::kPolitician}, 3.0, 0.4)};
+  w.Maybe(intl, "International " +
+                    Pick(rng, {"speaker", "artist", "brand", "organisation",
+                               "consultant", "correspondent", "trader",
+                               "keynoter"}));
+  static const Clause tech{"tech", 0.012,
+                           Boost({R::kBrand, R::kGeneric}, 2.0, 0.5)};
+  w.Maybe(tech, "Tech " + Pick(rng, {"enthusiast", "entrepreneur", "geek",
+                                     "optimist", "investor", "analyst",
+                                     "tinkerer", "evangelist"}));
+  static const Clause sport{"sport", 0.010,
+                            Boost({R::kAthleteOther, R::kAthleteRugby,
+                                   R::kAthleteBaseball, R::kNewsOutlet},
+                                  3.0, 0.4)};
+  w.Maybe(sport, "Sport " + Pick(rng, {"fanatic", "lover", "news",
+                                       "obsessive", "historian", "junkie",
+                                       "analyst", "addict"}));
+
+  // Fallback so no bio is empty: a plain profession word (these also feed
+  // the paper's word-cloud unigrams).
+  std::string bio = w.Finish();
+  if (bio.empty()) {
+    bio = Pick(rng, {"Journalist", "Producer", "Founder", "Director",
+                     "Author", "Presenter", "Entrepreneur", "Artist",
+                     "Photographer", "Writer"}) +
+          ".";
+  }
+  return bio;
+}
+
+BioRole SampleRole(util::Rng* rng, UserRole user_role) {
+  if (user_role == UserRole::kSink) {
+    // Celebrities: entertainment-heavy mix.
+    const double v = rng->UniformDouble();
+    if (v < 0.40) return BioRole::kMusician;
+    if (v < 0.70) return BioRole::kTvFilm;
+    if (v < 0.85) return BioRole::kAthleteOther;
+    return BioRole::kGeneric;
+  }
+  double total = 0.0;
+  for (double w : kRoleWeights) total += w;
+  double v = rng->UniformDouble() * total;
+  for (int r = 0; r < kNumRoles; ++r) {
+    v -= kRoleWeights[r];
+    if (v <= 0.0) return static_cast<BioRole>(r);
+  }
+  return BioRole::kGeneric;
+}
+
+}  // namespace
+
+uint64_t BioCorpus::CountRole(BioRole role) const {
+  uint64_t n = 0;
+  for (BioRole r : roles) {
+    if (r == role) ++n;
+  }
+  return n;
+}
+
+Result<BioCorpus> GenerateBios(const VerifiedNetwork& network,
+                               const BioConfig& config) {
+  const uint32_t n = network.graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty network");
+  util::Rng rng(config.seed);
+
+  BioCorpus corpus;
+  corpus.bios.reserve(n);
+  corpus.roles.reserve(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    const BioRole role = SampleRole(&rng, network.roles[u]);
+    corpus.roles.push_back(role);
+    corpus.bios.push_back(GenerateBio(&rng, role));
+  }
+  return corpus;
+}
+
+const char* BioRoleName(BioRole role) {
+  switch (role) {
+    case BioRole::kJournalist: return "journalist";
+    case BioRole::kNewsOutlet: return "news outlet";
+    case BioRole::kWeatherOutlet: return "weather outlet";
+    case BioRole::kAthleteRugby: return "rugby athlete";
+    case BioRole::kAthleteBaseball: return "baseball athlete";
+    case BioRole::kAthleteOther: return "athlete";
+    case BioRole::kMusician: return "musician";
+    case BioRole::kTvFilm: return "tv/film";
+    case BioRole::kAuthor: return "author";
+    case BioRole::kBrand: return "brand";
+    case BioRole::kPolitician: return "politician";
+    case BioRole::kGeneric: return "personality";
+    case BioRole::kNumRoles: break;
+  }
+  return "unknown";
+}
+
+}  // namespace gen
+}  // namespace elitenet

@@ -1,0 +1,133 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace gen {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+Result<DiGraph> ErdosRenyi(NodeId n, uint64_t m, util::Rng* rng) {
+  if (n < 2 && m > 0) return Status::InvalidArgument("graph too small");
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (static_cast<uint64_t>(n) - 1);
+  if (m > max_edges) return Status::InvalidArgument("too many edges");
+
+  GraphBuilder builder(n);
+  builder.Reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  uint64_t added = 0;
+  while (added < m) {
+    const NodeId u = static_cast<NodeId>(rng->UniformU64(n));
+    const NodeId v = static_cast<NodeId>(rng->UniformU64(n));
+    if (u == v) continue;
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    EN_RETURN_IF_ERROR(builder.AddEdge(u, v));
+    ++added;
+  }
+  return builder.Build();
+}
+
+Result<DiGraph> PreferentialAttachment(NodeId n, uint32_t out_per_node,
+                                       util::Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (out_per_node == 0) {
+    return Status::InvalidArgument("out_per_node must be positive");
+  }
+  GraphBuilder builder(n);
+  // repeated_targets holds one entry per (in-edge + smoothing unit), so a
+  // uniform draw implements the (in-degree + 1) attachment kernel.
+  std::vector<NodeId> repeated_targets;
+  repeated_targets.reserve(static_cast<size_t>(n) * (out_per_node + 1));
+  repeated_targets.push_back(0);  // node 0's smoothing unit
+
+  for (NodeId u = 1; u < n; ++u) {
+    const uint32_t fanout = std::min<uint32_t>(out_per_node, u);
+    std::unordered_set<NodeId> chosen;
+    uint32_t guard = 0;
+    while (chosen.size() < fanout && guard < 50 * fanout) {
+      ++guard;
+      const NodeId v =
+          repeated_targets[rng->UniformU64(repeated_targets.size())];
+      if (v == u || chosen.contains(v)) continue;
+      chosen.insert(v);
+    }
+    for (NodeId v : chosen) {
+      EN_RETURN_IF_ERROR(builder.AddEdge(u, v));
+      repeated_targets.push_back(v);
+    }
+    repeated_targets.push_back(u);  // u's own smoothing unit
+  }
+  return builder.Build();
+}
+
+Result<DiGraph> WattsStrogatz(NodeId n, uint32_t k, double beta,
+                              util::Rng* rng) {
+  if (n < 3) return Status::InvalidArgument("graph too small");
+  if (k == 0 || k >= n) return Status::InvalidArgument("bad neighbor count");
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng->Bernoulli(beta)) {
+        // Rewire to a uniform non-self target; duplicate edges coalesce
+        // in the builder (slightly lowering m, as in the classic model).
+        do {
+          v = static_cast<NodeId>(rng->UniformU64(n));
+        } while (v == u);
+      }
+      EN_RETURN_IF_ERROR(builder.AddEdge(u, v));
+    }
+  }
+  return builder.Build();
+}
+
+Result<DiGraph> ConfigurationModel(const std::vector<uint32_t>& out_degrees,
+                                   const std::vector<double>& in_weights,
+                                   util::Rng* rng) {
+  if (out_degrees.size() != in_weights.size()) {
+    return Status::InvalidArgument("sequence size mismatch");
+  }
+  const NodeId n = static_cast<NodeId>(out_degrees.size());
+  if (n == 0) return Status::InvalidArgument("empty sequences");
+
+  double weight_sum = 0.0;
+  for (double w : in_weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative in weight");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument("all in weights zero");
+  }
+
+  const util::AliasSampler sampler(in_weights);
+  GraphBuilder builder(n);
+  std::unordered_set<NodeId> chosen;
+  for (NodeId u = 0; u < n; ++u) {
+    chosen.clear();
+    const uint32_t want = out_degrees[u];
+    uint32_t guard = 0;
+    const uint32_t max_tries = 30u * want + 100u;
+    while (chosen.size() < want && guard < max_tries) {
+      ++guard;
+      const NodeId v = sampler.Sample(rng);
+      if (v == u || chosen.contains(v)) continue;
+      chosen.insert(v);
+      EN_RETURN_IF_ERROR(builder.AddEdge(u, v));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace elitenet

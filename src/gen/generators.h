@@ -1,0 +1,50 @@
+// Classic random-graph generators. These serve two roles: baselines for
+// the analysis algorithms (test oracles with known structure) and
+// comparison networks for the benches (e.g. Erdős–Rényi vs the calibrated
+// verified network to show which properties are distinctive).
+
+#ifndef ELITENET_GEN_GENERATORS_H_
+#define ELITENET_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace gen {
+
+/// G(n, m): exactly m distinct directed edges chosen uniformly (no self
+/// loops). Requires m <= n*(n-1).
+Result<graph::DiGraph> ErdosRenyi(graph::NodeId n, uint64_t m,
+                                  util::Rng* rng);
+
+/// Directed preferential attachment (Price's model): nodes arrive one at
+/// a time and emit `out_per_node` edges to existing nodes chosen with
+/// probability proportional to (in-degree + 1). Produces a power-law
+/// in-degree tail.
+Result<graph::DiGraph> PreferentialAttachment(graph::NodeId n,
+                                              uint32_t out_per_node,
+                                              util::Rng* rng);
+
+/// Directed Watts–Strogatz: ring lattice where each node points to its
+/// `k` clockwise successors, each edge rewired to a uniform target with
+/// probability `beta`. High clustering, short paths.
+Result<graph::DiGraph> WattsStrogatz(graph::NodeId n, uint32_t k,
+                                     double beta, util::Rng* rng);
+
+/// Directed configuration model: wires the exact out-degree sequence to
+/// targets drawn with probability proportional to `in_weight`, rejecting
+/// self loops and duplicate edges (up to a retry cap per stub, after
+/// which the stub is dropped — heavy-tailed sequences make perfect
+/// matchings infeasible).
+Result<graph::DiGraph> ConfigurationModel(
+    const std::vector<uint32_t>& out_degrees,
+    const std::vector<double>& in_weights, util::Rng* rng);
+
+}  // namespace gen
+}  // namespace elitenet
+
+#endif  // ELITENET_GEN_GENERATORS_H_

@@ -1,0 +1,76 @@
+#include "gen/profiles.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+
+Result<std::vector<UserProfile>> GenerateProfiles(
+    const VerifiedNetwork& network, const ProfileConfig& config) {
+  const graph::DiGraph& g = network.graph;
+  const uint32_t n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty network");
+
+  util::Rng rng(config.seed);
+  std::vector<UserProfile> profiles(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const double in_deg = g.InDegree(u);
+    const double out_deg = g.OutDegree(u);
+    UserProfile& p = profiles[u];
+
+    // Whole-Twitter followers: even a friendless verified user has an
+    // audience, hence the +1 smoothing.
+    const double followers =
+        config.followers_per_in_degree * (in_deg + 1.0) *
+        rng.LogNormal(0.0, config.followers_noise_sigma);
+    p.followers = static_cast<uint64_t>(std::llround(followers));
+
+    const double friends = config.friends_per_out_degree * (out_deg + 1.0) *
+                           rng.LogNormal(0.0, config.friends_noise_sigma);
+    p.friends = static_cast<uint64_t>(std::llround(friends));
+
+    const double listed =
+        config.listed_scale *
+        std::pow(static_cast<double>(p.followers) + 1.0,
+                 config.listed_exponent) *
+        rng.LogNormal(0.0, config.listed_noise_sigma);
+    p.listed = static_cast<uint64_t>(std::llround(listed));
+
+    const double statuses =
+        rng.LogNormal(config.statuses_mu, config.statuses_sigma) *
+        std::pow(static_cast<double>(p.followers) + 1.0,
+                 config.statuses_coupling);
+    p.statuses = static_cast<uint64_t>(std::llround(statuses));
+  }
+  return profiles;
+}
+
+namespace {
+
+template <typename Getter>
+std::vector<double> Column(const std::vector<UserProfile>& p, Getter get) {
+  std::vector<double> out;
+  out.reserve(p.size());
+  for (const UserProfile& u : p) out.push_back(static_cast<double>(get(u)));
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FollowersColumn(const std::vector<UserProfile>& p) {
+  return Column(p, [](const UserProfile& u) { return u.followers; });
+}
+std::vector<double> FriendsColumn(const std::vector<UserProfile>& p) {
+  return Column(p, [](const UserProfile& u) { return u.friends; });
+}
+std::vector<double> ListedColumn(const std::vector<UserProfile>& p) {
+  return Column(p, [](const UserProfile& u) { return u.listed; });
+}
+std::vector<double> StatusesColumn(const std::vector<UserProfile>& p) {
+  return Column(p, [](const UserProfile& u) { return u.statuses; });
+}
+
+}  // namespace gen
+}  // namespace elitenet

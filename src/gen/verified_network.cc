@@ -1,0 +1,324 @@
+#include "gen/verified_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "stats/powerlaw.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+uint64_t VerifiedNetwork::CountRole(UserRole role) const {
+  uint64_t count = 0;
+  for (UserRole r : roles) {
+    if (r == role) ++count;
+  }
+  return count;
+}
+
+VerifiedNetworkConfig PaperScaleConfig() {
+  VerifiedNetworkConfig cfg;
+  cfg.num_users = 231246;
+  return cfg;
+}
+
+Result<VerifiedNetwork> GenerateVerifiedNetwork(
+    const VerifiedNetworkConfig& config) {
+  const uint32_t n = config.num_users;
+  if (n < 1000) {
+    return Status::InvalidArgument(
+        "verified network needs >= 1000 users for the fractions to make "
+        "sense");
+  }
+  if (config.density <= 0.0 || config.density >= 0.5) {
+    return Status::InvalidArgument("density out of range");
+  }
+  if (config.reciprocity <= 0.0 || config.reciprocity >= 1.0) {
+    return Status::InvalidArgument("reciprocity out of range");
+  }
+  if (config.powerlaw_alpha <= 2.05) {
+    return Status::InvalidArgument("alpha must exceed 2 (finite mean)");
+  }
+
+  util::Rng rng(config.seed);
+
+  // ---- Role layout (contiguous id ranges; see header) -------------------
+  const uint32_t n_iso =
+      static_cast<uint32_t>(std::lround(config.isolated_fraction * n));
+  const uint32_t n_sink = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(config.sink_fraction * n)));
+  const uint32_t n_small = static_cast<uint32_t>(
+      std::lround(config.small_component_fraction * n));
+  if (n_iso + n_sink + n_small >= n / 2) {
+    return Status::InvalidArgument("peripheral fractions leave no core");
+  }
+  const uint32_t n_core = n - n_iso - n_sink - n_small;
+  const NodeId sink_begin = n_core;
+  const NodeId small_begin = n_core + n_sink;
+  const NodeId iso_begin = small_begin + n_small;
+
+  VerifiedNetwork out;
+  out.config = config;
+  out.roles.assign(n, UserRole::kCore);
+  for (NodeId u = sink_begin; u < small_begin; ++u) {
+    out.roles[u] = UserRole::kSink;
+  }
+  for (NodeId u = small_begin; u < iso_begin; ++u) {
+    out.roles[u] = UserRole::kSmallComponent;
+  }
+  for (NodeId u = iso_begin; u < n; ++u) out.roles[u] = UserRole::kIsolated;
+
+  // ---- Popularity weights ----------------------------------------------
+  out.popularity.assign(n, 0.0);
+  double total_mass = 0.0, sink_mass = 0.0;
+  // The Pareto branch picks up roughly where the log-normal tail mass
+  // thins out (~the (1 - tail_fraction) quantile of the log-normal).
+  const double pareto_x0 = std::exp(config.popularity_sigma * 1.75);
+  for (NodeId u = 0; u < n_core; ++u) {
+    double w;
+    if (config.popularity_tail_fraction > 0.0 &&
+        rng.Bernoulli(config.popularity_tail_fraction)) {
+      w = rng.Pareto(config.popularity_tail_alpha, pareto_x0);
+    } else {
+      w = rng.LogNormal(0.0, config.popularity_sigma);
+    }
+    out.popularity[u] = w;
+    total_mass += w;
+  }
+  for (NodeId u = sink_begin; u < small_begin; ++u) {
+    const double w = rng.LogNormal(0.0, config.popularity_sigma) *
+                     config.sink_popularity_boost;
+    out.popularity[u] = w;
+    total_mass += w;
+    sink_mass += w;
+  }
+
+  // ---- Degree budget -----------------------------------------------------
+  // Targets: m_total = density * n * (n-1). Reciprocity is produced by
+  // additive follow-back planting: when u -> v is wired and v is a
+  // *body* core user, v follows back with probability p_plant. Tail
+  // (power-law out-degree) users and sinks never follow back — the
+  // celebrity behaviour the paper describes — which also keeps the
+  // realized tail out-degrees exactly the planted zeta sample, a
+  // precondition for the Vuong tests to favour the power law.
+  //
+  // With rho = r / (2 - r), planting multiplies the base edge count by
+  // (1 + rho) and yields edge reciprocity 2 rho / (1 + rho) = r; p_plant
+  // is rho corrected for the popularity mass that never reciprocates.
+  const double m_total = config.density * static_cast<double>(n) *
+                         (static_cast<double>(n) - 1.0);
+  const double mean_degree_all = m_total / static_cast<double>(n);
+  const double rho = config.reciprocity / (2.0 - config.reciprocity);
+  // Empirical corrections, validated by the calibration tests: planted
+  // follow-backs occasionally coalesce with existing edges (triadic
+  // closure makes v -> u more likely to pre-exist), and the body cap /
+  // rejection losses shave a few percent off the mean degree.
+  const double kPlantCorrection = 0.97;
+  const double kDensityCorrection = 0.99;
+  const double mean_base_core = kDensityCorrection * m_total / (1.0 + rho) /
+                                static_cast<double>(n_core);
+
+  const double xmin = std::max(2.0, config.xmin_over_mean * mean_degree_all);
+  const double tail_mean = xmin * (config.powerlaw_alpha - 1.0) /
+                           (config.powerlaw_alpha - 2.0);
+  double body_mean =
+      (mean_base_core - config.tail_fraction * tail_mean) /
+      (1.0 - config.tail_fraction);
+  if (body_mean < 1.0) {
+    return Status::InvalidArgument(
+        "density too low for the configured tail (body mean < 1); lower "
+        "tail_fraction or xmin_over_mean");
+  }
+  const double body_mu =
+      std::log(body_mean) - 0.5 * config.body_sigma * config.body_sigma;
+  const uint32_t degree_cap = std::max<uint32_t>(10, (2 * n_core) / 5);
+
+  // ---- Out-degree sequence for core users --------------------------------
+  std::vector<uint32_t> out_degree(n, 0);
+  std::vector<bool> is_tail(n, false);
+  const uint64_t body_cap =
+      std::max<uint64_t>(2, static_cast<uint64_t>(0.9 * xmin));
+  for (NodeId u = 0; u < n_core; ++u) {
+    uint64_t d;
+    if (rng.Bernoulli(config.tail_fraction)) {
+      // Exact zeta sampling: the tail must be *exactly* the distribution
+      // the discrete MLE fits, or the Vuong tests detect the mismatch.
+      d = stats::SampleZeta(config.powerlaw_alpha,
+                            static_cast<uint64_t>(std::lround(xmin)), &rng);
+      is_tail[u] = true;
+    } else {
+      // Body draws are kept below xmin so the tail stays uncontaminated.
+      d = static_cast<uint64_t>(
+          std::lround(rng.LogNormal(body_mu, config.body_sigma)));
+      for (int tries = 0; d > body_cap && tries < 20; ++tries) {
+        d = static_cast<uint64_t>(
+            std::lround(rng.LogNormal(body_mu, config.body_sigma)));
+      }
+      d = std::min<uint64_t>(d, body_cap);
+    }
+    out_degree[u] =
+        static_cast<uint32_t>(std::clamp<uint64_t>(d, 1, degree_cap));
+  }
+  // Plant the '@6BillionPeople' outlier on node 0: a single account that
+  // follows roughly half the network, matching the paper's max
+  // out-degree of 114,815 at n = 231,246.
+  if (config.superfollower_fraction > 0.0 && n_core > 10) {
+    const double want = config.superfollower_fraction * static_cast<double>(n);
+    out_degree[0] = static_cast<uint32_t>(std::min<double>(
+        want, static_cast<double>(n_core + n_sink) - 2.0));
+    is_tail[0] = true;  // exempt from follow-back noise, like the tail
+  }
+
+  // Popularity mass share of users who *do* follow back (body core).
+  double body_mass = 0.0;
+  for (NodeId u = 0; u < n_core; ++u) {
+    if (!is_tail[u]) body_mass += out.popularity[u];
+  }
+  const double q_body = body_mass / total_mass;
+  const double p_plant =
+      std::min(1.0, kPlantCorrection * rho / std::max(q_body, 1e-6));
+
+  // ---- Communities ---------------------------------------------------------
+  // Body core users are grouped into contiguous blocks; a per-community
+  // alias sampler lets stubs target their own community cheaply.
+  std::vector<uint32_t> community(n, UINT32_MAX);
+  std::vector<std::pair<NodeId, NodeId>> community_range;  // [begin, end)
+  std::vector<std::optional<util::AliasSampler>> community_sampler;
+  const double community_size =
+      config.community_size_mean > 0.0
+          ? config.community_size_mean
+          : std::max(40.0, 1.2 * mean_degree_all);
+  if (config.community_fraction > 0.0 && community_size >= 4.0) {
+    NodeId begin = 0;
+    while (begin < n_core) {
+      const double span = community_size * rng.UniformDouble(0.5, 1.5);
+      NodeId end = begin + static_cast<NodeId>(std::max(4.0, span));
+      end = std::min(end, n_core);
+      if (n_core - end < 4) end = n_core;  // absorb tiny remainder
+      const uint32_t cid = static_cast<uint32_t>(community_range.size());
+      for (NodeId u = begin; u < end; ++u) community[u] = cid;
+      community_range.emplace_back(begin, end);
+      std::vector<double> cw(out.popularity.begin() + begin,
+                             out.popularity.begin() + end);
+      community_sampler.emplace_back(std::in_place, cw);
+      begin = end;
+    }
+  }
+
+  // ---- Wiring -------------------------------------------------------------
+  // Target choice per stub: own community (popularity-weighted) with
+  // probability community_fraction, else a friend-of-friend closure, else
+  // global popularity-weighted sampling over core + sink nodes.
+  std::vector<double> weights(out.popularity.begin(),
+                              out.popularity.begin() + small_begin);
+  const util::AliasSampler sampler(weights);
+
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(m_total * 1.05));
+  std::vector<std::vector<NodeId>> targets(n);
+  std::vector<bool> has_in_edge(n, false);
+  std::unordered_set<NodeId> chosen;
+
+  auto add_edge = [&](NodeId a, NodeId b) -> Status {
+    EN_RETURN_IF_ERROR(builder.AddEdge(a, b));
+    targets[a].push_back(b);
+    has_in_edge[b] = true;
+    return Status::OK();
+  };
+
+  for (NodeId u = 0; u < n_core; ++u) {
+    chosen.clear();
+    const uint32_t want = out_degree[u];
+    uint32_t guard = 0;
+    const uint32_t max_tries = 20u * want + 50u;
+    // Tail users (and the superfollower) fan out too widely for a single
+    // community; they sample globally.
+    const bool community_eligible =
+        !is_tail[u] && community[u] != UINT32_MAX;
+    while (chosen.size() < want && guard < max_tries) {
+      ++guard;
+      NodeId v = graph::NodeId(-1);
+      if (community_eligible && rng.Bernoulli(config.community_fraction)) {
+        const uint32_t cid = community[u];
+        v = community_range[cid].first +
+            community_sampler[cid]->Sample(&rng);
+      } else if (config.triadic_closure > 0.0 && !targets[u].empty() &&
+                 rng.Bernoulli(config.triadic_closure)) {
+        const NodeId w = targets[u][rng.UniformU64(targets[u].size())];
+        if (w < small_begin && !targets[w].empty()) {
+          v = targets[w][rng.UniformU64(targets[w].size())];
+        }
+      }
+      if (v == graph::NodeId(-1)) {
+        v = sampler.Sample(&rng);
+      }
+      if (v == u || chosen.contains(v)) continue;
+      chosen.insert(v);
+      EN_RETURN_IF_ERROR(add_edge(u, v));
+      // Follow-back planting: body core users reciprocate; tail users,
+      // the superfollower, sinks, and peripheral nodes never do.
+      if (out.roles[v] == UserRole::kCore && !is_tail[v] &&
+          rng.Bernoulli(p_plant)) {
+        EN_RETURN_IF_ERROR(add_edge(v, u));
+        // Social-circle closure: v sometimes also follows one of u's
+        // earlier targets, closing the triangle u -> t, v -> t.
+        if (targets[u].size() > 1 && rng.Bernoulli(config.social_circle)) {
+          const NodeId t = targets[u][rng.UniformU64(targets[u].size())];
+          if (t != v && t != u) {
+            EN_RETURN_IF_ERROR(add_edge(v, t));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Small components: 2-5 node directed cycles with one mutual pair --
+  {
+    NodeId u = small_begin;
+    while (u < iso_begin) {
+      const uint32_t remaining = iso_begin - u;
+      uint32_t size = static_cast<uint32_t>(2 + rng.UniformU64(4));  // 2..5
+      size = std::min(size, remaining);
+      if (size == 1) {
+        // A lone leftover joins the previous component via a mutual pair.
+        EN_RETURN_IF_ERROR(add_edge(u, u - 1));
+        EN_RETURN_IF_ERROR(add_edge(u - 1, u));
+        ++u;
+        break;
+      }
+      for (uint32_t i = 0; i < size; ++i) {
+        const NodeId a = u + i;
+        const NodeId b = u + (i + 1) % size;
+        EN_RETURN_IF_ERROR(add_edge(a, b));
+      }
+      EN_RETURN_IF_ERROR(add_edge(u + 1, u));  // one mutual pair
+      u += size;
+    }
+  }
+
+  // ---- In-degree repair so the core collapses into one giant SCC ---------
+  if (config.repair_in_degree) {
+    for (NodeId v = 0; v < n_core; ++v) {
+      if (has_in_edge[v]) continue;
+      NodeId donor;
+      do {
+        donor = static_cast<NodeId>(rng.UniformU64(n_core));
+      } while (donor == v);
+      EN_RETURN_IF_ERROR(builder.AddEdge(donor, v));
+      has_in_edge[v] = true;
+    }
+  }
+
+  EN_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace gen
+}  // namespace elitenet

@@ -1,0 +1,83 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace elitenet {
+namespace graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes, Options options)
+    : num_nodes_(num_nodes), options_(options) {}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("edge (" + std::to_string(u) + ", " +
+                              std::to_string(v) + ") exceeds node count " +
+                              std::to_string(num_nodes_));
+  }
+  if (u == v) {
+    if (options_.drop_self_loops) return Status::OK();
+    return Status::InvalidArgument("self-loop at node " + std::to_string(u));
+  }
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  for (const auto& [u, v] : edges) {
+    EN_RETURN_IF_ERROR(AddEdge(u, v));
+  }
+  return Status::OK();
+}
+
+bool GraphBuilder::ContainsBuffered(NodeId u, NodeId v) const {
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+Result<DiGraph> GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  const auto dup_begin = std::unique(edges_.begin(), edges_.end());
+  const bool had_duplicates = dup_begin != edges_.end();
+  edges_.erase(dup_begin, edges_.end());
+  if (had_duplicates && !options_.allow_duplicates) {
+    edges_.clear();
+    return Status::AlreadyExists("duplicate edges in strict ingest mode");
+  }
+
+  const size_t m = edges_.size();
+  const size_t n = num_nodes_;
+
+  std::vector<EdgeIdx> out_offsets(n + 1, 0);
+  std::vector<NodeId> out_targets(m);
+  std::vector<EdgeIdx> in_offsets(n + 1, 0);
+  std::vector<NodeId> in_targets(m);
+
+  // Forward CSR: edges_ is already sorted by (u, v).
+  for (const auto& [u, v] : edges_) {
+    ++out_offsets[u + 1];
+    ++in_offsets[v + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    out_offsets[i] += out_offsets[i - 1];
+    in_offsets[i] += in_offsets[i - 1];
+  }
+  for (size_t i = 0; i < m; ++i) out_targets[i] = edges_[i].second;
+
+  // Reverse CSR via counting placement; sources arrive in ascending order
+  // per target because edges_ is sorted by (u, v), so each in-neighbor
+  // list comes out sorted.
+  std::vector<EdgeIdx> cursor(in_offsets.begin(), in_offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    in_targets[cursor[v]++] = u;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return DiGraph(std::move(out_offsets), std::move(out_targets),
+                 std::move(in_offsets), std::move(in_targets));
+}
+
+}  // namespace graph
+}  // namespace elitenet

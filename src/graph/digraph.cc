@@ -1,0 +1,49 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace elitenet {
+namespace graph {
+
+DiGraph::DiGraph(std::vector<EdgeIdx> out_offsets,
+                 std::vector<NodeId> out_targets,
+                 std::vector<EdgeIdx> in_offsets,
+                 std::vector<NodeId> in_targets)
+    : out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      in_offsets_(std::move(in_offsets)),
+      in_targets_(std::move(in_targets)) {
+  EN_CHECK(!out_offsets_.empty());
+  EN_CHECK(out_offsets_.size() == in_offsets_.size());
+  EN_CHECK(out_offsets_.front() == 0);
+  EN_CHECK(in_offsets_.front() == 0);
+  EN_CHECK(out_offsets_.back() == out_targets_.size());
+  EN_CHECK(in_offsets_.back() == in_targets_.size());
+  EN_CHECK(out_targets_.size() == in_targets_.size());
+}
+
+bool DiGraph::HasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double DiGraph::Density() const {
+  const double n = static_cast<double>(num_nodes());
+  if (n < 2.0) return 0.0;
+  return static_cast<double>(num_edges()) / (n * (n - 1.0));
+}
+
+uint64_t DiGraph::CountIsolated() const {
+  uint64_t isolated = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (OutDegree(u) == 0 && InDegree(u) == 0) ++isolated;
+  }
+  return isolated;
+}
+
+DiGraph DiGraph::Transpose() const {
+  return DiGraph(in_offsets_, in_targets_, out_offsets_, out_targets_);
+}
+
+}  // namespace graph
+}  // namespace elitenet

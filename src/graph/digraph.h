@@ -1,0 +1,101 @@
+// Immutable directed graph in compressed sparse row (CSR) form.
+//
+// DiGraph stores both the forward adjacency (out-neighbors) and the reverse
+// adjacency (in-neighbors), each as a CSR pair of (offsets, targets). Node
+// ids are dense 32-bit integers [0, num_nodes). Edge counts use 64 bits:
+// the paper-scale graph has 79,213,811 edges and the design leaves headroom.
+//
+// Construction goes through GraphBuilder (graph/builder.h), which sorts and
+// deduplicates; every algorithm in analysis/ takes `const DiGraph&`.
+
+#ifndef ELITENET_GRAPH_DIGRAPH_H_
+#define ELITENET_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace graph {
+
+using NodeId = uint32_t;
+using EdgeIdx = uint64_t;
+
+/// An immutable directed graph with O(1) out- and in-neighbor access.
+class DiGraph {
+ public:
+  /// Empty graph with zero nodes.
+  DiGraph() { out_offsets_.push_back(0); in_offsets_.push_back(0); }
+
+  /// Takes ownership of prebuilt CSR arrays. `out_offsets` must have
+  /// num_nodes+1 entries, be non-decreasing, start at 0 and end at
+  /// out_targets.size(); neighbor lists must be sorted ascending and
+  /// duplicate-free. Same for the reverse CSR, which must describe the
+  /// exact transpose edge multiset. GraphBuilder guarantees all of this.
+  DiGraph(std::vector<EdgeIdx> out_offsets, std::vector<NodeId> out_targets,
+          std::vector<EdgeIdx> in_offsets, std::vector<NodeId> in_targets);
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(out_offsets_.size() - 1);
+  }
+  EdgeIdx num_edges() const { return out_targets_.size(); }
+
+  /// Out-neighbors of `u`, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    EN_CHECK(u < num_nodes());
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbors of `u`, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    EN_CHECK(u < num_nodes());
+    return {in_targets_.data() + in_offsets_[u],
+            in_targets_.data() + in_offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    EN_CHECK(u < num_nodes());
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  uint32_t InDegree(NodeId u) const {
+    EN_CHECK(u < num_nodes());
+    return static_cast<uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  /// True iff edge u->v exists. O(log deg(u)) binary search.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Edge density m / (n * (n-1)); 0 for graphs with fewer than 2 nodes.
+  double Density() const;
+
+  /// Nodes with neither in- nor out-edges.
+  uint64_t CountIsolated() const;
+
+  /// Raw CSR access, for serialization and tight algorithm loops.
+  const std::vector<EdgeIdx>& out_offsets() const { return out_offsets_; }
+  const std::vector<NodeId>& out_targets() const { return out_targets_; }
+  const std::vector<EdgeIdx>& in_offsets() const { return in_offsets_; }
+  const std::vector<NodeId>& in_targets() const { return in_targets_; }
+
+  /// Returns the transpose graph (every edge reversed). O(m) copy that
+  /// swaps the two CSR halves.
+  DiGraph Transpose() const;
+
+  /// Structural equality (same node count and identical edge sets).
+  bool operator==(const DiGraph& other) const = default;
+
+ private:
+  std::vector<EdgeIdx> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<EdgeIdx> in_offsets_;
+  std::vector<NodeId> in_targets_;
+};
+
+}  // namespace graph
+}  // namespace elitenet
+
+#endif  // ELITENET_GRAPH_DIGRAPH_H_

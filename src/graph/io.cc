@@ -1,0 +1,229 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/string_utils.h"
+
+namespace elitenet {
+namespace graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'N', 'G', '1'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t ChecksumVector(const std::vector<T>& v, uint64_t seed) {
+  return Fnv1a(v.data(), v.size() * sizeof(T), seed);
+}
+
+uint64_t GraphChecksum(const DiGraph& g) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h = ChecksumVector(g.out_offsets(), h);
+  h = ChecksumVector(g.out_targets(), h);
+  h = ChecksumVector(g.in_offsets(), h);
+  h = ChecksumVector(g.in_targets(), h);
+  return h;
+}
+
+template <typename T>
+Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const size_t bytes = v.size() * sizeof(T);
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(v.data(), 1, bytes, f) != bytes) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadVector(std::FILE* f, size_t count, std::vector<T>* out) {
+  out->resize(count);
+  const size_t bytes = count * sizeof(T);
+  if (bytes == 0) return Status::OK();
+  if (std::fread(out->data(), 1, bytes, f) != bytes) {
+    return Status::Corruption("truncated array section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteEdgeListText(const DiGraph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  std::fprintf(f.get(), "# elitenet edge list: %u nodes, %" PRIu64 " edges\n",
+               g.num_nodes(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (std::fprintf(f.get(), "%u %u\n", u, v) < 0) {
+        return Status::IoError("write failed: " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<DiGraph> ReadEdgeListText(const std::string& path, NodeId num_nodes) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IoError("cannot open for reading: " + path);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  bool any_edge = false;
+  char line[256];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    std::string_view sv = util::StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    const auto toks = util::SplitWhitespace(sv);
+    if (toks.size() != 2) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 'src dst'");
+    }
+    uint64_t u64, v64;
+    if (!util::ParseUint64(toks[0], &u64) ||
+        !util::ParseUint64(toks[1], &v64) || u64 > UINT32_MAX ||
+        v64 > UINT32_MAX) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad node id");
+    }
+    const NodeId u = static_cast<NodeId>(u64);
+    const NodeId v = static_cast<NodeId>(v64);
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+    any_edge = true;
+  }
+
+  const NodeId n = num_nodes > 0 ? num_nodes : (any_edge ? max_id + 1 : 0);
+  GraphBuilder builder(n);
+  builder.Reserve(edges.size());
+  EN_RETURN_IF_ERROR(builder.AddEdges(edges));
+  return builder.Build();
+}
+
+Status SaveBinary(const DiGraph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+
+  const uint64_t n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+  const uint64_t checksum = GraphChecksum(g);
+  const uint32_t reserved = 0;
+
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(&reserved, sizeof(reserved), 1, f.get()) != 1 ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&m, sizeof(m), 1, f.get()) != 1 ||
+      std::fwrite(&checksum, sizeof(checksum), 1, f.get()) != 1) {
+    return Status::IoError("header write failed");
+  }
+  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.out_offsets()));
+  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.out_targets()));
+  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.in_offsets()));
+  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.in_targets()));
+  return Status::OK();
+}
+
+Result<DiGraph> LoadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for reading: " + path);
+
+  char magic[4];
+  uint32_t version = 0, reserved = 0;
+  uint64_t n = 0, m = 0, checksum = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fread(&reserved, sizeof(reserved), 1, f.get()) != 1 ||
+      std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&m, sizeof(m), 1, f.get()) != 1 ||
+      std::fread(&checksum, sizeof(checksum), 1, f.get()) != 1) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("unsupported snapshot version " +
+                                std::to_string(version));
+  }
+  if (n > UINT32_MAX) return Status::Corruption("node count overflow");
+
+  // Validate the claimed sizes against the actual file length before any
+  // allocation: a corrupted count field must not trigger a huge resize.
+  constexpr uint64_t kHeaderBytes = 4 + 4 + 4 + 8 + 8 + 8;
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed");
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return Status::IoError("tell failed");
+  const uint64_t expected =
+      kHeaderBytes + 2 * (n + 1) * sizeof(EdgeIdx) + 2 * m * sizeof(NodeId);
+  if (n + 1 < n ||  // overflow guard
+      static_cast<uint64_t>(file_size) != expected) {
+    return Status::Corruption("file size disagrees with header counts");
+  }
+  if (std::fseek(f.get(), static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+
+  std::vector<EdgeIdx> out_offsets, in_offsets;
+  std::vector<NodeId> out_targets, in_targets;
+  EN_RETURN_IF_ERROR(ReadVector(f.get(), n + 1, &out_offsets));
+  EN_RETURN_IF_ERROR(ReadVector(f.get(), m, &out_targets));
+  EN_RETURN_IF_ERROR(ReadVector(f.get(), n + 1, &in_offsets));
+  EN_RETURN_IF_ERROR(ReadVector(f.get(), m, &in_targets));
+
+  // Structural validation before trusting offsets.
+  if (out_offsets.front() != 0 || in_offsets.front() != 0 ||
+      out_offsets.back() != m || in_offsets.back() != m) {
+    return Status::Corruption("inconsistent CSR offsets");
+  }
+  for (size_t i = 1; i < out_offsets.size(); ++i) {
+    if (out_offsets[i] < out_offsets[i - 1] ||
+        in_offsets[i] < in_offsets[i - 1]) {
+      return Status::Corruption("non-monotone CSR offsets");
+    }
+  }
+  for (NodeId t : out_targets) {
+    if (t >= n) return Status::Corruption("edge target out of range");
+  }
+  for (NodeId t : in_targets) {
+    if (t >= n) return Status::Corruption("edge source out of range");
+  }
+
+  DiGraph g(std::move(out_offsets), std::move(out_targets),
+            std::move(in_offsets), std::move(in_targets));
+  if (GraphChecksum(g) != checksum) {
+    return Status::Corruption("checksum mismatch: " + path);
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace elitenet

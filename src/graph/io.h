@@ -1,0 +1,42 @@
+// Graph persistence.
+//
+// Two formats:
+//  * Text edge list — one "src dst" pair per line, '#' comments, the format
+//    SNAP datasets ship in. Interoperable but slow.
+//  * Binary CSR snapshot — versioned header with magic + checksum, then the
+//    four CSR arrays verbatim. Loads at memcpy speed; the format every
+//    bench uses for caching generated networks between runs.
+
+#ifndef ELITENET_GRAPH_IO_H_
+#define ELITENET_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace graph {
+
+/// Writes "u v" lines. Deterministic (ascending (u, v)) so output diffs.
+Status WriteEdgeListText(const DiGraph& g, const std::string& path);
+
+/// Reads a text edge list. Node count is max id + 1 unless `num_nodes`
+/// is positive, in which case ids must stay below it (trailing isolated
+/// nodes are representable that way).
+Result<DiGraph> ReadEdgeListText(const std::string& path,
+                                 NodeId num_nodes = 0);
+
+/// Binary snapshot. Layout (little-endian):
+///   magic "ENG1" | u32 version | u32 reserved | u64 num_nodes |
+///   u64 num_edges | u64 checksum | out_offsets | out_targets |
+///   in_offsets | in_targets
+/// The checksum is a 64-bit FNV-1a over the array bytes; Load verifies it
+/// and returns Corruption on mismatch.
+Status SaveBinary(const DiGraph& g, const std::string& path);
+Result<DiGraph> LoadBinary(const std::string& path);
+
+}  // namespace graph
+}  // namespace elitenet
+
+#endif  // ELITENET_GRAPH_IO_H_

@@ -1,0 +1,56 @@
+#include "graph/subgraph.h"
+
+#include <string>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace graph {
+
+Result<InducedSubgraph> Induce(const DiGraph& g,
+                               const std::vector<NodeId>& keep) {
+  std::vector<bool> mask(g.num_nodes(), false);
+  for (NodeId u : keep) {
+    if (u >= g.num_nodes()) {
+      return Status::OutOfRange("node " + std::to_string(u) +
+                                " not in graph");
+    }
+    if (mask[u]) {
+      return Status::InvalidArgument("duplicate node " + std::to_string(u) +
+                                     " in keep set");
+    }
+    mask[u] = true;
+  }
+  return InduceByMask(g, mask);
+}
+
+Result<InducedSubgraph> InduceByMask(const DiGraph& g,
+                                     const std::vector<bool>& mask) {
+  if (mask.size() != g.num_nodes()) {
+    return Status::InvalidArgument("mask size mismatch");
+  }
+  InducedSubgraph out;
+  out.to_sub.assign(g.num_nodes(), InducedSubgraph::kNotInSubgraph);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (mask[u]) {
+      out.to_sub[u] = static_cast<NodeId>(out.to_original.size());
+      out.to_original.push_back(u);
+    }
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(out.to_original.size()));
+  for (NodeId new_u = 0; new_u < out.to_original.size(); ++new_u) {
+    const NodeId old_u = out.to_original[new_u];
+    for (NodeId old_v : g.OutNeighbors(old_u)) {
+      const NodeId new_v = out.to_sub[old_v];
+      if (new_v != InducedSubgraph::kNotInSubgraph) {
+        EN_RETURN_IF_ERROR(builder.AddEdge(new_u, new_v));
+      }
+    }
+  }
+  EN_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace graph
+}  // namespace elitenet

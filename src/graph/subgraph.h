@@ -1,0 +1,41 @@
+// Subgraph induction — the paper's core data operation: the verified-user
+// network *is* the subgraph of Twitter induced by verified nodes, and the
+// English network is a further induced subgraph. The same primitive also
+// extracts the giant component for distance analysis.
+
+#ifndef ELITENET_GRAPH_SUBGRAPH_H_
+#define ELITENET_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace graph {
+
+/// An induced subgraph plus the mapping between old and new node ids.
+struct InducedSubgraph {
+  DiGraph graph;
+  /// new id -> old id, size == graph.num_nodes().
+  std::vector<NodeId> to_original;
+  /// old id -> new id, or kNotInSubgraph.
+  std::vector<NodeId> to_sub;
+
+  static constexpr NodeId kNotInSubgraph = static_cast<NodeId>(-1);
+};
+
+/// Induces the subgraph on `keep` (a node subset of g, any order,
+/// duplicates rejected). Edges are kept iff both endpoints are kept.
+Result<InducedSubgraph> Induce(const DiGraph& g,
+                               const std::vector<NodeId>& keep);
+
+/// Induces on the nodes where mask[u] is true. mask.size() must equal
+/// g.num_nodes().
+Result<InducedSubgraph> InduceByMask(const DiGraph& g,
+                                     const std::vector<bool>& mask);
+
+}  // namespace graph
+}  // namespace elitenet
+
+#endif  // ELITENET_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,64 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  EN_CHECK(x.size() == y.size());
+  EN_CHECK(!x.empty());
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(std::span<const double> x) {
+  const size_t n = x.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    // Average rank of the tie run [i, j] (1-based ranks).
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  EN_CHECK(x.size() == y.size());
+  const std::vector<double> rx = FractionalRanks(x);
+  const std::vector<double> ry = FractionalRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,29 @@
+// Correlation measures for Fig. 5 (centrality vs reach scatter analysis).
+
+#ifndef ELITENET_STATS_CORRELATION_H_
+#define ELITENET_STATS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+namespace elitenet {
+namespace stats {
+
+/// Pearson product-moment correlation. Returns 0 when either sample has
+/// zero variance. Requires equal, nonzero lengths.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Spearman rank correlation with average ranks for ties. The paper's
+/// Fig. 5 relationships are monotone-but-nonlinear, so rank correlation is
+/// the faithful summary statistic.
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Fractional (average-tie) ranks of a sample, 1-based.
+std::vector<double> FractionalRanks(std::span<const double> x);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_CORRELATION_H_

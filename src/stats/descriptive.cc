@@ -1,0 +1,103 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+double Mean(std::span<const double> xs) {
+  EN_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+namespace {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  EN_CHECK(!sorted.empty());
+  EN_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, q);
+}
+
+Summary Describe(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = Mean(xs);
+  s.variance = Variance(xs);
+  s.stddev = std::sqrt(s.variance);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = QuantileSorted(sorted, 0.5);
+  s.q25 = QuantileSorted(sorted, 0.25);
+  s.q75 = QuantileSorted(sorted, 0.75);
+  return s;
+}
+
+double Skewness(std::span<const double> xs) {
+  const size_t n = xs.size();
+  if (n < 3) return 0.0;
+  const double m = Mean(xs);
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  const double dn = static_cast<double>(n);
+  return std::sqrt(dn * (dn - 1.0)) / (dn - 2.0) * g1;
+}
+
+double Gini(std::span<const double> xs) {
+  EN_CHECK(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  double cum_weighted = 0.0, total = 0.0;
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EN_CHECK(sorted[i] >= 0.0);
+    cum_weighted += (static_cast<double>(i) + 1.0) * sorted[i];
+    total += sorted[i];
+  }
+  EN_CHECK(total > 0.0);
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,51 @@
+// Descriptive statistics over double samples.
+
+#ifndef ELITENET_STATS_DESCRIPTIVE_H_
+#define ELITENET_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace elitenet {
+namespace stats {
+
+/// Summary of a sample; produced by Describe().
+struct Summary {
+  uint64_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1 denominator); 0 when n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+double Mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 when fewer than 2 observations.
+double Variance(std::span<const double> xs);
+
+double StdDev(std::span<const double> xs);
+
+/// Linear-interpolation quantile of a sample, q in [0, 1]. Copies and
+/// sorts internally. Requires non-empty input.
+double Quantile(std::span<const double> xs, double q);
+
+/// Full summary in one pass (plus one sort for the quantiles).
+Summary Describe(std::span<const double> xs);
+
+/// Skewness (adjusted Fisher–Pearson); 0 when n < 3 or zero variance.
+double Skewness(std::span<const double> xs);
+
+/// Gini coefficient of a non-negative sample — used to report the
+/// concentration of followers among verified elites. Requires non-empty
+/// input with a positive sum.
+double Gini(std::span<const double> xs);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_DESCRIPTIVE_H_

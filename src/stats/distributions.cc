@@ -1,0 +1,202 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/optimize.h"
+#include "stats/powerlaw.h"
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+namespace {
+
+constexpr double kLogSqrt2Pi = 0.9189385332046727;  // ln sqrt(2*pi)
+constexpr double kTiny = 1e-300;
+
+// Log-normal survival S(x) = P(X >= x) for x > 0.
+double LogNormalSurvival(double x, double mu, double sigma) {
+  return NormalSurvival((std::log(x) - mu) / sigma);
+}
+
+// Per-point log density of the xmin-truncated continuous log-normal.
+double LogNormalTailLlContinuous(double x, double mu, double sigma,
+                                 double xmin) {
+  const double z = (std::log(x) - mu) / sigma;
+  const double tail_z = (std::log(xmin) - mu) / sigma;
+  const double log_surv =
+      std::log(std::max(NormalSurvival(tail_z), kTiny));
+  return -std::log(x) - std::log(sigma) - kLogSqrt2Pi - 0.5 * z * z -
+         log_surv;
+}
+
+// Discretized log-normal pmf on integers k >= xmin (poweRlaw "dislnorm"
+// convention): P(k) = [S(k-1/2) - S(k+1/2)] / S(xmin-1/2). Comparing a
+// continuous density against a discrete pmf would hand the continuous
+// model a spurious ~f(xmin)/2 per-point advantage.
+double LogNormalTailLlDiscrete(double k, double mu, double sigma,
+                               double xmin) {
+  const double lo = std::max(k - 0.5, 1e-12);
+  const double mass = LogNormalSurvival(lo, mu, sigma) -
+                      LogNormalSurvival(k + 0.5, mu, sigma);
+  const double norm =
+      LogNormalSurvival(std::max(xmin - 0.5, 1e-12), mu, sigma);
+  return std::log(std::max(mass, kTiny)) - std::log(std::max(norm, kTiny));
+}
+
+double PoissonTailLl(double k, double lambda, double xmin) {
+  const double m = std::ceil(xmin);
+  const double log_surv = std::log(std::max(GammaP(m, lambda), kTiny));
+  return k * std::log(lambda) - lambda - std::lgamma(k + 1.0) - log_surv;
+}
+
+}  // namespace
+
+Result<AltFit> FitLogNormalTail(std::span<const double> data, double xmin,
+                                bool discrete) {
+  const std::vector<double> tail = TailOf(data, xmin);
+  if (tail.size() < 2) {
+    return Status::InvalidArgument("log-normal tail fit needs >= 2 values");
+  }
+  // Initialize from the untruncated MLE of ln x.
+  double mu0 = 0.0;
+  for (double x : tail) mu0 += std::log(x);
+  mu0 /= static_cast<double>(tail.size());
+  double var0 = 0.0;
+  for (double x : tail) {
+    const double d = std::log(x) - mu0;
+    var0 += d * d;
+  }
+  var0 /= static_cast<double>(tail.size());
+  const double sigma0 = std::max(std::sqrt(var0), 1e-2);
+
+  const auto neg_ll = [&](const std::vector<double>& p) {
+    const double mu = p[0];
+    const double sigma = p[1];
+    if (sigma <= 1e-6 || sigma > 1e3) return 1e18;
+    // Reject parameter regions where the truncation survival underflows:
+    // there the floored mass/norm ratio degenerates to 1 and the
+    // optimizer would read "perfect fit" off pure round-off.
+    if (LogNormalSurvival(std::max(xmin - 0.5, 1e-12), mu, sigma) < 1e-12) {
+      return 1e18;
+    }
+    double total = 0.0;
+    for (double x : tail) {
+      total += discrete ? LogNormalTailLlDiscrete(x, mu, sigma, xmin)
+                        : LogNormalTailLlContinuous(x, mu, sigma, xmin);
+    }
+    return -total;
+  };
+  const SimplexMin m = MinimizeNelderMead(neg_ll, {mu0, sigma0}, 0.25);
+
+  AltFit fit;
+  fit.name = "log-normal";
+  fit.params = m.x;
+  fit.xmin = xmin;
+  fit.discrete = discrete;
+  fit.log_likelihood = -m.fx;
+  return fit;
+}
+
+Result<AltFit> FitExponentialTail(std::span<const double> data, double xmin,
+                                  bool discrete) {
+  const std::vector<double> tail = TailOf(data, xmin);
+  if (tail.empty()) return Status::InvalidArgument("empty tail");
+  double mean = 0.0;
+  for (double x : tail) mean += x;
+  mean /= static_cast<double>(tail.size());
+  if (mean <= xmin) {
+    return Status::FailedPrecondition("tail mean not above xmin");
+  }
+
+  AltFit fit;
+  fit.name = "exponential";
+  fit.xmin = xmin;
+  fit.discrete = discrete;
+  if (discrete) {
+    // Shifted geometric on integers k >= xmin: pmf(k) =
+    // (1 - e^-lambda) e^{-lambda (k - xmin)}; MLE from the mean offset.
+    const double p = 1.0 / (mean - xmin + 1.0);
+    const double lambda = -std::log1p(-std::min(p, 1.0 - 1e-12));
+    fit.params = {lambda};
+  } else {
+    fit.params = {1.0 / (mean - xmin)};
+  }
+  fit.log_likelihood = 0.0;
+  const std::vector<double> ll = AltPointwiseLogLikelihood(tail, fit);
+  for (double v : ll) fit.log_likelihood += v;
+  return fit;
+}
+
+Result<AltFit> FitPoissonTail(std::span<const double> data, double xmin) {
+  const std::vector<double> tail = TailOf(data, xmin);
+  if (tail.empty()) return Status::InvalidArgument("empty tail");
+  double mean = 0.0;
+  for (double x : tail) {
+    if (x != std::floor(x)) {
+      return Status::InvalidArgument("Poisson fit requires integer data");
+    }
+    mean += x;
+  }
+  mean /= static_cast<double>(tail.size());
+
+  const auto neg_ll = [&](double lambda) {
+    if (lambda <= 1e-9) return 1e18;
+    double total = 0.0;
+    for (double k : tail) total += PoissonTailLl(k, lambda, xmin);
+    return -total;
+  };
+  // The truncated MLE lies in (0, mean]; search a generous bracket.
+  const ScalarMin m =
+      MinimizeGoldenSection(neg_ll, 1e-6, std::max(2.0 * mean, 10.0), 1e-7);
+
+  AltFit fit;
+  fit.name = "poisson";
+  fit.params = {m.x};
+  fit.xmin = xmin;
+  fit.discrete = true;
+  fit.log_likelihood = -m.fx;
+  return fit;
+}
+
+std::vector<double> AltPointwiseLogLikelihood(std::span<const double> tail,
+                                              const AltFit& fit) {
+  std::vector<double> out;
+  out.reserve(tail.size());
+  if (fit.name == "log-normal") {
+    EN_CHECK(fit.params.size() == 2);
+    for (double x : tail) {
+      out.push_back(fit.discrete
+                        ? LogNormalTailLlDiscrete(x, fit.params[0],
+                                                  fit.params[1], fit.xmin)
+                        : LogNormalTailLlContinuous(x, fit.params[0],
+                                                    fit.params[1], fit.xmin));
+    }
+  } else if (fit.name == "exponential") {
+    EN_CHECK(fit.params.size() == 1);
+    const double lambda = fit.params[0];
+    if (fit.discrete) {
+      const double log_norm = std::log1p(-std::exp(-lambda));
+      for (double x : tail) {
+        out.push_back(log_norm - lambda * (x - fit.xmin));
+      }
+    } else {
+      for (double x : tail) {
+        out.push_back(std::log(lambda) - lambda * (x - fit.xmin));
+      }
+    }
+  } else if (fit.name == "poisson") {
+    EN_CHECK(fit.params.size() == 1);
+    for (double x : tail) {
+      out.push_back(PoissonTailLl(x, fit.params[0], fit.xmin));
+    }
+  } else {
+    EN_CHECK_MSG(false, "unknown alternative distribution");
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace elitenet

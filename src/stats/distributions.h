@@ -1,0 +1,55 @@
+// Alternative heavy-tailed candidates for the Vuong likelihood-ratio test
+// of Section IV-B: truncated log-normal, truncated (shifted) exponential,
+// and truncated Poisson, all conditioned on x >= xmin so they compete with
+// the power law on the same tail.
+
+#ifndef ELITENET_STATS_DISTRIBUTIONS_H_
+#define ELITENET_STATS_DISTRIBUTIONS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace stats {
+
+/// Tail-conditioned MLE fit of a named alternative distribution.
+struct AltFit {
+  std::string name;
+  /// Distribution parameters: log-normal {mu, sigma}; exponential
+  /// {lambda}; Poisson {lambda}.
+  std::vector<double> params;
+  double xmin = 0.0;
+  double log_likelihood = 0.0;
+  /// Whether the distribution was discretized onto the integers. Must
+  /// match the power-law side: comparing a continuous density against a
+  /// discrete pmf biases the Vuong test by ~f(xmin)/2 per observation.
+  bool discrete = false;
+};
+
+/// Log-normal restricted to x >= xmin; parameters fitted by Nelder–Mead
+/// on the truncated likelihood. With `discrete`, uses the integer-binned
+/// pmf (poweRlaw's dislnorm). Requires >= 2 tail values.
+Result<AltFit> FitLogNormalTail(std::span<const double> data, double xmin,
+                                bool discrete = false);
+
+/// Shifted exponential on [xmin, ∞); with `discrete`, the shifted
+/// geometric on integers. Closed-form MLE.
+Result<AltFit> FitExponentialTail(std::span<const double> data, double xmin,
+                                  bool discrete = false);
+
+/// Poisson conditioned on k >= xmin (integer data); λ fitted by scalar
+/// search on the truncated likelihood.
+Result<AltFit> FitPoissonTail(std::span<const double> data, double xmin);
+
+/// Pointwise log-likelihood of tail observations (sorted or not — order
+/// is preserved) under the alternative fit.
+std::vector<double> AltPointwiseLogLikelihood(std::span<const double> tail,
+                                              const AltFit& fit);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,164 @@
+#include "stats/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+ScalarMin MinimizeGoldenSection(const std::function<double(double)>& f,
+                                double lo, double hi, double tol,
+                                int max_iter) {
+  EN_CHECK(lo < hi);
+  const double invphi = (std::sqrt(5.0) - 1.0) / 2.0;   // 0.618...
+  const double invphi2 = (3.0 - std::sqrt(5.0)) / 2.0;  // 0.382...
+  double a = lo, b = hi;
+  double h = b - a;
+  double c = a + invphi2 * h;
+  double d = a + invphi * h;
+  double fc = f(c);
+  double fd = f(d);
+  int it = 0;
+  while (h > tol && it < max_iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      h = b - a;
+      c = a + invphi2 * h;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      h = b - a;
+      d = a + invphi * h;
+      fd = f(d);
+    }
+    ++it;
+  }
+  ScalarMin out;
+  out.x = fc < fd ? c : d;
+  out.fx = std::min(fc, fd);
+  out.iterations = it;
+  return out;
+}
+
+SimplexMin MinimizeNelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, double step, double ftol, int max_iter) {
+  const size_t n = x0.size();
+  EN_CHECK(n >= 1);
+
+  // Build the initial simplex: x0 plus one vertex per coordinate.
+  std::vector<std::vector<double>> verts(n + 1, x0);
+  for (size_t i = 0; i < n; ++i) verts[i + 1][i] += step;
+  std::vector<double> fv(n + 1);
+  for (size_t i = 0; i <= n; ++i) fv[i] = f(verts[i]);
+
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  SimplexMin out;
+  int it = 0;
+  for (; it < max_iter; ++it) {
+    // Order vertices by objective.
+    std::vector<size_t> idx(n + 1);
+    for (size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return fv[a] < fv[b]; });
+    {
+      std::vector<std::vector<double>> vs(n + 1);
+      std::vector<double> fs(n + 1);
+      for (size_t i = 0; i <= n; ++i) {
+        vs[i] = verts[idx[i]];
+        fs[i] = fv[idx[i]];
+      }
+      verts.swap(vs);
+      fv.swap(fs);
+    }
+    if (std::fabs(fv[n] - fv[0]) < ftol) {
+      out.converged = true;
+      break;
+    }
+    // Centroid of all but the worst.
+    std::vector<double> cen(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) cen[j] += verts[i][j];
+    }
+    for (size_t j = 0; j < n; ++j) cen[j] /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      std::vector<double> p(n);
+      for (size_t j = 0; j < n; ++j) {
+        p[j] = cen[j] + t * (verts[n][j] - cen[j]);
+      }
+      return p;
+    };
+
+    const std::vector<double> xr = blend(-alpha);
+    const double fr = f(xr);
+    if (fr < fv[0]) {
+      const std::vector<double> xe = blend(-gamma);
+      const double fe = f(xe);
+      if (fe < fr) {
+        verts[n] = xe;
+        fv[n] = fe;
+      } else {
+        verts[n] = xr;
+        fv[n] = fr;
+      }
+    } else if (fr < fv[n - 1]) {
+      verts[n] = xr;
+      fv[n] = fr;
+    } else {
+      const std::vector<double> xc = blend(rho);
+      const double fc = f(xc);
+      if (fc < fv[n]) {
+        verts[n] = xc;
+        fv[n] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (size_t i = 1; i <= n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            verts[i][j] = verts[0][j] + sigma * (verts[i][j] - verts[0][j]);
+          }
+          fv[i] = f(verts[i]);
+        }
+      }
+    }
+  }
+  // Final ordering.
+  size_t best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (fv[i] < fv[best]) best = i;
+  }
+  out.x = verts[best];
+  out.fx = fv[best];
+  out.iterations = it;
+  return out;
+}
+
+double FindRootBisect(const std::function<double(double)>& f, double lo,
+                      double hi, double tol, int max_iter) {
+  double flo = f(lo);
+  const double fhi = f(hi);
+  EN_CHECK(flo * fhi <= 0.0);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < max_iter && hi - lo > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((flo > 0.0) == (fmid > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,49 @@
+// Derivative-free scalar and low-dimensional optimization used by the
+// distribution fitters (truncated-MLE objectives have no closed form).
+
+#ifndef ELITENET_STATS_OPTIMIZE_H_
+#define ELITENET_STATS_OPTIMIZE_H_
+
+#include <functional>
+#include <vector>
+
+namespace elitenet {
+namespace stats {
+
+/// Result of a scalar minimization.
+struct ScalarMin {
+  double x = 0.0;
+  double fx = 0.0;
+  int iterations = 0;
+};
+
+/// Golden-section minimization of a unimodal f over [lo, hi] to absolute
+/// x-tolerance `tol`.
+ScalarMin MinimizeGoldenSection(const std::function<double(double)>& f,
+                                double lo, double hi, double tol = 1e-9,
+                                int max_iter = 200);
+
+/// Result of a Nelder–Mead minimization.
+struct SimplexMin {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Nelder–Mead simplex minimization from `x0` with per-coordinate initial
+/// step `step`. Terminates when the simplex f-spread drops below `ftol`.
+SimplexMin MinimizeNelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, double step = 0.5, double ftol = 1e-10,
+    int max_iter = 2000);
+
+/// Bisection root of a continuous f with f(lo), f(hi) of opposite sign.
+/// Returns the midpoint after max_iter halvings or when |hi-lo| < tol.
+double FindRootBisect(const std::function<double(double)>& f, double lo,
+                      double hi, double tol = 1e-10, int max_iter = 200);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_OPTIMIZE_H_

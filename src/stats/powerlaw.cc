@@ -1,0 +1,314 @@
+#include "stats/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/optimize.h"
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+namespace {
+
+// KS distance between the sorted empirical tail and the fitted model CDF.
+// Ties are grouped: for discrete data the empirical CDF steps once per
+// distinct value, and the model CDF F(k) = P(X <= k) = 1 - S(k + 1) is
+// compared at the step. (Comparing per-index stairs against the left
+// limit would report a spurious distance of up to pmf(xmin) on heavily
+// tied discrete samples.)
+double KsDistance(const std::vector<double>& tail, const PowerLawFit& fit) {
+  const double n = static_cast<double>(tail.size());
+  double worst = 0.0;
+  size_t i = 0;
+  while (i < tail.size()) {
+    size_t j = i;
+    while (j + 1 < tail.size() && tail[j + 1] == tail[i]) ++j;
+    const double value = tail[i];
+    const double emp_before = static_cast<double>(i) / n;
+    const double emp_after = static_cast<double>(j + 1) / n;
+    double model_cdf;
+    if (fit.discrete) {
+      model_cdf = 1.0 - PowerLawSurvival(fit, value + 1.0);
+    } else {
+      model_cdf = 1.0 - PowerLawSurvival(fit, value);
+      // Continuous CDF is compared against both stair edges.
+      worst = std::max(worst, std::fabs(model_cdf - emp_before));
+    }
+    worst = std::max(worst, std::fabs(model_cdf - emp_after));
+    i = j + 1;
+  }
+  return worst;
+}
+
+double DiscreteLogLikelihood(const std::vector<double>& tail, double alpha,
+                             double xmin) {
+  double sum_log = 0.0;
+  for (double x : tail) sum_log += std::log(x);
+  const double n = static_cast<double>(tail.size());
+  return -n * std::log(HurwitzZeta(alpha, xmin)) - alpha * sum_log;
+}
+
+double ContinuousLogLikelihood(const std::vector<double>& tail, double alpha,
+                               double xmin) {
+  double sum_log_ratio = 0.0;
+  for (double x : tail) sum_log_ratio += std::log(x / xmin);
+  const double n = static_cast<double>(tail.size());
+  return n * std::log((alpha - 1.0) / xmin) - alpha * sum_log_ratio;
+}
+
+// Shared xmin-scan driver; `fit_at` performs the per-xmin alpha fit.
+template <typename FitFn>
+Result<PowerLawFit> ScanXmin(std::span<const double> data,
+                             const PowerLawOptions& opts, FitFn fit_at) {
+  if (data.empty()) return Status::InvalidArgument("empty sample");
+
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() <= 0.0) {
+    return Status::InvalidArgument("power-law fit requires positive data");
+  }
+
+  std::vector<double> candidates;
+  candidates.push_back(sorted.front());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) candidates.push_back(sorted[i]);
+  }
+  // The largest values leave too small a tail; drop candidates violating
+  // the min_tail_n constraint.
+  {
+    std::vector<double> kept;
+    for (double c : candidates) {
+      const size_t tail_n =
+          sorted.end() - std::lower_bound(sorted.begin(), sorted.end(), c);
+      if (tail_n >= opts.min_tail_n) kept.push_back(c);
+    }
+    if (kept.empty()) {
+      return Status::FailedPrecondition(
+          "no xmin candidate leaves enough tail observations");
+    }
+    candidates.swap(kept);
+  }
+  if (opts.max_xmin_candidates > 0 &&
+      candidates.size() > opts.max_xmin_candidates) {
+    std::vector<double> sub;
+    sub.reserve(opts.max_xmin_candidates);
+    const double stride = static_cast<double>(candidates.size()) /
+                          static_cast<double>(opts.max_xmin_candidates);
+    for (size_t i = 0; i < opts.max_xmin_candidates; ++i) {
+      sub.push_back(candidates[static_cast<size_t>(i * stride)]);
+    }
+    candidates.swap(sub);
+  }
+
+  PowerLawFit best;
+  bool have_best = false;
+  for (double xmin : candidates) {
+    Result<PowerLawFit> fit = fit_at(data, xmin);
+    if (!fit.ok()) continue;
+    if (!have_best || fit->ks_distance < best.ks_distance) {
+      best = *fit;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    return Status::Internal("all xmin candidates failed to fit");
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> TailOf(std::span<const double> data, double xmin) {
+  std::vector<double> tail;
+  for (double x : data) {
+    if (x >= xmin) tail.push_back(x);
+  }
+  std::sort(tail.begin(), tail.end());
+  return tail;
+}
+
+Result<PowerLawFit> FitDiscreteAlpha(std::span<const double> data,
+                                     double xmin,
+                                     const PowerLawOptions& opts) {
+  if (xmin < 1.0) {
+    return Status::InvalidArgument("discrete fit requires xmin >= 1");
+  }
+  std::vector<double> tail = TailOf(data, xmin);
+  if (tail.empty()) return Status::InvalidArgument("empty tail");
+
+  double sum_log = 0.0;
+  for (double x : tail) sum_log += std::log(x);
+  const double n = static_cast<double>(tail.size());
+
+  // Maximize the log-likelihood over alpha (negate for the minimizer).
+  const auto neg_ll = [&](double a) {
+    return n * std::log(HurwitzZeta(a, xmin)) + a * sum_log;
+  };
+  const ScalarMin m =
+      MinimizeGoldenSection(neg_ll, opts.alpha_min, opts.alpha_max, 1e-8);
+
+  PowerLawFit fit;
+  fit.alpha = m.x;
+  fit.xmin = xmin;
+  fit.discrete = true;
+  fit.tail_n = tail.size();
+  fit.log_likelihood = DiscreteLogLikelihood(tail, fit.alpha, xmin);
+  fit.ks_distance = KsDistance(tail, fit);
+  return fit;
+}
+
+Result<PowerLawFit> FitContinuousAlpha(std::span<const double> data,
+                                       double xmin,
+                                       const PowerLawOptions& opts) {
+  if (xmin <= 0.0) {
+    return Status::InvalidArgument("continuous fit requires xmin > 0");
+  }
+  std::vector<double> tail = TailOf(data, xmin);
+  if (tail.empty()) return Status::InvalidArgument("empty tail");
+
+  double sum_log_ratio = 0.0;
+  for (double x : tail) sum_log_ratio += std::log(x / xmin);
+  if (sum_log_ratio <= 0.0) {
+    return Status::FailedPrecondition("degenerate tail (all values == xmin)");
+  }
+  PowerLawFit fit;
+  fit.alpha = 1.0 + static_cast<double>(tail.size()) / sum_log_ratio;
+  fit.alpha = std::clamp(fit.alpha, opts.alpha_min, opts.alpha_max);
+  fit.xmin = xmin;
+  fit.discrete = false;
+  fit.tail_n = tail.size();
+  fit.log_likelihood = ContinuousLogLikelihood(tail, fit.alpha, xmin);
+  fit.ks_distance = KsDistance(tail, fit);
+  return fit;
+}
+
+Result<PowerLawFit> FitDiscrete(std::span<const double> data,
+                                const PowerLawOptions& opts) {
+  return ScanXmin(data, opts,
+                  [&opts](std::span<const double> d, double xmin) {
+                    return FitDiscreteAlpha(d, xmin, opts);
+                  });
+}
+
+Result<PowerLawFit> FitContinuous(std::span<const double> data,
+                                  const PowerLawOptions& opts) {
+  return ScanXmin(data, opts,
+                  [&opts](std::span<const double> d, double xmin) {
+                    return FitContinuousAlpha(d, xmin, opts);
+                  });
+}
+
+double PowerLawSurvival(const PowerLawFit& fit, double x) {
+  if (x <= fit.xmin) return 1.0;
+  if (fit.discrete) {
+    // P(X >= x) = ζ(α, ceil(x)) / ζ(α, xmin).
+    return HurwitzZeta(fit.alpha, std::ceil(x)) /
+           HurwitzZeta(fit.alpha, fit.xmin);
+  }
+  return std::pow(x / fit.xmin, 1.0 - fit.alpha);
+}
+
+double SamplePowerLaw(const PowerLawFit& fit, util::Rng* rng) {
+  if (!fit.discrete) {
+    return rng->Pareto(fit.alpha, fit.xmin);
+  }
+  return static_cast<double>(SampleZeta(
+      fit.alpha, static_cast<uint64_t>(std::llround(fit.xmin)), rng));
+}
+
+uint64_t SampleZeta(double alpha, uint64_t kmin, util::Rng* rng) {
+  EN_CHECK(kmin >= 1);
+  EN_CHECK(alpha > 1.0);
+  double u;
+  do {
+    u = rng->UniformDouble();
+  } while (u <= 0.0);
+  const double denom = HurwitzZeta(alpha, static_cast<double>(kmin));
+  // Survival S(k) = P(X >= k) = ζ(α, k) / ζ(α, kmin); S(kmin) = 1. Find
+  // the smallest k with S(k + 1) < u, i.e. CDF(k) >= 1 - u.
+  auto survival = [&](uint64_t k) {
+    return HurwitzZeta(alpha, static_cast<double>(k)) / denom;
+  };
+  // Exponential doubling to bracket, then binary search.
+  uint64_t lo = kmin;          // S(lo) >= u always
+  uint64_t hi = kmin * 2 + 1;  // find hi with S(hi + 1) < u
+  while (survival(hi + 1) >= u) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (uint64_t{1} << 60)) break;  // absurd tail; clamp
+  }
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (survival(mid + 1) >= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> PointwiseLogLikelihood(std::span<const double> tail,
+                                           const PowerLawFit& fit) {
+  std::vector<double> ll;
+  ll.reserve(tail.size());
+  if (fit.discrete) {
+    const double log_zeta = std::log(HurwitzZeta(fit.alpha, fit.xmin));
+    for (double x : tail) {
+      ll.push_back(-fit.alpha * std::log(x) - log_zeta);
+    }
+  } else {
+    const double log_norm = std::log((fit.alpha - 1.0) / fit.xmin);
+    for (double x : tail) {
+      ll.push_back(log_norm - fit.alpha * std::log(x / fit.xmin));
+    }
+  }
+  return ll;
+}
+
+Result<GoodnessOfFit> BootstrapGoodness(std::span<const double> data,
+                                        const PowerLawFit& fit,
+                                        int replicates, util::Rng* rng,
+                                        const PowerLawOptions& opts) {
+  if (replicates <= 0) {
+    return Status::InvalidArgument("replicates must be positive");
+  }
+  std::vector<double> body;
+  uint64_t tail_count = 0;
+  for (double x : data) {
+    if (x >= fit.xmin) {
+      ++tail_count;
+    } else {
+      body.push_back(x);
+    }
+  }
+  if (tail_count == 0) return Status::InvalidArgument("fit has empty tail");
+  const double p_tail =
+      static_cast<double>(tail_count) / static_cast<double>(data.size());
+
+  int exceed = 0;
+  std::vector<double> synthetic(data.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (double& x : synthetic) {
+      if (body.empty() || rng->Bernoulli(p_tail)) {
+        x = SamplePowerLaw(fit, rng);
+      } else {
+        x = body[rng->UniformU64(body.size())];
+      }
+    }
+    const Result<PowerLawFit> refit =
+        fit.discrete ? FitDiscrete(synthetic, opts)
+                     : FitContinuous(synthetic, opts);
+    if (!refit.ok()) continue;
+    if (refit->ks_distance >= fit.ks_distance) ++exceed;
+  }
+  GoodnessOfFit out;
+  out.replicates = replicates;
+  out.p_value = static_cast<double>(exceed) / static_cast<double>(replicates);
+  return out;
+}
+
+}  // namespace stats
+}  // namespace elitenet

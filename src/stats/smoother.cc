@@ -1,0 +1,140 @@
+#include "stats/smoother.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "stats/correlation.h"
+
+namespace elitenet {
+namespace stats {
+
+Result<SmoothedCurve> SmoothLogLog(std::span<const double> x,
+                                   std::span<const double> y, int num_bins,
+                                   uint64_t min_bin_n) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (num_bins < 1) return Status::InvalidArgument("num_bins must be >= 1");
+
+  SmoothedCurve out;
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log10(x[i]));
+      ly.push_back(std::log10(y[i]));
+    } else {
+      ++out.dropped;
+    }
+  }
+  if (lx.size() < 2) {
+    return Status::FailedPrecondition("fewer than 2 positive pairs");
+  }
+
+  out.log_log_pearson = PearsonCorrelation(lx, ly);
+  out.spearman = SpearmanCorrelation(lx, ly);
+
+  // OLS slope in log space.
+  {
+    double mx = 0.0, my = 0.0;
+    for (size_t i = 0; i < lx.size(); ++i) {
+      mx += lx[i];
+      my += ly[i];
+    }
+    mx /= static_cast<double>(lx.size());
+    my /= static_cast<double>(lx.size());
+    double sxy = 0.0, sxx = 0.0;
+    for (size_t i = 0; i < lx.size(); ++i) {
+      sxy += (lx[i] - mx) * (ly[i] - my);
+      sxx += (lx[i] - mx) * (lx[i] - mx);
+    }
+    out.ols_slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  }
+
+  const double lo = *std::min_element(lx.begin(), lx.end());
+  const double hi = *std::max_element(lx.begin(), lx.end());
+  const double width =
+      hi > lo ? (hi - lo) / num_bins : 1.0;  // degenerate: single bin
+
+  struct BinAccum {
+    double sum = 0.0;
+    double sumsq = 0.0;
+    double x_sum = 0.0;
+    uint64_t n = 0;
+  };
+  std::vector<BinAccum> bins(static_cast<size_t>(num_bins));
+  for (size_t i = 0; i < lx.size(); ++i) {
+    int b = hi > lo ? static_cast<int>((lx[i] - lo) / width) : 0;
+    b = std::clamp(b, 0, num_bins - 1);
+    bins[static_cast<size_t>(b)].sum += ly[i];
+    bins[static_cast<size_t>(b)].sumsq += ly[i] * ly[i];
+    bins[static_cast<size_t>(b)].x_sum += lx[i];
+    bins[static_cast<size_t>(b)].n += 1;
+  }
+
+  // Merge sparse bins leftward so every reported point is meaningful.
+  std::vector<BinAccum> merged;
+  for (const BinAccum& b : bins) {
+    if (b.n == 0) continue;
+    if (!merged.empty() &&
+        (merged.back().n < min_bin_n || b.n < min_bin_n)) {
+      merged.back().sum += b.sum;
+      merged.back().sumsq += b.sumsq;
+      merged.back().x_sum += b.x_sum;
+      merged.back().n += b.n;
+    } else {
+      merged.push_back(b);
+    }
+  }
+
+  for (const BinAccum& b : merged) {
+    SmoothedPoint p;
+    p.n = b.n;
+    const double n = static_cast<double>(b.n);
+    p.log_x_center = b.x_sum / n;
+    p.mean_log_y = b.sum / n;
+    double var = 0.0;
+    if (b.n > 1) {
+      var = std::max(0.0, (b.sumsq - b.sum * b.sum / n) / (n - 1.0));
+    }
+    const double half = 1.96 * std::sqrt(var / n);
+    p.ci_low = p.mean_log_y - half;
+    p.ci_high = p.mean_log_y + half;
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+std::string SmoothedCurve::ToAsciiChart(const std::string& x_label,
+                                        const std::string& y_label) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  log10(%s) -> mean log10(%s)  [95%% CI]   n\n",
+                x_label.c_str(), y_label.c_str());
+  out += line;
+  if (points.empty()) return out;
+  double lo = points.front().ci_low, hi = points.front().ci_high;
+  for (const SmoothedPoint& p : points) {
+    lo = std::min(lo, p.ci_low);
+    hi = std::max(hi, p.ci_high);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (const SmoothedPoint& p : points) {
+    const int pos =
+        static_cast<int>(std::lround(40.0 * (p.mean_log_y - lo) / span));
+    std::string bar(static_cast<size_t>(std::clamp(pos, 0, 40)), ' ');
+    bar += '*';
+    std::snprintf(line, sizeof(line),
+                  "  %8.3f -> %8.3f [%7.3f, %7.3f] %8llu |%s\n",
+                  p.log_x_center, p.mean_log_y, p.ci_low, p.ci_high,
+                  static_cast<unsigned long long>(p.n), bar.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace elitenet

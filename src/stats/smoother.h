@@ -1,0 +1,56 @@
+// Log-log trend smoother standing in for the generalized-additive-model
+// regression splines of Fig. 5. Bins log10(x), reports the mean of
+// log10(y) per bin with a 95% normal-approximation confidence interval —
+// exactly the information the paper's spline + CI bands convey (direction
+// of trend, where it steepens, where returns diminish).
+
+#ifndef ELITENET_STATS_SMOOTHER_H_
+#define ELITENET_STATS_SMOOTHER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace stats {
+
+struct SmoothedPoint {
+  double log_x_center = 0.0;  ///< Bin center in log10(x).
+  double mean_log_y = 0.0;    ///< Mean log10(y) in the bin.
+  double ci_low = 0.0;        ///< 95% CI lower bound on the mean.
+  double ci_high = 0.0;       ///< 95% CI upper bound on the mean.
+  uint64_t n = 0;             ///< Observations in the bin.
+};
+
+struct SmoothedCurve {
+  std::vector<SmoothedPoint> points;
+  /// Pearson correlation of log10(x), log10(y) over the retained pairs.
+  double log_log_pearson = 0.0;
+  /// Spearman rank correlation over the retained pairs.
+  double spearman = 0.0;
+  /// Pairs dropped because x <= 0 or y <= 0 (log undefined).
+  uint64_t dropped = 0;
+  /// Slope of the OLS line through (log x, log y) — the power-law-ish
+  /// exponent of the trend.
+  double ols_slope = 0.0;
+
+  /// ASCII rendering of the smoothed curve (one row per bin).
+  std::string ToAsciiChart(const std::string& x_label,
+                           const std::string& y_label) const;
+};
+
+/// Computes the smoothed log-log trend with `num_bins` equal-width bins in
+/// log10(x). Bins with fewer than `min_bin_n` points are merged into their
+/// left neighbor. Requires >= 2 retained pairs.
+Result<SmoothedCurve> SmoothLogLog(std::span<const double> x,
+                                   std::span<const double> y,
+                                   int num_bins = 20,
+                                   uint64_t min_bin_n = 5);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_SMOOTHER_H_

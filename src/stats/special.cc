@@ -1,0 +1,119 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace stats {
+
+namespace {
+
+constexpr int kMaxIter = 500;
+constexpr double kEps = 3.0e-14;
+constexpr double kFpMin = 1.0e-300;
+
+// Lower incomplete gamma by series expansion; best for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma by Lentz continued fraction; best for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double GammaP(double a, double x) {
+  EN_CHECK(a > 0.0);
+  EN_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaQ(double a, double x) {
+  EN_CHECK(a > 0.0);
+  EN_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double k) {
+  EN_CHECK(k > 0.0);
+  if (x <= 0.0) return 0.0;
+  return GammaP(k / 2.0, x / 2.0);
+}
+
+double ChiSquareSurvival(double x, double k) {
+  EN_CHECK(k > 0.0);
+  if (x <= 0.0) return 1.0;
+  return GammaQ(k / 2.0, x / 2.0);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double NormalSurvival(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double HurwitzZeta(double s, double q) {
+  EN_CHECK(s > 1.0);
+  EN_CHECK(q > 0.0);
+  // Direct sum of the first N terms, then Euler–Maclaurin correction:
+  // ζ(s,q) ≈ Σ_{k=0}^{N-1} (k+q)^-s + (N+q)^(1-s)/(s-1) + (N+q)^-s / 2
+  //          + s (N+q)^(-s-1) / 12 - s(s+1)(s+2) (N+q)^(-s-3) / 720 ...
+  const int N = 16;
+  double sum = 0.0;
+  for (int k = 0; k < N; ++k) {
+    sum += std::pow(static_cast<double>(k) + q, -s);
+  }
+  const double a = static_cast<double>(N) + q;
+  const double a_s = std::pow(a, -s);
+  sum += a * a_s / (s - 1.0);      // a^(1-s)/(s-1)
+  sum += a_s / 2.0;
+  const double a1 = a_s / a;       // a^(-s-1)
+  sum += s * a1 / 12.0;
+  const double a3 = a1 / (a * a);  // a^(-s-3)
+  sum -= s * (s + 1.0) * (s + 2.0) * a3 / 720.0;
+  const double a5 = a3 / (a * a);  // a^(-s-5)
+  sum += s * (s + 1.0) * (s + 2.0) * (s + 3.0) * (s + 4.0) * a5 / 30240.0;
+  return sum;
+}
+
+double HurwitzZetaDs(double s, double q) {
+  const double h = 1e-6 * std::max(1.0, std::fabs(s));
+  return (HurwitzZeta(s + h, q) - HurwitzZeta(s - h, q)) / (2.0 * h);
+}
+
+}  // namespace stats
+}  // namespace elitenet

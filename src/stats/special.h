@@ -1,0 +1,42 @@
+// Special functions underpinning the statistical tests: regularized
+// incomplete gamma (chi-square CDF for Ljung-Box / Box-Pierce), normal CDF
+// (Vuong test), and the Hurwitz zeta function (discrete power-law MLE
+// normalization). Implementations follow Numerical-Recipes-style series /
+// continued-fraction evaluations written from the underlying math.
+
+#ifndef ELITENET_STATS_SPECIAL_H_
+#define ELITENET_STATS_SPECIAL_H_
+
+namespace elitenet {
+namespace stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+double GammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double GammaQ(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom evaluated at x.
+double ChiSquareCdf(double x, double k);
+
+/// Chi-square upper tail (survival) probability: P[X >= x].
+double ChiSquareSurvival(double x, double k);
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// Standard normal survival 1 - Φ(x), accurate in the far tail.
+double NormalSurvival(double x);
+
+/// Hurwitz zeta ζ(s, q) = Σ_{k>=0} (k+q)^-s for s > 1, q > 0.
+/// Euler–Maclaurin evaluation; absolute accuracy ~1e-12 for s in (1, 20].
+double HurwitzZeta(double s, double q);
+
+/// d/ds ζ(s, q), via central finite difference of HurwitzZeta (adequate
+/// for the MLE root-finding use which only needs sign/monotone accuracy).
+double HurwitzZetaDs(double s, double q);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_SPECIAL_H_

@@ -1,0 +1,46 @@
+#include "stats/vuong.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace elitenet {
+namespace stats {
+
+Result<VuongResult> VuongTest(std::span<const double> ll_model1,
+                              std::span<const double> ll_model2) {
+  if (ll_model1.size() != ll_model2.size()) {
+    return Status::InvalidArgument("log-likelihood vectors differ in size");
+  }
+  const size_t n = ll_model1.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 observations");
+
+  std::vector<double> diff(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diff[i] = ll_model1[i] - ll_model2[i];
+    sum += diff[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double d : diff) {
+    const double e = d - mean;
+    ss += e * e;
+  }
+  const double var = ss / static_cast<double>(n);
+  if (var <= 0.0) {
+    return Status::FailedPrecondition(
+        "pointwise likelihood differences have zero variance");
+  }
+
+  VuongResult out;
+  out.log_likelihood_ratio = sum;
+  out.statistic = sum / (std::sqrt(var) * std::sqrt(static_cast<double>(n)));
+  out.p_two_sided = 2.0 * NormalSurvival(std::fabs(out.statistic));
+  out.p_one_sided = NormalSurvival(out.statistic);
+  return out;
+}
+
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,38 @@
+// Vuong's likelihood-ratio test for non-nested model comparison — used in
+// Section IV-B to confirm the power law beats log-normal, exponential and
+// Poisson fits of the out-degree tail ("significantly high 2-3 digit
+// likelihood-ratio values").
+
+#ifndef ELITENET_STATS_VUONG_H_
+#define ELITENET_STATS_VUONG_H_
+
+#include <span>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace stats {
+
+struct VuongResult {
+  /// Summed log-likelihood difference R = Σ (l1_i - l2_i). Positive favors
+  /// model 1.
+  double log_likelihood_ratio = 0.0;
+  /// Normalized statistic R / (s * sqrt(n)); asymptotically N(0,1) under
+  /// the null of equivalent fit.
+  double statistic = 0.0;
+  /// Two-sided p-value of the normalized statistic.
+  double p_two_sided = 0.0;
+  /// One-sided p-value for "model 1 is better".
+  double p_one_sided = 0.0;
+};
+
+/// Compares two models via their pointwise log-likelihoods on the same
+/// observations. Fails if lengths differ, n < 2, or the pointwise
+/// differences are all identical (zero variance).
+Result<VuongResult> VuongTest(std::span<const double> ll_model1,
+                              std::span<const double> ll_model2);
+
+}  // namespace stats
+}  // namespace elitenet
+
+#endif  // ELITENET_STATS_VUONG_H_

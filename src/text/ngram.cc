@@ -1,0 +1,117 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace text {
+
+NGramCounter::NGramCounter(int n, bool filter_stopwords)
+    : n_(n), filter_stopwords_(filter_stopwords) {
+  EN_CHECK(n >= 1 && n <= 5);
+}
+
+void NGramCounter::AddDocument(std::string_view bio) {
+  AddClauses(TokenizeClauses(bio, tokenizer_options_));
+}
+
+void NGramCounter::AddClauses(
+    const std::vector<std::vector<std::string>>& clauses) {
+  const size_t n = static_cast<size_t>(n_);
+  for (const auto& tokens : clauses) {
+    if (tokens.size() < n) continue;
+    for (size_t i = 0; i + n <= tokens.size(); ++i) {
+      if (filter_stopwords_) {
+        size_t stop = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (IsStopWord(tokens[i + j])) ++stop;
+        }
+        // "Largely non-informative": strict majority of stop words.
+        if (2 * stop > n) continue;
+      }
+      std::string key = tokens[i];
+      for (size_t j = 1; j < n; ++j) {
+        key += ' ';
+        key += tokens[i + j];
+      }
+      ++counts_[key];
+      ++total_;
+    }
+  }
+}
+
+uint64_t NGramCounter::CountOf(const std::string& ngram) const {
+  const auto it = counts_.find(ngram);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<NGramCount> NGramCounter::TopK(size_t k) const {
+  std::vector<NGramCount> all;
+  all.reserve(counts_.size());
+  for (const auto& [ngram, count] : counts_) {
+    all.push_back({ngram, count});
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const NGramCount& a, const NGramCount& b) {
+                      if (a.count != b.count) return a.count > b.count;
+                      return a.ngram < b.ngram;
+                    });
+  all.resize(take);
+  return all;
+}
+
+std::vector<NGramCount> FilterSubsumed(const std::vector<NGramCount>& grams,
+                                       const NGramCounter& longer,
+                                       double ratio) {
+  // One pass over the longer phrases: each (n+1)-gram contains exactly
+  // two n-grams (drop first token, drop last token). Record the largest
+  // parent count for each contained n-gram.
+  std::unordered_map<std::string, uint64_t> best_parent;
+  for (const auto& [phrase, count] : longer.counts()) {
+    const size_t first_space = phrase.find(' ');
+    const size_t last_space = phrase.rfind(' ');
+    if (first_space == std::string::npos || first_space == last_space) {
+      continue;  // not long enough to contain a shorter n-gram
+    }
+    const std::string tail = phrase.substr(first_space + 1);
+    const std::string head = phrase.substr(0, last_space);
+    auto update = [&](const std::string& sub) {
+      auto [it, inserted] = best_parent.try_emplace(sub, count);
+      if (!inserted && count > it->second) it->second = count;
+    };
+    update(tail);
+    update(head);
+  }
+
+  std::vector<NGramCount> kept;
+  kept.reserve(grams.size());
+  for (const NGramCount& g : grams) {
+    const auto it = best_parent.find(g.ngram);
+    const bool subsumed =
+        it != best_parent.end() &&
+        static_cast<double>(it->second) >=
+            ratio * static_cast<double>(g.count);
+    if (!subsumed) kept.push_back(g);
+  }
+  return kept;
+}
+
+std::string TitleCase(const std::string& ngram) {
+  std::string out = ngram;
+  bool start = true;
+  for (char& c : out) {
+    if (c == ' ') {
+      start = true;
+    } else if (start) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      start = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace elitenet

@@ -1,0 +1,79 @@
+// N-gram frequency mining over bio corpora (Section IV-E, Fig. 4 and
+// Tables I-II). Follows the paper's filtering rule: n-grams "constituted
+// largely of non-informative words" are dropped — implemented as a
+// strict-majority stop-word test.
+
+#ifndef ELITENET_TEXT_NGRAM_H_
+#define ELITENET_TEXT_NGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace text {
+
+struct NGramCount {
+  std::string ngram;  ///< space-joined tokens, e.g. "official twitter"
+  uint64_t count = 0;
+};
+
+/// Accumulates n-gram counts across documents for a fixed n.
+class NGramCounter {
+ public:
+  /// `n` in [1, 5]. When `filter_stopwords` is set, an n-gram is dropped
+  /// if more than half of its tokens are stop words (for unigrams: if the
+  /// token is a stop word).
+  explicit NGramCounter(int n, bool filter_stopwords = true);
+
+  /// Tokenizes `bio` and counts its n-grams (within clause boundaries).
+  void AddDocument(std::string_view bio);
+
+  /// Counts n-grams from pre-tokenized clauses.
+  void AddClauses(const std::vector<std::vector<std::string>>& clauses);
+
+  uint64_t total_ngrams() const { return total_; }
+  size_t distinct() const { return counts_.size(); }
+
+  /// Count of one n-gram (space-joined, lowercase), 0 if absent.
+  uint64_t CountOf(const std::string& ngram) const;
+
+  /// The k most frequent n-grams, descending count, ties alphabetical.
+  std::vector<NGramCount> TopK(size_t k) const;
+
+  /// Full count map (read-only), used by FilterSubsumed.
+  const std::unordered_map<std::string, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  int n_;
+  bool filter_stopwords_;
+  TokenizerOptions tokenizer_options_;
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Title-cases an n-gram for table display ("official twitter" ->
+/// "Official Twitter").
+std::string TitleCase(const std::string& ngram);
+
+/// Removes n-grams that are subsumed by a longer phrase: an n-gram is
+/// dropped when some (n+1)-gram containing it accounts for at least
+/// `ratio` of its occurrences (e.g. "twitter account" is fully explained
+/// by "official twitter account" and adds no information). The paper's
+/// Table I is curated this way — "Weather Alerts EN" appears in the
+/// trigram table with 847 occurrences while neither "Weather Alerts" nor
+/// "Alerts EN" appears among the top bigrams.
+std::vector<NGramCount> FilterSubsumed(const std::vector<NGramCount>& grams,
+                                       const NGramCounter& longer,
+                                       double ratio = 0.9);
+
+}  // namespace text
+}  // namespace elitenet
+
+#endif  // ELITENET_TEXT_NGRAM_H_

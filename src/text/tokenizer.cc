@@ -1,0 +1,124 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace elitenet {
+namespace text {
+
+namespace {
+
+bool IsClauseBreak(char c) {
+  return c == '.' || c == ',' || c == ';' || c == '|' || c == '!' ||
+         c == '?' || c == '/' || c == '\n';
+}
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '\'';
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> TokenizeClauses(
+    std::string_view bio, const TokenizerOptions& options) {
+  std::vector<std::vector<std::string>> clauses;
+  std::vector<std::string> current;
+  std::string token;
+
+  auto flush_token = [&]() {
+    if (token.empty()) return;
+    current.push_back(token);
+    token.clear();
+  };
+  auto flush_clause = [&]() {
+    flush_token();
+    if (!current.empty()) {
+      clauses.push_back(std::move(current));
+      current.clear();
+    }
+  };
+
+  size_t i = 0;
+  const size_t n = bio.size();
+  while (i < n) {
+    const char c = bio[i];
+    // URL: skip to whitespace.
+    if (options.drop_urls &&
+        (bio.substr(i, 7) == "http://" || bio.substr(i, 8) == "https://" ||
+         bio.substr(i, 4) == "www.")) {
+      flush_token();
+      while (i < n && !std::isspace(static_cast<unsigned char>(bio[i]))) ++i;
+      continue;
+    }
+    // @mention: skip handle characters.
+    if (options.drop_mentions && c == '@') {
+      flush_token();
+      ++i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(bio[i])) ||
+                       bio[i] == '_')) {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '#') {
+      flush_token();
+      ++i;
+      if (!options.keep_hashtag_text) {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(bio[i])) ||
+                         bio[i] == '_')) {
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (IsTokenChar(c)) {
+      if (c != '\'') {  // drop apostrophes but keep the word joined
+        token += options.lowercase
+                     ? static_cast<char>(
+                           std::tolower(static_cast<unsigned char>(c)))
+                     : c;
+      }
+      ++i;
+      continue;
+    }
+    if (IsClauseBreak(c)) {
+      flush_clause();
+      ++i;
+      continue;
+    }
+    // Any other character (space, emoji bytes, dashes) ends the token.
+    flush_token();
+    ++i;
+  }
+  flush_clause();
+  return clauses;
+}
+
+std::vector<std::string> Tokenize(std::string_view bio,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  for (auto& clause : TokenizeClauses(bio, options)) {
+    for (auto& tok : clause) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+bool IsStopWord(std::string_view lowercase_token) {
+  static const std::unordered_set<std::string_view> kStopWords = {
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "been",
+      "but",   "by",    "for",   "from",  "get",   "got",   "had",   "has",
+      "have",  "he",    "her",   "here",  "him",   "his",   "i",     "if",
+      "in",    "into",  "is",    "it",    "its",   "just",  "like",  "me",
+      "more",  "most",  "my",    "no",    "not",   "of",    "on",    "or",
+      "our",   "out",   "she",   "so",    "some",  "than",  "that",  "the",
+      "their", "them",  "then",  "there", "these", "they",  "this",  "those",
+      "to",    "too",   "up",    "us",    "was",   "we",    "were",  "what",
+      "when",  "where", "which", "who",   "whom",  "why",   "will",  "with",
+      "you",   "your",  "all",   "also",  "am",    "about", "do",    "does",
+      "dont",  "im",    "via",   "can",   "'",     "s",     "t",     "re",
+  };
+  return kStopWords.contains(lowercase_token);
+}
+
+}  // namespace text
+}  // namespace elitenet

@@ -1,0 +1,41 @@
+// Bio tokenization for the n-gram analysis of Section IV-E. ASCII-oriented
+// (the study covers English-language profiles): lower-cases, strips
+// punctuation, keeps alphanumeric tokens, drops URLs and @mentions, and
+// treats sentence punctuation as an n-gram boundary so phrases do not
+// span clauses.
+
+#ifndef ELITENET_TEXT_TOKENIZER_H_
+#define ELITENET_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elitenet {
+namespace text {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool drop_urls = true;
+  bool drop_mentions = true;  ///< @handles
+  bool keep_hashtag_text = true;  ///< "#MondayMotivation" -> "mondaymotivation"
+};
+
+/// A bio split into clauses; each clause is a token sequence. N-grams are
+/// formed within clauses only.
+std::vector<std::vector<std::string>> TokenizeClauses(
+    std::string_view bio, const TokenizerOptions& options = {});
+
+/// Flat token list (clause boundaries discarded) — used for unigrams.
+std::vector<std::string> Tokenize(std::string_view bio,
+                                  const TokenizerOptions& options = {});
+
+/// True for tokens that carry no standalone meaning for the word cloud
+/// (articles, pronouns, prepositions, common verbs — the paper "filters
+/// out n-grams constituted largely of non-informative words").
+bool IsStopWord(std::string_view lowercase_token);
+
+}  // namespace text
+}  // namespace elitenet
+
+#endif  // ELITENET_TEXT_TOKENIZER_H_

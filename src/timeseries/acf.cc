@@ -1,0 +1,84 @@
+#include "timeseries/acf.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace elitenet {
+namespace timeseries {
+
+Result<std::vector<double>> Autocorrelation(std::span<const double> series,
+                                            int max_lag) {
+  const size_t n = series.size();
+  if (max_lag < 1) return Status::InvalidArgument("max_lag must be >= 1");
+  if (static_cast<size_t>(max_lag) >= n) {
+    return Status::InvalidArgument("max_lag must be below series length");
+  }
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double c0 = 0.0;
+  for (double x : series) c0 += (x - mean) * (x - mean);
+  if (c0 <= 0.0) {
+    return Status::FailedPrecondition("constant series has no ACF");
+  }
+
+  std::vector<double> acf(static_cast<size_t>(max_lag));
+  for (int k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (size_t t = static_cast<size_t>(k); t < n; ++t) {
+      ck += (series[t] - mean) * (series[t - k] - mean);
+    }
+    acf[static_cast<size_t>(k - 1)] = ck / c0;
+  }
+  return acf;
+}
+
+namespace {
+
+enum class PortmanteauKind { kLjungBox, kBoxPierce };
+
+Result<PortmanteauResult> PortmanteauImpl(std::span<const double> series,
+                                          int max_lag,
+                                          PortmanteauKind kind) {
+  EN_ASSIGN_OR_RETURN(std::vector<double> acf,
+                      Autocorrelation(series, max_lag));
+  const double n = static_cast<double>(series.size());
+
+  PortmanteauResult out;
+  out.max_lag = max_lag;
+  out.statistics.reserve(acf.size());
+  out.p_values.reserve(acf.size());
+  double cum = 0.0;
+  for (int h = 1; h <= max_lag; ++h) {
+    const double rk = acf[static_cast<size_t>(h - 1)];
+    if (kind == PortmanteauKind::kLjungBox) {
+      cum += rk * rk / (n - static_cast<double>(h));
+    } else {
+      cum += rk * rk;
+    }
+    const double q = kind == PortmanteauKind::kLjungBox
+                         ? n * (n + 2.0) * cum
+                         : n * cum;
+    const double p = stats::ChiSquareSurvival(q, static_cast<double>(h));
+    out.statistics.push_back(q);
+    out.p_values.push_back(p);
+    if (p > out.max_p_value) out.max_p_value = p;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PortmanteauResult> LjungBoxTest(std::span<const double> series,
+                                       int max_lag) {
+  return PortmanteauImpl(series, max_lag, PortmanteauKind::kLjungBox);
+}
+
+Result<PortmanteauResult> BoxPierceTest(std::span<const double> series,
+                                        int max_lag) {
+  return PortmanteauImpl(series, max_lag, PortmanteauKind::kBoxPierce);
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,147 @@
+#include "timeseries/adf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/ols.h"
+
+namespace elitenet {
+namespace timeseries {
+
+namespace {
+
+// Builds the ADF design matrix for `p` augmentation lags over the sample
+// t = start..n-1 of the differenced series (start >= p + 1 in diff index
+// space ensures all lags exist). Columns: [y_{t-1}, Δy_{t-1}..Δy_{t-p},
+// const, (trend)].
+struct AdfDesign {
+  Matrix x;
+  std::vector<double> y;
+  size_t gamma_col = 0;
+};
+
+AdfDesign BuildDesign(std::span<const double> series, int p, size_t start,
+                      AdfRegression reg) {
+  const size_t n = series.size();
+  std::vector<double> diff(n - 1);
+  for (size_t t = 1; t < n; ++t) diff[t - 1] = series[t] - series[t - 1];
+
+  // Rows correspond to diff indices start..diff.size()-1, i.e. the
+  // regression explains Δy at original time t = diff_index + 1.
+  const size_t rows = diff.size() - start;
+  const size_t base_cols = 1 + static_cast<size_t>(p);
+  const size_t extra = reg == AdfRegression::kConstantTrend ? 2 : 1;
+  AdfDesign d{Matrix(rows, base_cols + extra), std::vector<double>(rows), 0};
+
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t di = start + r;       // index into diff
+    const size_t t = di + 1;           // index into series (Δy_t target)
+    d.y[r] = diff[di];
+    d.x(r, 0) = series[t - 1];         // lagged level -> γ
+    for (int i = 1; i <= p; ++i) {
+      d.x(r, static_cast<size_t>(i)) = diff[di - static_cast<size_t>(i)];
+    }
+    d.x(r, base_cols) = 1.0;           // constant
+    if (reg == AdfRegression::kConstantTrend) {
+      d.x(r, base_cols + 1) = static_cast<double>(t);  // trend
+    }
+  }
+  d.gamma_col = 0;
+  return d;
+}
+
+}  // namespace
+
+double MacKinnonCriticalValue(double level, AdfRegression regression,
+                              size_t n_obs) {
+  // MacKinnon (2010) response-surface coefficients (as in statsmodels
+  // mackinnoncrit): crit = b0 + b1/T + b2/T² + b3/T³.
+  struct Coef {
+    double b0, b1, b2, b3;
+  };
+  const double t = static_cast<double>(n_obs);
+  Coef c{};
+  if (regression == AdfRegression::kConstant) {
+    if (level <= 0.015) {
+      c = {-3.43035, -6.5393, -16.786, -79.433};
+    } else if (level <= 0.075) {
+      c = {-2.86154, -2.8903, -4.234, -40.040};
+    } else {
+      c = {-2.56677, -1.5384, -2.809, 0.0};
+    }
+  } else {
+    if (level <= 0.015) {
+      c = {-3.95877, -9.0531, -28.428, -134.155};
+    } else if (level <= 0.075) {
+      c = {-3.41049, -4.3904, -9.036, -45.374};
+    } else {
+      c = {-3.12705, -2.5856, -3.925, -22.380};
+    }
+  }
+  return c.b0 + c.b1 / t + c.b2 / (t * t) + c.b3 / (t * t * t);
+}
+
+Result<AdfResult> AdfTest(std::span<const double> series,
+                          const AdfOptions& options) {
+  const size_t n = series.size();
+  if (n < 15) return Status::InvalidArgument("series too short for ADF");
+
+  const size_t extra =
+      options.regression == AdfRegression::kConstantTrend ? 2 : 1;
+
+  int max_lag = options.max_lag;
+  if (max_lag < 0) {
+    // Schwert (1989) rule of thumb.
+    max_lag = static_cast<int>(
+        std::floor(12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25)));
+  }
+  // Keep the largest-lag regression overdetermined with headroom: rows at
+  // max trim are (n - 1 - max_lag), params are max_lag + 1 + extra.
+  const int feasible =
+      static_cast<int>(n) - 2 * static_cast<int>(extra) - 12;
+  max_lag = std::clamp(max_lag, 0, std::max(0, (feasible - 2) / 2));
+
+  int best_lag = max_lag;
+  if (options.auto_lag) {
+    // statsmodels: all candidate regressions share the max-lag trim so
+    // their AICs are comparable.
+    const size_t start = static_cast<size_t>(max_lag);
+    double best_aic = 0.0;
+    bool have = false;
+    for (int p = 0; p <= max_lag; ++p) {
+      const AdfDesign d =
+          BuildDesign(series, p, start, options.regression);
+      const Result<OlsResult> fit = FitOls(d.x, d.y);
+      if (!fit.ok()) continue;
+      if (!have || fit->aic < best_aic) {
+        best_aic = fit->aic;
+        best_lag = p;
+        have = true;
+      }
+    }
+    if (!have) {
+      return Status::FailedPrecondition("no ADF regression could be fit");
+    }
+  }
+
+  // Final regression trims only by the chosen lag.
+  const AdfDesign d = BuildDesign(series, best_lag,
+                                  static_cast<size_t>(best_lag),
+                                  options.regression);
+  EN_ASSIGN_OR_RETURN(OlsResult fit, FitOls(d.x, d.y));
+
+  AdfResult out;
+  out.statistic = fit.t_statistics[d.gamma_col];
+  out.gamma = fit.coefficients[d.gamma_col];
+  out.used_lag = best_lag;
+  out.n_obs = fit.n_obs;
+  out.crit_1pct = MacKinnonCriticalValue(0.01, options.regression, fit.n_obs);
+  out.crit_5pct = MacKinnonCriticalValue(0.05, options.regression, fit.n_obs);
+  out.crit_10pct =
+      MacKinnonCriticalValue(0.10, options.regression, fit.n_obs);
+  out.stationary_at_5pct = out.statistic < out.crit_5pct;
+  return out;
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

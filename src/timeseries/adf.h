@@ -1,0 +1,61 @@
+// Augmented Dickey–Fuller unit-root test (Section V): the paper runs ADF
+// with a constant and a trend term, lags up to 185, and compares the test
+// statistic (-3.86) against the 95% critical value (-3.42) to conclude
+// stationarity. We mirror statsmodels' adfuller: OLS on
+//   Δy_t = c + βt + γ y_{t-1} + Σ φ_i Δy_{t-i} + ε_t,
+// AIC auto-lag selection, MacKinnon response-surface critical values.
+
+#ifndef ELITENET_TIMESERIES_ADF_H_
+#define ELITENET_TIMESERIES_ADF_H_
+
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace timeseries {
+
+enum class AdfRegression {
+  kConstant,       ///< constant only ("c")
+  kConstantTrend,  ///< constant + linear trend ("ct") — the paper's setup
+};
+
+struct AdfOptions {
+  AdfRegression regression = AdfRegression::kConstantTrend;
+  /// Maximum augmentation lag considered. Clamped so the regression keeps
+  /// more observations than parameters. -1 = Schwert rule
+  /// 12*(n/100)^0.25.
+  int max_lag = -1;
+  /// Pick the lag minimizing AIC over 0..max_lag (statsmodels
+  /// autolag="AIC"). When false, use max_lag directly.
+  bool auto_lag = true;
+};
+
+struct AdfResult {
+  double statistic = 0.0;  ///< t-statistic of γ
+  int used_lag = 0;
+  size_t n_obs = 0;        ///< observations in the final regression
+  double crit_1pct = 0.0;
+  double crit_5pct = 0.0;
+  double crit_10pct = 0.0;
+  /// statistic < crit_5pct: reject the unit root at 95% — stationary.
+  bool stationary_at_5pct = false;
+  /// γ coefficient itself (should be negative for mean reversion).
+  double gamma = 0.0;
+};
+
+/// Runs the test. Requires a series long enough for the chosen lags
+/// (roughly n > max_lag + 10).
+Result<AdfResult> AdfTest(std::span<const double> series,
+                          const AdfOptions& options = {});
+
+/// MacKinnon (2010) finite-sample critical value for the given level
+/// (0.01 / 0.05 / 0.10), regression type, and effective sample size.
+double MacKinnonCriticalValue(double level, AdfRegression regression,
+                              size_t n_obs);
+
+}  // namespace timeseries
+}  // namespace elitenet
+
+#endif  // ELITENET_TIMESERIES_ADF_H_

@@ -1,0 +1,137 @@
+#include "timeseries/calendar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace elitenet {
+namespace timeseries {
+
+int64_t DaysFromCivil(const Date& d) {
+  int y = d.year;
+  const int m = d.month;
+  const int day = d.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;                                 // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;       // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+Date CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                   // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));   // [1, 12]
+  Date out;
+  out.year = static_cast<int>(y + (m <= 2));
+  out.month = static_cast<int>(m);
+  out.day = static_cast<int>(day);
+  return out;
+}
+
+int DayOfWeek(const Date& d) {
+  const int64_t z = DaysFromCivil(d);
+  // 1970-01-01 was a Thursday (weekday 4 with Sunday = 0).
+  return static_cast<int>(((z % 7) + 11) % 7);
+}
+
+Date AddDays(const Date& d, int64_t n) {
+  return CivilFromDays(DaysFromCivil(d) + n);
+}
+
+bool IsValidDate(const Date& d) {
+  if (d.month < 1 || d.month > 12 || d.day < 1) return false;
+  return CivilFromDays(DaysFromCivil(d)) == d;
+}
+
+std::string FormatDate(const Date& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return std::string(buf);
+}
+
+const char* MonthName(int month) {
+  static const char* kNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  if (month < 1 || month > 12) return "???";
+  return kNames[month - 1];
+}
+
+Result<std::string> RenderCalendarHeatmap(const Date& start,
+                                          std::span<const double> values) {
+  if (!IsValidDate(start)) return Status::InvalidArgument("invalid date");
+  if (values.empty()) return Status::InvalidArgument("no values");
+
+  // Quintile thresholds over the observed values.
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto quintile = [&](double q) {
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  const double q1 = quintile(0.2), q2 = quintile(0.4), q3 = quintile(0.6),
+               q4 = quintile(0.8);
+  auto intensity = [&](double v) {
+    if (v <= q1) return '.';
+    if (v <= q2) return '-';
+    if (v <= q3) return '+';
+    if (v <= q4) return '*';
+    return '#';
+  };
+
+  auto month_label = [](const Date& d) {
+    std::string label = std::string(MonthName(d.month)) + " " +
+                        std::to_string(d.year) + " ";
+    label.resize(9, ' ');
+    return label;
+  };
+
+  std::string out = "         Su Mo Tu We Th Fr Sa\n";
+  Date cur = start;
+  int col = DayOfWeek(start);
+  int last_month = cur.month;
+  std::string line = month_label(cur) + std::string(
+      static_cast<size_t>(col) * 3, ' ');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (cur.month != last_month) {
+      // Month boundary: flush the partial week and restart the row so
+      // each month is visually separated, like Fig. 6's panels.
+      out += line;
+      out += '\n';
+      line = month_label(cur) +
+             std::string(static_cast<size_t>(col) * 3, ' ');
+      last_month = cur.month;
+    }
+    line += ' ';
+    line += intensity(values[i]);
+    line += ' ';
+    ++col;
+    if (col == 7) {
+      col = 0;
+      out += line;
+      out += '\n';
+      line = std::string(9, ' ');
+    }
+    cur = AddDays(cur, 1);
+  }
+  if (line.find_first_not_of(' ') != std::string::npos) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,57 @@
+// Civil-calendar arithmetic and the calendar heat-map layout of Fig. 6.
+// Date math uses Howard Hinnant's days-from-civil algorithm (public
+// domain), implemented here without <chrono> calendar types to keep the
+// toolchain requirements minimal.
+
+#ifndef ELITENET_TIMESERIES_CALENDAR_H_
+#define ELITENET_TIMESERIES_CALENDAR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace timeseries {
+
+struct Date {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  bool operator==(const Date&) const = default;
+};
+
+/// Days since 1970-01-01 (can be negative).
+int64_t DaysFromCivil(const Date& d);
+
+/// Inverse of DaysFromCivil.
+Date CivilFromDays(int64_t days);
+
+/// 0 = Sunday .. 6 = Saturday.
+int DayOfWeek(const Date& d);
+
+/// Date `n` days after `d` (n may be negative).
+Date AddDays(const Date& d, int64_t n);
+
+/// True for valid proleptic-Gregorian dates.
+bool IsValidDate(const Date& d);
+
+/// "2017-12-24".
+std::string FormatDate(const Date& d);
+
+/// Three-letter month name, 1-based.
+const char* MonthName(int month);
+
+/// ASCII calendar heat map: one row per week, one cell per day, intensity
+/// scaled into quintiles of the value range (the shape Fig. 6 conveys —
+/// weekday banding and level shifts). `values[i]` is the activity on
+/// start + i days.
+Result<std::string> RenderCalendarHeatmap(const Date& start,
+                                          std::span<const double> values);
+
+}  // namespace timeseries
+}  // namespace elitenet
+
+#endif  // ELITENET_TIMESERIES_CALENDAR_H_

@@ -1,0 +1,89 @@
+#include "timeseries/linalg.h"
+
+#include <cmath>
+
+namespace elitenet {
+namespace timeseries {
+
+Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
+                                               const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m) return Status::InvalidArgument("b size mismatch");
+  if (m < n) return Status::InvalidArgument("underdetermined system");
+  if (n == 0) return Status::InvalidArgument("no regressors");
+
+  // Working copies: R starts as A; qtb starts as b.
+  Matrix r = a;
+  std::vector<double> qtb = b;
+
+  // Householder triangularization, applying each reflector to qtb.
+  for (size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      return Status::FailedPrecondition(
+          "rank-deficient design matrix (collinear column " +
+          std::to_string(k) + ")");
+    }
+    const double alpha = r(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha e_k, stored in the column below the diagonal.
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 < 1e-300) continue;  // column already triangular
+
+    // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R and to qtb.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double f = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double dot = 0.0;
+    for (size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double f = 2.0 * dot / vnorm2;
+    for (size_t i = k; i < m; ++i) qtb[i] -= f * v[i - k];
+  }
+
+  for (size_t k = 0; k < n; ++k) {
+    if (std::fabs(r(k, k)) < 1e-12) {
+      return Status::FailedPrecondition("singular R factor");
+    }
+  }
+
+  LeastSquaresSolution sol;
+  sol.x.assign(n, 0.0);
+  // Back substitution R x = (Qᵀ b)[0..n).
+  for (size_t i = n; i-- > 0;) {
+    double acc = qtb[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= r(i, j) * sol.x[j];
+    sol.x[i] = acc / r(i, i);
+  }
+  // RSS = ||tail of Qᵀ b||².
+  for (size_t i = n; i < m; ++i) sol.rss += qtb[i] * qtb[i];
+
+  // diag((AᵀA)⁻¹) = rows of R⁻¹ squared-summed: inv is upper triangular.
+  Matrix rinv(n, n, 0.0);
+  for (size_t j = n; j-- > 0;) {
+    rinv(j, j) = 1.0 / r(j, j);
+    for (size_t i = j; i-- > 0;) {
+      double acc = 0.0;
+      for (size_t k = i + 1; k <= j; ++k) acc += r(i, k) * rinv(k, j);
+      rinv(i, j) = -acc / r(i, i);
+    }
+  }
+  sol.xtx_inv_diag.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t k = i; k < n; ++k) acc += rinv(i, k) * rinv(i, k);
+    sol.xtx_inv_diag[i] = acc;
+  }
+  return sol;
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,62 @@
+// Small dense linear algebra for the econometric regressions (ADF test
+// design matrices are at most a few hundred columns). Row-major Matrix
+// plus Householder QR least squares — numerically safer than normal
+// equations for the near-collinear lag matrices ADF produces.
+
+#ifndef ELITENET_TIMESERIES_LINALG_H_
+#define ELITENET_TIMESERIES_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace timeseries {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    EN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    EN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solution of min ||A x - b||₂ by Householder QR with column checks.
+struct LeastSquaresSolution {
+  std::vector<double> x;
+  /// Residual sum of squares ||A x - b||².
+  double rss = 0.0;
+  /// Diagonal of (AᵀA)⁻¹ (via R factor), for coefficient standard errors.
+  std::vector<double> xtx_inv_diag;
+};
+
+/// Requires rows >= cols and full column rank (returns FailedPrecondition
+/// when an R diagonal underflows — collinear regressors).
+Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
+                                               const std::vector<double>& b);
+
+}  // namespace timeseries
+}  // namespace elitenet
+
+#endif  // ELITENET_TIMESERIES_LINALG_H_

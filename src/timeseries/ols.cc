@@ -1,0 +1,51 @@
+#include "timeseries/ols.h"
+
+#include <cmath>
+
+namespace elitenet {
+namespace timeseries {
+
+Result<OlsResult> FitOls(const Matrix& x, const std::vector<double>& y) {
+  const size_t n = x.rows();
+  const size_t k = x.cols();
+  if (n <= k) {
+    return Status::InvalidArgument("need more observations than parameters");
+  }
+  EN_ASSIGN_OR_RETURN(LeastSquaresSolution sol, SolveLeastSquares(x, y));
+
+  OlsResult out;
+  out.coefficients = sol.x;
+  out.rss = sol.rss;
+  out.n_obs = n;
+  out.n_params = k;
+  out.sigma2 = sol.rss / static_cast<double>(n - k);
+
+  out.std_errors.resize(k);
+  out.t_statistics.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    out.std_errors[j] = std::sqrt(out.sigma2 * sol.xtx_inv_diag[j]);
+    out.t_statistics[j] =
+        out.std_errors[j] > 0.0 ? out.coefficients[j] / out.std_errors[j]
+                                : 0.0;
+  }
+
+  // Gaussian log-likelihood with MLE variance rss/n (statsmodels matches).
+  const double dn = static_cast<double>(n);
+  const double sigma2_mle = std::max(sol.rss / dn, 1e-300);
+  out.log_likelihood =
+      -0.5 * dn * (std::log(2.0 * M_PI) + std::log(sigma2_mle) + 1.0);
+  out.aic = 2.0 * static_cast<double>(k) - 2.0 * out.log_likelihood;
+  out.bic = std::log(dn) * static_cast<double>(k) - 2.0 * out.log_likelihood;
+
+  // R² against the mean model.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= dn;
+  double tss = 0.0;
+  for (double v : y) tss += (v - mean) * (v - mean);
+  out.r_squared = tss > 0.0 ? 1.0 - sol.rss / tss : 0.0;
+  return out;
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,37 @@
+// Ordinary least squares with the inference quantities the ADF test needs
+// (coefficient t-statistics, AIC for auto-lag selection).
+
+#ifndef ELITENET_TIMESERIES_OLS_H_
+#define ELITENET_TIMESERIES_OLS_H_
+
+#include <vector>
+
+#include "timeseries/linalg.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace timeseries {
+
+struct OlsResult {
+  std::vector<double> coefficients;
+  std::vector<double> std_errors;
+  std::vector<double> t_statistics;
+  double rss = 0.0;
+  double sigma2 = 0.0;  ///< rss / (n - k)
+  size_t n_obs = 0;
+  size_t n_params = 0;
+  /// Gaussian log-likelihood at the MLE variance (rss / n).
+  double log_likelihood = 0.0;
+  /// Akaike information criterion: 2k - 2 logL (statsmodels convention).
+  double aic = 0.0;
+  double bic = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits y = X b + e. Requires rows(X) == |y|, rows > cols, full rank.
+Result<OlsResult> FitOls(const Matrix& x, const std::vector<double>& y);
+
+}  // namespace timeseries
+}  // namespace elitenet
+
+#endif  // ELITENET_TIMESERIES_OLS_H_

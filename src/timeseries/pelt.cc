@@ -1,0 +1,176 @@
+#include "timeseries/pelt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace elitenet {
+namespace timeseries {
+
+namespace {
+
+// Segment costs in O(1) from prefix sums. Cost of [s, e) is the Normal
+// twice-negative-log-likelihood with MLE mean and variance:
+//   n * (log(2π) + log(σ̂²) + 1)
+// with σ̂² floored to keep constant segments finite.
+class NormalCost {
+ public:
+  explicit NormalCost(std::span<const double> x)
+      : sum_(x.size() + 1, 0.0), sumsq_(x.size() + 1, 0.0) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      sum_[i + 1] = sum_[i] + x[i];
+      sumsq_[i + 1] = sumsq_[i] + x[i] * x[i];
+    }
+  }
+
+  double operator()(size_t s, size_t e) const {
+    const double n = static_cast<double>(e - s);
+    const double mean = (sum_[e] - sum_[s]) / n;
+    double var = (sumsq_[e] - sumsq_[s]) / n - mean * mean;
+    var = std::max(var, 1e-8);
+    return n * (std::log(2.0 * M_PI) + std::log(var) + 1.0);
+  }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> sumsq_;
+};
+
+double DefaultPenalty(size_t n) {
+  // 2 free parameters per segment (mean, variance): BIC-style penalty.
+  return 2.0 * 2.0 * std::log(static_cast<double>(std::max<size_t>(n, 2)));
+}
+
+}  // namespace
+
+Result<PeltResult> Pelt(std::span<const double> series,
+                        const PeltOptions& options) {
+  const size_t n = series.size();
+  const size_t min_len =
+      static_cast<size_t>(std::max(options.min_segment_length, 2));
+  if (n < 2 * min_len) {
+    return Status::InvalidArgument("series too short for segmentation");
+  }
+  const double beta =
+      options.penalty > 0.0 ? options.penalty : DefaultPenalty(n);
+
+  const NormalCost cost(series);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // F[t] = optimal cost of segmenting [0, t); cp[t] = last change before t.
+  std::vector<double> f(n + 1, kInf);
+  std::vector<size_t> last_cp(n + 1, 0);
+  f[0] = -beta;
+
+  PeltResult out;
+  std::vector<size_t> candidates{0};
+  for (size_t t = min_len; t <= n; ++t) {
+    double best = kInf;
+    size_t best_s = 0;
+    for (size_t s : candidates) {
+      if (t - s < min_len) continue;
+      const double c = f[s] + cost(s, t) + beta;
+      if (c < best) {
+        best = c;
+        best_s = s;
+      }
+    }
+    f[t] = best;
+    last_cp[t] = best_s;
+
+    // Prune: s stays viable only if f[s] + C(s,t) <= f[t]. (K = 0 for
+    // this cost family.)
+    std::vector<size_t> kept;
+    kept.reserve(candidates.size() + 1);
+    for (size_t s : candidates) {
+      if (t - s < min_len || f[s] + cost(s, t) <= f[t]) {
+        kept.push_back(s);
+      } else {
+        ++out.pruned;
+      }
+    }
+    // t becomes a candidate "last change-point" for future positions.
+    kept.push_back(t);
+    candidates.swap(kept);
+  }
+
+  // Backtrack.
+  std::vector<size_t> cps;
+  size_t t = n;
+  while (t > 0) {
+    const size_t s = last_cp[t];
+    if (s == 0) break;
+    cps.push_back(s);
+    t = s;
+  }
+  std::sort(cps.begin(), cps.end());
+  out.change_points = std::move(cps);
+  out.total_cost = f[n];
+  return out;
+}
+
+Result<PenaltySweepResult> PeltPenaltySweep(
+    std::span<const double> series, const PenaltySweepOptions& options) {
+  const size_t n = series.size();
+  const double base = DefaultPenalty(n);
+  const double hi = options.penalty_hi > 0.0 ? options.penalty_hi : 8.0 * base;
+  const double lo =
+      options.penalty_lo > 0.0 ? options.penalty_lo : 0.25 * base;
+  if (hi < lo || options.cool <= 0.0 || options.cool >= 1.0) {
+    return Status::InvalidArgument("bad penalty sweep bounds");
+  }
+
+  // Vote accumulation: cluster change-points within tolerance_days. Each
+  // run contributes at most one vote per representative, so support is a
+  // true fraction of runs.
+  std::map<size_t, int> votes;  // representative index -> run count
+  int runs = 0;
+  for (double beta = hi; beta >= lo; beta *= options.cool) {
+    PeltOptions po;
+    po.penalty = beta;
+    po.min_segment_length = options.min_segment_length;
+    EN_ASSIGN_OR_RETURN(PeltResult r, Pelt(series, po));
+    ++runs;
+    std::vector<size_t> reps_this_run;
+    for (size_t cp : r.change_points) {
+      // Snap to an existing representative within tolerance.
+      size_t rep = cp;
+      for (const auto& [existing, count] : votes) {
+        const size_t d = existing > cp ? existing - cp : cp - existing;
+        if (d <= static_cast<size_t>(options.tolerance_days)) {
+          rep = existing;
+          break;
+        }
+      }
+      bool already = false;
+      for (size_t seen : reps_this_run) {
+        if (seen == rep) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      reps_this_run.push_back(rep);
+      ++votes[rep];  // creates the representative on first sighting
+    }
+  }
+
+  PenaltySweepResult out;
+  out.runs = runs;
+  for (const auto& [rep, count] : votes) {
+    const double support =
+        static_cast<double>(count) / static_cast<double>(runs);
+    if (support >= options.stability_threshold) {
+      out.stable.push_back({rep, support});
+    }
+  }
+  std::sort(out.stable.begin(), out.stable.end(),
+            [](const StableChangePoint& a, const StableChangePoint& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace timeseries
+}  // namespace elitenet

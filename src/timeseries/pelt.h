@@ -1,0 +1,72 @@
+// PELT change-point detection (Killick, Fearnhead & Eckley 2012) with the
+// Normal mean+variance cost — the paper's Section V procedure: run the
+// algorithm repeatedly while cooling the penalty, and accept change-points
+// that recur across a significant fraction of runs (it finds Dec 23–25 and
+// the first week of April).
+
+#ifndef ELITENET_TIMESERIES_PELT_H_
+#define ELITENET_TIMESERIES_PELT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace timeseries {
+
+struct PeltOptions {
+  /// Penalty per change-point. Common default: BIC-like
+  /// 2 * p * log(n) with p = 2 free parameters (mean, variance).
+  double penalty = 0.0;  ///< <= 0 means "use the BIC default".
+  /// Minimum segment length; the Normal mean+variance cost needs >= 2.
+  int min_segment_length = 3;
+};
+
+struct PeltResult {
+  /// Change-point positions: index of the first element of each new
+  /// segment (ascending, excludes 0 and n).
+  std::vector<size_t> change_points;
+  /// Total penalized cost of the optimal segmentation.
+  double total_cost = 0.0;
+  /// How many candidate indices PELT pruned (for perf introspection).
+  uint64_t pruned = 0;
+};
+
+/// Exact optimal segmentation under the penalized Normal(μ,σ²) likelihood
+/// cost, O(n) amortized via pruning.
+Result<PeltResult> Pelt(std::span<const double> series,
+                        const PeltOptions& options = {});
+
+struct PenaltySweepOptions {
+  /// Penalty cool-down: start at `penalty_hi`, multiply by `cool` each
+  /// run until below `penalty_lo`.
+  double penalty_hi = 0.0;  ///< <= 0: 8x the BIC default
+  double penalty_lo = 0.0;  ///< <= 0: 0.25x the BIC default
+  double cool = 0.75;
+  int min_segment_length = 3;
+  /// A change-point is "stable" when it appears (within `tolerance_days`)
+  /// in at least this fraction of runs.
+  double stability_threshold = 0.6;
+  int tolerance_days = 3;
+};
+
+struct StableChangePoint {
+  size_t index = 0;       ///< representative (median) position
+  double support = 0.0;   ///< fraction of runs containing it
+};
+
+struct PenaltySweepResult {
+  std::vector<StableChangePoint> stable;
+  int runs = 0;
+};
+
+/// The paper's cool-down voting procedure over penalties.
+Result<PenaltySweepResult> PeltPenaltySweep(
+    std::span<const double> series, const PenaltySweepOptions& options = {});
+
+}  // namespace timeseries
+}  // namespace elitenet
+
+#endif  // ELITENET_TIMESERIES_PELT_H_

@@ -1,0 +1,36 @@
+// Assertion macros for programmer errors (contract violations). Unlike
+// Status, these abort: they guard invariants that should be impossible to
+// violate through the public API.
+
+#ifndef ELITENET_UTIL_CHECK_H_
+#define ELITENET_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define EN_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "EN_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define EN_CHECK_MSG(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "EN_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define EN_CHECK_LT(a, b) EN_CHECK((a) < (b))
+#define EN_CHECK_LE(a, b) EN_CHECK((a) <= (b))
+#define EN_CHECK_GT(a, b) EN_CHECK((a) > (b))
+#define EN_CHECK_GE(a, b) EN_CHECK((a) >= (b))
+#define EN_CHECK_EQ(a, b) EN_CHECK((a) == (b))
+#define EN_CHECK_NE(a, b) EN_CHECK((a) != (b))
+
+#endif  // ELITENET_UTIL_CHECK_H_

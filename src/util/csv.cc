@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+namespace elitenet {
+namespace util {
+
+CsvWriter::~CsvWriter() { Close().ok(); }
+
+Status CsvWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::FailedPrecondition("already open");
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvEscape(fields[i]);
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("fclose failed");
+  return Status::OK();
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,47 @@
+// Minimal CSV writer: benches dump every reproduced figure/table as CSV
+// next to their stdout report so the series can be re-plotted.
+
+#ifndef ELITENET_UTIL_CSV_H_
+#define ELITENET_UTIL_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace util {
+
+/// Streaming CSV writer with RFC-4180-style quoting of fields that contain
+/// commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing (truncates).
+  Status Open(const std::string& path);
+
+  /// Writes one row; fields are quoted as needed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes. Safe to call multiple times.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Escapes one CSV field per RFC 4180 (exposed for tests).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_CSV_H_

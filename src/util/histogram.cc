@@ -1,0 +1,197 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace util {
+
+LinearHistogram::LinearHistogram(double min, double max, int num_bins)
+    : min_(min), max_(max) {
+  EN_CHECK(max > min);
+  EN_CHECK(num_bins > 0);
+  width_ = (max - min) / num_bins;
+  counts_.assign(num_bins, 0);
+}
+
+void LinearHistogram::Add(double x) { AddN(x, 1); }
+
+void LinearHistogram::AddN(double x, uint64_t n) {
+  total_ += n;
+  if (x < min_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= max_) {
+    overflow_ += n;
+    return;
+  }
+  int idx = static_cast<int>((x - min_) / width_);
+  idx = std::min(idx, static_cast<int>(counts_.size()) - 1);
+  counts_[idx] += n;
+}
+
+std::vector<HistogramBin> LinearHistogram::bins() const {
+  std::vector<HistogramBin> out;
+  out.reserve(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    HistogramBin b;
+    b.lo = min_ + width_ * static_cast<double>(i);
+    b.hi = b.lo + width_;
+    b.count = counts_[i];
+    b.fraction = total_ ? static_cast<double>(b.count) / total_ : 0.0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double min, double ratio, int num_bins)
+    : min_(min) {
+  EN_CHECK(min > 0.0);
+  EN_CHECK(ratio > 1.0);
+  EN_CHECK(num_bins > 0);
+  log_min_ = std::log(min);
+  log_ratio_ = std::log(ratio);
+  counts_.assign(num_bins, 0);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (x < min_) {
+    ++zero_;
+    return;
+  }
+  int idx = static_cast<int>((std::log(x) - log_min_) / log_ratio_);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<int>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  counts_[idx] += 1;
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::vector<HistogramBin> out;
+  out.reserve(counts_.size() + 1);
+  HistogramBin zero_bin;
+  zero_bin.lo = 0.0;
+  zero_bin.hi = 0.0;
+  zero_bin.count = zero_;
+  zero_bin.fraction = total_ ? static_cast<double>(zero_) / total_ : 0.0;
+  out.push_back(zero_bin);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    HistogramBin b;
+    b.lo = std::exp(log_min_ + log_ratio_ * static_cast<double>(i));
+    b.hi = std::exp(log_min_ + log_ratio_ * static_cast<double>(i + 1));
+    b.count = counts_[i];
+    b.fraction = total_ ? static_cast<double>(b.count) / total_ : 0.0;
+    out.push_back(b);
+  }
+  if (overflow_ > 0) {
+    HistogramBin b;
+    b.lo = std::exp(log_min_ + log_ratio_ * static_cast<double>(counts_.size()));
+    b.hi = std::numeric_limits<double>::infinity();
+    b.count = overflow_;
+    b.fraction = total_ ? static_cast<double>(overflow_) / total_ : 0.0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+namespace {
+
+std::string Bar(uint64_t count) {
+  if (count == 0) return "";
+  int len = static_cast<int>(std::lround(8.0 * std::log10(1.0 + count)));
+  len = std::max(len, 1);
+  return std::string(static_cast<size_t>(len), '#');
+}
+
+}  // namespace
+
+std::string LogHistogram::ToAsciiChart(const std::string& value_label,
+                                       bool keep_empty) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %16s %12s  (bar ~ log10 count)\n",
+                value_label.c_str(), "count");
+  out += line;
+  for (const HistogramBin& b : bins()) {
+    if (b.count == 0 && !keep_empty) continue;
+    if (b.lo == 0.0 && b.hi == 0.0) {
+      std::snprintf(line, sizeof(line), "  %16s %12llu  %s\n", "0",
+                    static_cast<unsigned long long>(b.count),
+                    Bar(b.count).c_str());
+    } else {
+      char range[64];
+      std::snprintf(range, sizeof(range), "[%.3g, %.3g)", b.lo, b.hi);
+      std::snprintf(line, sizeof(line), "  %16s %12llu  %s\n", range,
+                    static_cast<unsigned long long>(b.count),
+                    Bar(b.count).c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+void IntHistogram::Add(uint64_t value, uint64_t count) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += count;
+  total_ += count;
+}
+
+uint64_t IntHistogram::max_value() const {
+  for (size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return i - 1;
+  }
+  return 0;
+}
+
+uint64_t IntHistogram::CountOf(uint64_t value) const {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+double IntHistogram::Mean() const {
+  EN_CHECK(total_ > 0);
+  double sum = 0.0;
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+uint64_t IntHistogram::Quantile(double q) const {
+  EN_CHECK(total_ > 0);
+  EN_CHECK(q > 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  uint64_t cum = 0;
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    cum += counts_[v];
+    if (static_cast<double>(cum) >= target) return v;
+  }
+  return max_value();
+}
+
+std::string IntHistogram::ToAsciiChart(const std::string& value_label) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %10s %14s  (bar ~ log10 count)\n",
+                value_label.c_str(), "pairs");
+  out += line;
+  const uint64_t maxv = max_value();
+  for (uint64_t v = 0; v <= maxv; ++v) {
+    const uint64_t c = CountOf(v);
+    std::snprintf(line, sizeof(line), "  %10llu %14llu  %s\n",
+                  static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(c), Bar(c).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace elitenet

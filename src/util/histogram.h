@@ -1,0 +1,101 @@
+// Histograms for reporting heavy-tailed distributions (Figs. 1-3 of the
+// paper use log-scaled axes, so log-spaced bins are first-class here).
+
+#ifndef ELITENET_UTIL_HISTOGRAM_H_
+#define ELITENET_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elitenet {
+namespace util {
+
+/// One reported histogram bin: [lo, hi) with a count.
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  uint64_t count = 0;
+  /// Count divided by total observations.
+  double fraction = 0.0;
+};
+
+/// Fixed-width linear-bin histogram over [min, max].
+class LinearHistogram {
+ public:
+  LinearHistogram(double min, double max, int num_bins);
+
+  void Add(double x);
+  void AddN(double x, uint64_t n);
+
+  uint64_t total() const { return total_; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+
+  std::vector<HistogramBin> bins() const;
+
+ private:
+  double min_, max_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Logarithmically spaced bins: bin i covers [min * r^i, min * r^(i+1)).
+/// Values below `min` (including zero) fall into a dedicated "zero" bin,
+/// reported first with lo == hi == 0.
+class LogHistogram {
+ public:
+  /// `ratio` > 1 is the multiplicative bin width (e.g. 2.0 for doubling
+  /// bins). `min` > 0 is the left edge of the first log bin.
+  LogHistogram(double min, double ratio, int num_bins);
+
+  void Add(double x);
+
+  uint64_t total() const { return total_; }
+
+  std::vector<HistogramBin> bins() const;
+
+  /// Renders an ASCII bar chart of the histogram, one line per (nonempty
+  /// unless keep_empty) bin, bar length proportional to log10(1+count).
+  /// Used by the bench harnesses to print paper-figure shapes.
+  std::string ToAsciiChart(const std::string& value_label,
+                           bool keep_empty = false) const;
+
+ private:
+  double min_, log_min_, log_ratio_;
+  std::vector<uint64_t> counts_;
+  uint64_t zero_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Exact counter over small non-negative integer values (used for hop-count
+/// distributions, Fig. 3, where distances are tiny integers).
+class IntHistogram {
+ public:
+  void Add(uint64_t value, uint64_t count = 1);
+
+  uint64_t total() const { return total_; }
+  uint64_t max_value() const;
+  /// Count for a specific value (0 if never seen).
+  uint64_t CountOf(uint64_t value) const;
+
+  /// Mean of the distribution. Requires total() > 0.
+  double Mean() const;
+  /// Smallest v such that P(X <= v) >= q, for q in (0, 1].
+  uint64_t Quantile(double q) const;
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  std::string ToAsciiChart(const std::string& value_label) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_HISTOGRAM_H_

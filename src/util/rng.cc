@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace elitenet {
+namespace util {
+
+uint64_t Rng::Poisson(double lambda) {
+  EN_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-lambda);
+    double prod = UniformDouble();
+    uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= UniformDouble();
+    }
+    return n;
+  }
+  // For large lambda, use the normal approximation with a correction and
+  // clamp at zero; adequate for the synthetic-workload use cases here
+  // (relative error of tail probabilities is irrelevant for lambda >= 30).
+  const double x = Normal(lambda, std::sqrt(lambda));
+  if (x < 0.5) return 0;
+  return static_cast<uint64_t>(x + 0.5);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  EN_CHECK(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k > n / 2) {
+    // Dense case: shuffle a full permutation prefix.
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(UniformU64(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(UniformU64(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  EN_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    EN_CHECK(w >= 0.0);
+    total += w;
+  }
+  EN_CHECK(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have probability 1 up to floating-point residue.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng* rng) const {
+  const uint32_t i = static_cast<uint32_t>(rng->UniformU64(prob_.size()));
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace util
+}  // namespace elitenet

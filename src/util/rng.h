@@ -1,0 +1,226 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in elitenet flows through Rng so that every experiment is
+// reproducible from a single 64-bit seed. The core generator is
+// xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+
+#ifndef ELITENET_UTIL_RNG_H_
+#define ELITENET_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with distribution helpers.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions, though the built-in helpers are preferred
+/// for determinism across standard-library implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(&sm);
+    // All-zero state is invalid for xoshiro; SplitMix64 of any seed never
+    // yields four zeros, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// nearly-divisionless method (bias is rejected).
+  uint64_t UniformU64(uint64_t bound) {
+    EN_CHECK(bound > 0);
+    // Standard 128-bit multiply rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    EN_CHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(UniformU64(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box–Muller with caching of the paired deviate.
+  double Normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1, u2;
+    do {
+      u1 = UniformDouble();
+    } while (u1 <= 0.0);
+    u2 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda) {
+    EN_CHECK(lambda > 0.0);
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+  }
+
+  /// Continuous Pareto (power law) with density ~ x^-alpha for x >= xmin,
+  /// alpha > 1. Inverse-CDF sampling.
+  double Pareto(double alpha, double xmin) {
+    EN_CHECK(alpha > 1.0);
+    EN_CHECK(xmin > 0.0);
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u <= 0.0);
+    return xmin * std::pow(u, -1.0 / (alpha - 1.0));
+  }
+
+  /// Discrete power law P(k) ~ k^-alpha for k >= kmin, via the
+  /// continuous-approximation transform of Clauset et al. (2009), eq. D.6:
+  /// round(Pareto(alpha, kmin - 0.5) + 0.5) is a close approximation whose
+  /// bias vanishes for kmin >~ 5.
+  uint64_t PowerLawInt(double alpha, uint64_t kmin) {
+    EN_CHECK(kmin >= 1);
+    const double x = Pareto(alpha, static_cast<double>(kmin) - 0.5);
+    const double k = std::floor(x + 0.5);
+    return static_cast<uint64_t>(k);
+  }
+
+  /// Poisson with mean lambda. Knuth for small lambda, PTRS-style normal
+  /// approximation with rejection fallback for large lambda.
+  uint64_t Poisson(double lambda);
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  uint64_t Geometric(double p) {
+    EN_CHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u <= 0.0);
+    return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample `k` distinct values from [0, n) without replacement
+  /// (Floyd's algorithm). Requires k <= n. Output order is unspecified.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Forks an independent generator stream; deterministic given this
+  /// generator's state. Useful for giving parallel tasks their own streams.
+  Rng Fork() { return Rng(Next() ^ 0xA3EC647659359ACDULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+/// Weighted discrete sampling in O(1) per draw after O(n) setup
+/// (Vose's alias method). Used heavily by the graph generators.
+class AliasSampler {
+ public:
+  /// Builds the alias table from non-negative weights (not all zero).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to weight.
+  uint32_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_RNG_H_

@@ -1,0 +1,143 @@
+// Status / Result error-handling primitives (RocksDB/Arrow idiom).
+//
+// Fallible operations in elitenet return Status (or Result<T> when they
+// produce a value). Exceptions are not used; programmer errors are handled
+// with the EN_CHECK family in util/check.h.
+
+#ifndef ELITENET_UTIL_STATUS_H_
+#define ELITENET_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace elitenet {
+
+/// Machine-readable error class of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (OK carries
+/// no allocation in practice because the message is empty).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never both, never neither.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return value;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: `return Status::InvalidArgument(...);`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Unchecked in release builds beyond std::optional UB;
+  /// call sites should test ok() or use EN_ASSIGN_OR_RETURN.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace elitenet
+
+/// Propagates a non-OK Status to the caller.
+#define EN_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::elitenet::Status _en_st = (expr);         \
+    if (!_en_st.ok()) return _en_st;            \
+  } while (false)
+
+#define EN_CONCAT_IMPL(a, b) a##b
+#define EN_CONCAT(a, b) EN_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, on failure returns the error Status.
+#define EN_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto EN_CONCAT(_en_result_, __LINE__) = (expr);             \
+  if (!EN_CONCAT(_en_result_, __LINE__).ok())                 \
+    return EN_CONCAT(_en_result_, __LINE__).status();         \
+  lhs = std::move(EN_CONCAT(_en_result_, __LINE__)).value()
+
+#endif  // ELITENET_UTIL_STATUS_H_

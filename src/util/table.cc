@@ -1,0 +1,112 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+size_t TextTable::AddRow() {
+  rows_.emplace_back();
+  return rows_.size() - 1;
+}
+
+void TextTable::AddCell(std::string text) {
+  EN_CHECK(!rows_.empty());
+  rows_.back().push_back(std::move(text));
+}
+
+void TextTable::AddCell(double value, int precision) {
+  AddCell(FormatNumber(value, precision));
+}
+
+void TextTable::AddCell(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  AddCell(std::string(buf));
+}
+
+void TextTable::AddCell(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  AddCell(std::string(buf));
+}
+
+void TextTable::AddRowCells(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatNumber(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return std::string(buf);
+}
+
+std::string FormatWithCommas(uint64_t value) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%" PRIu64, value);
+  std::string raw(digits);
+  std::string out;
+  const size_t n = raw.size();
+  for (size_t i = 0; i < n; ++i) {
+    out += raw[i];
+    const size_t remaining = n - 1 - i;
+    if (remaining > 0 && remaining % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured, bool shape_ok) {
+  std::printf("  %-36s paper=%-16s measured=%-16s [shape: %s]\n",
+              metric.c_str(), paper.c_str(), measured.c_str(),
+              shape_ok ? "OK" : "DEVIATES");
+}
+
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,62 @@
+// Plain-text table rendering for bench harnesses and example binaries.
+// Produces aligned, boxless tables in the style of the paper's Tables I/II
+// plus "paper vs measured" comparison rows used by EXPERIMENTS.md.
+
+#ifndef ELITENET_UTIL_TABLE_H_
+#define ELITENET_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace elitenet {
+namespace util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with sensible defaults. Rendered with two-space gutters and a rule
+/// under the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; returns row index.
+  size_t AddRow();
+
+  /// Appends a cell to the last row (AddRow must have been called).
+  void AddCell(std::string text);
+  void AddCell(double value, int precision = 4);
+  void AddCell(int64_t value);
+  void AddCell(uint64_t value);
+
+  /// Convenience: adds an entire row of preformatted cells.
+  void AddRowCells(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like "%.4g" but keeping integers unpadded.
+std::string FormatNumber(double value, int precision = 4);
+
+/// Formats a count with thousands separators ("79,213,811").
+std::string FormatWithCommas(uint64_t value);
+
+/// Prints a section banner used by all bench binaries:
+/// ===== <title> =====
+void PrintBanner(const std::string& title);
+
+/// One "paper vs measured" comparison line used in bench output, e.g.
+///   reciprocity            paper=0.337      measured=0.3312   [shape: OK]
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured, bool shape_ok);
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_TABLE_H_

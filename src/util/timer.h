@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by examples/benches for coarse phase timing.
+// (google-benchmark owns micro-bench timing; this is for progress logs.)
+
+#ifndef ELITENET_UTIL_TIMER_H_
+#define ELITENET_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace elitenet {
+namespace util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_TIMER_H_

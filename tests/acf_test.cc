@@ -1,0 +1,144 @@
+#include "timeseries/acf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+std::vector<double> WhiteNoise(int n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.Normal();
+  return out;
+}
+
+std::vector<double> Ar1(int n, double phi, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x = phi * x + rng.Normal();
+    out[i] = x;
+  }
+  return out;
+}
+
+TEST(AcfTest, RejectsBadLag) {
+  const std::vector<double> s{1, 2, 3};
+  EXPECT_FALSE(Autocorrelation(s, 0).ok());
+  EXPECT_FALSE(Autocorrelation(s, 3).ok());
+}
+
+TEST(AcfTest, RejectsConstantSeries) {
+  const std::vector<double> s(50, 2.0);
+  EXPECT_FALSE(Autocorrelation(s, 5).ok());
+}
+
+TEST(AcfTest, WhiteNoiseHasNegligibleAcf) {
+  const auto s = WhiteNoise(5000, 3);
+  auto acf = Autocorrelation(s, 20);
+  ASSERT_TRUE(acf.ok());
+  for (double r : *acf) {
+    EXPECT_LT(std::fabs(r), 0.05);
+  }
+}
+
+TEST(AcfTest, Ar1AcfDecaysGeometrically) {
+  const auto s = Ar1(60000, 0.8, 5);
+  auto acf = Autocorrelation(s, 5);
+  ASSERT_TRUE(acf.ok());
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NEAR((*acf)[k - 1], std::pow(0.8, k), 0.04) << "lag " << k;
+  }
+}
+
+TEST(AcfTest, PeriodicSeriesHasPeakAtPeriod) {
+  std::vector<double> s;
+  for (int i = 0; i < 700; ++i) {
+    s.push_back(i % 7 == 0 ? 0.0 : 1.0);
+  }
+  auto acf = Autocorrelation(s, 14);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_GT((*acf)[6], 0.9);   // lag 7
+  EXPECT_GT((*acf)[13], 0.9);  // lag 14
+  EXPECT_LT((*acf)[0], 0.0);   // adjacent days anti-correlated
+}
+
+TEST(LjungBoxTest, WhiteNoiseNotRejected) {
+  const auto s = WhiteNoise(400, 7);
+  auto r = LjungBoxTest(s, 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->max_p_value, 0.05);
+  EXPECT_EQ(r->p_values.size(), 20u);
+  EXPECT_EQ(r->statistics.size(), 20u);
+}
+
+TEST(LjungBoxTest, Ar1StronglyRejected) {
+  const auto s = Ar1(400, 0.7, 11);
+  auto r = LjungBoxTest(s, 20);
+  ASSERT_TRUE(r.ok());
+  // Every lag depth should reject decisively.
+  for (double p : r->p_values) EXPECT_LT(p, 1e-6);
+}
+
+TEST(LjungBoxTest, StatisticsIncreaseWithLagDepth) {
+  const auto s = Ar1(300, 0.5, 13);
+  auto r = LjungBoxTest(s, 10);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->statistics.size(); ++i) {
+    EXPECT_GE(r->statistics[i], r->statistics[i - 1]);
+  }
+}
+
+TEST(BoxPierceTest, StatisticBelowLjungBox) {
+  // Q_BP = n Σ r² < Q_LB = n(n+2) Σ r²/(n-k) for every depth.
+  const auto s = Ar1(300, 0.6, 17);
+  auto lb = LjungBoxTest(s, 15);
+  auto bp = BoxPierceTest(s, 15);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(bp.ok());
+  for (size_t i = 0; i < 15; ++i) {
+    EXPECT_LT(bp->statistics[i], lb->statistics[i]);
+  }
+}
+
+TEST(BoxPierceTest, WhiteNoiseNotRejected) {
+  const auto s = WhiteNoise(400, 19);
+  auto r = BoxPierceTest(s, 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->max_p_value, 0.05);
+}
+
+TEST(PortmanteauTest, PaperScaleActivitySignalGivesTinyP) {
+  // A year of daily data with persistence plus a weekly dip, as in
+  // Section V: the *maximum* p over lag depths 1..185 must be
+  // astronomically small, which requires signal at every depth —
+  // persistence covers the small lags, the weekly pattern the rest.
+  util::Rng rng(23);
+  std::vector<double> s;
+  double u = 0.0;
+  for (int i = 0; i < 366; ++i) {
+    u = 0.55 * u + 0.01 * rng.Normal();
+    double lv = u;
+    if (i % 7 == 0) lv += std::log(0.96);
+    if (i >= 205 && i <= 207) lv += std::log(0.75);  // holiday dip
+    if (i >= 306) lv += std::log(1.035);             // level shift
+    s.push_back(std::exp(lv));
+  }
+  auto lb = LjungBoxTest(s, 185);
+  auto bp = BoxPierceTest(s, 185);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(bp.ok());
+  EXPECT_LT(lb->max_p_value, 1e-10);
+  EXPECT_LT(bp->max_p_value, 1e-10);
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,136 @@
+#include "gen/activity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/acf.h"
+#include "timeseries/adf.h"
+#include "timeseries/pelt.h"
+
+namespace elitenet {
+namespace gen {
+namespace {
+
+TEST(ActivityTest, ProducesRequestedLength) {
+  ActivityConfig cfg;
+  cfg.num_days = 100;
+  auto s = GenerateActivity(cfg);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->daily_tweets.size(), 100u);
+  EXPECT_EQ(s->start, cfg.start);
+}
+
+TEST(ActivityTest, RejectsBadConfigs) {
+  ActivityConfig cfg;
+  cfg.num_days = 5;
+  EXPECT_FALSE(GenerateActivity(cfg).ok());
+  cfg = ActivityConfig();
+  cfg.start = {2018, 2, 31};
+  EXPECT_FALSE(GenerateActivity(cfg).ok());
+  cfg = ActivityConfig();
+  cfg.base_level = -1.0;
+  EXPECT_FALSE(GenerateActivity(cfg).ok());
+}
+
+TEST(ActivityTest, DeterministicForSeed) {
+  auto a = GenerateActivity();
+  auto b = GenerateActivity();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->daily_tweets, b->daily_tweets);
+}
+
+TEST(ActivityTest, ValuesNearBaseLevel) {
+  auto s = GenerateActivity();
+  ASSERT_TRUE(s.ok());
+  for (double v : s->daily_tweets) {
+    EXPECT_GT(v, 0.5 * 1.8e6);
+    EXPECT_LT(v, 1.6 * 1.8e6);
+  }
+}
+
+TEST(ActivityTest, SundaysRunLower) {
+  auto s = GenerateActivity();
+  ASSERT_TRUE(s.ok());
+  double sunday_sum = 0.0, weekday_sum = 0.0;
+  int sundays = 0, weekdays = 0;
+  for (size_t i = 0; i < s->daily_tweets.size(); ++i) {
+    const int dow = timeseries::DayOfWeek(s->DateAt(i));
+    if (dow == 0) {
+      sunday_sum += s->daily_tweets[i];
+      ++sundays;
+    } else if (dow >= 1 && dow <= 5) {
+      weekday_sum += s->daily_tweets[i];
+      ++weekdays;
+    }
+  }
+  EXPECT_LT(sunday_sum / sundays, 0.985 * weekday_sum / weekdays);
+}
+
+TEST(ActivityTest, ChristmasDipPresent) {
+  auto s = GenerateActivity();
+  ASSERT_TRUE(s.ok());
+  double dip_sum = 0.0, nearby_sum = 0.0;
+  int dip_n = 0, nearby_n = 0;
+  for (size_t i = 0; i < s->daily_tweets.size(); ++i) {
+    const auto d = s->DateAt(i);
+    if (d.year == 2017 && d.month == 12) {
+      if (d.day >= 23 && d.day <= 25) {
+        dip_sum += s->daily_tweets[i];
+        ++dip_n;
+      } else if (d.day <= 15) {
+        nearby_sum += s->daily_tweets[i];
+        ++nearby_n;
+      }
+    }
+  }
+  ASSERT_EQ(dip_n, 3);
+  EXPECT_LT(dip_sum / dip_n, 0.85 * nearby_sum / nearby_n);
+}
+
+TEST(ActivityTest, DateAtWalksCalendar) {
+  auto s = GenerateActivity();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DateAt(0), (timeseries::Date{2017, 6, 1}));
+  EXPECT_EQ(s->DateAt(30), (timeseries::Date{2017, 7, 1}));
+  EXPECT_EQ(s->DateAt(365), (timeseries::Date{2018, 6, 1}));
+}
+
+// The headline integration property: the default series reproduces every
+// Section V decision of the paper.
+TEST(ActivityTest, DefaultSeriesReproducesPaperSectionV) {
+  auto s = GenerateActivity();
+  ASSERT_TRUE(s.ok());
+  const auto& series = s->daily_tweets;
+
+  auto lb = timeseries::LjungBoxTest(series, 185);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_LT(lb->max_p_value, 1e-20);  // paper: 3.81e-38
+
+  auto bp = timeseries::BoxPierceTest(series, 185);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_LT(bp->max_p_value, 1e-20);  // paper: 7.57e-38
+
+  auto adf = timeseries::AdfTest(series);
+  ASSERT_TRUE(adf.ok());
+  EXPECT_LT(adf->statistic, -3.42);  // paper: -3.86 vs crit -3.42
+  EXPECT_TRUE(adf->stationary_at_5pct);
+
+  auto sweep = timeseries::PeltPenaltySweep(series);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->stable.size(), 2u);  // paper: exactly two
+  const auto first = timeseries::AddDays(
+      s->start, static_cast<int64_t>(sweep->stable[0].index));
+  const auto second = timeseries::AddDays(
+      s->start, static_cast<int64_t>(sweep->stable[1].index));
+  EXPECT_EQ(first.month, 12);
+  EXPECT_GE(first.day, 20);
+  EXPECT_LE(first.day, 28);
+  EXPECT_EQ(second.month, 4);
+  EXPECT_LE(second.day, 10);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace elitenet

@@ -1,0 +1,148 @@
+#include "timeseries/adf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+std::vector<double> Iid(int n, uint64_t seed, double mean = 0.0) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = mean + rng.Normal();
+  return out;
+}
+
+std::vector<double> RandomWalk(int n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x += rng.Normal();
+    out[i] = x;
+  }
+  return out;
+}
+
+TEST(AdfTest, IidSeriesStronglyStationary) {
+  auto r = AdfTest(Iid(366, 3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->statistic, -10.0);
+  EXPECT_TRUE(r->stationary_at_5pct);
+  EXPECT_LT(r->gamma, -0.5);
+}
+
+TEST(AdfTest, RandomWalkNotRejected) {
+  auto r = AdfTest(RandomWalk(366, 5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->statistic, -3.0);
+  EXPECT_FALSE(r->stationary_at_5pct);
+}
+
+TEST(AdfTest, TrendStationarySeriesRejectsUnitRootWithTrendTerm) {
+  // y = 0.05 t + noise: stationary around a trend.
+  util::Rng rng(7);
+  std::vector<double> s;
+  for (int i = 0; i < 366; ++i) s.push_back(0.05 * i + rng.Normal());
+  AdfOptions opts;
+  opts.regression = AdfRegression::kConstantTrend;
+  auto r = AdfTest(s, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stationary_at_5pct);
+}
+
+TEST(AdfTest, Ar1ModeratePersistence) {
+  util::Rng rng(11);
+  std::vector<double> s;
+  double x = 0.0;
+  for (int i = 0; i < 366; ++i) {
+    x = 0.7 * x + rng.Normal();
+    s.push_back(x);
+  }
+  auto r = AdfTest(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stationary_at_5pct);
+  // Persistence should make the statistic less extreme than the iid ~-17.
+  EXPECT_GT(r->statistic, -12.0);
+}
+
+TEST(AdfTest, AutoLagPicksSmallLagForIid) {
+  auto r = AdfTest(Iid(366, 13));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->used_lag, 3);
+}
+
+TEST(AdfTest, FixedLagIsRespected) {
+  AdfOptions opts;
+  opts.auto_lag = false;
+  opts.max_lag = 5;
+  auto r = AdfTest(Iid(366, 17), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->used_lag, 5);
+}
+
+TEST(AdfTest, RejectsTooShortSeries) {
+  EXPECT_FALSE(AdfTest(Iid(10, 19)).ok());
+}
+
+TEST(AdfTest, ConstantOnlyRegressionWorks) {
+  AdfOptions opts;
+  opts.regression = AdfRegression::kConstant;
+  auto r = AdfTest(Iid(366, 23, 5.0), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stationary_at_5pct);
+}
+
+TEST(MacKinnonTest, AsymptoticValuesMatchTables) {
+  // Large-T limits (MacKinnon 2010): "c": -3.43, -2.86, -2.57;
+  // "ct": -3.96, -3.41, -3.13.
+  const size_t t = 1000000;
+  EXPECT_NEAR(MacKinnonCriticalValue(0.01, AdfRegression::kConstant, t),
+              -3.43035, 1e-3);
+  EXPECT_NEAR(MacKinnonCriticalValue(0.05, AdfRegression::kConstant, t),
+              -2.86154, 1e-3);
+  EXPECT_NEAR(MacKinnonCriticalValue(0.10, AdfRegression::kConstant, t),
+              -2.56677, 1e-3);
+  EXPECT_NEAR(
+      MacKinnonCriticalValue(0.01, AdfRegression::kConstantTrend, t),
+      -3.95877, 1e-3);
+  EXPECT_NEAR(
+      MacKinnonCriticalValue(0.05, AdfRegression::kConstantTrend, t),
+      -3.41049, 1e-3);
+}
+
+TEST(MacKinnonTest, PaperSampleSizeGivesQuotedCritical) {
+  // The paper quotes -3.42 at the 95% level for >250 observations with
+  // constant + trend.
+  const double crit =
+      MacKinnonCriticalValue(0.05, AdfRegression::kConstantTrend, 360);
+  EXPECT_NEAR(crit, -3.42, 0.01);
+}
+
+TEST(MacKinnonTest, FiniteSampleIsMoreNegative) {
+  const double small =
+      MacKinnonCriticalValue(0.05, AdfRegression::kConstantTrend, 50);
+  const double large =
+      MacKinnonCriticalValue(0.05, AdfRegression::kConstantTrend, 100000);
+  EXPECT_LT(small, large);
+}
+
+TEST(MacKinnonTest, CriticalValuesOrderedByLevel) {
+  for (auto reg :
+       {AdfRegression::kConstant, AdfRegression::kConstantTrend}) {
+    const double c1 = MacKinnonCriticalValue(0.01, reg, 366);
+    const double c5 = MacKinnonCriticalValue(0.05, reg, 366);
+    const double c10 = MacKinnonCriticalValue(0.10, reg, 366);
+    EXPECT_LT(c1, c5);
+    EXPECT_LT(c5, c10);
+  }
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,100 @@
+#include "analysis/assortativity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(AssortativityTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(DiGraph()), 0.0);
+}
+
+TEST(AssortativityTest, ConstantDegreesGiveZero) {
+  // Directed cycle: every node has out=in=1 -> zero variance.
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(g, DegreeMode::kOutIn), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(g, DegreeMode::kTotal), 0.0);
+}
+
+TEST(AssortativityTest, DisassortativeStar) {
+  // Undirected-style star as mutual edges: hub (total degree 6) connects
+  // only to leaves (total degree 2) -> strongly negative.
+  const DiGraph g =
+      Build(4, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}});
+  EXPECT_LT(DegreeAssortativity(g, DegreeMode::kTotal), -0.99);
+}
+
+TEST(AssortativityTest, AssortativeByConstruction) {
+  // Two mutual cliques of different sizes, no cross edges: high-degree
+  // nodes link to high-degree, low to low -> positive.
+  GraphBuilder b(7);
+  // Clique {0,1,2,3} mutual.
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  // Pair {4,5} mutual; node 6 isolated.
+  ASSERT_TRUE(b.AddEdge(4, 5).ok());
+  ASSERT_TRUE(b.AddEdge(5, 4).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(DegreeAssortativity(*g, DegreeMode::kTotal), 0.99);
+}
+
+TEST(AssortativityTest, ModesUseCorrectEndpointDegrees) {
+  // 0 -> 1, 0 -> 2, 3 -> 0. Degrees: out(0)=2, in(0)=1, out(3)=1 etc.
+  const DiGraph g = Build(4, {{0, 1}, {0, 2}, {3, 0}});
+  // Hand-compute kOutIn: edges (src out-degree, dst in-degree):
+  // (2,1), (2,1), (1,1). Target in-degree constant -> r = 0.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(g, DegreeMode::kOutIn), 0.0);
+  // kOutOut: (2,0), (2,0), (1,2): sx has variance, sy too.
+  // Means: x=5/3, y=2/3. cov = sum(xy)/3 - mx*my = (0+0+2)/3 - 10/9
+  //      = -4/9. vx = (4+4+1)/3 - 25/9 = 2/9. vy = 4/3 - 4/9 = 8/9.
+  // r = (-4/9) / sqrt(16/81) = -1.
+  EXPECT_NEAR(DegreeAssortativity(g, DegreeMode::kOutOut), -1.0, 1e-12);
+}
+
+TEST(AssortativityTest, ReportContainsAllModes) {
+  const DiGraph g = Build(4, {{0, 1}, {0, 2}, {3, 0}});
+  const AssortativityReport r = ComputeAssortativity(g);
+  EXPECT_DOUBLE_EQ(r.out_in, DegreeAssortativity(g, DegreeMode::kOutIn));
+  EXPECT_DOUBLE_EQ(r.out_out, DegreeAssortativity(g, DegreeMode::kOutOut));
+  EXPECT_DOUBLE_EQ(r.in_in, DegreeAssortativity(g, DegreeMode::kInIn));
+  EXPECT_DOUBLE_EQ(r.in_out, DegreeAssortativity(g, DegreeMode::kInOut));
+  EXPECT_DOUBLE_EQ(r.total, DegreeAssortativity(g, DegreeMode::kTotal));
+}
+
+TEST(AssortativityTest, BoundedByOne) {
+  const DiGraph g = Build(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                              {0, 3}, {5, 0}, {2, 4}});
+  for (auto mode : {DegreeMode::kOutIn, DegreeMode::kOutOut,
+                    DegreeMode::kInIn, DegreeMode::kInOut,
+                    DegreeMode::kTotal}) {
+    const double r = DegreeAssortativity(g, mode);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

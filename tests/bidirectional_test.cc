@@ -1,0 +1,107 @@
+#include "analysis/bidirectional.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/distance.h"
+#include "gen/generators.h"
+#include "gen/verified_network.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(BidirectionalTest, SameNodeIsZero) {
+  const DiGraph g = Build(3, {{0, 1}});
+  EXPECT_EQ(BidirectionalDistance(g, 1, 1).distance, 0u);
+}
+
+TEST(BidirectionalTest, PathDistances) {
+  const DiGraph g = Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(BidirectionalDistance(g, 0, 4).distance, 4u);
+  EXPECT_EQ(BidirectionalDistance(g, 0, 1).distance, 1u);
+  EXPECT_EQ(BidirectionalDistance(g, 1, 3).distance, 2u);
+}
+
+TEST(BidirectionalTest, RespectsDirection) {
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(BidirectionalDistance(g, 2, 0).distance, UINT32_MAX);
+}
+
+TEST(BidirectionalTest, PicksShortestOfParallelRoutes) {
+  // Long route 0->1->2->3->4->5 and shortcut 0->6->5.
+  const DiGraph g = Build(
+      7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 6}, {6, 5}});
+  EXPECT_EQ(BidirectionalDistance(g, 0, 5).distance, 2u);
+}
+
+TEST(BidirectionalTest, MatchesOneSidedBfsOnRandomGraphs) {
+  util::Rng rng(3);
+  auto g = gen::ErdosRenyi(400, 2400, &rng);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformU64(400));
+    const NodeId t = static_cast<NodeId>(rng.UniformU64(400));
+    const auto dist = Bfs(*g, s);
+    const PairDistance pd = BidirectionalDistance(*g, s, t);
+    if (dist[t] == kUnreachable) {
+      EXPECT_EQ(pd.distance, UINT32_MAX);
+    } else {
+      EXPECT_EQ(pd.distance, dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(BidirectionalTest, ExpandsFarFewerNodesThanFullBfs) {
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = 6000;
+  auto net = gen::GenerateVerifiedNetwork(cfg);
+  ASSERT_TRUE(net.ok());
+  util::Rng rng(7);
+  const PairSampleResult r =
+      SamplePairDistances(net->graph, 50, &rng);
+  EXPECT_GT(r.reachable_pairs, 40u);
+  // A one-sided BFS on this graph touches nearly all ~6000 nodes; the
+  // bidirectional search should do far better on average.
+  EXPECT_LT(r.mean_expanded, 2500.0);
+  EXPECT_GT(r.mean_distance, 1.5);
+  EXPECT_LT(r.mean_distance, 5.0);
+}
+
+TEST(BidirectionalTest, SampleMeanAgreesWithBfsSampling) {
+  util::Rng rng(11);
+  auto g = gen::ErdosRenyi(2000, 30000, &rng);
+  ASSERT_TRUE(g.ok());
+  util::Rng r1(13), r2(17);
+  const PairSampleResult pairs = SamplePairDistances(*g, 4000, &r1);
+  const DistanceDistribution bfs = SampleDistances(*g, 64, &r2);
+  EXPECT_NEAR(pairs.mean_distance, bfs.mean_distance,
+              0.05 * bfs.mean_distance);
+}
+
+TEST(BidirectionalTest, EmptyAndTinyGraphs) {
+  util::Rng rng(19);
+  EXPECT_EQ(SamplePairDistances(graph::DiGraph(), 10, &rng).reachable_pairs,
+            0u);
+  const DiGraph g = Build(2, {{0, 1}});
+  const PairSampleResult r = SamplePairDistances(g, 10, &rng);
+  EXPECT_EQ(r.reachable_pairs + r.unreachable_pairs, 10u);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,148 @@
+#include "gen/bios.h"
+
+#include <gtest/gtest.h>
+
+#include "text/ngram.h"
+
+namespace elitenet {
+namespace gen {
+namespace {
+
+const VerifiedNetwork& TestNetwork() {
+  static const VerifiedNetwork* network = [] {
+    VerifiedNetworkConfig cfg;
+    cfg.num_users = 40000;  // enough for stable phrase frequencies
+    auto r = GenerateVerifiedNetwork(cfg);
+    EXPECT_TRUE(r.ok());
+    return new VerifiedNetwork(std::move(r).value());
+  }();
+  return *network;
+}
+
+const BioCorpus& TestCorpus() {
+  static const BioCorpus* corpus = [] {
+    auto r = GenerateBios(TestNetwork());
+    EXPECT_TRUE(r.ok());
+    return new BioCorpus(std::move(r).value());
+  }();
+  return *corpus;
+}
+
+TEST(BiosTest, OneBioPerUser) {
+  EXPECT_EQ(TestCorpus().bios.size(), TestNetwork().graph.num_nodes());
+  EXPECT_EQ(TestCorpus().roles.size(), TestNetwork().graph.num_nodes());
+}
+
+TEST(BiosTest, NoEmptyBios) {
+  for (const std::string& bio : TestCorpus().bios) {
+    EXPECT_FALSE(bio.empty());
+  }
+}
+
+TEST(BiosTest, DeterministicForSeed) {
+  BioConfig cfg;
+  auto a = GenerateBios(TestNetwork(), cfg);
+  auto b = GenerateBios(TestNetwork(), cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->bios, b->bios);
+}
+
+TEST(BiosTest, JournalismDominates) {
+  // The paper: journalists and news outlets are the running theme.
+  const BioCorpus& c = TestCorpus();
+  const uint64_t journalism = c.CountRole(BioRole::kJournalist) +
+                              c.CountRole(BioRole::kNewsOutlet);
+  EXPECT_GT(journalism, c.bios.size() / 6);
+  EXPECT_GT(c.CountRole(BioRole::kJournalist),
+            c.CountRole(BioRole::kWeatherOutlet));
+}
+
+TEST(BiosTest, RoleNamesAreHuman) {
+  EXPECT_STREQ(BioRoleName(BioRole::kJournalist), "journalist");
+  EXPECT_STREQ(BioRoleName(BioRole::kBrand), "brand");
+  EXPECT_STREQ(BioRoleName(BioRole::kNumRoles), "unknown");
+}
+
+// Phrase calibration: expected counts scale as paper_count * n / 231246.
+double ScaledCount(double paper_count) {
+  return paper_count * static_cast<double>(TestCorpus().bios.size()) /
+         231246.0;
+}
+
+TEST(BiosTest, OfficialTwitterFrequencyCalibrated) {
+  text::NGramCounter bigrams(2);
+  for (const auto& bio : TestCorpus().bios) bigrams.AddDocument(bio);
+  const double expected = ScaledCount(12166);
+  EXPECT_NEAR(static_cast<double>(bigrams.CountOf("official twitter")),
+              expected, 0.15 * expected);
+}
+
+TEST(BiosTest, TopBigramOrderingMatchesPaperHead) {
+  text::NGramCounter bigrams(2), trigrams(3);
+  for (const auto& bio : TestCorpus().bios) {
+    bigrams.AddDocument(bio);
+    trigrams.AddDocument(bio);
+  }
+  const auto top = text::FilterSubsumed(bigrams.TopK(40), trigrams);
+  ASSERT_GE(top.size(), 3u);
+  EXPECT_EQ(top[0].ngram, "official twitter");
+  // "official account" and "award winning"/"follow us" occupy the next
+  // band (ties in the paper: 2788 vs 2270/2268).
+  EXPECT_GT(top[0].count, 3 * top[1].count);
+}
+
+TEST(BiosTest, TrigramHeadMatchesPaper) {
+  text::NGramCounter trigrams(3), fourgrams(4);
+  for (const auto& bio : TestCorpus().bios) {
+    trigrams.AddDocument(bio);
+    fourgrams.AddDocument(bio);
+  }
+  const auto top = text::FilterSubsumed(trigrams.TopK(40), fourgrams);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].ngram, "official twitter account");
+  EXPECT_EQ(top[1].ngram, "official twitter page");
+  const double expected_account = ScaledCount(5457);
+  EXPECT_NEAR(static_cast<double>(top[0].count), expected_account,
+              0.15 * expected_account);
+}
+
+TEST(BiosTest, PaperPhrasesAllPresent) {
+  text::NGramCounter bigrams(2), trigrams(3);
+  for (const auto& bio : TestCorpus().bios) {
+    bigrams.AddDocument(bio);
+    trigrams.AddDocument(bio);
+  }
+  for (const char* phrase :
+       {"husband father", "opinions own", "singer songwriter",
+        "anchor reporter", "breaking news", "managing editor",
+        "rugby player", "co founder", "co host", "latest news",
+        "new album", "follow us", "award winning", "official account"}) {
+    EXPECT_GT(bigrams.CountOf(phrase), 0u) << phrase;
+  }
+  for (const char* phrase :
+       {"weather alerts en", "emmy award winning", "new york times",
+        "editor in chief", "best selling author",
+        "professional rugby player", "wall street journal",
+        "professional baseball player", "report crime here",
+        "award winning journalist", "for customer service",
+        "olympic gold medalist", "monday to friday"}) {
+    EXPECT_GT(trigrams.CountOf(phrase), 0u) << phrase;
+  }
+}
+
+TEST(BiosTest, WordCloudUnigramsPresent) {
+  text::NGramCounter unigrams(1);
+  for (const auto& bio : TestCorpus().bios) unigrams.AddDocument(bio);
+  for (const char* word :
+       {"official", "twitter", "journalist", "reporter", "editor",
+        "producer", "founder", "director", "author", "husband", "father",
+        "instagram", "facebook", "snapchat", "booking", "american",
+        "london", "gay"}) {
+    EXPECT_GT(unigrams.CountOf(word), 0u) << word;
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace elitenet

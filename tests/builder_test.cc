@@ -1,0 +1,133 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+TEST(GraphBuilderTest, BuildsEmptyGraph) {
+  GraphBuilder b(0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, NodesWithoutEdges) {
+  GraphBuilder b(7);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 7u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_EQ(g->CountIsolated(), 7u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(0, 3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddEdge(3, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsByDefault) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(1, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoopErrorInStrictMode) {
+  GraphBuilder::Options opts;
+  opts.drop_self_loops = false;
+  GraphBuilder b(3, opts);
+  EXPECT_EQ(b.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DuplicateErrorInStrictMode) {
+  GraphBuilder::Options opts;
+  opts.allow_duplicates = false;
+  GraphBuilder b(3, opts);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());  // detected at Build
+  auto g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphBuilderTest, AddEdgesBatch) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdges({{0, 1}, {1, 2}, {2, 3}}).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBatchFailsAtomicallyOnBadEdge) {
+  GraphBuilder b(2);
+  EXPECT_FALSE(b.AddEdges({{0, 1}, {0, 5}}).ok());
+}
+
+TEST(GraphBuilderTest, ContainsBuffered) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.ContainsBuffered(0, 1));
+  EXPECT_FALSE(b.ContainsBuffered(1, 0));
+}
+
+TEST(GraphBuilderTest, BuilderIsReusableAfterBuild) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g1 = b.Build();
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1->num_edges(), 1u);
+  // After Build the buffer is empty; a fresh build has no edges.
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  auto g2 = b.Build();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), 1u);
+  EXPECT_TRUE(g2->HasEdge(1, 2));
+  EXPECT_FALSE(g2->HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, ForwardAndReverseCsrAgree) {
+  GraphBuilder b(50);
+  // Deterministic pseudo-random edges.
+  uint64_t x = 12345;
+  for (int i = 0; i < 400; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const NodeId u = static_cast<NodeId>((x >> 33) % 50);
+    const NodeId v = static_cast<NodeId>((x >> 13) % 50);
+    if (u != v) {
+      ASSERT_TRUE(b.AddEdge(u, v).ok());
+    }
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  // Every forward edge appears in the reverse CSR and vice versa.
+  uint64_t forward = 0, reverse = 0;
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      ++forward;
+      const auto ins = g->InNeighbors(v);
+      EXPECT_TRUE(std::binary_search(ins.begin(), ins.end(), u));
+    }
+    reverse += g->InNeighbors(u).size();
+  }
+  EXPECT_EQ(forward, g->num_edges());
+  EXPECT_EQ(reverse, g->num_edges());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace elitenet

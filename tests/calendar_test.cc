@@ -1,0 +1,96 @@
+#include "timeseries/calendar.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+TEST(CalendarTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+}
+
+TEST(CalendarTest, KnownOffsets) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DaysFromCivil({1969, 12, 31}), -1);
+  EXPECT_EQ(DaysFromCivil({2000, 3, 1}), 11017);
+  EXPECT_EQ(DaysFromCivil({2017, 6, 1}), 17318);
+}
+
+TEST(CalendarTest, RoundTripOverDecades) {
+  for (int64_t day = -40000; day <= 40000; day += 97) {
+    const Date d = CivilFromDays(day);
+    EXPECT_EQ(DaysFromCivil(d), day);
+  }
+}
+
+TEST(CalendarTest, DayOfWeekKnownDates) {
+  EXPECT_EQ(DayOfWeek({1970, 1, 1}), 4);   // Thursday
+  EXPECT_EQ(DayOfWeek({2017, 12, 25}), 1); // Christmas 2017: Monday
+  EXPECT_EQ(DayOfWeek({2018, 4, 1}), 0);   // April 1, 2018: Sunday
+  EXPECT_EQ(DayOfWeek({2018, 7, 18}), 3);  // crawl date: Wednesday
+}
+
+TEST(CalendarTest, AddDaysCrossesMonthAndYear) {
+  EXPECT_EQ(AddDays({2017, 12, 30}, 3), (Date{2018, 1, 2}));
+  EXPECT_EQ(AddDays({2018, 3, 1}, -1), (Date{2018, 2, 28}));
+  EXPECT_EQ(AddDays({2016, 2, 28}, 1), (Date{2016, 2, 29}));  // leap year
+  EXPECT_EQ(AddDays({2017, 6, 1}, 365), (Date{2018, 6, 1}));
+}
+
+TEST(CalendarTest, LeapYearValidity) {
+  EXPECT_TRUE(IsValidDate({2016, 2, 29}));
+  EXPECT_FALSE(IsValidDate({2017, 2, 29}));
+  EXPECT_TRUE(IsValidDate({2000, 2, 29}));   // divisible by 400
+  EXPECT_FALSE(IsValidDate({1900, 2, 29}));  // divisible by 100 only
+}
+
+TEST(CalendarTest, InvalidDatesRejected) {
+  EXPECT_FALSE(IsValidDate({2018, 0, 1}));
+  EXPECT_FALSE(IsValidDate({2018, 13, 1}));
+  EXPECT_FALSE(IsValidDate({2018, 4, 31}));
+  EXPECT_FALSE(IsValidDate({2018, 1, 0}));
+}
+
+TEST(CalendarTest, FormatDateIsIso) {
+  EXPECT_EQ(FormatDate({2017, 12, 24}), "2017-12-24");
+  EXPECT_EQ(FormatDate({2018, 4, 3}), "2018-04-03");
+}
+
+TEST(CalendarTest, MonthNames) {
+  EXPECT_STREQ(MonthName(1), "Jan");
+  EXPECT_STREQ(MonthName(12), "Dec");
+  EXPECT_STREQ(MonthName(0), "???");
+  EXPECT_STREQ(MonthName(13), "???");
+}
+
+TEST(HeatmapTest, RendersHeaderAndIntensities) {
+  std::vector<double> values;
+  for (int i = 0; i < 60; ++i) values.push_back(i);
+  auto map = RenderCalendarHeatmap({2017, 6, 1}, values);
+  ASSERT_TRUE(map.ok());
+  EXPECT_NE(map->find("Su Mo Tu We Th Fr Sa"), std::string::npos);
+  EXPECT_NE(map->find("Jun 2017"), std::string::npos);
+  EXPECT_NE(map->find("Jul 2017"), std::string::npos);
+  // All five intensity glyphs appear for a ramp.
+  for (char c : {'.', '-', '+', '*', '#'}) {
+    EXPECT_NE(map->find(c), std::string::npos) << "missing glyph " << c;
+  }
+}
+
+TEST(HeatmapTest, RejectsBadInputs) {
+  EXPECT_FALSE(RenderCalendarHeatmap({2018, 2, 30}, std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(RenderCalendarHeatmap({2018, 1, 1}, std::vector<double>{}).ok());
+}
+
+TEST(HeatmapTest, SingleDaySeries) {
+  auto map = RenderCalendarHeatmap({2018, 1, 1}, std::vector<double>{5.0});
+  ASSERT_TRUE(map.ok());
+  EXPECT_NE(map->find("Jan 2018"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,163 @@
+#include "analysis/centrality.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(PageRankTest, RejectsBadOptions) {
+  const DiGraph g = Build(2, {{0, 1}});
+  PageRankOptions opts;
+  opts.damping = 1.5;
+  EXPECT_FALSE(PageRank(g, opts).ok());
+  opts.damping = 0.85;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(PageRank(g, opts).ok());
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  util::Rng rng(3);
+  auto g = gen::ErdosRenyi(200, 1500, &rng);
+  ASSERT_TRUE(g.ok());
+  auto pr = PageRank(*g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(pr->converged);
+  const double sum =
+      std::accumulate(pr->scores.begin(), pr->scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double s : pr->scores) EXPECT_GT(s, 0.0);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  for (double s : pr->scores) EXPECT_NEAR(s, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, SinkAccumulatesMass) {
+  // Star into node 0: the followed celebrity outranks followers.
+  const DiGraph g = Build(4, {{1, 0}, {2, 0}, {3, 0}});
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_GT(pr->scores[0], pr->scores[1]);
+  EXPECT_NEAR(pr->scores[1], pr->scores[2], 1e-12);
+  const double sum =
+      std::accumulate(pr->scores.begin(), pr->scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // dangling node handled
+}
+
+TEST(PageRankTest, MatchesHandComputedTwoNodeChain) {
+  // 0 -> 1, both dangle-corrected. Solve the 2-node system by hand:
+  // dangling node 1 spreads uniformly. r0 = 0.15/2 + 0.85 r1 / 2;
+  // r1 = 0.15/2 + 0.85 (r0 + r1/2).
+  const DiGraph g = Build(2, {{0, 1}});
+  PageRankOptions opts;
+  opts.tolerance = 1e-14;
+  auto pr = PageRank(g, opts);
+  ASSERT_TRUE(pr.ok());
+  // Solving: r0 = (0.075 + 0.425 r1), r1 = 0.075 + 0.85 r0 + 0.425 r1.
+  // Substituting r0 + r1 = 1: r0 = 0.075 + 0.425(1 - r0)
+  //   -> r0 = 0.5/1.425 ... compute directly:
+  const double r0 = (0.075 + 0.425) / 1.425;
+  EXPECT_NEAR(pr->scores[0], r0, 1e-9);
+  EXPECT_NEAR(pr->scores[1], 1.0 - r0, 1e-9);
+}
+
+TEST(PageRankTest, EmptyGraphHandled) {
+  auto pr = PageRank(DiGraph());
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(pr->scores.empty());
+}
+
+TEST(BetweennessTest, PathCenterIsHighest) {
+  const DiGraph g = Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto bc = Betweenness(g);
+  ASSERT_TRUE(bc.ok());
+  // Node 2 lies on 0->3, 0->4, 1->3, 1->4 (4 paths) as interior node.
+  EXPECT_DOUBLE_EQ((*bc)[2], 4.0);
+  EXPECT_DOUBLE_EQ((*bc)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*bc)[4], 0.0);
+  EXPECT_DOUBLE_EQ((*bc)[1], 3.0);  // interior of 0->2, 0->3, 0->4
+}
+
+TEST(BetweennessTest, EvenSplitAcrossParallelShortestPaths) {
+  // Diamond: 0->1->3, 0->2->3. Each middle node carries half of the
+  // single s-t dependency.
+  const DiGraph g = Build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto bc = Betweenness(g);
+  ASSERT_TRUE(bc.ok());
+  EXPECT_DOUBLE_EQ((*bc)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*bc)[2], 0.5);
+  EXPECT_DOUBLE_EQ((*bc)[3], 0.0);
+}
+
+TEST(BetweennessTest, CycleSymmetry) {
+  const DiGraph g = Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  auto bc = Betweenness(g);
+  ASSERT_TRUE(bc.ok());
+  for (NodeId u = 1; u < 5; ++u) {
+    EXPECT_NEAR((*bc)[u], (*bc)[0], 1e-12);
+  }
+}
+
+TEST(BetweennessTest, SampledApproximatesExact) {
+  util::Rng rng(7);
+  auto g = gen::ErdosRenyi(300, 3000, &rng);
+  ASSERT_TRUE(g.ok());
+  auto exact = Betweenness(*g);
+  ASSERT_TRUE(exact.ok());
+  BetweennessOptions opts;
+  opts.pivots = 150;
+  opts.seed = 11;
+  auto approx = Betweenness(*g, opts);
+  ASSERT_TRUE(approx.ok());
+  // Totals should agree within sampling error.
+  const double sum_exact =
+      std::accumulate(exact->begin(), exact->end(), 0.0);
+  const double sum_approx =
+      std::accumulate(approx->begin(), approx->end(), 0.0);
+  EXPECT_NEAR(sum_approx / sum_exact, 1.0, 0.15);
+  // Rankings: the exact top node should rank highly in the estimate.
+  const auto top_exact = TopKByScore(*exact, 5);
+  const auto top_approx = TopKByScore(*approx, 30);
+  bool found = false;
+  for (NodeId u : top_approx) found |= u == top_exact[0];
+  EXPECT_TRUE(found);
+}
+
+TEST(TopKByScoreTest, OrdersAndClamps) {
+  const std::vector<double> scores{0.1, 0.9, 0.5, 0.9};
+  const auto top = TopKByScore(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // tie with 3 broken by id
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+  EXPECT_EQ(TopKByScore(scores, 100).size(), 4u);
+  EXPECT_TRUE(TopKByScore({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,106 @@
+#include "analysis/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(UndirectedNeighborsTest, UnionOfInAndOut) {
+  const DiGraph g = Build(4, {{0, 1}, {2, 0}, {0, 2}});
+  const auto n0 = UndirectedNeighbors(g, 0);
+  EXPECT_EQ(n0, (std::vector<NodeId>{1, 2}));  // 2 deduplicated
+  const auto n3 = UndirectedNeighbors(g, 3);
+  EXPECT_TRUE(n3.empty());
+}
+
+TEST(ClusteringTest, DirectedTriangleIsFullyClustered) {
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}, {2, 0}});
+  const ClusteringStats s = ComputeClustering(g);
+  EXPECT_DOUBLE_EQ(s.average_local, 1.0);
+  EXPECT_DOUBLE_EQ(s.transitivity, 1.0);
+  EXPECT_EQ(s.triangles, 1u);
+  EXPECT_EQ(s.nodes_evaluated, 3u);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  const DiGraph g = Build(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const ClusteringStats s = ComputeClustering(g);
+  EXPECT_DOUBLE_EQ(s.average_local, 0.0);
+  EXPECT_EQ(s.triangles, 0u);
+  // Only the hub has degree >= 2.
+  EXPECT_EQ(s.nodes_evaluated, 1u);
+}
+
+TEST(ClusteringTest, PartialTriangle) {
+  // Path 1-0-2 plus closing edge 1-2: a triangle plus pendant 3.
+  const DiGraph g = Build(4, {{0, 1}, {0, 2}, {1, 2}, {0, 3}});
+  const ClusteringStats s = ComputeClustering(g);
+  // Node 0: degree 3, neighbors {1,2,3}, one linked pair of 3 -> 1/3.
+  // Nodes 1, 2: degree 2, their single pair linked -> 1.0.
+  // Node 3: degree 1, not evaluated.
+  EXPECT_NEAR(s.average_local, (1.0 / 3.0 + 1.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_EQ(s.triangles, 1u);
+}
+
+TEST(ClusteringTest, MutualEdgesDoNotDoubleCount) {
+  // Fully mutual triangle: same clustering as the one-way triangle.
+  const DiGraph g =
+      Build(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}});
+  const ClusteringStats s = ComputeClustering(g);
+  EXPECT_DOUBLE_EQ(s.average_local, 1.0);
+  EXPECT_EQ(s.triangles, 1u);
+}
+
+TEST(ClusteringTest, EmptyGraph) {
+  const ClusteringStats s = ComputeClustering(DiGraph());
+  EXPECT_EQ(s.average_local, 0.0);
+  EXPECT_EQ(s.nodes_evaluated, 0u);
+}
+
+TEST(ClusteringSampledTest, SmallGraphFallsBackToExact) {
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}, {2, 0}});
+  util::Rng rng(3);
+  const ClusteringStats s = ComputeClusteringSampled(g, 100, &rng);
+  EXPECT_DOUBLE_EQ(s.average_local, 1.0);
+}
+
+TEST(ClusteringSampledTest, SampleApproximatesExact) {
+  // Random graph: sampled estimate within a few points of exact.
+  util::Rng rng(5);
+  GraphBuilder b(400);
+  for (int i = 0; i < 4000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.UniformU64(400));
+    const NodeId v = static_cast<NodeId>(rng.UniformU64(400));
+    if (u != v) {
+      ASSERT_TRUE(b.AddEdge(u, v).ok());
+    }
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const ClusteringStats exact = ComputeClustering(*g);
+  util::Rng rng2(7);
+  const ClusteringStats approx = ComputeClusteringSampled(*g, 200, &rng2);
+  EXPECT_NEAR(approx.average_local, exact.average_local, 0.02);
+  EXPECT_EQ(approx.nodes_evaluated, 200u);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

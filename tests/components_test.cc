@@ -1,0 +1,172 @@
+#include "analysis/components.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(WeakComponentsTest, DisjointPieces) {
+  // {0,1}, {2,3,4}, {5}
+  const DiGraph g = Build(6, {{0, 1}, {2, 3}, {4, 3}});
+  const ComponentLabeling c = WeaklyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 3u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[5], c.label[0]);
+  EXPECT_EQ(c.GiantSize(), 3u);
+  EXPECT_NEAR(c.GiantFraction(), 0.5, 1e-12);
+}
+
+TEST(WeakComponentsTest, DirectionIgnored) {
+  const DiGraph g = Build(3, {{1, 0}, {1, 2}});
+  EXPECT_EQ(WeaklyConnectedComponents(g).num_components, 1u);
+}
+
+TEST(WeakComponentsTest, EmptyGraph) {
+  const ComponentLabeling c = WeaklyConnectedComponents(DiGraph());
+  EXPECT_EQ(c.num_components, 0u);
+  EXPECT_EQ(c.GiantFraction(), 0.0);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const ComponentLabeling c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 1u);
+  EXPECT_EQ(c.GiantSize(), 4u);
+}
+
+TEST(SccTest, PathIsAllSingletons) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}});
+  const ComponentLabeling c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 4u);
+}
+
+TEST(SccTest, TwoCyclesBridged) {
+  // cycle {0,1,2} -> bridge -> cycle {3,4}.
+  const DiGraph g =
+      Build(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  const ComponentLabeling c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  // Tarjan numbers components in reverse topological order: the sink
+  // cycle {3,4} is emitted first.
+  EXPECT_LT(c.label[3], c.label[0]);
+}
+
+TEST(SccTest, MembersListsNodes) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 0}, {2, 3}});
+  const ComponentLabeling c = StronglyConnectedComponents(g);
+  const auto members = c.Members(c.label[0]);
+  EXPECT_EQ(members, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 200k-node path: a recursive Tarjan would blow the stack.
+  const NodeId n = 200000;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    ASSERT_TRUE(b.AddEdge(u, u + 1).ok());
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const ComponentLabeling c = StronglyConnectedComponents(*g);
+  EXPECT_EQ(c.num_components, n);
+}
+
+TEST(CondensationTest, CollapsesCyclesToDag) {
+  const DiGraph g =
+      Build(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  const ComponentLabeling scc = StronglyConnectedComponents(g);
+  const DiGraph dag = Condensation(g, scc);
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.num_edges(), 1u);
+  // The DAG edge points from the {0,1,2} component to the {3,4} one.
+  EXPECT_TRUE(dag.HasEdge(scc.label[0], scc.label[3]));
+}
+
+TEST(CondensationTest, ParallelCrossEdgesCoalesce) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 0}, {0, 2}, {1, 3}, {2, 3},
+                              {3, 2}});
+  const ComponentLabeling scc = StronglyConnectedComponents(g);
+  const DiGraph dag = Condensation(g, scc);
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.num_edges(), 1u);  // two cross edges merge
+}
+
+TEST(AttractingTest, SinkCycleIsAttracting) {
+  const DiGraph g =
+      Build(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  const ComponentLabeling scc = StronglyConnectedComponents(g);
+  const AttractingComponents att = FindAttractingComponents(g, scc);
+  EXPECT_EQ(att.count, 1u);
+  EXPECT_EQ(att.ids[0], scc.label[3]);
+  EXPECT_EQ(att.singletons, 0u);
+}
+
+TEST(AttractingTest, IsolatedNodesAreAttractingSingletons) {
+  const DiGraph g = Build(4, {{0, 1}});
+  const ComponentLabeling scc = StronglyConnectedComponents(g);
+  const AttractingComponents att = FindAttractingComponents(g, scc);
+  // Attracting: {1} (followed sink), {2}, {3} (isolated). Not {0}.
+  EXPECT_EQ(att.count, 3u);
+  EXPECT_EQ(att.singletons, 3u);
+}
+
+TEST(AttractingTest, StronglyConnectedGraphIsOneAttractor) {
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}, {2, 0}});
+  const ComponentLabeling scc = StronglyConnectedComponents(g);
+  const AttractingComponents att = FindAttractingComponents(g, scc);
+  EXPECT_EQ(att.count, 1u);
+}
+
+TEST(ComponentsCrossCheckTest, SccRefinesWeakOnRandomGraphs) {
+  util::Rng rng(5);
+  auto g = gen::ErdosRenyi(300, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  const ComponentLabeling weak = WeaklyConnectedComponents(*g);
+  const ComponentLabeling strong = StronglyConnectedComponents(*g);
+  EXPECT_GE(strong.num_components, weak.num_components);
+  // Nodes in the same SCC must share a weak component.
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      if (strong.label[u] == strong.label[v]) {
+        EXPECT_EQ(weak.label[u], weak.label[v]);
+      }
+    }
+  }
+  // Component sizes sum to n in both labelings.
+  uint64_t weak_sum = 0, strong_sum = 0;
+  for (uint64_t s : weak.sizes) weak_sum += s;
+  for (uint64_t s : strong.sizes) strong_sum += s;
+  EXPECT_EQ(weak_sum, g->num_nodes());
+  EXPECT_EQ(strong_sum, g->num_nodes());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,107 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(PearsonTest, PerfectLinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{7, 7, 7};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(c, x), 0.0);
+}
+
+TEST(PearsonTest, IndependentSamplesNearZero) {
+  util::Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.02);
+}
+
+TEST(PearsonTest, InvariantToAffineTransforms) {
+  util::Rng rng(7);
+  std::vector<double> x, y, x2, y2;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Normal();
+    const double b = 0.5 * a + rng.Normal();
+    x.push_back(a);
+    y.push_back(b);
+    x2.push_back(3.0 * a - 7.0);
+    y2.push_back(-2.0 * b + 1.0);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), -PearsonCorrelation(x2, y2), 1e-12);
+}
+
+TEST(FractionalRanksTest, NoTies) {
+  const std::vector<double> x{30.0, 10.0, 20.0};
+  const std::vector<double> r = FractionalRanks(x);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  const std::vector<double> x{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> r = FractionalRanks(x);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(FractionalRanksTest, AllTied) {
+  const std::vector<double> x{5.0, 5.0, 5.0};
+  for (double r : FractionalRanks(x)) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.2 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  // Pearson should be noticeably below 1 for this curve.
+  EXPECT_LT(PearsonCorrelation(x, y), 0.8);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{9, 7, 5, 3};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, RecoversPlantedRankCorrelation) {
+  util::Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.Normal();
+    x.push_back(a);
+    y.push_back(0.8 * a + 0.6 * rng.Normal());
+  }
+  // Spearman of a bivariate normal with rho: (6/pi) asin(rho/2).
+  const double expected = 6.0 / M_PI * std::asin(0.8 / 2.0);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), expected, 0.02);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

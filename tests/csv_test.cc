@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace util {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  const std::string path = TempPath("csv_writer_rows.csv");
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.WriteRow({"a", "b"}).ok());
+  ASSERT_TRUE(w.WriteRow({"1", "2,3"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path), "a,b\n1,\"2,3\"\n");
+}
+
+TEST(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter w;
+  EXPECT_EQ(w.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, DoubleOpenFails) {
+  const std::string path = TempPath("csv_writer_double.csv");
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  EXPECT_EQ(w.Open(path).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, OpenBadPathFails) {
+  CsvWriter w;
+  EXPECT_EQ(w.Open("/nonexistent-dir-zzz/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, CloseIsIdempotent) {
+  const std::string path = TempPath("csv_writer_close.csv");
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  EXPECT_TRUE(w.Close().ok());
+  EXPECT_TRUE(w.Close().ok());
+}
+
+TEST(CsvWriterTest, EmptyRowIsJustNewline) {
+  const std::string path = TempPath("csv_writer_empty.csv");
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.WriteRow({}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path), "\n");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,70 @@
+#include "analysis/degree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+
+DiGraph Star() {
+  // 0 follows 1..4; node 5 isolated; node 6 is a sink followed by 0.
+  GraphBuilder b(7);
+  for (graph::NodeId v = 1; v <= 4; ++v) {
+    EXPECT_TRUE(b.AddEdge(0, v).ok());
+  }
+  EXPECT_TRUE(b.AddEdge(0, 6).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const DegreeStats s = ComputeDegreeStats(DiGraph());
+  EXPECT_EQ(s.max_out_degree, 0u);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+  EXPECT_EQ(s.density, 0.0);
+}
+
+TEST(DegreeStatsTest, StarGraph) {
+  const DegreeStats s = ComputeDegreeStats(Star());
+  EXPECT_EQ(s.max_out_degree, 5u);
+  EXPECT_EQ(s.argmax_out_degree, 0u);
+  EXPECT_EQ(s.min_out_degree, 0u);
+  EXPECT_NEAR(s.avg_out_degree, 5.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.isolated_nodes, 1u);  // node 5
+  // Sinks: out 0 and in > 0 -> nodes 1, 2, 3, 4, 6.
+  EXPECT_EQ(s.sink_nodes, 5u);
+  // Sources: in 0 and out > 0 -> node 0.
+  EXPECT_EQ(s.source_nodes, 1u);
+  EXPECT_NEAR(s.density, 5.0 / (7.0 * 6.0), 1e-12);
+}
+
+TEST(DegreeStatsTest, AvgInEqualsAvgOut) {
+  const DegreeStats s = ComputeDegreeStats(Star());
+  EXPECT_DOUBLE_EQ(s.avg_in_degree, s.avg_out_degree);
+}
+
+TEST(DegreeVectorTest, MatchesPerNodeDegrees) {
+  const DiGraph g = Star();
+  const auto out = OutDegreeVector(g);
+  const auto in = InDegreeVector(g);
+  const auto total = TotalDegreeVector(g);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(in[1], 1.0);
+  EXPECT_DOUBLE_EQ(in[0], 0.0);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(total[i], out[i] + in[i]);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,90 @@
+#include "stats/descriptive.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(MeanTest, Basic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(VarianceTest, UnbiasedDenominator) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sum of squared deviations = 32; n-1 = 7.
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(VarianceTest, FewerThanTwoIsZero) {
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{}), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 5.0);
+}
+
+TEST(DescribeTest, FullSummary) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Summary s = Describe(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 31.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_GT(s.q75, s.q25);
+  EXPECT_NEAR(s.stddev * s.stddev, s.variance, 1e-12);
+}
+
+TEST(DescribeTest, EmptySampleIsAllZero) {
+  const Summary s = Describe(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SkewnessTest, SymmetricIsZero) {
+  const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_NEAR(Skewness(xs), 0.0, 1e-12);
+}
+
+TEST(SkewnessTest, RightTailIsPositive) {
+  const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 100.0};
+  EXPECT_GT(Skewness(xs), 1.0);
+}
+
+TEST(SkewnessTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Skewness(std::vector<double>{1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Skewness(std::vector<double>{3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(Gini(std::vector<double>{5.0, 5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[99] = 1000.0;
+  EXPECT_NEAR(Gini(xs), 0.99, 1e-9);
+}
+
+TEST(GiniTest, KnownSmallExample) {
+  // {1, 3}: Gini = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(Gini(std::vector<double>{1.0, 3.0}), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,123 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+DiGraph MakeTriangle() {
+  // 0 -> 1, 1 -> 2, 2 -> 0
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DiGraphTest, EmptyGraph) {
+  DiGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Density(), 0.0);
+  EXPECT_EQ(g.CountIsolated(), 0u);
+}
+
+TEST(DiGraphTest, TriangleStructure) {
+  const DiGraph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 1u);
+    EXPECT_EQ(g.InDegree(u), 1u);
+  }
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DiGraphTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 4).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  ASSERT_TRUE(b.AddEdge(2, 0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto outs = g->OutNeighbors(0);
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0], 1u);
+  EXPECT_EQ(outs[1], 3u);
+  EXPECT_EQ(outs[2], 4u);
+  const auto ins = g->InNeighbors(0);
+  ASSERT_EQ(ins.size(), 2u);
+  EXPECT_EQ(ins[0], 1u);
+  EXPECT_EQ(ins[1], 2u);
+}
+
+TEST(DiGraphTest, DensityOfCompleteDigraph) {
+  GraphBuilder b(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Density(), 1.0);
+}
+
+TEST(DiGraphTest, CountIsolated) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->CountIsolated(), 3u);  // 2, 3, 4
+}
+
+TEST(DiGraphTest, TransposeReversesEdges) {
+  const DiGraph g = MakeTriangle();
+  const DiGraph t = g.Transpose();
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_TRUE(t.HasEdge(1, 0));
+  EXPECT_TRUE(t.HasEdge(2, 1));
+  EXPECT_TRUE(t.HasEdge(0, 2));
+  EXPECT_FALSE(t.HasEdge(0, 1));
+}
+
+TEST(DiGraphTest, DoubleTransposeIsIdentity) {
+  const DiGraph g = MakeTriangle();
+  EXPECT_EQ(g.Transpose().Transpose(), g);
+}
+
+TEST(DiGraphTest, EqualityIsStructural) {
+  EXPECT_EQ(MakeTriangle(), MakeTriangle());
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto other = b.Build();
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(MakeTriangle() == *other);
+}
+
+TEST(DiGraphTest, HasEdgeOnHighDegreeNodeUsesBinarySearch) {
+  GraphBuilder b(1000);
+  for (NodeId v = 1; v < 1000; v += 2) {
+    ASSERT_TRUE(b.AddEdge(0, v).ok());
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 999));
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_FALSE(g->HasEdge(0, 2));
+  EXPECT_FALSE(g->HasEdge(0, 998));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace elitenet

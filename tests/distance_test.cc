@@ -1,0 +1,122 @@
+#include "analysis/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto dist = Bfs(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  // Directedness: nothing reaches 0 backwards.
+  const auto rdist = Bfs(g, 3);
+  EXPECT_EQ(rdist[0], kUnreachable);
+}
+
+TEST(BfsTest, ShortestOfMultiplePaths) {
+  // 0->1->2->3 and shortcut 0->3.
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(Bfs(g, 0)[3], 1u);
+}
+
+TEST(ReverseBfsTest, DistancesToTarget) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto dist = ReverseBfs(g, 3);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[0], 3u);
+}
+
+TEST(SampleDistancesTest, ExactOnSmallCycle) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  util::Rng rng(3);
+  // More sources than nodes: exact computation over all pairs.
+  const DistanceDistribution d = SampleDistances(g, 100, &rng);
+  EXPECT_EQ(d.sources_used, 4u);
+  EXPECT_EQ(d.reachable_pairs, 12u);  // 4*3 ordered pairs
+  EXPECT_EQ(d.unreachable_pairs, 0u);
+  // Cycle distances: 1, 2, 3 from each source -> mean 2.
+  EXPECT_DOUBLE_EQ(d.mean_distance, 2.0);
+  EXPECT_EQ(d.diameter_lower_bound, 3u);
+  EXPECT_EQ(d.hops.CountOf(1), 4u);
+  EXPECT_EQ(d.hops.CountOf(2), 4u);
+  EXPECT_EQ(d.hops.CountOf(3), 4u);
+}
+
+TEST(SampleDistancesTest, IsolatedNodesExcluded) {
+  const DiGraph g = Build(5, {{0, 1}, {1, 0}});
+  util::Rng rng(5);
+  const DistanceDistribution d = SampleDistances(g, 100, &rng);
+  // Only nodes 0, 1 participate (paper: isolated users omitted).
+  EXPECT_EQ(d.sources_used, 2u);
+  EXPECT_EQ(d.reachable_pairs, 2u);
+  EXPECT_EQ(d.unreachable_pairs, 0u);
+  EXPECT_DOUBLE_EQ(d.mean_distance, 1.0);
+}
+
+TEST(SampleDistancesTest, UnreachablePairsCounted) {
+  const DiGraph g = Build(4, {{0, 1}, {2, 3}});
+  util::Rng rng(7);
+  const DistanceDistribution d = SampleDistances(g, 100, &rng);
+  EXPECT_EQ(d.sources_used, 4u);
+  // From 0: reach 1; 2, 3 unreachable. Symmetric across components; and
+  // 1 cannot reach anyone (3 unreachable), etc.
+  EXPECT_EQ(d.reachable_pairs, 2u);
+  EXPECT_EQ(d.unreachable_pairs, 10u);
+}
+
+TEST(SampleDistancesTest, EmptyGraphIsEmptyReport) {
+  util::Rng rng(9);
+  const DistanceDistribution d = SampleDistances(DiGraph(), 10, &rng);
+  EXPECT_EQ(d.sources_used, 0u);
+  EXPECT_EQ(d.reachable_pairs, 0u);
+}
+
+TEST(SampleDistancesTest, SamplingApproximatesExactMean) {
+  util::Rng rng(11);
+  auto g = gen::ErdosRenyi(800, 12000, &rng);
+  ASSERT_TRUE(g.ok());
+  util::Rng r1(13), r2(17);
+  const DistanceDistribution exact = SampleDistances(*g, 10000, &r1);
+  const DistanceDistribution approx = SampleDistances(*g, 64, &r2);
+  EXPECT_EQ(exact.sources_used, 800u);
+  EXPECT_EQ(approx.sources_used, 64u);
+  EXPECT_NEAR(approx.mean_distance, exact.mean_distance,
+              0.05 * exact.mean_distance);
+}
+
+TEST(SampleDistancesTest, EffectiveDiameterIs90thPercentile) {
+  // Long path: known distance distribution from source 0 only; with all
+  // sources the percentile is well-defined anyway.
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}, {2, 0}});
+  util::Rng rng(19);
+  const DistanceDistribution d = SampleDistances(g, 100, &rng);
+  EXPECT_EQ(d.median_distance, 1u);
+  EXPECT_EQ(d.effective_diameter, 2u);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,145 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/powerlaw.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(LogNormalTailTest, RecoversParamsWithoutTruncationPressure) {
+  // xmin far below the bulk: truncation barely binds, so the fitted
+  // params should approximate the true (mu, sigma).
+  util::Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.LogNormal(3.0, 0.5));
+  auto fit = FitLogNormalTail(data, 0.1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->name, "log-normal");
+  ASSERT_EQ(fit->params.size(), 2u);
+  EXPECT_NEAR(fit->params[0], 3.0, 0.05);
+  EXPECT_NEAR(fit->params[1], 0.5, 0.05);
+}
+
+TEST(LogNormalTailTest, TruncatedFitBeatsNaiveFit) {
+  // With a binding truncation the truncated MLE must achieve at least the
+  // naive (untruncated-estimate) likelihood.
+  util::Rng rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(rng.LogNormal(2.0, 1.0));
+  const double xmin = 10.0;  // above the median
+  auto fit = FitLogNormalTail(data, xmin);
+  ASSERT_TRUE(fit.ok());
+
+  const auto tail = TailOf(data, xmin);
+  double naive_mu = 0.0;
+  for (double x : tail) naive_mu += std::log(x);
+  naive_mu /= static_cast<double>(tail.size());
+  AltFit naive;
+  naive.name = "log-normal";
+  naive.params = {naive_mu, 1.0};
+  naive.xmin = xmin;
+  double naive_ll = 0.0;
+  for (double v : AltPointwiseLogLikelihood(tail, naive)) naive_ll += v;
+  EXPECT_GE(fit->log_likelihood, naive_ll - 1e-6);
+}
+
+TEST(LogNormalTailTest, NeedsTwoValues) {
+  EXPECT_FALSE(FitLogNormalTail(std::vector<double>{5.0}, 1.0).ok());
+}
+
+TEST(LogNormalTailTest, DiscreteLikelihoodsAreProperLogProbs) {
+  util::Rng rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 3000; ++i) {
+    data.push_back(std::floor(rng.LogNormal(3.0, 0.6)) + 10.0);
+  }
+  auto fit = FitLogNormalTail(data, 10.0, /*discrete=*/true);
+  ASSERT_TRUE(fit.ok());
+  const auto tail = TailOf(data, 10.0);
+  for (double ll : AltPointwiseLogLikelihood(tail, *fit)) {
+    EXPECT_LE(ll, 0.0);  // log of a probability mass
+  }
+}
+
+TEST(ExponentialTailTest, ClosedFormMle) {
+  util::Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 30000; ++i) data.push_back(5.0 + rng.Exponential(2.0));
+  auto fit = FitExponentialTail(data, 5.0);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->params.size(), 1u);
+  EXPECT_NEAR(fit->params[0], 2.0, 0.05);
+}
+
+TEST(ExponentialTailTest, DiscreteGeometricMle) {
+  util::Rng rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 30000; ++i) {
+    data.push_back(4.0 + static_cast<double>(rng.Geometric(0.3)));
+  }
+  auto fit = FitExponentialTail(data, 4.0, /*discrete=*/true);
+  ASSERT_TRUE(fit.ok());
+  // lambda = -ln(1 - p) for the geometric with success probability p.
+  EXPECT_NEAR(fit->params[0], -std::log1p(-0.3), 0.02);
+}
+
+TEST(ExponentialTailTest, DegenerateTailRejected) {
+  EXPECT_FALSE(
+      FitExponentialTail(std::vector<double>{3.0, 3.0, 3.0}, 3.0).ok());
+  EXPECT_FALSE(FitExponentialTail(std::vector<double>{}, 1.0).ok());
+}
+
+TEST(PoissonTailTest, RecoversLambdaWithoutTruncationPressure) {
+  util::Rng rng(17);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(static_cast<double>(rng.Poisson(25.0)));
+  }
+  auto fit = FitPoissonTail(data, 1.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->params[0], 25.0, 0.3);
+}
+
+TEST(PoissonTailTest, TruncatedLambdaBelowTailMean) {
+  util::Rng rng(19);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(static_cast<double>(rng.Poisson(20.0)));
+  }
+  // Condition on k >= 25 (upper tail): the truncated MLE of lambda must
+  // fall well below the conditional mean.
+  auto fit = FitPoissonTail(data, 25.0);
+  ASSERT_TRUE(fit.ok());
+  const auto tail = TailOf(data, 25.0);
+  double tail_mean = 0.0;
+  for (double x : tail) tail_mean += x;
+  tail_mean /= static_cast<double>(tail.size());
+  EXPECT_LT(fit->params[0], tail_mean);
+  EXPECT_NEAR(fit->params[0], 20.0, 3.0);
+}
+
+TEST(PoissonTailTest, RejectsNonIntegerData) {
+  EXPECT_FALSE(FitPoissonTail(std::vector<double>{1.5, 2.0}, 1.0).ok());
+}
+
+TEST(AltPointwiseTest, SumMatchesFitLogLikelihood) {
+  util::Rng rng(23);
+  std::vector<double> data;
+  for (int i = 0; i < 4000; ++i) data.push_back(2.0 + rng.Exponential(1.0));
+  auto fit = FitExponentialTail(data, 2.0);
+  ASSERT_TRUE(fit.ok());
+  const auto tail = TailOf(data, 2.0);
+  double sum = 0.0;
+  for (double v : AltPointwiseLogLikelihood(tail, *fit)) sum += v;
+  EXPECT_NEAR(sum, fit->log_likelihood, 1e-6 * std::fabs(sum));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

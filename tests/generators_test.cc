@@ -1,0 +1,162 @@
+#include "gen/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "stats/powerlaw.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  util::Rng rng(3);
+  auto g = ErdosRenyi(100, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_edges(), 500u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  util::Rng rng(5);
+  auto g = ErdosRenyi(50, 400, &rng);
+  ASSERT_TRUE(g.ok());
+  for (graph::NodeId u = 0; u < 50; ++u) {
+    EXPECT_FALSE(g->HasEdge(u, u));
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsTooManyEdges) {
+  util::Rng rng(7);
+  EXPECT_FALSE(ErdosRenyi(3, 7, &rng).ok());
+  EXPECT_TRUE(ErdosRenyi(3, 6, &rng).ok());  // exactly complete
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  util::Rng a(11), b(11);
+  auto g1 = ErdosRenyi(80, 300, &a);
+  auto g2 = ErdosRenyi(80, 300, &b);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(*g1, *g2);
+}
+
+TEST(ErdosRenyiTest, DegreeDistributionIsHomogeneous) {
+  util::Rng rng(13);
+  auto g = ErdosRenyi(2000, 40000, &rng);
+  ASSERT_TRUE(g.ok());
+  const auto stats = analysis::ComputeDegreeStats(*g);
+  EXPECT_NEAR(stats.avg_out_degree, 20.0, 0.01);
+  // Poisson(20): max should stay well below power-law-like extremes.
+  EXPECT_LT(stats.max_out_degree, 60u);
+}
+
+TEST(PreferentialAttachmentTest, NodeAndEdgeCounts) {
+  util::Rng rng(17);
+  auto g = PreferentialAttachment(500, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 500u);
+  // First nodes emit fewer edges (can't exceed existing nodes).
+  EXPECT_LE(g->num_edges(), 3u * 499u);
+  EXPECT_GE(g->num_edges(), 3u * 490u);
+}
+
+TEST(PreferentialAttachmentTest, InDegreeIsHeavyTailed) {
+  util::Rng rng(19);
+  auto g = PreferentialAttachment(5000, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  const auto stats = analysis::ComputeDegreeStats(*g);
+  // The oldest/most popular node should accumulate a large in-degree,
+  // far above the mean of ~3.
+  EXPECT_GT(stats.max_in_degree, 60u);
+  // And the in-degree tail should fit a power law plausibly.
+  std::vector<double> in_deg;
+  for (graph::NodeId u = 0; u < g->num_nodes(); ++u) {
+    if (g->InDegree(u) > 0) {
+      in_deg.push_back(static_cast<double>(g->InDegree(u)));
+    }
+  }
+  auto fit = stats::FitDiscrete(in_deg);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->alpha, 1.8);
+  EXPECT_LT(fit->alpha, 3.6);
+}
+
+TEST(PreferentialAttachmentTest, RejectsZeroFanout) {
+  util::Rng rng(23);
+  EXPECT_FALSE(PreferentialAttachment(10, 0, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  util::Rng rng(29);
+  auto g = WattsStrogatz(30, 3, 0.0, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 90u);
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    for (uint32_t j = 1; j <= 3; ++j) {
+      EXPECT_TRUE(g->HasEdge(u, (u + j) % 30));
+    }
+  }
+}
+
+TEST(WattsStrogatzTest, LatticeHasHighClustering) {
+  util::Rng rng(31);
+  auto lattice = WattsStrogatz(400, 6, 0.0, &rng);
+  auto rewired = WattsStrogatz(400, 6, 1.0, &rng);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(rewired.ok());
+  const auto c_lat = analysis::ComputeClustering(*lattice);
+  const auto c_rnd = analysis::ComputeClustering(*rewired);
+  EXPECT_GT(c_lat.average_local, 0.4);
+  EXPECT_LT(c_rnd.average_local, 0.15);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParameters) {
+  util::Rng rng(37);
+  EXPECT_FALSE(WattsStrogatz(2, 1, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, &rng).ok());
+}
+
+TEST(ConfigurationModelTest, HonorsOutDegreeSequence) {
+  util::Rng rng(41);
+  std::vector<uint32_t> out_deg(200, 5);
+  std::vector<double> weights(200, 1.0);
+  auto g = ConfigurationModel(out_deg, weights, &rng);
+  ASSERT_TRUE(g.ok());
+  for (graph::NodeId u = 0; u < 200; ++u) {
+    EXPECT_EQ(g->OutDegree(u), 5u);
+  }
+}
+
+TEST(ConfigurationModelTest, InDegreeTracksWeights) {
+  util::Rng rng(43);
+  const size_t n = 500;
+  std::vector<uint32_t> out_deg(n, 20);
+  std::vector<double> weights(n, 1.0);
+  weights[0] = 100.0;  // one very popular node
+  auto g = ConfigurationModel(out_deg, weights, &rng);
+  ASSERT_TRUE(g.ok());
+  const double avg_in =
+      static_cast<double>(g->num_edges()) / static_cast<double>(n);
+  EXPECT_GT(g->InDegree(0), 3 * avg_in);
+}
+
+TEST(ConfigurationModelTest, RejectsBadInputs) {
+  util::Rng rng(47);
+  EXPECT_FALSE(
+      ConfigurationModel({1, 2}, {1.0}, &rng).ok());  // size mismatch
+  EXPECT_FALSE(ConfigurationModel({}, {}, &rng).ok());
+  EXPECT_FALSE(ConfigurationModel({1}, {-1.0}, &rng).ok());
+  EXPECT_FALSE(ConfigurationModel({1, 1}, {0.0, 0.0}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace elitenet

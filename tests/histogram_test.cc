@@ -1,0 +1,144 @@
+#include "util/histogram.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace util {
+namespace {
+
+TEST(LinearHistogramTest, BinsValuesCorrectly) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(3.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[4].count, 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogramTest, UnderflowAndOverflowTracked) {
+  LinearHistogram h(0.0, 10.0, 2);
+  h.Add(-1.0);
+  h.Add(10.0);  // max is exclusive
+  h.Add(100.0);
+  EXPECT_EQ(h.total(), 3u);
+  uint64_t binned = 0;
+  for (const auto& b : h.bins()) binned += b.count;
+  EXPECT_EQ(binned, 0u);
+}
+
+TEST(LinearHistogramTest, AddNAccumulates) {
+  LinearHistogram h(0.0, 4.0, 4);
+  h.AddN(1.5, 10);
+  EXPECT_EQ(h.bins()[1].count, 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(LinearHistogramTest, FractionsSumToOneWhenInRange) {
+  LinearHistogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 2.5, 3.5}) h.Add(x);
+  double sum = 0.0;
+  for (const auto& b : h.bins()) sum += b.fraction;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(LogHistogramTest, ZeroBinCatchesSmallValues) {
+  LogHistogram h(1.0, 2.0, 10);
+  h.Add(0.0);
+  h.Add(0.5);
+  h.Add(1.0);
+  const auto bins = h.bins();
+  EXPECT_EQ(bins[0].count, 2u);  // zero bin
+  EXPECT_EQ(bins[1].count, 1u);  // [1, 2)
+}
+
+TEST(LogHistogramTest, DoublingBinEdges) {
+  LogHistogram h(1.0, 2.0, 4);
+  h.Add(1.5);   // [1,2)
+  h.Add(3.0);   // [2,4)
+  h.Add(7.9);   // [4,8)
+  h.Add(8.01);  // [8,16)
+  const auto bins = h.bins();
+  ASSERT_GE(bins.size(), 5u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_EQ(bins[3].count, 1u);
+  EXPECT_EQ(bins[4].count, 1u);
+  EXPECT_NEAR(bins[1].lo, 1.0, 1e-9);
+  EXPECT_NEAR(bins[2].lo, 2.0, 1e-9);
+  EXPECT_NEAR(bins[3].lo, 4.0, 1e-9);
+}
+
+TEST(LogHistogramTest, OverflowBinAppears) {
+  LogHistogram h(1.0, 2.0, 2);  // covers [1, 4)
+  h.Add(100.0);
+  const auto bins = h.bins();
+  EXPECT_EQ(bins.back().count, 1u);
+  EXPECT_TRUE(std::isinf(bins.back().hi));
+}
+
+TEST(LogHistogramTest, AsciiChartMentionsCounts) {
+  LogHistogram h(1.0, 2.0, 4);
+  for (int i = 0; i < 12; ++i) h.Add(1.5);
+  const std::string chart = h.ToAsciiChart("degree");
+  EXPECT_NE(chart.find("degree"), std::string::npos);
+  EXPECT_NE(chart.find("12"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(IntHistogramTest, CountsAndTotal) {
+  IntHistogram h;
+  h.Add(1);
+  h.Add(2, 5);
+  h.Add(2);
+  EXPECT_EQ(h.CountOf(1), 1u);
+  EXPECT_EQ(h.CountOf(2), 6u);
+  EXPECT_EQ(h.CountOf(99), 0u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.max_value(), 2u);
+}
+
+TEST(IntHistogramTest, MeanIsWeightedAverage) {
+  IntHistogram h;
+  h.Add(2, 3);
+  h.Add(4, 1);
+  EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(IntHistogramTest, QuantilesStepThroughMass) {
+  IntHistogram h;
+  h.Add(1, 50);
+  h.Add(2, 40);
+  h.Add(10, 10);
+  EXPECT_EQ(h.Quantile(0.5), 1u);
+  EXPECT_EQ(h.Quantile(0.51), 2u);
+  EXPECT_EQ(h.Quantile(0.9), 2u);
+  EXPECT_EQ(h.Quantile(0.91), 10u);
+  EXPECT_EQ(h.Quantile(1.0), 10u);
+}
+
+TEST(IntHistogramTest, MaxValueOfEmptyIsZero) {
+  IntHistogram h;
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(IntHistogramTest, AsciiChartHasRowPerValue) {
+  IntHistogram h;
+  h.Add(0, 2);
+  h.Add(3, 4);
+  const std::string chart = h.ToAsciiChart("hops");
+  // Rows for values 0..3 plus a header.
+  int newlines = 0;
+  for (char c : chart) newlines += c == '\n';
+  EXPECT_EQ(newlines, 5);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,99 @@
+#include "analysis/hits.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(HitsTest, EmptyGraph) {
+  auto r = Hits(DiGraph());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->hub.empty());
+}
+
+TEST(HitsTest, RejectsBadOptions) {
+  HitsOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(Hits(Build(2, {{0, 1}}), opts).ok());
+}
+
+TEST(HitsTest, StarAuthority) {
+  // 1, 2, 3 all follow 0: node 0 is the lone authority, the others
+  // equal hubs.
+  const DiGraph g = Build(4, {{1, 0}, {2, 0}, {3, 0}});
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->authority[0], 1.0, 1e-9);
+  EXPECT_NEAR(r->authority[1], 0.0, 1e-9);
+  EXPECT_NEAR(r->hub[0], 0.0, 1e-9);
+  EXPECT_NEAR(r->hub[1], r->hub[2], 1e-12);
+  EXPECT_NEAR(r->hub[1], 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(HitsTest, ScoresAreUnitNorm) {
+  const DiGraph g = Build(5, {{0, 1}, {0, 2}, {3, 2}, {4, 1}, {2, 4}});
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  double hub_norm = 0.0, auth_norm = 0.0;
+  for (double x : r->hub) hub_norm += x * x;
+  for (double x : r->authority) auth_norm += x * x;
+  EXPECT_NEAR(hub_norm, 1.0, 1e-9);
+  EXPECT_NEAR(auth_norm, 1.0, 1e-9);
+}
+
+TEST(HitsTest, BipartiteHubAuthoritySeparation) {
+  // Hubs {0,1} each point at authorities {2,3,4}.
+  const DiGraph g =
+      Build(5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId u : {0u, 1u}) {
+    EXPECT_GT(r->hub[u], 0.5);
+    EXPECT_NEAR(r->authority[u], 0.0, 1e-9);
+  }
+  for (NodeId v : {2u, 3u, 4u}) {
+    EXPECT_GT(r->authority[v], 0.4);
+    EXPECT_NEAR(r->hub[v], 0.0, 1e-9);
+  }
+}
+
+TEST(HitsTest, BetterConnectedAuthorityWins) {
+  // 2 is followed by both hubs; 3 by only one.
+  const DiGraph g = Build(4, {{0, 2}, {1, 2}, {1, 3}});
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->authority[2], r->authority[3]);
+  // And 1, following two authorities, out-hubs 0.
+  EXPECT_GT(r->hub[1], r->hub[0]);
+}
+
+TEST(HitsTest, IsolatedNodesScoreZero) {
+  const DiGraph g = Build(4, {{0, 1}});
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->hub[2], 0.0, 1e-12);
+  EXPECT_NEAR(r->authority[3], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,137 @@
+#include "analysis/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  const KCoreResult r = KCoreDecomposition(DiGraph());
+  EXPECT_TRUE(r.coreness.empty());
+  EXPECT_EQ(r.max_core, 0u);
+}
+
+TEST(KCoreTest, IsolatedNodesAreZeroCore) {
+  GraphBuilder b(4);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const KCoreResult r = KCoreDecomposition(*g);
+  for (uint32_t c : r.coreness) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(r.innermost_size, 4u);
+}
+
+TEST(KCoreTest, PathIsOneCore) {
+  const DiGraph g = Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const KCoreResult r = KCoreDecomposition(g);
+  for (uint32_t c : r.coreness) EXPECT_EQ(c, 1u);
+  EXPECT_EQ(r.max_core, 1u);
+}
+
+TEST(KCoreTest, TriangleIsTwoCore) {
+  const DiGraph g = Build(3, {{0, 1}, {1, 2}, {2, 0}});
+  const KCoreResult r = KCoreDecomposition(g);
+  for (uint32_t c : r.coreness) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCoreTest, TriangleWithPendant) {
+  const DiGraph g = Build(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  const KCoreResult r = KCoreDecomposition(g);
+  EXPECT_EQ(r.coreness[0], 2u);
+  EXPECT_EQ(r.coreness[1], 2u);
+  EXPECT_EQ(r.coreness[2], 2u);
+  EXPECT_EQ(r.coreness[3], 1u);
+  EXPECT_EQ(r.max_core, 2u);
+  EXPECT_EQ(r.innermost_size, 3u);
+}
+
+TEST(KCoreTest, CliqueCoreNumber) {
+  // Directed K5 (all ordered pairs): undirected K5, coreness 4.
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const KCoreResult r = KCoreDecomposition(*g);
+  for (uint32_t c : r.coreness) EXPECT_EQ(c, 4u);
+}
+
+TEST(KCoreTest, MutualEdgesCountOnce) {
+  // Mutual pair: undirected degree 1 each, coreness 1.
+  const DiGraph g = Build(2, {{0, 1}, {1, 0}});
+  const KCoreResult r = KCoreDecomposition(g);
+  EXPECT_EQ(r.coreness[0], 1u);
+  EXPECT_EQ(r.coreness[1], 1u);
+}
+
+TEST(KCoreTest, CliquePlusChainPeelsCorrectly) {
+  // K4 on {0..3} plus chain 3-4-5.
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) {
+      ASSERT_TRUE(b.AddEdge(u, v).ok());
+    }
+  }
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  ASSERT_TRUE(b.AddEdge(4, 5).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const KCoreResult r = KCoreDecomposition(*g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(r.coreness[u], 3u);
+  EXPECT_EQ(r.coreness[4], 1u);
+  EXPECT_EQ(r.coreness[5], 1u);
+}
+
+TEST(KCoreTest, CorenessBoundedByDegree) {
+  util::Rng rng(7);
+  auto g = gen::PreferentialAttachment(2000, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  const KCoreResult r = KCoreDecomposition(*g);
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    const uint32_t undirected_max = g->OutDegree(u) + g->InDegree(u);
+    EXPECT_LE(r.coreness[u], undirected_max);
+  }
+}
+
+TEST(KCoreTest, InnermostCoreIsSelfConsistent) {
+  // Every node of the max core has >= max_core neighbors inside it.
+  util::Rng rng(11);
+  auto g = gen::ErdosRenyi(500, 5000, &rng);
+  ASSERT_TRUE(g.ok());
+  const KCoreResult r = KCoreDecomposition(*g);
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    if (r.coreness[u] != r.max_core) continue;
+    uint32_t inside = 0;
+    for (NodeId v : UndirectedNeighbors(*g, u)) {
+      if (r.coreness[v] >= r.max_core) ++inside;
+    }
+    EXPECT_GE(inside, r.max_core);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,137 @@
+#include "timeseries/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+TEST(MatrixTest, StoresAndRetrieves) {
+  Matrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 2) = -4.5;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(MatrixTest, FillValue) {
+  Matrix m(2, 2, 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(LeastSquaresTest, ExactSquareSystem) {
+  // [1 1; 1 2] x = [3; 5] -> x = (1, 2).
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  auto sol = SolveLeastSquares(a, {3.0, 5.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-12);
+  EXPECT_NEAR(sol->rss, 0.0, 1e-20);
+}
+
+TEST(LeastSquaresTest, OverdeterminedRegressionLine) {
+  // Fit y = 2 + 3x through noisy-free points: exact recovery.
+  const int n = 10;
+  Matrix a(n, 2);
+  std::vector<double> b(n);
+  for (int i = 0; i < n; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 2.0 + 3.0 * i;
+  }
+  auto sol = SolveLeastSquares(a, b);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-10);
+  EXPECT_NEAR(sol->x[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, ResidualIsOrthogonalProjection) {
+  // One column: projection of b onto a. rss = |b|^2 - (a.b)^2/|a|^2.
+  Matrix a(3, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 1;
+  auto sol = SolveLeastSquares(a, {1.0, 2.0, 6.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-12);  // mean
+  EXPECT_NEAR(sol->rss, 14.0, 1e-10);  // (1-3)^2+(2-3)^2+(6-3)^2
+}
+
+TEST(LeastSquaresTest, XtxInvDiagMatchesClosedForm) {
+  // For a single centered column, (AᵀA)⁻¹ = 1/Σx².
+  Matrix a(4, 1);
+  a(0, 0) = 1;
+  a(1, 0) = -1;
+  a(2, 0) = 2;
+  a(3, 0) = -2;
+  auto sol = SolveLeastSquares(a, {0.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->xtx_inv_diag[0], 1.0 / 10.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, XtxInvDiagTwoColumnOrthogonal) {
+  Matrix a(4, 2, 0.0);
+  // Orthogonal columns with norms² 4 and 20.
+  for (int i = 0; i < 4; ++i) a(i, 0) = 1.0;
+  a(0, 1) = 3.0;
+  a(1, 1) = -3.0;
+  a(2, 1) = 1.0;
+  a(3, 1) = -1.0;
+  auto sol = SolveLeastSquares(a, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->xtx_inv_diag[0], 0.25, 1e-12);
+  EXPECT_NEAR(sol->xtx_inv_diag[1], 0.05, 1e-12);
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  Matrix a(1, 2, 1.0);
+  EXPECT_FALSE(SolveLeastSquares(a, {1.0}).ok());
+}
+
+TEST(LeastSquaresTest, RejectsCollinearColumns) {
+  Matrix a(5, 2);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = i + 1.0;
+    a(i, 1) = 2.0 * (i + 1.0);  // exact multiple
+  }
+  auto sol = SolveLeastSquares(a, {1, 2, 3, 4, 5});
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LeastSquaresTest, RejectsSizeMismatch) {
+  Matrix a(3, 1, 1.0);
+  EXPECT_FALSE(SolveLeastSquares(a, {1.0, 2.0}).ok());
+}
+
+TEST(LeastSquaresTest, IllConditionedStillAccurate) {
+  // Vandermonde-ish: QR should handle moderate conditioning.
+  const int n = 20;
+  Matrix a(n, 3);
+  std::vector<double> b(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = i / 19.0;
+    a(i, 0) = 1.0;
+    a(i, 1) = t;
+    a(i, 2) = t * t;
+    b[i] = 0.5 - 1.25 * t + 4.0 * t * t;
+  }
+  auto sol = SolveLeastSquares(a, b);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.5, 1e-8);
+  EXPECT_NEAR(sol->x[1], -1.25, 1e-8);
+  EXPECT_NEAR(sol->x[2], 4.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

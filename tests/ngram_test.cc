@@ -1,0 +1,125 @@
+#include "text/ngram.h"
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace text {
+namespace {
+
+TEST(NGramCounterTest, UnigramCounts) {
+  NGramCounter c(1);
+  c.AddDocument("Journalist. Author. Journalist");
+  EXPECT_EQ(c.CountOf("journalist"), 2u);
+  EXPECT_EQ(c.CountOf("author"), 1u);
+  EXPECT_EQ(c.total_ngrams(), 3u);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(NGramCounterTest, UnigramStopwordsFiltered) {
+  NGramCounter c(1);
+  c.AddDocument("the best of the best");
+  EXPECT_EQ(c.CountOf("the"), 0u);
+  EXPECT_EQ(c.CountOf("best"), 2u);
+}
+
+TEST(NGramCounterTest, BigramsWithinClauseOnly) {
+  NGramCounter c(2);
+  c.AddDocument("Official Twitter, Acme Media");
+  EXPECT_EQ(c.CountOf("official twitter"), 1u);
+  EXPECT_EQ(c.CountOf("acme media"), 1u);
+  // The comma is a clause break: no bigram spans it.
+  EXPECT_EQ(c.CountOf("twitter acme"), 0u);
+}
+
+TEST(NGramCounterTest, MajorityStopwordNGramsDropped) {
+  NGramCounter c(2);
+  c.AddDocument("to the moon");
+  // "to the" is 2/2 stop words -> dropped; "the moon" is 1/2 -> kept.
+  EXPECT_EQ(c.CountOf("to the"), 0u);
+  EXPECT_EQ(c.CountOf("the moon"), 1u);
+}
+
+TEST(NGramCounterTest, TrigramMinorityStopwordKept) {
+  NGramCounter c(3);
+  c.AddDocument("Editor in Chief");
+  c.AddDocument("Monday to Friday");
+  EXPECT_EQ(c.CountOf("editor in chief"), 1u);
+  EXPECT_EQ(c.CountOf("monday to friday"), 1u);
+}
+
+TEST(NGramCounterTest, NoFilteringWhenDisabled) {
+  NGramCounter c(2, /*filter_stopwords=*/false);
+  c.AddDocument("to the moon");
+  EXPECT_EQ(c.CountOf("to the"), 1u);
+}
+
+TEST(NGramCounterTest, ShortClausesProduceNothing) {
+  NGramCounter c(3);
+  c.AddDocument("Husband. Father. Coach");
+  EXPECT_EQ(c.total_ngrams(), 0u);
+}
+
+TEST(NGramCounterTest, TopKOrdersByCountThenAlpha) {
+  NGramCounter c(1);
+  c.AddDocument("zebra zebra apple apple mango");
+  const auto top = c.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].ngram, "apple");  // tie with zebra broken alphabetically
+  EXPECT_EQ(top[1].ngram, "zebra");
+  EXPECT_EQ(top[2].ngram, "mango");
+}
+
+TEST(NGramCounterTest, TopKClampsToDistinct) {
+  NGramCounter c(1);
+  c.AddDocument("single");
+  EXPECT_EQ(c.TopK(10).size(), 1u);
+}
+
+TEST(TitleCaseTest, CapitalizesEachWord) {
+  EXPECT_EQ(TitleCase("official twitter account"),
+            "Official Twitter Account");
+  EXPECT_EQ(TitleCase("a"), "A");
+  EXPECT_EQ(TitleCase(""), "");
+}
+
+TEST(FilterSubsumedTest, DropsFullyExplainedBigram) {
+  NGramCounter bigrams(2), trigrams(3);
+  for (int i = 0; i < 10; ++i) {
+    bigrams.AddDocument("official twitter account");
+    trigrams.AddDocument("official twitter account");
+  }
+  // "twitter account" (10) is fully subsumed by the trigram (10);
+  // "official twitter" also appears 10 times... also subsumed here.
+  // Add standalone occurrences so "official twitter" survives.
+  for (int i = 0; i < 15; ++i) bigrams.AddDocument("official twitter");
+
+  const auto kept = FilterSubsumed(bigrams.TopK(10), trigrams);
+  bool has_official_twitter = false, has_twitter_account = false;
+  for (const auto& g : kept) {
+    if (g.ngram == "official twitter") has_official_twitter = true;
+    if (g.ngram == "twitter account") has_twitter_account = true;
+  }
+  EXPECT_TRUE(has_official_twitter);   // 25 vs parent 10: kept
+  EXPECT_FALSE(has_twitter_account);   // 10 vs parent 10: dropped
+}
+
+TEST(FilterSubsumedTest, KeepsIndependentPhrases) {
+  NGramCounter bigrams(2), trigrams(3);
+  bigrams.AddDocument("husband father");
+  const auto kept = FilterSubsumed(bigrams.TopK(10), trigrams);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].ngram, "husband father");
+}
+
+TEST(FilterSubsumedTest, RatioControlsAggressiveness) {
+  NGramCounter bigrams(2), trigrams(3);
+  for (int i = 0; i < 10; ++i) bigrams.AddDocument("award winning");
+  for (int i = 0; i < 6; ++i) trigrams.AddDocument("emmy award winning");
+  // Parent covers 60% of the bigram.
+  EXPECT_EQ(FilterSubsumed(bigrams.TopK(5), trigrams, 0.9).size(), 1u);
+  EXPECT_EQ(FilterSubsumed(bigrams.TopK(5), trigrams, 0.5).size(), 0u);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace elitenet

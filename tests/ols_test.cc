@@ -1,0 +1,107 @@
+#include "timeseries/ols.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+TEST(OlsTest, RecoversCoefficientsWithNoise) {
+  util::Rng rng(3);
+  const int n = 2000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Normal();
+    y[i] = 1.5 + 0.7 * x(i, 1) + 0.1 * rng.Normal();
+  }
+  auto fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 1.5, 0.02);
+  EXPECT_NEAR(fit->coefficients[1], 0.7, 0.02);
+  EXPECT_GT(fit->r_squared, 0.9);
+}
+
+TEST(OlsTest, StandardErrorsCalibrated) {
+  // For y = b x + e with x ~ N(0,1), e ~ N(0, s²):
+  // se(b) ≈ s / sqrt(n). t-stat of a true zero coefficient should be
+  // modest; of a strong one, large.
+  util::Rng rng(5);
+  const int n = 5000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Normal();
+    y[i] = 2.0 * x(i, 1) + rng.Normal();
+  }
+  auto fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->std_errors[1], 1.0 / std::sqrt(n), 0.002);
+  EXPECT_GT(fit->t_statistics[1], 50.0);
+  EXPECT_LT(std::fabs(fit->t_statistics[0]), 4.0);
+}
+
+TEST(OlsTest, PerfectFitHasZeroRss) {
+  Matrix x(4, 2);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = i;
+    y[i] = 3.0 - 2.0 * i;
+  }
+  auto fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rss, 0.0, 1e-18);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(OlsTest, AicPenalizesExtraUselessRegressor) {
+  util::Rng rng(7);
+  const int n = 400;
+  Matrix x1(n, 2), x2(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    x1(i, 0) = 1.0;
+    x1(i, 1) = v;
+    x2(i, 0) = 1.0;
+    x2(i, 1) = v;
+    x2(i, 2) = rng.Normal();  // junk regressor
+    y[i] = 0.5 * v + rng.Normal();
+  }
+  auto f1 = FitOls(x1, y);
+  auto f2 = FitOls(x2, y);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  // The junk column cannot buy 2 AIC points on average.
+  EXPECT_LT(f1->aic, f2->aic + 2.0);
+}
+
+TEST(OlsTest, LogLikelihoodMatchesGaussianFormula) {
+  Matrix x(5, 1, 1.0);
+  const std::vector<double> y{1.0, 2.0, 3.0, 4.0, 5.0};
+  auto fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok());
+  const double n = 5.0;
+  const double sigma2 = fit->rss / n;
+  const double expect =
+      -0.5 * n * (std::log(2.0 * M_PI) + std::log(sigma2) + 1.0);
+  EXPECT_NEAR(fit->log_likelihood, expect, 1e-10);
+  EXPECT_NEAR(fit->aic, 2.0 - 2.0 * expect, 1e-10);
+  EXPECT_NEAR(fit->bic, std::log(5.0) - 2.0 * expect, 1e-10);
+}
+
+TEST(OlsTest, RejectsTooFewObservations) {
+  Matrix x(2, 2, 1.0);
+  EXPECT_FALSE(FitOls(x, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,78 @@
+#include "stats/optimize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(GoldenSectionTest, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 2.0; };
+  const ScalarMin m = MinimizeGoldenSection(f, -10.0, 10.0);
+  EXPECT_NEAR(m.x, 3.0, 1e-6);
+  EXPECT_NEAR(m.fx, 2.0, 1e-10);
+}
+
+TEST(GoldenSectionTest, MinimumAtBoundary) {
+  const auto f = [](double x) { return x; };
+  const ScalarMin m = MinimizeGoldenSection(f, 1.0, 5.0);
+  EXPECT_NEAR(m.x, 1.0, 1e-5);
+}
+
+TEST(GoldenSectionTest, NonSymmetricUnimodal) {
+  const auto f = [](double x) { return std::cosh(x - 0.7); };
+  const ScalarMin m = MinimizeGoldenSection(f, -3.0, 4.0);
+  EXPECT_NEAR(m.x, 0.7, 1e-6);
+}
+
+TEST(NelderMeadTest, Quadratic2D) {
+  const auto f = [](const std::vector<double>& p) {
+    const double dx = p[0] - 1.0;
+    const double dy = p[1] + 2.0;
+    return dx * dx + 3.0 * dy * dy;
+  };
+  const SimplexMin m = MinimizeNelderMead(f, {0.0, 0.0});
+  EXPECT_TRUE(m.converged);
+  EXPECT_NEAR(m.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(m.x[1], -2.0, 1e-4);
+}
+
+TEST(NelderMeadTest, Rosenbrock) {
+  const auto f = [](const std::vector<double>& p) {
+    const double a = 1.0 - p[0];
+    const double b = p[1] - p[0] * p[0];
+    return a * a + 100.0 * b * b;
+  };
+  const SimplexMin m = MinimizeNelderMead(f, {-1.2, 1.0}, 0.5, 1e-14, 5000);
+  EXPECT_NEAR(m.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(m.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, OneDimensional) {
+  const auto f = [](const std::vector<double>& p) {
+    return std::pow(p[0] - 4.0, 2);
+  };
+  const SimplexMin m = MinimizeNelderMead(f, {0.0});
+  EXPECT_NEAR(m.x[0], 4.0, 1e-4);
+}
+
+TEST(BisectTest, FindsSimpleRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  EXPECT_NEAR(FindRootBisect(f, 0.0, 2.0), std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectTest, DecreasingFunction) {
+  const auto f = [](double x) { return 5.0 - x; };
+  EXPECT_NEAR(FindRootBisect(f, 0.0, 10.0), 5.0, 1e-9);
+}
+
+TEST(BisectTest, RootAtEndpoint) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(FindRootBisect(f, 0.0, 1.0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

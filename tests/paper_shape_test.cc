@@ -1,0 +1,175 @@
+// Shape tests against the paper's reported numbers at a reduced scale:
+// every headline claim of Sections III-V must hold qualitatively for the
+// default-configured synthetic study. These are the assertions
+// EXPERIMENTS.md cites.
+
+#include <gtest/gtest.h>
+
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+#include "core/paper_reference.h"
+#include "core/study.h"
+
+namespace elitenet {
+namespace core {
+namespace {
+
+// 12k users keeps this suite under a few seconds while leaving the
+// fractions meaningful.
+const VerifiedStudy& ShapeStudy() {
+  static const VerifiedStudy* study = [] {
+    StudyConfig cfg;
+    cfg.network.num_users = 12000;
+    cfg.bootstrap_replicates = 10;
+    cfg.distance_sources = 24;
+    cfg.betweenness_pivots = 96;
+    cfg.clustering_samples = 4000;
+    cfg.eigenvalue_k = 120;
+    auto* s = new VerifiedStudy(cfg);
+    EXPECT_TRUE(s->Generate().ok());
+    return s;
+  }();
+  return *study;
+}
+
+double Scale() {
+  return static_cast<double>(ShapeStudy().network().graph.num_nodes()) /
+         static_cast<double>(paper::kUsersEnglish);
+}
+
+TEST(PaperShapeTest, SectionIII_DatasetShape) {
+  const auto& g = ShapeStudy().network().graph;
+  // Density 0.00148 (the key scale-free quantity).
+  EXPECT_NEAR(g.Density(), paper::kDensity, 0.15 * paper::kDensity);
+  // Isolated users scale with the paper's 6,027 / 231,246.
+  const auto deg = analysis::ComputeDegreeStats(g);
+  EXPECT_NEAR(static_cast<double>(deg.isolated_nodes),
+              paper::kIsolatedUsers * Scale(),
+              0.1 * paper::kIsolatedUsers * Scale() + 3.0);
+}
+
+TEST(PaperShapeTest, SectionIVA_GiantSccAndComponents) {
+  auto basic = ShapeStudy().RunBasic();
+  ASSERT_TRUE(basic.ok());
+  // GSCC 97.24% of users.
+  EXPECT_NEAR(basic->giant_scc_fraction, paper::kGiantSccFraction, 0.02);
+  // Weak components scale with 6,251.
+  EXPECT_NEAR(static_cast<double>(basic->weak_components),
+              paper::kConnectedComponents * Scale(),
+              0.15 * paper::kConnectedComponents * Scale());
+  // Attracting components scale with 6,091 and exceed the isolated count.
+  EXPECT_NEAR(static_cast<double>(basic->attracting_components),
+              paper::kAttractingComponents * Scale(),
+              0.15 * paper::kAttractingComponents * Scale());
+}
+
+TEST(PaperShapeTest, SectionIVA_ClusteringAndAssortativity) {
+  auto basic = ShapeStudy().RunBasic();
+  ASSERT_TRUE(basic.ok());
+  // Clustering 0.1583: same order, within a factor ~1.6 at reduced scale.
+  EXPECT_GT(basic->clustering.average_local, 0.08);
+  EXPECT_LT(basic->clustering.average_local, 0.25);
+  // Slight dissortativity (paper: -0.04) — negative but small.
+  EXPECT_LT(basic->assortativity.out_in, 0.0);
+  EXPECT_GT(basic->assortativity.out_in, -0.15);
+}
+
+TEST(PaperShapeTest, SectionIVC_Reciprocity) {
+  const auto rec =
+      analysis::ComputeReciprocity(ShapeStudy().network().graph);
+  // 33.7%, above whole-Twitter's 22.1% and below Flickr's 68%.
+  EXPECT_NEAR(rec.rate, paper::kReciprocity, 0.04);
+  EXPECT_GT(rec.rate, paper::kReciprocityWholeTwitter);
+  EXPECT_LT(rec.rate, paper::kReciprocityFlickr);
+}
+
+TEST(PaperShapeTest, SectionIVB_OutDegreePowerLaw) {
+  auto fit = ShapeStudy().RunOutDegreeFit(/*with_bootstrap=*/true);
+  ASSERT_TRUE(fit.ok());
+  // Alpha 3.24 +- band; xmin scales like 1334 (i.e. ~3.9x mean degree).
+  EXPECT_NEAR(fit->fit.alpha, paper::kOutDegreeAlpha, 0.35);
+  const double mean_degree =
+      ShapeStudy().network().graph.Density() *
+      static_cast<double>(ShapeStudy().network().graph.num_nodes());
+  EXPECT_GT(fit->fit.xmin, 1.5 * mean_degree);
+  // Goodness of fit: p > 0.1 (paper: 0.13).
+  ASSERT_TRUE(fit->gof.has_value());
+  EXPECT_GT(fit->gof->p_value, 0.1);
+  // Vuong: exponential and Poisson decisively rejected.
+  ASSERT_TRUE(fit->vs_exponential.has_value());
+  EXPECT_GT(fit->vs_exponential->log_likelihood_ratio, 10.0);
+  if (fit->vs_poisson.has_value()) {
+    EXPECT_GT(fit->vs_poisson->log_likelihood_ratio, 10.0);
+  }
+  // Log-normal must not be decisively better than the power law.
+  ASSERT_TRUE(fit->vs_lognormal.has_value());
+  EXPECT_GT(fit->vs_lognormal->statistic, -2.0);
+}
+
+TEST(PaperShapeTest, SectionIVB_EigenvaluePowerLaw) {
+  auto fit = ShapeStudy().RunEigenvalueFit(/*with_bootstrap=*/false);
+  ASSERT_TRUE(fit.ok());
+  // Paper: alpha 3.18. The spectral tail at reduced scale is noisier;
+  // require the right ballpark.
+  EXPECT_GT(fit->fit.alpha, 2.2);
+  EXPECT_LT(fit->fit.alpha, 4.2);
+}
+
+TEST(PaperShapeTest, SectionIVD_DegreesOfSeparation) {
+  auto d = ShapeStudy().RunDistances();
+  ASSERT_TRUE(d.ok());
+  // Mean distance 2.74; the network is smaller so allow a wider band,
+  // but it must stay well below the whole-Twitter 4.12.
+  EXPECT_GT(d->mean_distance, 2.0);
+  EXPECT_LT(d->mean_distance, paper::kMeanDistanceWholeTwitterSampled);
+  // Effective diameter in single digits (MSN-scale networks had 7.8).
+  EXPECT_LE(d->effective_diameter, 6u);
+}
+
+TEST(PaperShapeTest, Fig5_CentralityPredictsReach) {
+  auto rel = ShapeStudy().RunCentralityRelations();
+  ASSERT_TRUE(rel.ok());
+  // All six trends positive.
+  for (const auto& r : *rel) {
+    EXPECT_GT(r.curve.spearman, 0.0) << r.x_name << " vs " << r.y_name;
+  }
+  // PageRank-followers stronger than betweenness-followers ("especially
+  // strong" in the paper), and lists-followers the strongest panel.
+  EXPECT_GT((*rel)[3].curve.spearman, (*rel)[1].curve.spearman);
+  EXPECT_GT((*rel)[5].curve.spearman, 0.6);
+  // Statuses-followers is the weakest but still positive (Fig. 5e).
+  EXPECT_LT((*rel)[4].curve.spearman, (*rel)[5].curve.spearman);
+}
+
+TEST(PaperShapeTest, SectionV_ActivityBattery) {
+  auto act = ShapeStudy().RunActivity();
+  ASSERT_TRUE(act.ok());
+  EXPECT_LT(act->ljung_box.max_p_value, 1e-20);
+  EXPECT_LT(act->box_pierce.max_p_value, 1e-20);
+  EXPECT_LT(act->adf.statistic, paper::kAdfCritical95);
+  EXPECT_NEAR(act->adf.crit_5pct, paper::kAdfCritical95, 0.01);
+  ASSERT_EQ(act->change_dates.size(),
+            static_cast<size_t>(paper::kChangePoints));
+  EXPECT_EQ(act->change_dates[0].month, 12);
+  EXPECT_EQ(act->change_dates[1].month, 4);
+}
+
+TEST(PaperShapeTest, TablesIAndII_TopPhrases) {
+  auto text = ShapeStudy().RunText();
+  ASSERT_TRUE(text.ok());
+  ASSERT_GE(text->top_bigrams.size(), 10u);
+  EXPECT_EQ(text->top_bigrams[0].ngram, "official twitter");
+  ASSERT_GE(text->top_trigrams.size(), 3u);
+  EXPECT_EQ(text->top_trigrams[0].ngram, "official twitter account");
+  EXPECT_EQ(text->top_trigrams[1].ngram, "official twitter page");
+  // The ratio head/second in Table I is ~4.4; require same regime.
+  const double ratio = static_cast<double>(text->top_bigrams[0].count) /
+                       static_cast<double>(text->top_bigrams[1].count);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 7.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elitenet

@@ -1,0 +1,158 @@
+#include "timeseries/pelt.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace timeseries {
+namespace {
+
+std::vector<double> Segments(const std::vector<std::pair<int, double>>& spec,
+                             double sigma, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  for (const auto& [len, mean] : spec) {
+    for (int i = 0; i < len; ++i) out.push_back(mean + sigma * rng.Normal());
+  }
+  return out;
+}
+
+TEST(PeltTest, NoChangePointInHomogeneousSeries) {
+  const auto s = Segments({{200, 5.0}}, 1.0, 3);
+  auto r = Pelt(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->change_points.empty());
+}
+
+TEST(PeltTest, SingleMeanShiftFound) {
+  const auto s = Segments({{100, 0.0}, {100, 3.0}}, 1.0, 5);
+  auto r = Pelt(s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->change_points.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(r->change_points[0]), 100.0, 3.0);
+}
+
+TEST(PeltTest, MultipleShiftsFound) {
+  const auto s =
+      Segments({{80, 0.0}, {80, 4.0}, {80, -2.0}, {80, 1.0}}, 1.0, 7);
+  PeltOptions opts;
+  opts.penalty = 40.0;  // firmly above the noise floor for n = 320
+  auto r = Pelt(s, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->change_points.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(r->change_points[0]), 80.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(r->change_points[1]), 160.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(r->change_points[2]), 240.0, 3.0);
+}
+
+TEST(PeltTest, VarianceChangeDetected) {
+  // Same mean, variance jumps 1 -> 25.
+  const auto a = Segments({{150, 0.0}}, 1.0, 11);
+  const auto b = Segments({{150, 0.0}}, 5.0, 13);
+  std::vector<double> s(a);
+  s.insert(s.end(), b.begin(), b.end());
+  auto r = Pelt(s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->change_points.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(r->change_points[0]), 150.0, 8.0);
+}
+
+TEST(PeltTest, HighPenaltySuppressesSmallShifts) {
+  const auto s = Segments({{100, 0.0}, {100, 0.5}}, 1.0, 17);
+  PeltOptions opts;
+  opts.penalty = 1000.0;
+  auto r = Pelt(s, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->change_points.empty());
+}
+
+TEST(PeltTest, LowPenaltyFindsMore) {
+  const auto s = Segments({{100, 0.0}, {100, 1.0}}, 1.0, 19);
+  PeltOptions high, low;
+  high.penalty = 200.0;
+  low.penalty = 5.0;
+  auto rh = Pelt(s, high);
+  auto rl = Pelt(s, low);
+  ASSERT_TRUE(rh.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_GE(rl->change_points.size(), rh->change_points.size());
+}
+
+TEST(PeltTest, MinSegmentLengthRespected) {
+  const auto s = Segments({{50, 0.0}, {50, 5.0}}, 0.5, 23);
+  PeltOptions opts;
+  opts.min_segment_length = 10;
+  opts.penalty = 1.0;  // aggressive
+  auto r = Pelt(s, opts);
+  ASSERT_TRUE(r.ok());
+  size_t prev = 0;
+  for (size_t cp : r->change_points) {
+    EXPECT_GE(cp - prev, 10u);
+    prev = cp;
+  }
+  EXPECT_GE(s.size() - prev, 10u);
+}
+
+TEST(PeltTest, RejectsTooShortSeries) {
+  EXPECT_FALSE(Pelt(std::vector<double>{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(PeltTest, PruningActuallyPrunes) {
+  const auto s = Segments({{300, 0.0}, {300, 6.0}}, 1.0, 29);
+  auto r = Pelt(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->pruned, 100u);
+}
+
+TEST(PeltTest, OptimalCostIsNotWorseThanNoSegmentation) {
+  const auto s = Segments({{100, 0.0}, {100, 8.0}}, 1.0, 31);
+  auto r = Pelt(s);
+  ASSERT_TRUE(r.ok());
+  // Cost of no segmentation: whole-series Normal cost (penalty cancels
+  // against F(0) = -beta ... + beta for one segment).
+  double mean = 0.0;
+  for (double x : s) mean += x;
+  mean /= static_cast<double>(s.size());
+  double var = 0.0;
+  for (double x : s) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(s.size());
+  const double whole =
+      static_cast<double>(s.size()) *
+      (std::log(2.0 * M_PI) + std::log(var) + 1.0);
+  EXPECT_LE(r->total_cost, whole + 1e-9);
+}
+
+TEST(PeltSweepTest, StableChangePointsForStrongShifts) {
+  const auto s = Segments({{120, 0.0}, {120, 5.0}, {120, 0.0}}, 1.0, 37);
+  auto r = PeltPenaltySweep(s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->stable.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(r->stable[0].index), 120.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(r->stable[1].index), 240.0, 4.0);
+  for (const auto& cp : r->stable) {
+    EXPECT_GE(cp.support, 0.5);
+    EXPECT_LE(cp.support, 1.0);  // per-run dedup keeps support a fraction
+  }
+}
+
+TEST(PeltSweepTest, HomogeneousSeriesHasNoStablePoints) {
+  const auto s = Segments({{300, 2.0}}, 1.0, 41);
+  auto r = PeltPenaltySweep(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stable.empty());
+}
+
+TEST(PeltSweepTest, RejectsBadBounds) {
+  const auto s = Segments({{100, 0.0}}, 1.0, 43);
+  PenaltySweepOptions opts;
+  opts.cool = 1.5;  // must be in (0, 1)
+  EXPECT_FALSE(PeltPenaltySweep(s, opts).ok());
+}
+
+}  // namespace
+}  // namespace timeseries
+}  // namespace elitenet

@@ -1,0 +1,213 @@
+#include "stats/powerlaw.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/special.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+std::vector<double> ZetaSample(double alpha, uint64_t kmin, int n,
+                               uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(SampleZeta(alpha, kmin, &rng)));
+  }
+  return out;
+}
+
+std::vector<double> ParetoSample(double alpha, double xmin, int n,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(rng.Pareto(alpha, xmin));
+  return out;
+}
+
+TEST(SampleZetaTest, RespectsLowerBound) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(SampleZeta(2.5, 10, &rng), 10u);
+  }
+}
+
+TEST(SampleZetaTest, SurvivalMatchesModel) {
+  // Empirical P(X >= 2 kmin) should match zeta(a, 2k)/zeta(a, k).
+  const double alpha = 3.0;
+  const uint64_t kmin = 5;
+  util::Rng rng(17);
+  int above = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleZeta(alpha, kmin, &rng) >= 2 * kmin) ++above;
+  }
+  const double expected = HurwitzZeta(alpha, 10.0) / HurwitzZeta(alpha, 5.0);
+  EXPECT_NEAR(static_cast<double>(above) / n, expected, 0.01);
+}
+
+TEST(ContinuousAlphaTest, ClosedFormRecoversPlantedExponent) {
+  const auto data = ParetoSample(2.5, 1.0, 50000, 7);
+  auto fit = FitContinuousAlpha(data, 1.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.5, 0.03);
+  EXPECT_FALSE(fit->discrete);
+  EXPECT_EQ(fit->tail_n, 50000u);
+}
+
+TEST(DiscreteAlphaTest, MleRecoversPlantedExponent) {
+  const auto data = ZetaSample(3.24, 20, 20000, 11);
+  auto fit = FitDiscreteAlpha(data, 20.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 3.24, 0.06);
+  EXPECT_TRUE(fit->discrete);
+}
+
+TEST(DiscreteAlphaTest, RejectsBadInputs) {
+  EXPECT_FALSE(FitDiscreteAlpha(std::vector<double>{}, 1.0).ok());
+  EXPECT_FALSE(FitDiscreteAlpha(std::vector<double>{5.0}, 0.5).ok());
+  EXPECT_FALSE(FitDiscreteAlpha(std::vector<double>{1.0, 2.0}, 10.0).ok());
+}
+
+TEST(XminScanTest, FindsPlantedThresholdInMixture) {
+  // Body uniform on [1, 9], tail zeta above 10.
+  util::Rng rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 6000; ++i) {
+    data.push_back(1.0 + static_cast<double>(rng.UniformU64(9)));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    data.push_back(static_cast<double>(SampleZeta(2.8, 10, &rng)));
+  }
+  auto fit = FitDiscrete(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->xmin, 9.0);
+  EXPECT_LE(fit->xmin, 25.0);
+  EXPECT_NEAR(fit->alpha, 2.8, 0.15);
+}
+
+TEST(XminScanTest, ContinuousMixture) {
+  util::Rng rng(19);
+  std::vector<double> data;
+  for (int i = 0; i < 4000; ++i) data.push_back(rng.UniformDouble(0.1, 5.0));
+  for (int i = 0; i < 3000; ++i) data.push_back(rng.Pareto(3.18, 6.0));
+  auto fit = FitContinuous(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->xmin, 4.5);
+  EXPECT_LE(fit->xmin, 12.0);
+  EXPECT_NEAR(fit->alpha, 3.18, 0.2);
+}
+
+TEST(XminScanTest, FailsOnNonPositiveData) {
+  EXPECT_FALSE(FitDiscrete(std::vector<double>{0.0, 1.0, 2.0}).ok());
+  EXPECT_FALSE(FitContinuous(std::vector<double>{-1.0, 2.0}).ok());
+}
+
+TEST(XminScanTest, EmptyDataRejected) {
+  EXPECT_FALSE(FitDiscrete(std::vector<double>{}).ok());
+}
+
+TEST(SurvivalTest, ContinuousFormula) {
+  PowerLawFit fit;
+  fit.alpha = 3.0;
+  fit.xmin = 2.0;
+  fit.discrete = false;
+  EXPECT_DOUBLE_EQ(PowerLawSurvival(fit, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(PowerLawSurvival(fit, 4.0), 0.25);  // (x/xmin)^{1-a}
+  EXPECT_DOUBLE_EQ(PowerLawSurvival(fit, 1.0), 1.0);   // below xmin
+}
+
+TEST(SurvivalTest, DiscreteMonotoneAndNormalized) {
+  PowerLawFit fit;
+  fit.alpha = 2.5;
+  fit.xmin = 3.0;
+  fit.discrete = true;
+  EXPECT_DOUBLE_EQ(PowerLawSurvival(fit, 3.0), 1.0);
+  double prev = 1.0;
+  for (double x = 4.0; x < 50.0; x += 1.0) {
+    const double s = PowerLawSurvival(fit, x);
+    EXPECT_LT(s, prev);
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST(KsDistanceTest, GoodFitHasSmallKs) {
+  const auto data = ZetaSample(2.6, 15, 10000, 23);
+  auto fit = FitDiscreteAlpha(data, 15.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->ks_distance, 0.02);
+}
+
+TEST(KsDistanceTest, WrongModelHasLargeKs) {
+  // Geometric-ish data fit as power law at fixed xmin: bad KS.
+  util::Rng rng(29);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(5.0 + static_cast<double>(rng.Geometric(0.02)));
+  }
+  auto fit = FitDiscreteAlpha(data, 5.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->ks_distance, 0.05);
+}
+
+TEST(PointwiseLogLikelihoodTest, SumsToFitLogLikelihood) {
+  const auto data = ZetaSample(3.0, 8, 3000, 31);
+  auto fit = FitDiscreteAlpha(data, 8.0);
+  ASSERT_TRUE(fit.ok());
+  const auto tail = TailOf(data, 8.0);
+  const auto ll = PointwiseLogLikelihood(tail, *fit);
+  double sum = 0.0;
+  for (double v : ll) sum += v;
+  EXPECT_NEAR(sum, fit->log_likelihood, 1e-6 * std::fabs(sum));
+}
+
+TEST(TailOfTest, FiltersAndSorts) {
+  const std::vector<double> data{5.0, 1.0, 9.0, 3.0, 7.0};
+  const auto tail = TailOf(data, 4.0);
+  EXPECT_EQ(tail, (std::vector<double>{5.0, 7.0, 9.0}));
+}
+
+TEST(BootstrapTest, TruePowerLawGetsHighP) {
+  const auto data = ZetaSample(2.7, 10, 3000, 37);
+  auto fit = FitDiscrete(data);
+  ASSERT_TRUE(fit.ok());
+  util::Rng rng(41);
+  auto gof = BootstrapGoodness(data, *fit, 20, &rng);
+  ASSERT_TRUE(gof.ok());
+  EXPECT_GT(gof->p_value, 0.1);  // CSN threshold: plausible power law
+}
+
+TEST(BootstrapTest, NonPowerLawGetsLowP) {
+  // Poisson-like data: the scan finds some xmin but bootstrap rejects.
+  util::Rng rng(43);
+  std::vector<double> data;
+  for (int i = 0; i < 4000; ++i) {
+    data.push_back(1.0 + static_cast<double>(rng.Poisson(30.0)));
+  }
+  auto fit = FitDiscrete(data);
+  ASSERT_TRUE(fit.ok());
+  util::Rng rng2(47);
+  auto gof = BootstrapGoodness(data, *fit, 20, &rng2);
+  ASSERT_TRUE(gof.ok());
+  EXPECT_LT(gof->p_value, 0.2);
+}
+
+TEST(BootstrapTest, RejectsNonPositiveReplicates) {
+  const auto data = ZetaSample(2.7, 10, 500, 53);
+  auto fit = FitDiscrete(data);
+  ASSERT_TRUE(fit.ok());
+  util::Rng rng(59);
+  EXPECT_FALSE(BootstrapGoodness(data, *fit, 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

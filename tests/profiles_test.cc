@@ -1,0 +1,120 @@
+#include "gen/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/degree.h"
+#include "stats/correlation.h"
+
+namespace elitenet {
+namespace gen {
+namespace {
+
+const VerifiedNetwork& TestNetwork() {
+  static const VerifiedNetwork* network = [] {
+    VerifiedNetworkConfig cfg;
+    cfg.num_users = 6000;
+    auto r = GenerateVerifiedNetwork(cfg);
+    EXPECT_TRUE(r.ok());
+    return new VerifiedNetwork(std::move(r).value());
+  }();
+  return *network;
+}
+
+const std::vector<UserProfile>& TestProfiles() {
+  static const std::vector<UserProfile>* profiles = [] {
+    auto r = GenerateProfiles(TestNetwork());
+    EXPECT_TRUE(r.ok());
+    return new std::vector<UserProfile>(std::move(r).value());
+  }();
+  return *profiles;
+}
+
+TEST(ProfilesTest, OnePerUser) {
+  EXPECT_EQ(TestProfiles().size(), TestNetwork().graph.num_nodes());
+}
+
+TEST(ProfilesTest, DeterministicForSeed) {
+  auto a = GenerateProfiles(TestNetwork());
+  auto b = GenerateProfiles(TestNetwork());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].followers, (*b)[i].followers);
+    EXPECT_EQ((*a)[i].statuses, (*b)[i].statuses);
+  }
+}
+
+TEST(ProfilesTest, FollowersCorrelateWithInDegree) {
+  const auto& net = TestNetwork();
+  const auto followers = FollowersColumn(TestProfiles());
+  const auto in_deg = analysis::InDegreeVector(net.graph);
+  EXPECT_GT(stats::SpearmanCorrelation(in_deg, followers), 0.5);
+}
+
+TEST(ProfilesTest, FriendsCorrelateWithOutDegree) {
+  const auto& net = TestNetwork();
+  const auto friends = FriendsColumn(TestProfiles());
+  const auto out_deg = analysis::OutDegreeVector(net.graph);
+  EXPECT_GT(stats::SpearmanCorrelation(out_deg, friends), 0.5);
+}
+
+TEST(ProfilesTest, ListedCorrelatesWithFollowers) {
+  const auto listed = ListedColumn(TestProfiles());
+  const auto followers = FollowersColumn(TestProfiles());
+  // The paper: list membership "almost exclusively trends upwards" with
+  // followers.
+  EXPECT_GT(stats::SpearmanCorrelation(listed, followers), 0.6);
+}
+
+TEST(ProfilesTest, StatusesWeaklyCoupled) {
+  const auto statuses = StatusesColumn(TestProfiles());
+  const auto followers = FollowersColumn(TestProfiles());
+  const double rho = stats::SpearmanCorrelation(statuses, followers);
+  // Positive but visibly weaker than the list coupling (Fig. 5e vs 5f).
+  EXPECT_GT(rho, 0.05);
+  EXPECT_LT(rho, 0.6);
+}
+
+TEST(ProfilesTest, EveryoneHasAnAudience) {
+  for (const UserProfile& p : TestProfiles()) {
+    EXPECT_GT(p.followers, 0u);
+    EXPECT_GT(p.statuses, 0u);
+  }
+}
+
+TEST(ProfilesTest, HeavyTailInFollowers) {
+  const auto followers = FollowersColumn(TestProfiles());
+  double mean = 0.0, max = 0.0;
+  for (double f : followers) {
+    mean += f;
+    if (f > max) max = f;
+  }
+  mean /= static_cast<double>(followers.size());
+  // Heavy tail: the maximum dwarfs the mean.
+  EXPECT_GT(max, 30.0 * mean);
+}
+
+TEST(ProfilesTest, ColumnsMatchStructFields) {
+  const auto& profiles = TestProfiles();
+  const auto followers = FollowersColumn(profiles);
+  const auto friends = FriendsColumn(profiles);
+  const auto listed = ListedColumn(profiles);
+  const auto statuses = StatusesColumn(profiles);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(followers[i],
+                     static_cast<double>(profiles[i].followers));
+    EXPECT_DOUBLE_EQ(friends[i], static_cast<double>(profiles[i].friends));
+    EXPECT_DOUBLE_EQ(listed[i], static_cast<double>(profiles[i].listed));
+    EXPECT_DOUBLE_EQ(statuses[i],
+                     static_cast<double>(profiles[i].statuses));
+  }
+}
+
+TEST(ProfilesTest, RejectsEmptyNetwork) {
+  VerifiedNetwork empty;
+  EXPECT_FALSE(GenerateProfiles(empty).ok());
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace elitenet

@@ -1,0 +1,155 @@
+#include "core/reach_predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace core {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucScore(scores, labels), 1.0);
+}
+
+TEST(AucTest, PerfectlyWrong) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucScore(scores, labels), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.UniformDouble());
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+  }
+  EXPECT_NEAR(AucScore(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucTest, DegenerateClassesGiveHalf) {
+  EXPECT_DOUBLE_EQ(AucScore({0.5, 0.6}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AucScore({0.5, 0.6}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, TiesGetMidrankCredit) {
+  // All scores identical: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(AucScore({0.7, 0.7, 0.7, 0.7}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(LogisticModelTest, RejectsBadInputs) {
+  LogisticModel m;
+  EXPECT_FALSE(m.Fit({{1.0}}, {1}).ok());                // too few
+  EXPECT_FALSE(m.Fit({{1.0}, {2.0}}, {1}).ok());         // size mismatch
+  std::vector<std::vector<double>> x(12, {1.0});
+  std::vector<int> all_ones(12, 1);
+  EXPECT_FALSE(m.Fit(x, all_ones).ok());                 // one class
+  std::vector<int> bad(12, 0);
+  bad[0] = 2;
+  EXPECT_FALSE(m.Fit(x, bad).ok());                      // non-binary
+}
+
+TEST(LogisticModelTest, LearnsLinearlySeparableData) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.Normal();
+    const double b = rng.Normal();
+    x.push_back({a, b});
+    y.push_back(a + 2.0 * b > 0.0 ? 1 : 0);
+  }
+  LogisticModel m;
+  ASSERT_TRUE(m.Fit(x, y).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    correct += (m.PredictProba(x[i]) >= 0.5 ? 1 : 0) == y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.97);
+}
+
+TEST(LogisticModelTest, RecoversProbabilitiesOnNoisyData) {
+  // y ~ Bernoulli(sigmoid(1.5 x)): predicted probabilities should track
+  // the truth on fresh points.
+  util::Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.Normal();
+    const double p = 1.0 / (1.0 + std::exp(-1.5 * a));
+    x.push_back({a});
+    y.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  LogisticModel m;
+  ASSERT_TRUE(m.Fit(x, y).ok());
+  for (double probe : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    const double truth = 1.0 / (1.0 + std::exp(-1.5 * probe));
+    EXPECT_NEAR(m.PredictProba({probe}), truth, 0.05) << probe;
+  }
+}
+
+TEST(LogisticModelTest, ConstantFeatureDoesNotCrash) {
+  util::Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Normal();
+    x.push_back({a, 5.0});  // second feature constant
+    y.push_back(a > 0 ? 1 : 0);
+  }
+  LogisticModel m;
+  EXPECT_TRUE(m.Fit(x, y).ok());
+}
+
+TEST(NodeFeaturesTest, NamesCoverAllIndices) {
+  for (int i = 0; i < NodeFeatures::kCount; ++i) {
+    EXPECT_STRNE(NodeFeatures::Name(i), "?");
+  }
+  EXPECT_STREQ(NodeFeatures::Name(-1), "?");
+  EXPECT_STREQ(NodeFeatures::Name(NodeFeatures::kCount), "?");
+  EXPECT_EQ(NodeFeatures().ToVector().size(),
+            static_cast<size_t>(NodeFeatures::kCount));
+}
+
+TEST(ReachPredictionTest, EndToEndBeatsChanceClearly) {
+  StudyConfig cfg;
+  cfg.network.num_users = 5000;
+  VerifiedStudy study(cfg);
+  ASSERT_TRUE(study.Generate().ok());
+
+  auto report = RunReachPrediction(study.network().graph, study.profiles());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Structure predicts reach (Section IV-F): well above chance.
+  EXPECT_GT(report->auc, 0.8);
+  EXPECT_GT(report->accuracy, 0.85);
+  EXPECT_NEAR(report->positive_rate, 0.1, 0.03);
+  EXPECT_EQ(report->feature_weights.size(),
+            static_cast<size_t>(NodeFeatures::kCount));
+  // In-degree (the follower analogue inside the sub-graph) must carry
+  // positive weight.
+  EXPECT_GT(report->feature_weights[0].second, 0.0);
+}
+
+TEST(ReachPredictionTest, RejectsBadFractions) {
+  StudyConfig cfg;
+  cfg.network.num_users = 2000;
+  VerifiedStudy study(cfg);
+  ASSERT_TRUE(study.Generate().ok());
+  EXPECT_FALSE(RunReachPrediction(study.network().graph, study.profiles(),
+                                  0.0)
+                   .ok());
+  EXPECT_FALSE(RunReachPrediction(study.network().graph, study.profiles(),
+                                  0.1, 1.5)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elitenet

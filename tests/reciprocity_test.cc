@@ -1,0 +1,81 @@
+#include "analysis/reciprocity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(ReciprocityTest, EmptyGraphIsZero) {
+  const ReciprocityStats s = ComputeReciprocity(DiGraph());
+  EXPECT_EQ(s.rate, 0.0);
+  EXPECT_EQ(s.total_edges, 0u);
+}
+
+TEST(ReciprocityTest, NoMutualEdges) {
+  const ReciprocityStats s =
+      ComputeReciprocity(Build(3, {{0, 1}, {1, 2}, {2, 0}}));
+  EXPECT_EQ(s.reciprocated_edges, 0u);
+  EXPECT_EQ(s.mutual_pairs, 0u);
+  EXPECT_DOUBLE_EQ(s.rate, 0.0);
+}
+
+TEST(ReciprocityTest, FullyMutual) {
+  const ReciprocityStats s =
+      ComputeReciprocity(Build(2, {{0, 1}, {1, 0}}));
+  EXPECT_EQ(s.reciprocated_edges, 2u);
+  EXPECT_EQ(s.mutual_pairs, 1u);
+  EXPECT_DOUBLE_EQ(s.rate, 1.0);
+}
+
+TEST(ReciprocityTest, MixedGraph) {
+  // 4 edges: one mutual pair (0<->1) and two one-way.
+  const ReciprocityStats s =
+      ComputeReciprocity(Build(4, {{0, 1}, {1, 0}, {2, 3}, {3, 1}}));
+  EXPECT_EQ(s.total_edges, 4u);
+  EXPECT_EQ(s.reciprocated_edges, 2u);
+  EXPECT_DOUBLE_EQ(s.rate, 0.5);
+}
+
+TEST(ReciprocityTest, PlantedRateRecovered) {
+  // Build a graph where each of 500 pairs is mutual with known fraction.
+  util::Rng rng(7);
+  GraphBuilder b(2000);
+  uint64_t mutual = 0, total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId u = static_cast<NodeId>(2 * i % 2000);
+    const NodeId v = static_cast<NodeId>((2 * i + 1) % 2000);
+    ASSERT_TRUE(b.AddEdge(u, v).ok());
+    ++total;
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(b.AddEdge(v, u).ok());
+      mutual += 2;
+      ++total;
+    }
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const ReciprocityStats s = ComputeReciprocity(*g);
+  EXPECT_EQ(s.total_edges, total);
+  EXPECT_EQ(s.reciprocated_edges, mutual);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet

@@ -1,0 +1,261 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(19);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsLowerBoundAndTail) {
+  Rng rng(23);
+  const int n = 30000;
+  int above_double = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Pareto(3.0, 5.0);
+    EXPECT_GE(x, 5.0);
+    if (x >= 10.0) ++above_double;
+  }
+  // P(X >= 2 xmin) = 2^{1-alpha} = 0.25 for alpha = 3.
+  EXPECT_NEAR(static_cast<double>(above_double) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, PowerLawIntAtLeastKmin) {
+  Rng rng(29);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.PowerLawInt(2.5, 7), 7u);
+  }
+}
+
+TEST(RngTest, PoissonSmallLambdaMean) {
+  Rng rng(31);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.07);
+}
+
+TEST(RngTest, PoissonLargeLambdaMean) {
+  Rng rng(37);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(43);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(0.25));
+  // Mean failures before success: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(47);
+  EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(59);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(61);
+  for (uint32_t k : {0u, 1u, 5u, 50u, 99u, 100u}) {
+    const std::vector<uint32_t> s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<uint32_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (uint32_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiasedish) {
+  // Every element should be picked roughly equally often.
+  Rng rng(67);
+  std::vector<int> counts(20, 0);
+  const int reps = 6000;
+  for (int r = 0; r < reps; ++r) {
+    for (uint32_t x : rng.SampleWithoutReplacement(20, 5)) ++counts[x];
+  }
+  const double expected = reps * 5.0 / 20.0;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.15);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(71);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(AliasSamplerTest, DegenerateSingleOutcome) {
+  Rng rng(73);
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(&rng), 1u);
+  }
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchWeights) {
+  Rng rng(79);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expect = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expect, 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, UniformWeights) {
+  Rng rng(83);
+  AliasSampler sampler(std::vector<double>(10, 0.1));
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 50000.0, 0.1, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,118 @@
+#include "stats/smoother.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(SmootherTest, RejectsMismatchedSizes) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_FALSE(SmoothLogLog(x, y).ok());
+}
+
+TEST(SmootherTest, RejectsAllNonPositive) {
+  const std::vector<double> x{-1.0, 0.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_FALSE(SmoothLogLog(x, y).ok());
+}
+
+TEST(SmootherTest, DropsNonPositivePairsAndCounts) {
+  const std::vector<double> x{1.0, 10.0, 0.0, 100.0, 5.0};
+  const std::vector<double> y{1.0, 10.0, 5.0, 100.0, -2.0};
+  auto curve = SmoothLogLog(x, y, 3, 1);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->dropped, 2u);
+}
+
+TEST(SmootherTest, PowerLawRelationRecoversSlope) {
+  // y = 4 x^1.5 exactly: log-log slope 1.5, perfect correlation.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 300; ++i) {
+    x.push_back(i);
+    y.push_back(4.0 * std::pow(static_cast<double>(i), 1.5));
+  }
+  auto curve = SmoothLogLog(x, y);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->ols_slope, 1.5, 1e-9);
+  EXPECT_NEAR(curve->log_log_pearson, 1.0, 1e-9);
+  EXPECT_NEAR(curve->spearman, 1.0, 1e-12);
+  // Smoothed points must be monotone increasing in y.
+  for (size_t i = 1; i < curve->points.size(); ++i) {
+    EXPECT_GT(curve->points[i].mean_log_y,
+              curve->points[i - 1].mean_log_y);
+  }
+}
+
+TEST(SmootherTest, NoisyPowerLawCiContainsTrend) {
+  util::Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    const double xv = std::exp(rng.UniformDouble(0.0, 6.0));
+    x.push_back(xv);
+    y.push_back(2.0 * std::pow(xv, 0.8) * rng.LogNormal(0.0, 0.4));
+  }
+  auto curve = SmoothLogLog(x, y, 15, 20);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->ols_slope, 0.8, 0.05);
+  for (const SmoothedPoint& p : curve->points) {
+    // 95% CI: the true trend log10(2) + 0.8 * log_x should usually lie
+    // inside. Allow a couple of misses.
+    const double truth = std::log10(2.0) + 0.8 * p.log_x_center;
+    EXPECT_NEAR(p.mean_log_y, truth, 0.2);
+    EXPECT_LE(p.ci_low, p.mean_log_y);
+    EXPECT_GE(p.ci_high, p.mean_log_y);
+  }
+}
+
+TEST(SmootherTest, SparseBinsAreMerged) {
+  std::vector<double> x, y;
+  // 100 points near x=1, a single point at x=1e6.
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(1.0 + i * 0.001);
+    y.push_back(10.0);
+  }
+  x.push_back(1e6);
+  y.push_back(20.0);
+  auto curve = SmoothLogLog(x, y, 10, 5);
+  ASSERT_TRUE(curve.ok());
+  // The lone far-right point merges leftward instead of forming its own
+  // unreliable bin.
+  for (const SmoothedPoint& p : curve->points) {
+    EXPECT_GE(p.n, 5u);
+  }
+}
+
+TEST(SmootherTest, ConstantXSingleBin) {
+  std::vector<double> x(50, 3.0), y;
+  for (int i = 0; i < 50; ++i) y.push_back(1.0 + i);
+  auto curve = SmoothLogLog(x, y, 10, 5);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->points.size(), 1u);
+  EXPECT_EQ(curve->points[0].n, 50u);
+}
+
+TEST(SmootherTest, AsciiChartRendersOneRowPerPoint) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 200; ++i) {
+    x.push_back(i);
+    y.push_back(i * 2.0);
+  }
+  auto curve = SmoothLogLog(x, y, 5, 10);
+  ASSERT_TRUE(curve.ok());
+  const std::string chart = curve->ToAsciiChart("followers", "lists");
+  EXPECT_NE(chart.find("followers"), std::string::npos);
+  int lines = 0;
+  for (char c : chart) lines += c == '\n';
+  EXPECT_EQ(static_cast<size_t>(lines), curve->points.size() + 1);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

@@ -1,0 +1,113 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace stats {
+namespace {
+
+TEST(GammaTest, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(GammaP(a, x) + GammaQ(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(GammaP(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaQ(3.0, 0.0), 1.0);
+  EXPECT_NEAR(GammaP(1.0, 1e3), 1.0, 1e-12);
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // For a=1, P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(GammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, MatchesKnownQuantiles) {
+  // Canonical critical values: P[X > crit] = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(5.991, 2.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(124.342, 100.0), 0.05, 1e-3);
+}
+
+TEST(ChiSquareTest, CdfSurvivalComplement) {
+  EXPECT_NEAR(ChiSquareCdf(7.0, 3.0) + ChiSquareSurvival(7.0, 3.0), 1.0,
+              1e-12);
+}
+
+TEST(ChiSquareTest, ChiSquareWithTwoDofIsExponential) {
+  // X ~ chi2(2) has survival e^{-x/2}.
+  for (double x : {0.5, 1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(ChiSquareSurvival(x, 2.0), std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(ChiSquareTest, ExtremeTailDoesNotUnderflowToZeroTooEarly) {
+  // The paper quotes p-values near 1e-38; the implementation must resolve
+  // that regime.
+  const double p = ChiSquareSurvival(250.0, 7.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-40);
+}
+
+TEST(NormalCdfTest, SymmetryAndKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(NormalCdf(1.0) + NormalCdf(-1.0), 1.0, 1e-12);
+}
+
+TEST(NormalSurvivalTest, FarTailAccuracy) {
+  // Phi-bar(6) ~ 9.87e-10; erfc-based evaluation keeps relative accuracy.
+  EXPECT_NEAR(NormalSurvival(6.0) / 9.865876e-10, 1.0, 1e-4);
+  EXPECT_GT(NormalSurvival(10.0), 0.0);
+}
+
+TEST(HurwitzZetaTest, ReducesToRiemannZeta) {
+  // zeta(2) = pi^2/6, zeta(4) = pi^4/90.
+  EXPECT_NEAR(HurwitzZeta(2.0, 1.0), M_PI * M_PI / 6.0, 1e-10);
+  EXPECT_NEAR(HurwitzZeta(4.0, 1.0), std::pow(M_PI, 4) / 90.0, 1e-10);
+}
+
+TEST(HurwitzZetaTest, RecurrenceRelation) {
+  // zeta(s, q) = zeta(s, q+1) + q^-s.
+  for (double s : {1.5, 2.5, 3.24}) {
+    for (double q : {1.0, 5.0, 229.0}) {
+      EXPECT_NEAR(HurwitzZeta(s, q),
+                  HurwitzZeta(s, q + 1.0) + std::pow(q, -s), 1e-12);
+    }
+  }
+}
+
+TEST(HurwitzZetaTest, LargeQAsymptotic) {
+  // zeta(s, q) ~ q^{1-s}/(s-1) for large q.
+  const double s = 3.0;
+  const double q = 1e6;
+  EXPECT_NEAR(HurwitzZeta(s, q) / (std::pow(q, 1.0 - s) / (s - 1.0)), 1.0,
+              1e-5);
+}
+
+TEST(HurwitzZetaTest, DerivativeIsNegative) {
+  // zeta decreases in s for q >= 1.
+  EXPECT_LT(HurwitzZetaDs(2.5, 1.0), 0.0);
+  EXPECT_LT(HurwitzZetaDs(3.0, 100.0), 0.0);
+}
+
+TEST(HurwitzZetaTest, DerivativeMatchesCoarseDifference) {
+  const double s = 2.8, q = 3.0, h = 1e-4;
+  const double coarse =
+      (HurwitzZeta(s + h, q) - HurwitzZeta(s - h, q)) / (2 * h);
+  EXPECT_NEAR(HurwitzZetaDs(s, q), coarse, 1e-6 * std::fabs(coarse));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace elitenet

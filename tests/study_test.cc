@@ -1,0 +1,137 @@
+// Integration tests of the VerifiedStudy façade: a small study end to
+// end, exercising every Run* stage and the report renderer.
+
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace core {
+namespace {
+
+const VerifiedStudy& SmallStudy() {
+  static const VerifiedStudy* study = [] {
+    StudyConfig cfg;
+    cfg.network.num_users = 5000;
+    cfg.bootstrap_replicates = 5;
+    cfg.distance_sources = 16;
+    cfg.betweenness_pivots = 64;
+    cfg.clustering_samples = 1500;
+    cfg.eigenvalue_k = 80;
+    auto* s = new VerifiedStudy(cfg);
+    EXPECT_TRUE(s->Generate().ok());
+    return s;
+  }();
+  return *study;
+}
+
+TEST(StudyTest, AnalysesRequireGenerate) {
+  StudyConfig cfg;
+  VerifiedStudy fresh(cfg);
+  EXPECT_FALSE(fresh.generated());
+  EXPECT_EQ(fresh.RunBasic().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(fresh.RunActivity().ok());
+  EXPECT_FALSE(fresh.RunText().ok());
+}
+
+TEST(StudyTest, GenerateProducesAllDatasets) {
+  const VerifiedStudy& s = SmallStudy();
+  EXPECT_TRUE(s.generated());
+  EXPECT_EQ(s.network().graph.num_nodes(), 5000u);
+  EXPECT_EQ(s.profiles().size(), 5000u);
+  EXPECT_EQ(s.bios().bios.size(), 5000u);
+  EXPECT_EQ(s.activity().daily_tweets.size(), 366u);
+}
+
+TEST(StudyTest, BasicReportInternallyConsistent) {
+  auto r = SmallStudy().RunBasic();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->giant_scc_fraction, 0.85);
+  EXPECT_LE(r->giant_scc_size, SmallStudy().network().graph.num_nodes());
+  EXPECT_GE(r->strong_components, r->weak_components);
+  EXPECT_GE(r->attracting_components, r->degrees.isolated_nodes);
+  EXPECT_GT(r->reciprocity.rate, 0.2);
+  EXPECT_LT(r->reciprocity.rate, 0.5);
+  EXPECT_GT(r->clustering.average_local, 0.0);
+}
+
+TEST(StudyTest, OutDegreeFitIsPowerLawish) {
+  auto r = SmallStudy().RunOutDegreeFit(/*with_bootstrap=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->fit.alpha, 2.5);
+  EXPECT_LT(r->fit.alpha, 4.2);
+  EXPECT_TRUE(r->fit.discrete);
+  ASSERT_TRUE(r->gof.has_value());
+  EXPECT_GT(r->gof->p_value, 0.1);  // plausible power law
+  ASSERT_TRUE(r->vs_exponential.has_value());
+  EXPECT_GT(r->vs_exponential->log_likelihood_ratio, 0.0);
+}
+
+TEST(StudyTest, EigenvalueFitRuns) {
+  auto r = SmallStudy().RunEigenvalueFit(/*with_bootstrap=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->fit.discrete);
+  EXPECT_GT(r->fit.alpha, 1.5);
+  EXPECT_GT(r->fit.tail_n, 10u);
+}
+
+TEST(StudyTest, DistancesAreShort) {
+  auto r = SmallStudy().RunDistances();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->mean_distance, 1.0);
+  EXPECT_LT(r->mean_distance, 6.0);
+  EXPECT_GT(r->reachable_pairs, 0u);
+}
+
+TEST(StudyTest, CentralityRelationsAllPositive) {
+  auto r = SmallStudy().RunCentralityRelations();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 6u);  // Fig. 5 panels (a)-(f)
+  for (const RelationReport& rel : *r) {
+    EXPECT_GT(rel.curve.spearman, 0.0)
+        << rel.x_name << " vs " << rel.y_name;
+  }
+  // The paper: PageRank relationships are "especially strong"; the
+  // list-membership/followers panel is the strongest of all.
+  EXPECT_GT((*r)[5].curve.spearman, 0.6);
+}
+
+TEST(StudyTest, TextReportHasTables) {
+  auto r = SmallStudy().RunText();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->top_bigrams.size(), 10u);
+  EXPECT_GE(r->top_trigrams.size(), 5u);
+  EXPECT_FALSE(r->top_unigrams.empty());
+  EXPECT_EQ(r->top_bigrams[0].ngram, "official twitter");
+}
+
+TEST(StudyTest, ActivityReportMatchesPaperDecisions) {
+  auto r = SmallStudy().RunActivity();
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->ljung_box.max_p_value, 1e-10);
+  EXPECT_LT(r->box_pierce.max_p_value, 1e-10);
+  EXPECT_TRUE(r->adf.stationary_at_5pct);
+  EXPECT_EQ(r->change_dates.size(), r->pelt.stable.size());
+}
+
+TEST(StudyTest, RunAllAggregates) {
+  auto r = SmallStudy().RunAll();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relations.size(), 6u);
+  EXPECT_TRUE(r->eigenvalues.has_value());
+
+  const std::string report =
+      RenderReport(*r, SmallStudy().network().graph.num_nodes());
+  // The renderer must mention every section of the paper.
+  EXPECT_NE(report.find("Section IV-A"), std::string::npos);
+  EXPECT_NE(report.find("power law"), std::string::npos);
+  EXPECT_NE(report.find("degrees of separation"), std::string::npos);
+  EXPECT_NE(report.find("Ljung-Box"), std::string::npos);
+  EXPECT_NE(report.find("PELT"), std::string::npos);
+  EXPECT_NE(report.find("Official Twitter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elitenet

@@ -1,0 +1,90 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+DiGraph PathGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    EXPECT_TRUE(b.AddEdge(u, u + 1).ok());
+  }
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(SubgraphTest, InduceKeepsInternalEdgesOnly) {
+  const DiGraph g = PathGraph(5);  // 0->1->2->3->4
+  auto sub = Induce(g, {1, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_nodes(), 3u);
+  EXPECT_EQ(sub->graph.num_edges(), 1u);  // only 1->2 survives
+  // Mapping: new ids are in old-id order.
+  EXPECT_EQ(sub->to_original[0], 1u);
+  EXPECT_EQ(sub->to_original[1], 2u);
+  EXPECT_EQ(sub->to_original[2], 4u);
+  EXPECT_TRUE(sub->graph.HasEdge(0, 1));
+}
+
+TEST(SubgraphTest, ToSubMapsBackAndForth) {
+  const DiGraph g = PathGraph(4);
+  auto sub = Induce(g, {0, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->to_sub[0], 0u);
+  EXPECT_EQ(sub->to_sub[3], 1u);
+  EXPECT_EQ(sub->to_sub[1], InducedSubgraph::kNotInSubgraph);
+  EXPECT_EQ(sub->to_sub[2], InducedSubgraph::kNotInSubgraph);
+}
+
+TEST(SubgraphTest, FullMaskIsIdentity) {
+  const DiGraph g = PathGraph(6);
+  auto sub = InduceByMask(g, std::vector<bool>(6, true));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph, g);
+}
+
+TEST(SubgraphTest, EmptyKeepSetGivesEmptyGraph) {
+  const DiGraph g = PathGraph(3);
+  auto sub = Induce(g, {});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_nodes(), 0u);
+}
+
+TEST(SubgraphTest, RejectsOutOfRangeNode) {
+  const DiGraph g = PathGraph(3);
+  EXPECT_EQ(Induce(g, {5}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SubgraphTest, RejectsDuplicateNode) {
+  const DiGraph g = PathGraph(3);
+  EXPECT_EQ(Induce(g, {1, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubgraphTest, RejectsWrongMaskSize) {
+  const DiGraph g = PathGraph(3);
+  EXPECT_EQ(InduceByMask(g, std::vector<bool>(2, true)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubgraphTest, PreservesParallelStructure) {
+  // Mutual pair plus spoke: verify directions survive induction.
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdges({{0, 1}, {1, 0}, {1, 2}, {3, 1}}).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto sub = Induce(*g, {0, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_edges(), 2u);
+  EXPECT_TRUE(sub->graph.HasEdge(0, 1));
+  EXPECT_TRUE(sub->graph.HasEdge(1, 0));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace elitenet

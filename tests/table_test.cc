@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "count"});
+  t.AddRow();
+  t.AddCell("a");
+  t.AddCell(uint64_t{1});
+  t.AddRow();
+  t.AddCell("longer-name");
+  t.AddCell(uint64_t{123456});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, EveryRowEndsWithNewline) {
+  TextTable t({"x"});
+  t.AddRowCells({"1"});
+  t.AddRowCells({"2"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out.back(), '\n');
+  int lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(TextTableTest, NumericCellFormatting) {
+  TextTable t({"v"});
+  t.AddRow();
+  t.AddCell(3.14159, 3);
+  t.AddRow();
+  t.AddCell(int64_t{-42});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("-42"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.AddRowCells({"only-one"});
+  EXPECT_NO_FATAL_FAILURE(t.ToString());
+}
+
+TEST(FormatNumberTest, RespectsPrecision) {
+  EXPECT_EQ(FormatNumber(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatNumber(2.0, 4), "2");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(79213811), "79,213,811");
+  EXPECT_EQ(FormatWithCommas(231246), "231,246");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Award Winning Journalist"),
+            (std::vector<std::string>{"award", "winning", "journalist"}));
+}
+
+TEST(TokenizerTest, ClausesSplitOnPunctuation) {
+  const auto clauses = TokenizeClauses("Reporter, New York Times. Opinions own");
+  ASSERT_EQ(clauses.size(), 3u);
+  EXPECT_EQ(clauses[0], (std::vector<std::string>{"reporter"}));
+  EXPECT_EQ(clauses[1],
+            (std::vector<std::string>{"new", "york", "times"}));
+  EXPECT_EQ(clauses[2], (std::vector<std::string>{"opinions", "own"}));
+}
+
+TEST(TokenizerTest, DropsUrls) {
+  EXPECT_EQ(Tokenize("see https://t.co/xyz now"),
+            (std::vector<std::string>{"see", "now"}));
+  EXPECT_EQ(Tokenize("at www.example.com daily"),
+            (std::vector<std::string>{"at", "daily"}));
+}
+
+TEST(TokenizerTest, DropsMentionsKeepsHashtagText) {
+  EXPECT_EQ(Tokenize("follow @handle for #Updates"),
+            (std::vector<std::string>{"follow", "for", "updates"}));
+}
+
+TEST(TokenizerTest, HashtagDroppedWhenConfigured) {
+  TokenizerOptions opts;
+  opts.keep_hashtag_text = false;
+  EXPECT_EQ(Tokenize("big #Party now", opts),
+            (std::vector<std::string>{"big", "now"}));
+}
+
+TEST(TokenizerTest, ApostrophesJoinWords) {
+  EXPECT_EQ(Tokenize("world's best"),
+            (std::vector<std::string>{"worlds", "best"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  EXPECT_EQ(Tokenize("Top 40 radio"),
+            (std::vector<std::string>{"top", "40", "radio"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... / ,,, !!").empty());
+  EXPECT_TRUE(TokenizeClauses("...").empty());
+}
+
+TEST(TokenizerTest, HyphenSplitsWithinClause) {
+  const auto clauses = TokenizeClauses("Co-founder of Things");
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0],
+            (std::vector<std::string>{"co", "founder", "of", "things"}));
+}
+
+TEST(TokenizerTest, CaseCanBePreserved) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(Tokenize("London Pride", opts),
+            (std::vector<std::string>{"London", "Pride"}));
+}
+
+TEST(StopWordTest, CommonWordsAreStops) {
+  for (const char* w : {"the", "of", "and", "to", "in", "my", "us"}) {
+    EXPECT_TRUE(IsStopWord(w)) << w;
+  }
+}
+
+TEST(StopWordTest, ContentWordsAreNot) {
+  for (const char* w :
+       {"official", "twitter", "journalist", "rugby", "award"}) {
+    EXPECT_FALSE(IsStopWord(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace elitenet

@@ -1,0 +1,172 @@
+#include "gen/verified_network.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+
+namespace elitenet {
+namespace gen {
+namespace {
+
+// Shared small network for the cheaper assertions (generation is the
+// expensive part; reuse it across tests).
+const VerifiedNetwork& TestNetwork() {
+  static const VerifiedNetwork* network = [] {
+    VerifiedNetworkConfig cfg;
+    cfg.num_users = 8000;
+    auto r = GenerateVerifiedNetwork(cfg);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return new VerifiedNetwork(std::move(r).value());
+  }();
+  return *network;
+}
+
+TEST(VerifiedNetworkTest, RejectsBadConfigs) {
+  VerifiedNetworkConfig cfg;
+  cfg.num_users = 10;
+  EXPECT_FALSE(GenerateVerifiedNetwork(cfg).ok());
+
+  cfg = VerifiedNetworkConfig();
+  cfg.density = 0.0;
+  EXPECT_FALSE(GenerateVerifiedNetwork(cfg).ok());
+
+  cfg = VerifiedNetworkConfig();
+  cfg.reciprocity = 1.5;
+  EXPECT_FALSE(GenerateVerifiedNetwork(cfg).ok());
+
+  cfg = VerifiedNetworkConfig();
+  cfg.powerlaw_alpha = 1.5;
+  EXPECT_FALSE(GenerateVerifiedNetwork(cfg).ok());
+}
+
+TEST(VerifiedNetworkTest, RoleCountsMatchFractions) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto& cfg = net.config;
+  EXPECT_EQ(net.CountRole(UserRole::kIsolated),
+            static_cast<uint64_t>(
+                std::lround(cfg.isolated_fraction * cfg.num_users)));
+  EXPECT_GE(net.CountRole(UserRole::kSink), 1u);
+  EXPECT_EQ(net.roles.size(), cfg.num_users);
+  EXPECT_EQ(net.popularity.size(), cfg.num_users);
+}
+
+TEST(VerifiedNetworkTest, IsolatedNodesHaveNoEdges) {
+  const VerifiedNetwork& net = TestNetwork();
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    if (net.roles[u] == UserRole::kIsolated) {
+      EXPECT_EQ(net.graph.OutDegree(u), 0u);
+      EXPECT_EQ(net.graph.InDegree(u), 0u);
+    }
+  }
+}
+
+TEST(VerifiedNetworkTest, SinksNeverFollow) {
+  const VerifiedNetwork& net = TestNetwork();
+  uint64_t sink_in_edges = 0;
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    if (net.roles[u] == UserRole::kSink) {
+      EXPECT_EQ(net.graph.OutDegree(u), 0u);
+      sink_in_edges += net.graph.InDegree(u);
+    }
+  }
+  // Celebrities are popular: they collect many followers.
+  EXPECT_GT(sink_in_edges, 50u);
+}
+
+TEST(VerifiedNetworkTest, DensityNearTarget) {
+  const VerifiedNetwork& net = TestNetwork();
+  EXPECT_NEAR(net.graph.Density(), net.config.density,
+              0.15 * net.config.density);
+}
+
+TEST(VerifiedNetworkTest, ReciprocityNearTarget) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto rec = analysis::ComputeReciprocity(net.graph);
+  EXPECT_NEAR(rec.rate, net.config.reciprocity, 0.06);
+}
+
+TEST(VerifiedNetworkTest, CoreNodesHaveOutEdges) {
+  const VerifiedNetwork& net = TestNetwork();
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    if (net.roles[u] == UserRole::kCore) {
+      EXPECT_GE(net.graph.OutDegree(u), 1u) << "core node " << u;
+    }
+  }
+}
+
+TEST(VerifiedNetworkTest, GiantSccDominates) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto scc =
+      analysis::StronglyConnectedComponents(net.graph);
+  EXPECT_GT(scc.GiantFraction(), 0.9);
+}
+
+TEST(VerifiedNetworkTest, AttractingComponentsCountIsolatedPlusSinks) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto scc = analysis::StronglyConnectedComponents(net.graph);
+  const auto att = analysis::FindAttractingComponents(net.graph, scc);
+  const uint64_t isolated = net.CountRole(UserRole::kIsolated);
+  const uint64_t sinks = net.CountRole(UserRole::kSink);
+  EXPECT_GE(att.count, isolated + sinks);
+  // Small components contribute a few more; the bound stays tight.
+  EXPECT_LE(att.count, isolated + sinks +
+                           net.CountRole(UserRole::kSmallComponent));
+}
+
+TEST(VerifiedNetworkTest, SuperfollowerPlanted) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto stats = analysis::ComputeDegreeStats(net.graph);
+  EXPECT_EQ(stats.argmax_out_degree, 0u);
+  EXPECT_NEAR(
+      static_cast<double>(stats.max_out_degree),
+      net.config.superfollower_fraction * net.config.num_users,
+      0.02 * net.config.num_users);
+}
+
+TEST(VerifiedNetworkTest, DeterministicForSeed) {
+  VerifiedNetworkConfig cfg;
+  cfg.num_users = 2000;
+  cfg.seed = 404;
+  auto a = GenerateVerifiedNetwork(cfg);
+  auto b = GenerateVerifiedNetwork(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph, b->graph);
+  EXPECT_EQ(a->popularity, b->popularity);
+}
+
+TEST(VerifiedNetworkTest, DifferentSeedsDiffer) {
+  VerifiedNetworkConfig cfg;
+  cfg.num_users = 2000;
+  cfg.seed = 1;
+  auto a = GenerateVerifiedNetwork(cfg);
+  cfg.seed = 2;
+  auto b = GenerateVerifiedNetwork(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->graph == b->graph);
+}
+
+TEST(VerifiedNetworkTest, PaperScaleConfigHasPaperUserCount) {
+  EXPECT_EQ(PaperScaleConfig().num_users, 231246u);
+}
+
+TEST(VerifiedNetworkTest, SmallComponentsAreSmallAndSeparate) {
+  const VerifiedNetwork& net = TestNetwork();
+  const auto weak = analysis::WeaklyConnectedComponents(net.graph);
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    if (net.roles[u] == UserRole::kSmallComponent) {
+      EXPECT_LE(weak.sizes[weak.label[u]], 6u);
+      // Their component contains no core node.
+      EXPECT_NE(weak.label[u], weak.GiantId());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace elitenet
