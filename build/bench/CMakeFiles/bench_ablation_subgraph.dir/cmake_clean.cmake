@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subgraph.dir/bench_ablation_subgraph.cc.o"
+  "CMakeFiles/bench_ablation_subgraph.dir/bench_ablation_subgraph.cc.o.d"
+  "bench_ablation_subgraph"
+  "bench_ablation_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

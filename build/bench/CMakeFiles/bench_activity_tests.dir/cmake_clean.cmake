@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activity_tests.dir/bench_activity_tests.cc.o"
+  "CMakeFiles/bench_activity_tests.dir/bench_activity_tests.cc.o.d"
+  "bench_activity_tests"
+  "bench_activity_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_basic_stats.dir/bench_basic_stats.cc.o"
+  "CMakeFiles/bench_basic_stats.dir/bench_basic_stats.cc.o.d"
+  "bench_basic_stats"
+  "bench_basic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eigen_powerlaw.dir/bench_eigen_powerlaw.cc.o"
+  "CMakeFiles/bench_eigen_powerlaw.dir/bench_eigen_powerlaw.cc.o.d"
+  "bench_eigen_powerlaw"
+  "bench_eigen_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eigen_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_outdegree_powerlaw.dir/bench_fig2_outdegree_powerlaw.cc.o"
+  "CMakeFiles/bench_fig2_outdegree_powerlaw.dir/bench_fig2_outdegree_powerlaw.cc.o.d"
+  "bench_fig2_outdegree_powerlaw"
+  "bench_fig2_outdegree_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_outdegree_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

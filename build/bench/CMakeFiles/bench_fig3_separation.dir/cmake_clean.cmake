@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_separation.dir/bench_fig3_separation.cc.o"
+  "CMakeFiles/bench_fig3_separation.dir/bench_fig3_separation.cc.o.d"
+  "bench_fig3_separation"
+  "bench_fig3_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

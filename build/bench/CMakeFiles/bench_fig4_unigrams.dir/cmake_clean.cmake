@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_unigrams.dir/bench_fig4_unigrams.cc.o"
+  "CMakeFiles/bench_fig4_unigrams.dir/bench_fig4_unigrams.cc.o.d"
+  "bench_fig4_unigrams"
+  "bench_fig4_unigrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_unigrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_centrality.dir/bench_fig5_centrality.cc.o"
+  "CMakeFiles/bench_fig5_centrality.dir/bench_fig5_centrality.cc.o.d"
+  "bench_fig5_centrality"
+  "bench_fig5_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

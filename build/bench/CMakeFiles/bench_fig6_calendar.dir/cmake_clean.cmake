@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_calendar.dir/bench_fig6_calendar.cc.o"
+  "CMakeFiles/bench_fig6_calendar.dir/bench_fig6_calendar.cc.o.d"
+  "bench_fig6_calendar"
+  "bench_fig6_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

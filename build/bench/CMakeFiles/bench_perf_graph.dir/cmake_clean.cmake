@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_graph.dir/bench_perf_graph.cc.o"
+  "CMakeFiles/bench_perf_graph.dir/bench_perf_graph.cc.o.d"
+  "bench_perf_graph"
+  "bench_perf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

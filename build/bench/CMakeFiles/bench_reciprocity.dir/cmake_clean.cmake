@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reciprocity.dir/bench_reciprocity.cc.o"
+  "CMakeFiles/bench_reciprocity.dir/bench_reciprocity.cc.o.d"
+  "bench_reciprocity"
+  "bench_reciprocity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reciprocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bigrams.dir/bench_table1_bigrams.cc.o"
+  "CMakeFiles/bench_table1_bigrams.dir/bench_table1_bigrams.cc.o.d"
+  "bench_table1_bigrams"
+  "bench_table1_bigrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bigrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

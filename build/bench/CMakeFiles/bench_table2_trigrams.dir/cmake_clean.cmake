@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_trigrams.dir/bench_table2_trigrams.cc.o"
+  "CMakeFiles/bench_table2_trigrams.dir/bench_table2_trigrams.cc.o.d"
+  "bench_table2_trigrams"
+  "bench_table2_trigrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_trigrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

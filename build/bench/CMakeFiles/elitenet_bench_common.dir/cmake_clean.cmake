@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/elitenet_bench_common.dir/bench_common.cc.o.d"
+  "libelitenet_bench_common.a"
+  "libelitenet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

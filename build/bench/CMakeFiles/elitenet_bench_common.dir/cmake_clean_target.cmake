@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelitenet_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_monitor.dir/activity_monitor.cpp.o"
+  "CMakeFiles/activity_monitor.dir/activity_monitor.cpp.o.d"
+  "activity_monitor"
+  "activity_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

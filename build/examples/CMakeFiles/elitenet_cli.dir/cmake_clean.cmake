@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_cli.dir/elitenet_cli.cpp.o"
+  "CMakeFiles/elitenet_cli.dir/elitenet_cli.cpp.o.d"
+  "elitenet_cli"
+  "elitenet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

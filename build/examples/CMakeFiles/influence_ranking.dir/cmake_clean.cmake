@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_ranking.dir/influence_ranking.cpp.o"
+  "CMakeFiles/influence_ranking.dir/influence_ranking.cpp.o.d"
+  "influence_ranking"
+  "influence_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_fingerprint.dir/network_fingerprint.cpp.o"
+  "CMakeFiles/network_fingerprint.dir/network_fingerprint.cpp.o.d"
+  "network_fingerprint"
+  "network_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

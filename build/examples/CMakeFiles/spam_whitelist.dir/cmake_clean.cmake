@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_whitelist.dir/spam_whitelist.cpp.o"
+  "CMakeFiles/spam_whitelist.dir/spam_whitelist.cpp.o.d"
+  "spam_whitelist"
+  "spam_whitelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_whitelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_study.dir/verified_study.cpp.o"
+  "CMakeFiles/verified_study.dir/verified_study.cpp.o.d"
+  "verified_study"
+  "verified_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

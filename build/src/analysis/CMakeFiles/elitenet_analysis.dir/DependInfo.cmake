@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/assortativity.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/assortativity.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/assortativity.cc.o.d"
+  "/root/repo/src/analysis/bidirectional.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/bidirectional.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/bidirectional.cc.o.d"
+  "/root/repo/src/analysis/centrality.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/centrality.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/centrality.cc.o.d"
+  "/root/repo/src/analysis/clustering.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/clustering.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/clustering.cc.o.d"
+  "/root/repo/src/analysis/components.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/components.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/components.cc.o.d"
+  "/root/repo/src/analysis/degree.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/degree.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/degree.cc.o.d"
+  "/root/repo/src/analysis/distance.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/distance.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/distance.cc.o.d"
+  "/root/repo/src/analysis/hits.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/hits.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/hits.cc.o.d"
+  "/root/repo/src/analysis/kcore.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/kcore.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/kcore.cc.o.d"
+  "/root/repo/src/analysis/reciprocity.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/reciprocity.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/reciprocity.cc.o.d"
+  "/root/repo/src/analysis/spectral.cc" "src/analysis/CMakeFiles/elitenet_analysis.dir/spectral.cc.o" "gcc" "src/analysis/CMakeFiles/elitenet_analysis.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/elitenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_analysis.dir/assortativity.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/assortativity.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/bidirectional.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/bidirectional.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/centrality.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/centrality.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/clustering.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/clustering.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/components.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/components.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/degree.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/degree.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/distance.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/distance.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/hits.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/hits.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/kcore.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/kcore.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/reciprocity.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/reciprocity.cc.o.d"
+  "CMakeFiles/elitenet_analysis.dir/spectral.cc.o"
+  "CMakeFiles/elitenet_analysis.dir/spectral.cc.o.d"
+  "libelitenet_analysis.a"
+  "libelitenet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/elitenet_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/elitenet_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/fingerprint.cc" "src/core/CMakeFiles/elitenet_core.dir/fingerprint.cc.o" "gcc" "src/core/CMakeFiles/elitenet_core.dir/fingerprint.cc.o.d"
+  "/root/repo/src/core/reach_predictor.cc" "src/core/CMakeFiles/elitenet_core.dir/reach_predictor.cc.o" "gcc" "src/core/CMakeFiles/elitenet_core.dir/reach_predictor.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/elitenet_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/elitenet_core.dir/study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/elitenet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/elitenet_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/elitenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elitenet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/elitenet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elitenet_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

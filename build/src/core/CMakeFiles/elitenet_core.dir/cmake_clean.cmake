@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_core.dir/dataset.cc.o"
+  "CMakeFiles/elitenet_core.dir/dataset.cc.o.d"
+  "CMakeFiles/elitenet_core.dir/fingerprint.cc.o"
+  "CMakeFiles/elitenet_core.dir/fingerprint.cc.o.d"
+  "CMakeFiles/elitenet_core.dir/reach_predictor.cc.o"
+  "CMakeFiles/elitenet_core.dir/reach_predictor.cc.o.d"
+  "CMakeFiles/elitenet_core.dir/study.cc.o"
+  "CMakeFiles/elitenet_core.dir/study.cc.o.d"
+  "libelitenet_core.a"
+  "libelitenet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/activity.cc" "src/gen/CMakeFiles/elitenet_gen.dir/activity.cc.o" "gcc" "src/gen/CMakeFiles/elitenet_gen.dir/activity.cc.o.d"
+  "/root/repo/src/gen/bios.cc" "src/gen/CMakeFiles/elitenet_gen.dir/bios.cc.o" "gcc" "src/gen/CMakeFiles/elitenet_gen.dir/bios.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/gen/CMakeFiles/elitenet_gen.dir/generators.cc.o" "gcc" "src/gen/CMakeFiles/elitenet_gen.dir/generators.cc.o.d"
+  "/root/repo/src/gen/profiles.cc" "src/gen/CMakeFiles/elitenet_gen.dir/profiles.cc.o" "gcc" "src/gen/CMakeFiles/elitenet_gen.dir/profiles.cc.o.d"
+  "/root/repo/src/gen/verified_network.cc" "src/gen/CMakeFiles/elitenet_gen.dir/verified_network.cc.o" "gcc" "src/gen/CMakeFiles/elitenet_gen.dir/verified_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/elitenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elitenet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elitenet_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_gen.dir/activity.cc.o"
+  "CMakeFiles/elitenet_gen.dir/activity.cc.o.d"
+  "CMakeFiles/elitenet_gen.dir/bios.cc.o"
+  "CMakeFiles/elitenet_gen.dir/bios.cc.o.d"
+  "CMakeFiles/elitenet_gen.dir/generators.cc.o"
+  "CMakeFiles/elitenet_gen.dir/generators.cc.o.d"
+  "CMakeFiles/elitenet_gen.dir/profiles.cc.o"
+  "CMakeFiles/elitenet_gen.dir/profiles.cc.o.d"
+  "CMakeFiles/elitenet_gen.dir/verified_network.cc.o"
+  "CMakeFiles/elitenet_gen.dir/verified_network.cc.o.d"
+  "libelitenet_gen.a"
+  "libelitenet_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/elitenet_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/elitenet_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/elitenet_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/elitenet_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/elitenet_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/elitenet_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/elitenet_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/elitenet_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

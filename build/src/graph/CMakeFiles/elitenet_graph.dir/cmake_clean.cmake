@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_graph.dir/builder.cc.o"
+  "CMakeFiles/elitenet_graph.dir/builder.cc.o.d"
+  "CMakeFiles/elitenet_graph.dir/digraph.cc.o"
+  "CMakeFiles/elitenet_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/elitenet_graph.dir/io.cc.o"
+  "CMakeFiles/elitenet_graph.dir/io.cc.o.d"
+  "CMakeFiles/elitenet_graph.dir/subgraph.cc.o"
+  "CMakeFiles/elitenet_graph.dir/subgraph.cc.o.d"
+  "libelitenet_graph.a"
+  "libelitenet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

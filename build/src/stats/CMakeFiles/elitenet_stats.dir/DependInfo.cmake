@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/elitenet_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/elitenet_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/elitenet_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/optimize.cc" "src/stats/CMakeFiles/elitenet_stats.dir/optimize.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/optimize.cc.o.d"
+  "/root/repo/src/stats/powerlaw.cc" "src/stats/CMakeFiles/elitenet_stats.dir/powerlaw.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/powerlaw.cc.o.d"
+  "/root/repo/src/stats/smoother.cc" "src/stats/CMakeFiles/elitenet_stats.dir/smoother.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/smoother.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/stats/CMakeFiles/elitenet_stats.dir/special.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/special.cc.o.d"
+  "/root/repo/src/stats/vuong.cc" "src/stats/CMakeFiles/elitenet_stats.dir/vuong.cc.o" "gcc" "src/stats/CMakeFiles/elitenet_stats.dir/vuong.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_stats.dir/correlation.cc.o"
+  "CMakeFiles/elitenet_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/descriptive.cc.o"
+  "CMakeFiles/elitenet_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/distributions.cc.o"
+  "CMakeFiles/elitenet_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/optimize.cc.o"
+  "CMakeFiles/elitenet_stats.dir/optimize.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/powerlaw.cc.o"
+  "CMakeFiles/elitenet_stats.dir/powerlaw.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/smoother.cc.o"
+  "CMakeFiles/elitenet_stats.dir/smoother.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/special.cc.o"
+  "CMakeFiles/elitenet_stats.dir/special.cc.o.d"
+  "CMakeFiles/elitenet_stats.dir/vuong.cc.o"
+  "CMakeFiles/elitenet_stats.dir/vuong.cc.o.d"
+  "libelitenet_stats.a"
+  "libelitenet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

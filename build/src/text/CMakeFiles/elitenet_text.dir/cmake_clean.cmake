@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_text.dir/ngram.cc.o"
+  "CMakeFiles/elitenet_text.dir/ngram.cc.o.d"
+  "CMakeFiles/elitenet_text.dir/tokenizer.cc.o"
+  "CMakeFiles/elitenet_text.dir/tokenizer.cc.o.d"
+  "libelitenet_text.a"
+  "libelitenet_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/acf.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/acf.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/acf.cc.o.d"
+  "/root/repo/src/timeseries/adf.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/adf.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/adf.cc.o.d"
+  "/root/repo/src/timeseries/calendar.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/calendar.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/calendar.cc.o.d"
+  "/root/repo/src/timeseries/linalg.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/linalg.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/linalg.cc.o.d"
+  "/root/repo/src/timeseries/ols.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/ols.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/ols.cc.o.d"
+  "/root/repo/src/timeseries/pelt.cc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/pelt.cc.o" "gcc" "src/timeseries/CMakeFiles/elitenet_timeseries.dir/pelt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/elitenet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

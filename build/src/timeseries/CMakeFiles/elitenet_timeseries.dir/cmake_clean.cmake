@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_timeseries.dir/acf.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/acf.cc.o.d"
+  "CMakeFiles/elitenet_timeseries.dir/adf.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/adf.cc.o.d"
+  "CMakeFiles/elitenet_timeseries.dir/calendar.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/calendar.cc.o.d"
+  "CMakeFiles/elitenet_timeseries.dir/linalg.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/linalg.cc.o.d"
+  "CMakeFiles/elitenet_timeseries.dir/ols.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/ols.cc.o.d"
+  "CMakeFiles/elitenet_timeseries.dir/pelt.cc.o"
+  "CMakeFiles/elitenet_timeseries.dir/pelt.cc.o.d"
+  "libelitenet_timeseries.a"
+  "libelitenet_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elitenet_util.dir/csv.cc.o"
+  "CMakeFiles/elitenet_util.dir/csv.cc.o.d"
+  "CMakeFiles/elitenet_util.dir/histogram.cc.o"
+  "CMakeFiles/elitenet_util.dir/histogram.cc.o.d"
+  "CMakeFiles/elitenet_util.dir/rng.cc.o"
+  "CMakeFiles/elitenet_util.dir/rng.cc.o.d"
+  "CMakeFiles/elitenet_util.dir/status.cc.o"
+  "CMakeFiles/elitenet_util.dir/status.cc.o.d"
+  "CMakeFiles/elitenet_util.dir/string_utils.cc.o"
+  "CMakeFiles/elitenet_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/elitenet_util.dir/table.cc.o"
+  "CMakeFiles/elitenet_util.dir/table.cc.o.d"
+  "libelitenet_util.a"
+  "libelitenet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elitenet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelitenet_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_test.dir/acf_test.cc.o"
+  "CMakeFiles/acf_test.dir/acf_test.cc.o.d"
+  "acf_test"
+  "acf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adf_test.dir/adf_test.cc.o"
+  "CMakeFiles/adf_test.dir/adf_test.cc.o.d"
+  "adf_test"
+  "adf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

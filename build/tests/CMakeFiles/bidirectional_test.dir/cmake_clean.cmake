@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidirectional_test.dir/bidirectional_test.cc.o"
+  "CMakeFiles/bidirectional_test.dir/bidirectional_test.cc.o.d"
+  "bidirectional_test"
+  "bidirectional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidirectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bios_test.dir/bios_test.cc.o"
+  "CMakeFiles/bios_test.dir/bios_test.cc.o.d"
+  "bios_test"
+  "bios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

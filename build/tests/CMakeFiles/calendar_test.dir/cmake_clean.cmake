@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_test.dir/calendar_test.cc.o"
+  "CMakeFiles/calendar_test.dir/calendar_test.cc.o.d"
+  "calendar_test"
+  "calendar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_robustness_test.dir/calibration_robustness_test.cc.o"
+  "CMakeFiles/calibration_robustness_test.dir/calibration_robustness_test.cc.o.d"
+  "calibration_robustness_test"
+  "calibration_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

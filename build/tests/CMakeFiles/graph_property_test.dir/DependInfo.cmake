@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_property_test.cc" "tests/CMakeFiles/graph_property_test.dir/graph_property_test.cc.o" "gcc" "tests/CMakeFiles/graph_property_test.dir/graph_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elitenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/elitenet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/elitenet_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/elitenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/elitenet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elitenet_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elitenet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elitenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

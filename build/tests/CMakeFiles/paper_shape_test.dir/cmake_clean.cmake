@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_shape_test.dir/paper_shape_test.cc.o"
+  "CMakeFiles/paper_shape_test.dir/paper_shape_test.cc.o.d"
+  "paper_shape_test"
+  "paper_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

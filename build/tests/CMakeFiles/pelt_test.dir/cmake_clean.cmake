@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelt_test.dir/pelt_test.cc.o"
+  "CMakeFiles/pelt_test.dir/pelt_test.cc.o.d"
+  "pelt_test"
+  "pelt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_pagerank_test.dir/personalized_pagerank_test.cc.o"
+  "CMakeFiles/personalized_pagerank_test.dir/personalized_pagerank_test.cc.o.d"
+  "personalized_pagerank_test"
+  "personalized_pagerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

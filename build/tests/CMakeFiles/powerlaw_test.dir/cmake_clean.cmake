@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlaw_test.dir/powerlaw_test.cc.o"
+  "CMakeFiles/powerlaw_test.dir/powerlaw_test.cc.o.d"
+  "powerlaw_test"
+  "powerlaw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlaw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

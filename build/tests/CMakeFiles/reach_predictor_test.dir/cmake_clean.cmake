@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_predictor_test.dir/reach_predictor_test.cc.o"
+  "CMakeFiles/reach_predictor_test.dir/reach_predictor_test.cc.o.d"
+  "reach_predictor_test"
+  "reach_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

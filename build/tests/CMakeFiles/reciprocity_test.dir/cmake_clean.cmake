@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reciprocity_test.dir/reciprocity_test.cc.o"
+  "CMakeFiles/reciprocity_test.dir/reciprocity_test.cc.o.d"
+  "reciprocity_test"
+  "reciprocity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reciprocity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

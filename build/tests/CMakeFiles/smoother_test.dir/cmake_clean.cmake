@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_test.dir/smoother_test.cc.o"
+  "CMakeFiles/smoother_test.dir/smoother_test.cc.o.d"
+  "smoother_test"
+  "smoother_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_property_test.dir/stats_property_test.cc.o"
+  "CMakeFiles/stats_property_test.dir/stats_property_test.cc.o.d"
+  "stats_property_test"
+  "stats_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_network_test.dir/verified_network_test.cc.o"
+  "CMakeFiles/verified_network_test.dir/verified_network_test.cc.o.d"
+  "verified_network_test"
+  "verified_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuong_test.dir/vuong_test.cc.o"
+  "CMakeFiles/vuong_test.dir/vuong_test.cc.o.d"
+  "vuong_test"
+  "vuong_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
