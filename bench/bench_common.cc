@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/parallel.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -28,6 +29,8 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       args.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = std::atoi(arg + 10);
     }
   }
   return args;
@@ -42,11 +45,13 @@ core::StudyConfig MakeStudyConfig(const BenchArgs& args) {
   cfg.betweenness_pivots = 256;
   cfg.clustering_samples = 12000;
   cfg.eigenvalue_k = 250;
+  cfg.threads = args.threads;
   return cfg;
 }
 
 core::VerifiedStudy MakeStudy(const BenchArgs& args) {
   core::VerifiedStudy study(MakeStudyConfig(args));
+  if (args.threads > 0) util::SetThreadCount(args.threads);
   util::Stopwatch sw;
   const Status s = study.Generate();
   if (!s.ok()) {
@@ -54,11 +59,12 @@ core::VerifiedStudy MakeStudy(const BenchArgs& args) {
                  s.ToString().c_str());
     std::exit(1);
   }
-  std::printf("generated n=%s users, m=%s edges in %.1fs (seed %llu)\n",
-              util::FormatWithCommas(study.network().graph.num_nodes()).c_str(),
-              util::FormatWithCommas(study.network().graph.num_edges()).c_str(),
-              sw.Seconds(),
-              static_cast<unsigned long long>(args.seed));
+  std::printf(
+      "generated n=%s users, m=%s edges in %.1fs (seed %llu, %d threads)\n",
+      util::FormatWithCommas(study.network().graph.num_nodes()).c_str(),
+      util::FormatWithCommas(study.network().graph.num_edges()).c_str(),
+      sw.Seconds(), static_cast<unsigned long long>(args.seed),
+      util::ThreadCount());
   return study;
 }
 

@@ -21,10 +21,14 @@ struct BenchArgs {
   /// Where CSV artifacts are written (`--out=DIR`), default
   /// "bench_out".
   std::string out_dir = "bench_out";
+  /// Worker threads for the parallel kernels (`--threads=N`). 0 = auto
+  /// (ELITENET_THREADS env, else hardware_concurrency). Results are
+  /// bit-identical for any value.
+  int threads = 0;
 };
 
-/// Parses --scale= / --seed= / --out= flags; ignores unknown flags so
-/// binaries stay runnable under generic runners.
+/// Parses --scale= / --seed= / --out= / --threads= flags; ignores unknown
+/// flags so binaries stay runnable under generic runners.
 BenchArgs ParseArgs(int argc, char** argv);
 
 /// Study configuration at the requested scale with bench-grade analysis

@@ -1,0 +1,215 @@
+// Wall-clock scaling of the parallel kernels at 1/2/4/8 worker threads,
+// with a cross-thread-count equality audit (the determinism contract says
+// every kernel is bit-identical for any thread count). Emits
+// BENCH_parallel.json with per-kernel seconds and speedups.
+//
+// Usage: bench_perf_parallel [--scale=N] [--seed=S] [--json=PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/centrality.h"
+#include "analysis/clustering.h"
+#include "analysis/degree.h"
+#include "analysis/distance.h"
+#include "bench_common.h"
+#include "gen/verified_network.h"
+#include "stats/powerlaw.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace elitenet {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr size_t kNumThreadCounts = 4;
+
+struct KernelResult {
+  std::string name;
+  double seconds[kNumThreadCounts] = {0, 0, 0, 0};
+  bool identical = true;  // outputs matched the 1-thread run bit for bit
+};
+
+// One measured run of every kernel at the current global thread count.
+// Returns the per-kernel times and fills `signature` with a value-summary
+// of each kernel's output for the equality audit.
+std::vector<double> RunKernels(const BenchArgs& args,
+                               std::vector<std::vector<double>>* signature) {
+  std::vector<double> seconds;
+  signature->clear();
+  util::Stopwatch sw;
+
+  // generate
+  gen::VerifiedNetworkConfig gcfg;
+  gcfg.num_users = args.num_users;
+  gcfg.seed = args.seed;
+  sw.Reset();
+  auto net = gen::GenerateVerifiedNetwork(gcfg);
+  seconds.push_back(sw.Seconds());
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    std::exit(1);
+  }
+  const graph::DiGraph& g = net->graph;
+  signature->push_back({static_cast<double>(g.num_edges()),
+                        static_cast<double>(g.OutDegree(0)),
+                        net->popularity[1]});
+
+  // pagerank
+  sw.Reset();
+  const auto pr = analysis::PageRank(g, {});
+  seconds.push_back(sw.Seconds());
+  signature->push_back(
+      {pr.ok() ? pr->scores[0] : -1.0,
+       pr.ok() ? pr->scores[g.num_nodes() / 2] : -1.0,
+       pr.ok() ? static_cast<double>(pr->iterations) : -1.0});
+
+  // betweenness
+  analysis::BetweennessOptions bw;
+  bw.pivots = 256;
+  bw.seed = args.seed ^ 0xB37;
+  sw.Reset();
+  const auto bc = analysis::Betweenness(g, bw);
+  seconds.push_back(sw.Seconds());
+  double bc_sum = 0.0, bc_max = 0.0;
+  if (bc.ok()) {
+    for (double x : *bc) {
+      bc_sum += x;
+      if (x > bc_max) bc_max = x;
+    }
+  }
+  signature->push_back({bc_sum, bc_max});
+
+  // bfs distances
+  sw.Reset();
+  util::Rng drng(args.seed ^ 0xD157);
+  const auto dist = analysis::SampleDistances(g, 64, &drng);
+  seconds.push_back(sw.Seconds());
+  signature->push_back({dist.mean_distance,
+                        static_cast<double>(dist.reachable_pairs),
+                        static_cast<double>(dist.diameter_lower_bound)});
+
+  // clustering
+  sw.Reset();
+  util::Rng crng(args.seed ^ 0xC105);
+  const auto clus = analysis::ComputeClusteringSampled(g, 12000, &crng);
+  seconds.push_back(sw.Seconds());
+  signature->push_back({clus.average_local,
+                        static_cast<double>(clus.nodes_evaluated)});
+
+  // bootstrap
+  std::vector<double> degrees = analysis::OutDegreeVector(g);
+  std::vector<double> positive;
+  for (double d : degrees) {
+    if (d > 0.0) positive.push_back(d);
+  }
+  const auto fit = stats::FitDiscrete(positive);
+  double boot_sec = 0.0;
+  std::vector<double> boot_sig = {-1.0, -1.0};
+  if (fit.ok()) {
+    sw.Reset();
+    util::Rng brng(args.seed ^ 0xD15C0);
+    const auto gof = stats::BootstrapGoodness(positive, *fit, 30, &brng);
+    boot_sec = sw.Seconds();
+    if (gof.ok()) {
+      boot_sig = {gof->p_value, static_cast<double>(gof->replicates)};
+    }
+  }
+  seconds.push_back(boot_sec);
+  signature->push_back(boot_sig);
+
+  return seconds;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elitenet
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::string json_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const char* names[] = {"generate", "pagerank",   "betweenness",
+                         "bfs",      "clustering", "bootstrap"};
+  constexpr size_t kNumKernels = 6;
+  std::vector<bench::KernelResult> results(kNumKernels);
+  for (size_t k = 0; k < kNumKernels; ++k) results[k].name = names[k];
+
+  std::printf("parallel kernel scaling at n=%u (hardware_concurrency=%u)\n",
+              args.num_users, std::thread::hardware_concurrency());
+  std::vector<std::vector<double>> baseline_sig;
+  for (size_t t = 0; t < bench::kNumThreadCounts; ++t) {
+    const int threads = bench::kThreadCounts[t];
+    util::SetThreadCount(threads);
+    std::vector<std::vector<double>> sig;
+    const std::vector<double> secs = bench::RunKernels(args, &sig);
+    if (t == 0) {
+      baseline_sig = sig;
+    }
+    for (size_t k = 0; k < kNumKernels; ++k) {
+      results[k].seconds[t] = secs[k];
+      if (sig[k] != baseline_sig[k]) results[k].identical = false;
+      std::printf("  threads=%d %-12s %8.3fs  speedup=%.2fx%s\n", threads,
+                  names[k], secs[k],
+                  secs[k] > 0.0 ? results[k].seconds[0] / secs[k] : 0.0,
+                  sig[k] == baseline_sig[k] ? "" : "  MISMATCH");
+    }
+  }
+  util::SetThreadCount(0);
+
+  double total_1 = 0.0, total_4 = 0.0;
+  bool all_identical = true;
+  for (const bench::KernelResult& r : results) {
+    total_1 += r.seconds[0];
+    total_4 += r.seconds[2];
+    all_identical = all_identical && r.identical;
+  }
+  const double aggregate_speedup_4 = total_4 > 0.0 ? total_1 / total_4 : 0.0;
+  std::printf("aggregate: 1-thread %.3fs, 4-thread %.3fs, speedup %.2fx; "
+              "outputs identical across thread counts: %s\n",
+              total_1, total_4, aggregate_speedup_4,
+              all_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  std::fprintf(f, "  \"kernels\": {\n");
+  for (size_t k = 0; k < kNumKernels; ++k) {
+    const bench::KernelResult& r = results[k];
+    std::fprintf(f,
+                 "    \"%s\": {\"seconds\": [%.4f, %.4f, %.4f, %.4f], "
+                 "\"speedup_4t\": %.3f, \"identical\": %s}%s\n",
+                 r.name.c_str(), r.seconds[0], r.seconds[1], r.seconds[2],
+                 r.seconds[3],
+                 r.seconds[2] > 0.0 ? r.seconds[0] / r.seconds[2] : 0.0,
+                 r.identical ? "true" : "false",
+                 k + 1 < kNumKernels ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"aggregate_speedup_4t\": %.3f,\n", aggregate_speedup_4);
+  std::fprintf(f, "  \"outputs_identical\": %s\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_identical ? 0 : 2;
+}

@@ -4,11 +4,77 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace elitenet {
 namespace analysis {
 
 using graph::DiGraph;
 using graph::NodeId;
+
+namespace {
+
+// One pull-based power-iteration step shared by PageRank and its
+// personalized variant. Per node v the new value is
+//   value(v) = (1 - d) * teleport(v)
+//            + d * (sum_{u -> v} rank[u] / outdeg(u) + dangling * teleport(v))
+// computed over CSR row blocks in parallel. Each next[v] sums its sorted
+// in-neighbors' contributions — a per-node order no scheduler can change —
+// and the L1 delta folds per-block partials in block order, so the sweep
+// is bit-identical for any thread count. Returns the L1 change.
+//
+// `teleport == nullptr` means the uniform distribution 1/n.
+double PowerIterationStep(const DiGraph& g, double damping,
+                          const std::vector<double>* teleport,
+                          std::vector<double>* rank,
+                          std::vector<double>* next,
+                          std::vector<double>* contrib) {
+  const NodeId n = g.num_nodes();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Pass 1: per-node out-contributions plus the dangling mass.
+  const double dangling_mass = util::ParallelReduce(
+      0, n, 0, 0.0,
+      [&](size_t lo, size_t hi) {
+        double dangling = 0.0;
+        for (size_t u = lo; u < hi; ++u) {
+          const uint32_t deg = g.OutDegree(static_cast<NodeId>(u));
+          if (deg == 0) {
+            dangling += (*rank)[u];
+            (*contrib)[u] = 0.0;
+          } else {
+            (*contrib)[u] = (*rank)[u] / static_cast<double>(deg);
+          }
+        }
+        return dangling;
+      },
+      [](double a, double b) { return a + b; });
+
+  // Pass 2: pull sweep + L1 delta.
+  const double delta = util::ParallelReduce(
+      0, n, 0, 0.0,
+      [&](size_t lo, size_t hi) {
+        double block_delta = 0.0;
+        for (size_t v = lo; v < hi; ++v) {
+          double sum = 0.0;
+          for (NodeId u : g.InNeighbors(static_cast<NodeId>(v))) {
+            sum += (*contrib)[u];
+          }
+          const double tp = teleport != nullptr ? (*teleport)[v] : inv_n;
+          const double value =
+              (1.0 - damping) * tp + damping * (sum + dangling_mass * tp);
+          block_delta += std::fabs(value - (*rank)[v]);
+          (*next)[v] = value;
+        }
+        return block_delta;
+      },
+      [](double a, double b) { return a + b; });
+
+  rank->swap(*next);
+  return delta;
+}
+
+}  // namespace
 
 Result<PageRankResult> PageRank(const DiGraph& g,
                                 const PageRankOptions& options) {
@@ -23,30 +89,12 @@ Result<PageRankResult> PageRank(const DiGraph& g,
   if (n == 0) return out;
 
   const double inv_n = 1.0 / static_cast<double>(n);
-  std::vector<double> rank(n, inv_n), next(n, 0.0);
+  std::vector<double> rank(n, inv_n), next(n, 0.0), contrib(n, 0.0);
 
   for (out.iterations = 1; out.iterations <= options.max_iterations;
        ++out.iterations) {
-    double dangling_mass = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      const auto nbrs = g.OutNeighbors(u);
-      if (nbrs.empty()) {
-        dangling_mass += rank[u];
-        continue;
-      }
-      const double share = rank[u] / static_cast<double>(nbrs.size());
-      for (NodeId v : nbrs) next[v] += share;
-    }
-    const double base =
-        (1.0 - options.damping) * inv_n +
-        options.damping * dangling_mass * inv_n;
-    double delta = 0.0;
-    for (NodeId u = 0; u < n; ++u) {
-      const double value = base + options.damping * next[u];
-      delta += std::fabs(value - rank[u]);
-      rank[u] = value;
-    }
+    const double delta = PowerIterationStep(g, options.damping, nullptr,
+                                            &rank, &next, &contrib);
     out.final_delta = delta;
     if (delta < options.tolerance) {
       out.converged = true;
@@ -88,28 +136,11 @@ Result<PageRankResult> PersonalizedPageRank(
   }
 
   std::vector<double> rank = teleport;
-  std::vector<double> next(n, 0.0);
+  std::vector<double> next(n, 0.0), contrib(n, 0.0);
   for (out.iterations = 1; out.iterations <= options.max_iterations;
        ++out.iterations) {
-    double dangling_mass = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      const auto nbrs = g.OutNeighbors(u);
-      if (nbrs.empty()) {
-        dangling_mass += rank[u];
-        continue;
-      }
-      const double share = rank[u] / static_cast<double>(nbrs.size());
-      for (NodeId v : nbrs) next[v] += share;
-    }
-    double delta = 0.0;
-    for (NodeId u = 0; u < n; ++u) {
-      const double value =
-          (1.0 - options.damping) * teleport[u] +
-          options.damping * (next[u] + dangling_mass * teleport[u]);
-      delta += std::fabs(value - rank[u]);
-      rank[u] = value;
-    }
+    const double delta = PowerIterationStep(g, options.damping, &teleport,
+                                            &rank, &next, &contrib);
     out.final_delta = delta;
     if (delta < options.tolerance) {
       out.converged = true;
@@ -189,13 +220,33 @@ Result<std::vector<double>> Betweenness(const DiGraph& g,
     scale = static_cast<double>(n) / static_cast<double>(options.pivots);
   }
 
-  std::vector<uint32_t> dist(n);
-  std::vector<double> sigma(n), delta(n);
-  std::vector<NodeId> order;
-  order.reserve(n);
-  for (NodeId s : sources) {
-    if (g.OutDegree(s) == 0) continue;  // contributes nothing
-    BrandesFromSource(g, s, &bc, &dist, &sigma, &delta, &order);
+  // Pivot sources split into a fixed number of blocks (independent of the
+  // thread count); each block accumulates into its own n-sized buffer with
+  // its own BFS scratch, and the buffers merge in block order. The fixed
+  // block structure keeps the floating-point accumulation order — and so
+  // the scores — bit-identical for any thread count. 16 blocks bound the
+  // extra memory at 16 doubles/node while leaving dynamic scheduling
+  // enough slack to balance uneven BFS costs.
+  constexpr size_t kMaxBlocks = 16;
+  const size_t grain = (sources.size() + kMaxBlocks - 1) / kMaxBlocks;
+  const size_t num_blocks = (sources.size() + grain - 1) / grain;
+  std::vector<std::vector<double>> block_bc(num_blocks);
+  util::ParallelFor(0, sources.size(), grain, [&](size_t lo, size_t hi) {
+    std::vector<double>& local = block_bc[lo / grain];
+    local.assign(n, 0.0);
+    std::vector<uint32_t> dist(n);
+    std::vector<double> sigma(n), delta(n);
+    std::vector<NodeId> order;
+    order.reserve(n);
+    for (size_t i = lo; i < hi; ++i) {
+      const NodeId s = sources[i];
+      if (g.OutDegree(s) == 0) continue;  // contributes nothing
+      BrandesFromSource(g, s, &local, &dist, &sigma, &delta, &order);
+    }
+  });
+  for (const std::vector<double>& local : block_bc) {
+    if (local.empty()) continue;  // block skipped (e.g. empty range)
+    for (NodeId v = 0; v < n; ++v) bc[v] += local[v];
   }
   if (scale != 1.0) {
     for (double& x : bc) x *= scale;

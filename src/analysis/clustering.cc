@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace elitenet {
 namespace analysis {
@@ -73,36 +74,75 @@ NodeClustering LocalClustering(
   return out;
 }
 
+// Per-chunk tallies of the clustering sweep. coeff_sum is the only
+// floating-point member; folding partials in chunk order keeps the average
+// bit-identical for any thread count (the integer members are exact under
+// any merge order).
+struct ClusteringPartial {
+  double coeff_sum = 0.0;
+  uint64_t nodes_evaluated = 0;
+  uint64_t closed = 0;
+  uint64_t open_pairs = 0;
+};
+
+// Shared finalization + sweep driver: evaluates LocalClustering over
+// `nodes[lo, hi)` chunks in parallel and folds the partials in chunk order.
+ClusteringStats SweepClustering(const DiGraph& g,
+                                const std::vector<NodeId>& nodes,
+                                const std::vector<std::vector<NodeId>>* cache) {
+  const ClusteringPartial total = util::ParallelReduce(
+      0, nodes.size(), 0, ClusteringPartial{},
+      [&](size_t lo, size_t hi) {
+        ClusteringPartial p;
+        for (size_t i = lo; i < hi; ++i) {
+          const NodeClustering c = LocalClustering(g, nodes[i], cache);
+          if (!c.eligible) continue;  // can collapse below degree 2
+          ++p.nodes_evaluated;
+          p.coeff_sum += c.coefficient;
+          p.closed += c.closed_pairs;
+          p.open_pairs += c.degree * (c.degree - 1);
+        }
+        return p;
+      },
+      [](ClusteringPartial a, ClusteringPartial b) {
+        a.coeff_sum += b.coeff_sum;
+        a.nodes_evaluated += b.nodes_evaluated;
+        a.closed += b.closed;
+        a.open_pairs += b.open_pairs;
+        return a;
+      });
+
+  ClusteringStats s;
+  s.nodes_evaluated = total.nodes_evaluated;
+  if (s.nodes_evaluated > 0) {
+    s.average_local =
+        total.coeff_sum / static_cast<double>(s.nodes_evaluated);
+  }
+  // closed counts every triangle 6 times (3 apexes x 2 orientations);
+  // open_pairs counts every connected triple twice.
+  s.triangles = total.closed / 6;
+  if (total.open_pairs > 0) {
+    s.transitivity = static_cast<double>(total.closed) /
+                     static_cast<double>(total.open_pairs);
+  }
+  return s;
+}
+
 }  // namespace
 
 ClusteringStats ComputeClustering(const DiGraph& g) {
   const NodeId n = g.num_nodes();
   std::vector<std::vector<NodeId>> adj(n);
-  for (NodeId u = 0; u < n; ++u) adj[u] = UndirectedNeighbors(g, u);
+  // Each entry is written by exactly one chunk: safe and deterministic.
+  util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+    for (size_t u = lo; u < hi; ++u) {
+      adj[u] = UndirectedNeighbors(g, static_cast<NodeId>(u));
+    }
+  });
 
-  ClusteringStats s;
-  double coeff_sum = 0.0;
-  uint64_t closed = 0;
-  uint64_t open_pairs = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    const NodeClustering c = LocalClustering(g, u, &adj);
-    if (!c.eligible) continue;
-    ++s.nodes_evaluated;
-    coeff_sum += c.coefficient;
-    closed += c.closed_pairs;
-    open_pairs += c.degree * (c.degree - 1);
-  }
-  if (s.nodes_evaluated > 0) {
-    s.average_local = coeff_sum / static_cast<double>(s.nodes_evaluated);
-  }
-  // closed counts every triangle 6 times (3 apexes x 2 orientations);
-  // open_pairs counts every connected triple twice.
-  s.triangles = closed / 6;
-  if (open_pairs > 0) {
-    s.transitivity = static_cast<double>(closed) /
-                     static_cast<double>(open_pairs);
-  }
-  return s;
+  std::vector<NodeId> nodes(n);
+  for (NodeId u = 0; u < n; ++u) nodes[u] = u;
+  return SweepClustering(g, nodes, &adj);
 }
 
 ClusteringStats ComputeClusteringSampled(const DiGraph& g, uint32_t samples,
@@ -116,26 +156,8 @@ ClusteringStats ComputeClusteringSampled(const DiGraph& g, uint32_t samples,
   if (eligible.size() <= samples) return ComputeClustering(g);
 
   rng->Shuffle(&eligible);
-  ClusteringStats s;
-  double coeff_sum = 0.0;
-  uint64_t closed = 0, open_pairs = 0;
-  for (uint32_t i = 0; i < samples; ++i) {
-    const NodeClustering c = LocalClustering(g, eligible[i], nullptr);
-    if (!c.eligible) continue;  // out+in >= 2 can still collapse to deg 1
-    ++s.nodes_evaluated;
-    coeff_sum += c.coefficient;
-    closed += c.closed_pairs;
-    open_pairs += c.degree * (c.degree - 1);
-  }
-  if (s.nodes_evaluated > 0) {
-    s.average_local = coeff_sum / static_cast<double>(s.nodes_evaluated);
-  }
-  s.triangles = closed / 6;
-  if (open_pairs > 0) {
-    s.transitivity = static_cast<double>(closed) /
-                     static_cast<double>(open_pairs);
-  }
-  return s;
+  eligible.resize(samples);
+  return SweepClustering(g, eligible, nullptr);
 }
 
 }  // namespace analysis

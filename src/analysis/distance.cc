@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace elitenet {
 namespace analysis {
@@ -70,23 +71,53 @@ DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
   }
   out.sources_used = static_cast<uint32_t>(sources.size());
 
-  double total_dist = 0.0;
-  for (NodeId s : sources) {
-    const std::vector<uint32_t> dist = Bfs(g, s);
-    for (NodeId v : candidates) {
-      if (v == s) continue;
-      if (dist[v] == kUnreachable) {
-        ++out.unreachable_pairs;
-        continue;
+  // BFS sources are independent: each task sweeps a block of sources into
+  // its own partial tallies, merged in block order afterwards. All partials
+  // are integers (hop counts and their sums), so the merge is exact and the
+  // result matches the single-threaded sweep bit for bit.
+  struct Partial {
+    util::IntHistogram hops;
+    uint64_t total_dist = 0;
+    uint64_t reachable = 0;
+    uint64_t unreachable = 0;
+    uint32_t max_dist = 0;
+  };
+  const size_t grain = util::EffectiveGrain(sources.size(), 0);
+  const size_t num_blocks = (sources.size() + grain - 1) / grain;
+  std::vector<Partial> partials(num_blocks);
+  util::ParallelFor(0, sources.size(), grain, [&](size_t lo, size_t hi) {
+    Partial& p = partials[lo / grain];
+    for (size_t i = lo; i < hi; ++i) {
+      const NodeId s = sources[i];
+      const std::vector<uint32_t> dist = Bfs(g, s);
+      for (NodeId v : candidates) {
+        if (v == s) continue;
+        if (dist[v] == kUnreachable) {
+          ++p.unreachable;
+          continue;
+        }
+        ++p.reachable;
+        p.total_dist += dist[v];
+        p.hops.Add(dist[v]);
+        p.max_dist = std::max(p.max_dist, dist[v]);
       }
-      ++out.reachable_pairs;
-      total_dist += dist[v];
-      out.hops.Add(dist[v]);
-      out.diameter_lower_bound = std::max(out.diameter_lower_bound, dist[v]);
+    }
+  });
+
+  uint64_t total_dist = 0;
+  for (const Partial& p : partials) {
+    total_dist += p.total_dist;
+    out.reachable_pairs += p.reachable;
+    out.unreachable_pairs += p.unreachable;
+    out.diameter_lower_bound = std::max(out.diameter_lower_bound, p.max_dist);
+    const std::vector<uint64_t>& counts = p.hops.counts();
+    for (size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] > 0) out.hops.Add(v, counts[v]);
     }
   }
   if (out.reachable_pairs > 0) {
-    out.mean_distance = total_dist / static_cast<double>(out.reachable_pairs);
+    out.mean_distance = static_cast<double>(total_dist) /
+                        static_cast<double>(out.reachable_pairs);
     out.median_distance = out.hops.Quantile(0.5);
     out.effective_diameter = out.hops.Quantile(0.9);
   }

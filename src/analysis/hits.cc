@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace elitenet {
 namespace analysis {
 
@@ -18,40 +20,69 @@ Result<HitsResult> Hits(const DiGraph& g, const HitsOptions& options) {
 
   std::vector<double> hub(n, 1.0), auth(n, 1.0);
 
+  // Parallel sweeps follow the same determinism recipe as PageRank: each
+  // node's sum runs over its sorted CSR neighbor list, and global scalars
+  // (norms, deltas) fold per-chunk partials in chunk order, so results are
+  // bit-identical for any thread count.
+  auto sum_of_squares = [&](const std::vector<double>& v) {
+    return util::ParallelReduce(
+        0, n, 0, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += v[i] * v[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
   auto normalize = [&](std::vector<double>* v) {
-    double norm = 0.0;
-    for (double x : *v) norm += x * x;
-    norm = std::sqrt(norm);
+    const double norm = std::sqrt(sum_of_squares(*v));
     if (norm > 0.0) {
-      for (double& x : *v) x /= norm;
+      util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) (*v)[i] /= norm;
+      });
     }
   };
   normalize(&hub);
   normalize(&auth);
 
+  std::vector<double> new_auth(n), new_hub(n);
   for (out.iterations = 1; out.iterations <= options.max_iterations;
        ++out.iterations) {
-    // authority(v) = sum of hub scores of followers of v.
-    std::vector<double> new_auth(n, 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      const double h = hub[u];
-      for (NodeId v : g.OutNeighbors(u)) new_auth[v] += h;
-    }
+    // authority(v) = sum of hub scores of followers of v (pull over
+    // in-neighbors).
+    util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+      for (size_t v = lo; v < hi; ++v) {
+        double acc = 0.0;
+        for (NodeId u : g.InNeighbors(static_cast<NodeId>(v))) {
+          acc += hub[u];
+        }
+        new_auth[v] = acc;
+      }
+    });
     normalize(&new_auth);
     // hub(u) = sum of authority scores of who u follows.
-    std::vector<double> new_hub(n, 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      double acc = 0.0;
-      for (NodeId v : g.OutNeighbors(u)) acc += new_auth[v];
-      new_hub[u] = acc;
-    }
+    util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+      for (size_t u = lo; u < hi; ++u) {
+        double acc = 0.0;
+        for (NodeId v : g.OutNeighbors(static_cast<NodeId>(u))) {
+          acc += new_auth[v];
+        }
+        new_hub[u] = acc;
+      }
+    });
     normalize(&new_hub);
 
-    double delta = 0.0;
-    for (NodeId u = 0; u < n; ++u) {
-      delta += std::fabs(new_hub[u] - hub[u]) +
-               std::fabs(new_auth[u] - auth[u]);
-    }
+    const double delta = util::ParallelReduce(
+        0, n, 0, 0.0,
+        [&](size_t lo, size_t hi) {
+          double d = 0.0;
+          for (size_t u = lo; u < hi; ++u) {
+            d += std::fabs(new_hub[u] - hub[u]) +
+                 std::fabs(new_auth[u] - auth[u]);
+          }
+          return d;
+        },
+        [](double a, double b) { return a + b; });
     hub.swap(new_hub);
     auth.swap(new_auth);
     if (delta < options.tolerance) {

@@ -4,13 +4,25 @@
 
 #include "core/paper_reference.h"
 #include "stats/distributions.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace elitenet {
 namespace core {
 
+namespace {
+
+// Honors StudyConfig::threads before entering a parallel kernel. A value
+// of 0 leaves the process-wide setting (env override / auto) untouched.
+void ApplyThreadConfig(const StudyConfig& config) {
+  if (config.threads > 0) util::SetThreadCount(config.threads);
+}
+
+}  // namespace
+
 Status VerifiedStudy::Generate() {
+  ApplyThreadConfig(config_);
   EN_ASSIGN_OR_RETURN(gen::VerifiedNetwork net,
                       gen::GenerateVerifiedNetwork(config_.network));
   network_ = std::move(net);
@@ -58,6 +70,7 @@ Status RequireGenerated(bool generated) {
 
 Result<BasicReport> VerifiedStudy::RunBasic() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   const graph::DiGraph& g = network_->graph;
 
   BasicReport r;
@@ -137,6 +150,7 @@ Result<PowerLawReport> AnalyzeDistribution(const std::vector<double>& data,
 Result<PowerLawReport> VerifiedStudy::RunOutDegreeFit(
     bool with_bootstrap) const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   std::vector<double> degrees = analysis::OutDegreeVector(network_->graph);
   // The fitters require positive data; zero out-degrees (sinks, isolated)
   // are outside any power-law support, as in the paper's Fig. 2 which
@@ -154,6 +168,7 @@ Result<PowerLawReport> VerifiedStudy::RunOutDegreeFit(
 Result<PowerLawReport> VerifiedStudy::RunEigenvalueFit(
     bool with_bootstrap) const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   analysis::LanczosOptions opts;
   opts.k = config_.eigenvalue_k;
   opts.seed = config_.analysis_seed ^ 0xE16E;
@@ -176,6 +191,7 @@ Result<PowerLawReport> VerifiedStudy::RunEigenvalueFit(
 
 Result<analysis::DistanceDistribution> VerifiedStudy::RunDistances() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   util::Rng rng(config_.analysis_seed ^ 0xD157);
   return analysis::SampleDistances(network_->graph,
                                    config_.distance_sources, &rng);
@@ -184,6 +200,7 @@ Result<analysis::DistanceDistribution> VerifiedStudy::RunDistances() const {
 Result<std::vector<RelationReport>> VerifiedStudy::RunCentralityRelations()
     const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   const graph::DiGraph& g = network_->graph;
 
   analysis::PageRankOptions pr_opts;

@@ -55,6 +55,11 @@ struct StudyConfig {
   int bootstrap_replicates = 30;
   int portmanteau_max_lag = 185;
   uint64_t analysis_seed = 1234;
+  /// Worker threads for the parallel kernels (generation, BFS sampling,
+  /// centrality sweeps, clustering, bootstrap). 0 = automatic: the
+  /// ELITENET_THREADS environment variable if set, else
+  /// hardware_concurrency. Results are bit-identical for any value.
+  int threads = 0;
 };
 
 /// §IV-A numbers.

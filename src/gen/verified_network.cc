@@ -7,6 +7,7 @@
 
 #include "graph/builder.h"
 #include "stats/powerlaw.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace elitenet {
@@ -216,67 +217,135 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
   // Target choice per stub: own community (popularity-weighted) with
   // probability community_fraction, else a friend-of-friend closure, else
   // global popularity-weighted sampling over core + sink nodes.
+  //
+  // Wiring runs as two parallel phases over the core sources. Every
+  // source draws from its own RNG substream (util::SubstreamSeed keyed by
+  // the node id), and per-block edge buffers merge into GraphBuilder in
+  // block order, so the generated graph is bit-identical for any thread
+  // count. Phase 1 draws each source's base targets from read-only state
+  // (community samplers + global alias table); phase 2 — after the phase-1
+  // barrier — rewrites a fraction of stubs into friend-of-friend closures
+  // against the now-complete base target lists and plants the follow-back
+  // / social-circle edges.
   std::vector<double> weights(out.popularity.begin(),
                               out.popularity.begin() + small_begin);
   const util::AliasSampler sampler(weights);
 
-  GraphBuilder builder(n);
-  builder.Reserve(static_cast<size_t>(m_total * 1.05));
-  std::vector<std::vector<NodeId>> targets(n);
-  std::vector<bool> has_in_edge(n, false);
-  std::unordered_set<NodeId> chosen;
+  const uint64_t stub_seed = rng.Next();
+  const uint64_t closure_seed = rng.Next();
 
-  auto add_edge = [&](NodeId a, NodeId b) -> Status {
-    EN_RETURN_IF_ERROR(builder.AddEdge(a, b));
-    targets[a].push_back(b);
-    has_in_edge[b] = true;
-    return Status::OK();
-  };
-
-  for (NodeId u = 0; u < n_core; ++u) {
-    chosen.clear();
-    const uint32_t want = out_degree[u];
-    uint32_t guard = 0;
-    const uint32_t max_tries = 20u * want + 50u;
-    // Tail users (and the superfollower) fan out too widely for a single
-    // community; they sample globally.
-    const bool community_eligible =
-        !is_tail[u] && community[u] != UINT32_MAX;
-    while (chosen.size() < want && guard < max_tries) {
-      ++guard;
-      NodeId v = graph::NodeId(-1);
-      if (community_eligible && rng.Bernoulli(config.community_fraction)) {
-        const uint32_t cid = community[u];
-        v = community_range[cid].first +
-            community_sampler[cid]->Sample(&rng);
-      } else if (config.triadic_closure > 0.0 && !targets[u].empty() &&
-                 rng.Bernoulli(config.triadic_closure)) {
-        const NodeId w = targets[u][rng.UniformU64(targets[u].size())];
-        if (w < small_begin && !targets[w].empty()) {
-          v = targets[w][rng.UniformU64(targets[w].size())];
+  // Phase 1: base targets (community or global popularity sampling).
+  std::vector<std::vector<NodeId>> base_targets(n);
+  util::ParallelFor(0, n_core, 0, [&](size_t lo, size_t hi) {
+    std::unordered_set<NodeId> chosen;
+    for (size_t ui = lo; ui < hi; ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      util::Rng stub_rng(util::SubstreamSeed(stub_seed, u));
+      chosen.clear();
+      const uint32_t want = out_degree[u];
+      std::vector<NodeId>& mine = base_targets[u];
+      mine.reserve(want);
+      uint32_t guard = 0;
+      const uint32_t max_tries = 20u * want + 50u;
+      // Tail users (and the superfollower) fan out too widely for a
+      // single community; they sample globally.
+      const bool community_eligible =
+          !is_tail[u] && community[u] != UINT32_MAX;
+      while (chosen.size() < want && guard < max_tries) {
+        ++guard;
+        NodeId v;
+        if (community_eligible &&
+            stub_rng.Bernoulli(config.community_fraction)) {
+          const uint32_t cid = community[u];
+          v = community_range[cid].first +
+              community_sampler[cid]->Sample(&stub_rng);
+        } else {
+          v = sampler.Sample(&stub_rng);
         }
+        if (v == u || chosen.contains(v)) continue;
+        chosen.insert(v);
+        mine.push_back(v);
       }
-      if (v == graph::NodeId(-1)) {
-        v = sampler.Sample(&rng);
+    }
+  });
+
+  // Phase 2: triadic-closure rewrites plus follow-back planting, buffered
+  // per block. Rewrites target the same share of stubs as the serial
+  // formulation: a non-community attempt went triadic with probability
+  // triadic_closure, so community-eligible sources rewrite with
+  // (1 - community_fraction) * triadic_closure and tail sources with
+  // triadic_closure outright.
+  const size_t wire_grain = util::EffectiveGrain(n_core, 0);
+  const size_t wire_blocks =
+      n_core == 0 ? 0 : (n_core + wire_grain - 1) / wire_grain;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> block_edges(
+      wire_blocks);
+  util::ParallelFor(0, n_core, wire_grain, [&](size_t lo, size_t hi) {
+    std::vector<std::pair<NodeId, NodeId>>& edges_out =
+        block_edges[lo / wire_grain];
+    std::unordered_set<NodeId> chosen;
+    std::vector<NodeId> final_targets;
+    for (size_t ui = lo; ui < hi; ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      util::Rng closure_rng(util::SubstreamSeed(closure_seed, u));
+      final_targets.assign(base_targets[u].begin(), base_targets[u].end());
+      chosen.clear();
+      chosen.insert(final_targets.begin(), final_targets.end());
+      const bool community_eligible =
+          !is_tail[u] && community[u] != UINT32_MAX;
+      const double p_triadic =
+          config.triadic_closure *
+          (community_eligible ? 1.0 - config.community_fraction : 1.0);
+      // Slot 0 never rewrites: the serial loop required earlier targets
+      // before a friend-of-friend draw.
+      for (size_t j = 1; j < final_targets.size(); ++j) {
+        if (p_triadic <= 0.0 || !closure_rng.Bernoulli(p_triadic)) continue;
+        const NodeId w =
+            final_targets[closure_rng.UniformU64(final_targets.size())];
+        if (w >= small_begin || base_targets[w].empty()) continue;
+        const NodeId v =
+            base_targets[w][closure_rng.UniformU64(base_targets[w].size())];
+        if (v == u || chosen.contains(v)) continue;
+        chosen.erase(final_targets[j]);
+        chosen.insert(v);
+        final_targets[j] = v;
       }
-      if (v == u || chosen.contains(v)) continue;
-      chosen.insert(v);
-      EN_RETURN_IF_ERROR(add_edge(u, v));
-      // Follow-back planting: body core users reciprocate; tail users,
-      // the superfollower, sinks, and peripheral nodes never do.
-      if (out.roles[v] == UserRole::kCore && !is_tail[v] &&
-          rng.Bernoulli(p_plant)) {
-        EN_RETURN_IF_ERROR(add_edge(v, u));
-        // Social-circle closure: v sometimes also follows one of u's
-        // earlier targets, closing the triangle u -> t, v -> t.
-        if (targets[u].size() > 1 && rng.Bernoulli(config.social_circle)) {
-          const NodeId t = targets[u][rng.UniformU64(targets[u].size())];
-          if (t != v && t != u) {
-            EN_RETURN_IF_ERROR(add_edge(v, t));
+      for (const NodeId v : final_targets) {
+        edges_out.emplace_back(u, v);
+        // Follow-back planting: body core users reciprocate; tail users,
+        // the superfollower, sinks, and peripheral nodes never do.
+        if (out.roles[v] == UserRole::kCore && !is_tail[v] &&
+            closure_rng.Bernoulli(p_plant)) {
+          edges_out.emplace_back(v, u);
+          // Social-circle closure: v sometimes also follows one of u's
+          // other targets, closing the triangle u -> t, v -> t.
+          if (final_targets.size() > 1 &&
+              closure_rng.Bernoulli(config.social_circle)) {
+            const NodeId t =
+                final_targets[closure_rng.UniformU64(final_targets.size())];
+            if (t != v && t != u) edges_out.emplace_back(v, t);
           }
         }
       }
     }
+  });
+
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(m_total * 1.05));
+  std::vector<bool> has_in_edge(n, false);
+
+  auto add_edge = [&](NodeId a, NodeId b) -> Status {
+    EN_RETURN_IF_ERROR(builder.AddEdge(a, b));
+    has_in_edge[b] = true;
+    return Status::OK();
+  };
+
+  for (std::vector<std::pair<NodeId, NodeId>>& block : block_edges) {
+    for (const auto& [a, b] : block) {
+      EN_RETURN_IF_ERROR(add_edge(a, b));
+    }
+    block.clear();
+    block.shrink_to_fit();
   }
 
   // ---- Small components: 2-5 node directed cycles with one mutual pair --

@@ -6,6 +6,7 @@
 #include "stats/optimize.h"
 #include "stats/special.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace elitenet {
 namespace stats {
@@ -288,22 +289,34 @@ Result<GoodnessOfFit> BootstrapGoodness(std::span<const double> data,
   const double p_tail =
       static_cast<double>(tail_count) / static_cast<double>(data.size());
 
+  // Replicates are independent tasks. Each draws from its own RNG
+  // substream keyed by the replicate index, so the p-value is
+  // bit-identical for any thread count (and failed refits stay attributed
+  // to the same replicate). The caller's generator is advanced exactly
+  // once, to derive the base seed.
+  const uint64_t base_seed = rng->Next();
+  std::vector<uint8_t> exceeded(static_cast<size_t>(replicates), 0);
+  util::ParallelFor(
+      0, static_cast<size_t>(replicates), 1, [&](size_t lo, size_t hi) {
+        std::vector<double> synthetic(data.size());
+        for (size_t r = lo; r < hi; ++r) {
+          util::Rng rep_rng(util::SubstreamSeed(base_seed, r));
+          for (double& x : synthetic) {
+            if (body.empty() || rep_rng.Bernoulli(p_tail)) {
+              x = SamplePowerLaw(fit, &rep_rng);
+            } else {
+              x = body[rep_rng.UniformU64(body.size())];
+            }
+          }
+          const Result<PowerLawFit> refit =
+              fit.discrete ? FitDiscrete(synthetic, opts)
+                           : FitContinuous(synthetic, opts);
+          if (!refit.ok()) continue;
+          if (refit->ks_distance >= fit.ks_distance) exceeded[r] = 1;
+        }
+      });
   int exceed = 0;
-  std::vector<double> synthetic(data.size());
-  for (int r = 0; r < replicates; ++r) {
-    for (double& x : synthetic) {
-      if (body.empty() || rng->Bernoulli(p_tail)) {
-        x = SamplePowerLaw(fit, rng);
-      } else {
-        x = body[rng->UniformU64(body.size())];
-      }
-    }
-    const Result<PowerLawFit> refit =
-        fit.discrete ? FitDiscrete(synthetic, opts)
-                     : FitContinuous(synthetic, opts);
-    if (!refit.ok()) continue;
-    if (refit->ks_distance >= fit.ks_distance) ++exceed;
-  }
+  for (uint8_t e : exceeded) exceed += e;
   GoodnessOfFit out;
   out.replicates = replicates;
   out.p_value = static_cast<double>(exceed) / static_cast<double>(replicates);

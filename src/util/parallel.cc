@@ -1,0 +1,202 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace util {
+
+namespace {
+
+int AutoThreadCount() {
+  if (const char* env = std::getenv("ELITENET_THREADS");
+      env != nullptr && *env != '\0') {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+std::atomic<int> g_thread_count{0};  // 0 = not yet resolved
+
+thread_local bool tl_in_parallel = false;
+
+// RAII marker for pool shards and serial fallbacks.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard() : prev_(tl_in_parallel) { tl_in_parallel = true; }
+  ~ParallelRegionGuard() { tl_in_parallel = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+int ThreadCount() {
+  int v = g_thread_count.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = AutoThreadCount();
+    g_thread_count.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetThreadCount(int n) {
+  g_thread_count.store(n <= 0 ? AutoThreadCount() : n,
+                       std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return tl_in_parallel; }
+
+size_t EffectiveGrain(size_t range, size_t grain) {
+  if (grain > 0) return grain;
+  // Fixed chunk-count target: boundaries must not depend on the thread
+  // count or determinism across thread counts would break. 64 chunks give
+  // dynamic scheduling enough slack to balance skewed chunks.
+  constexpr size_t kTargetChunks = 64;
+  const size_t g = (range + kTargetChunks - 1) / kTargetChunks;
+  return g == 0 ? 1 : g;
+}
+
+ThreadPool::ThreadPool(int threads) : num_threads_(threads) {
+  EN_CHECK(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunShard(Batch* batch) {
+  ParallelRegionGuard guard;
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->num_tasks) break;
+    try {
+      (*batch->task)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->error_mutex);
+      if (batch->error == nullptr || i < batch->error_index) {
+        batch->error = std::current_exception();
+        batch->error_index = i;
+      }
+    }
+    batch->completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+      ++active_workers_;
+    }
+    RunShard(batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunSerial(size_t num_tasks,
+                           const std::function<void(size_t)>& task) {
+  ParallelRegionGuard guard;
+  // Ascending order: the first exception is the lowest-index one, matching
+  // the parallel path's contract.
+  for (size_t i = 0; i < num_tasks; ++i) task(i);
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1 || num_tasks == 1 || tl_in_parallel) {
+    RunSerial(num_tasks, task);
+    return;
+  }
+
+  Batch batch;
+  batch.task = &task;
+  batch.num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread works too; with the dynamic cursor it simply claims
+  // whatever the workers have not.
+  RunShard(&batch);
+
+  {
+    // Wait until every task ran AND every worker left the shard loop —
+    // workers briefly touch `batch` after the last task completes, and
+    // `batch` lives on this stack frame.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.completed.load(std::memory_order_acquire) == num_tasks &&
+             active_workers_ == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error != nullptr) std::rethrow_exception(batch.error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t range = end - begin;
+  const size_t step = EffectiveGrain(range, grain);
+  const size_t chunks = (range + step - 1) / step;
+
+  const auto run_chunk = [&](size_t c) {
+    const size_t lo = begin + c * step;
+    const size_t hi = lo + step < end ? lo + step : end;
+    body(lo, hi);
+  };
+
+  const int threads = ThreadCount();
+  if (threads == 1 || chunks == 1 || tl_in_parallel) {
+    ParallelRegionGuard guard;
+    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Process-global pool, rebuilt when the configured thread count changes.
+  // Guarded by a mutex: concurrent top-level ParallelFor calls from
+  // different user threads serialize on pool access rather than racing.
+  static std::mutex* pool_mutex = new std::mutex;
+  static std::unique_ptr<ThreadPool>* pool = new std::unique_ptr<ThreadPool>;
+  std::lock_guard<std::mutex> lock(*pool_mutex);
+  if (*pool == nullptr || (*pool)->num_threads() != threads) {
+    pool->reset();  // join the old pool before spawning the new one
+    *pool = std::make_unique<ThreadPool>(threads);
+  }
+  (*pool)->Run(chunks, run_chunk);
+}
+
+}  // namespace util
+}  // namespace elitenet

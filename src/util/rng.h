@@ -24,6 +24,17 @@ inline uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+/// Derives the seed of an independent substream from a base seed and a
+/// stream index. Parallel kernels give replicate/source/block `i` its own
+/// Rng(SubstreamSeed(base, i)): which thread runs stream `i` stops
+/// mattering, so results are bit-identical for any thread count. The
+/// golden-ratio stride keeps consecutive indices far apart in SplitMix64
+/// space (the same spacing Seed() itself relies on).
+inline uint64_t SubstreamSeed(uint64_t base, uint64_t index) {
+  uint64_t s = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  return SplitMix64(&s);
+}
+
 /// xoshiro256** generator with distribution helpers.
 ///
 /// Satisfies the UniformRandomBitGenerator concept, so it can also be used

@@ -1,0 +1,174 @@
+// The determinism contract of the parallel kernels: every randomized or
+// floating-point pipeline stage must produce bit-identical results for any
+// thread count. Each test runs a kernel at 1 thread and at several worker
+// counts and compares exactly (EXPECT_EQ on doubles — no tolerance).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/centrality.h"
+#include "analysis/clustering.h"
+#include "analysis/distance.h"
+#include "analysis/hits.h"
+#include "gen/verified_network.h"
+#include "stats/powerlaw.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::SetThreadCount(0); }
+
+  static const gen::VerifiedNetwork& Network() {
+    static const gen::VerifiedNetwork* net = [] {
+      util::SetThreadCount(1);
+      gen::VerifiedNetworkConfig cfg;
+      cfg.num_users = 4000;
+      auto result = gen::GenerateVerifiedNetwork(cfg);
+      EXPECT_TRUE(result.ok());
+      return new gen::VerifiedNetwork(std::move(*result));
+    }();
+    return *net;
+  }
+};
+
+constexpr int kThreadCounts[] = {2, 3, 8};
+
+TEST_F(ParallelDeterminismTest, GenerateVerifiedNetwork) {
+  const gen::VerifiedNetwork& base = Network();  // built at 1 thread
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    gen::VerifiedNetworkConfig cfg;
+    cfg.num_users = 4000;
+    auto net = gen::GenerateVerifiedNetwork(cfg);
+    ASSERT_TRUE(net.ok());
+    ASSERT_EQ(net->graph.num_nodes(), base.graph.num_nodes());
+    ASSERT_EQ(net->graph.num_edges(), base.graph.num_edges()) << threads;
+    for (graph::NodeId u = 0; u < base.graph.num_nodes(); ++u) {
+      const auto a = base.graph.OutNeighbors(u);
+      const auto b = net->graph.OutNeighbors(u);
+      ASSERT_EQ(std::vector<graph::NodeId>(a.begin(), a.end()),
+                std::vector<graph::NodeId>(b.begin(), b.end()))
+          << "node " << u << " at " << threads << " threads";
+    }
+    EXPECT_EQ(net->roles, base.roles);
+    EXPECT_EQ(net->popularity, base.popularity);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, SampleDistances) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  util::Rng rng1(77);
+  const analysis::DistanceDistribution base =
+      analysis::SampleDistances(g, 24, &rng1);
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    util::Rng rng(77);
+    const analysis::DistanceDistribution d =
+        analysis::SampleDistances(g, 24, &rng);
+    EXPECT_EQ(d.mean_distance, base.mean_distance) << threads;
+    EXPECT_EQ(d.median_distance, base.median_distance);
+    EXPECT_EQ(d.effective_diameter, base.effective_diameter);
+    EXPECT_EQ(d.reachable_pairs, base.reachable_pairs);
+    EXPECT_EQ(d.unreachable_pairs, base.unreachable_pairs);
+    EXPECT_EQ(d.diameter_lower_bound, base.diameter_lower_bound);
+    EXPECT_EQ(d.hops.counts(), base.hops.counts());
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BootstrapGoodness) {
+  const graph::DiGraph& g = Network().graph;
+  std::vector<double> degrees;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > 0) degrees.push_back(g.OutDegree(u));
+  }
+  const auto fit = stats::FitDiscrete(degrees);
+  ASSERT_TRUE(fit.ok());
+
+  util::SetThreadCount(1);
+  util::Rng rng1(99);
+  const auto base = stats::BootstrapGoodness(degrees, *fit, 12, &rng1);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    util::Rng rng(99);
+    const auto gof = stats::BootstrapGoodness(degrees, *fit, 12, &rng);
+    ASSERT_TRUE(gof.ok());
+    EXPECT_EQ(gof->p_value, base->p_value) << threads;
+    EXPECT_EQ(gof->replicates, base->replicates);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, PageRank) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const auto base = analysis::PageRank(g, {});
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    const auto pr = analysis::PageRank(g, {});
+    ASSERT_TRUE(pr.ok());
+    EXPECT_EQ(pr->iterations, base->iterations);
+    EXPECT_EQ(pr->scores, base->scores) << threads;  // bitwise-equal vector
+  }
+}
+
+TEST_F(ParallelDeterminismTest, Betweenness) {
+  const graph::DiGraph& g = Network().graph;
+  analysis::BetweennessOptions opts;
+  opts.pivots = 96;
+  opts.seed = 5;
+  util::SetThreadCount(1);
+  const auto base = analysis::Betweenness(g, opts);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    const auto bc = analysis::Betweenness(g, opts);
+    ASSERT_TRUE(bc.ok());
+    EXPECT_EQ(*bc, *base) << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, Hits) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const auto base = analysis::Hits(g, {});
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    const auto h = analysis::Hits(g, {});
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->hub, base->hub) << threads;
+    EXPECT_EQ(h->authority, base->authority);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, Clustering) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const analysis::ClusteringStats base = analysis::ComputeClustering(g);
+  util::Rng srng1(11);
+  const analysis::ClusteringStats base_sampled =
+      analysis::ComputeClusteringSampled(g, 500, &srng1);
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    const analysis::ClusteringStats full = analysis::ComputeClustering(g);
+    EXPECT_EQ(full.average_local, base.average_local) << threads;
+    EXPECT_EQ(full.transitivity, base.transitivity);
+    EXPECT_EQ(full.triangles, base.triangles);
+    EXPECT_EQ(full.nodes_evaluated, base.nodes_evaluated);
+    util::Rng srng(11);
+    const analysis::ClusteringStats sampled =
+        analysis::ComputeClusteringSampled(g, 500, &srng);
+    EXPECT_EQ(sampled.average_local, base_sampled.average_local) << threads;
+    EXPECT_EQ(sampled.nodes_evaluated, base_sampled.nodes_evaluated);
+  }
+}
+
+}  // namespace
+}  // namespace elitenet

@@ -13,7 +13,9 @@ const VerifiedStudy& SmallStudy() {
   static const VerifiedStudy* study = [] {
     StudyConfig cfg;
     cfg.network.num_users = 5000;
-    cfg.bootstrap_replicates = 5;
+    // Enough replicates for the bootstrap p-value to resolve above the
+    // 0.1 plausibility floor; 5 was too grainy (p only takes values k/5).
+    cfg.bootstrap_replicates = 20;
     cfg.distance_sources = 16;
     cfg.betweenness_pivots = 64;
     cfg.clustering_samples = 1500;
