@@ -16,7 +16,7 @@
 #include "stats/powerlaw.h"
 #include "util/rng.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace elitenet;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   // ---- Distance sources ---------------------------------------------------
   {
     util::Rng rng(11);
-    util::Stopwatch sw;
+    util::SpanTimer sw;
     const auto exact = analysis::SampleDistances(g, g.num_nodes(), &rng);
     const double exact_time = sw.Seconds();
     std::printf("\n-- Fig. 3 distance estimate vs BFS source count "
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
 
   // ---- Betweenness pivots -------------------------------------------------
   {
-    util::Stopwatch sw;
+    util::SpanTimer sw;
     const auto exact = analysis::Betweenness(g);
     const double exact_time = sw.Seconds();
     if (exact.ok()) {
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
 
   // ---- Clustering samples --------------------------------------------------
   {
-    util::Stopwatch sw;
+    util::SpanTimer sw;
     const auto exact = analysis::ComputeClustering(g);
     const double exact_time = sw.Seconds();
     std::printf("\n-- clustering coefficient vs sample size (exact=%.4f, "
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       util::TextTable table({"replicates", "p_value", "seconds"});
       for (int reps : {10, 30, 100}) {
         util::Rng rng(19 + static_cast<uint64_t>(reps));
-        util::Stopwatch sw;
+        util::SpanTimer sw;
         const auto gof =
             stats::BootstrapGoodness(degrees, *fit, reps, &rng);
         if (!gof.ok()) continue;

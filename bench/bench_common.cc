@@ -9,7 +9,7 @@
 
 #include "util/parallel.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace bench {
@@ -31,6 +31,10 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.out_dir = arg + 6;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       args.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      args.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      args.metrics_path = arg + 10;
     }
   }
   return args;
@@ -46,13 +50,15 @@ core::StudyConfig MakeStudyConfig(const BenchArgs& args) {
   cfg.clustering_samples = 12000;
   cfg.eigenvalue_k = 250;
   cfg.threads = args.threads;
+  cfg.trace_path = args.trace_path;
+  cfg.metrics_path = args.metrics_path;
   return cfg;
 }
 
 core::VerifiedStudy MakeStudy(const BenchArgs& args) {
   core::VerifiedStudy study(MakeStudyConfig(args));
   if (args.threads > 0) util::SetThreadCount(args.threads);
-  util::Stopwatch sw;
+  util::SpanTimer sw("bench.generate");
   const Status s = study.Generate();
   if (!s.ok()) {
     std::fprintf(stderr, "study generation failed: %s\n",

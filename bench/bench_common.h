@@ -25,10 +25,15 @@ struct BenchArgs {
   /// (ELITENET_THREADS env, else hardware_concurrency). Results are
   /// bit-identical for any value.
   int threads = 0;
+  /// Chrome trace-event output (`--trace=FILE`); empty = tracing off.
+  std::string trace_path;
+  /// Metrics snapshot output (`--metrics=FILE`); empty = metrics off.
+  std::string metrics_path;
 };
 
-/// Parses --scale= / --seed= / --out= / --threads= flags; ignores unknown
-/// flags so binaries stay runnable under generic runners.
+/// Parses --scale= / --seed= / --out= / --threads= / --trace= / --metrics=
+/// flags; ignores unknown flags so binaries stay runnable under generic
+/// runners.
 BenchArgs ParseArgs(int argc, char** argv);
 
 /// Study configuration at the requested scale with bench-grade analysis

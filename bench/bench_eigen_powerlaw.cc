@@ -10,7 +10,7 @@
 #include "core/paper_reference.h"
 #include "util/csv.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace elitenet;
@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   util::PrintBanner("Section IV-B: Laplacian eigenvalue power law");
   core::VerifiedStudy study = bench::MakeStudy(args);
 
-  util::Stopwatch sw;
+  util::SpanTimer sw;
   std::printf("\nLanczos: extracting top %u eigenvalues...\n",
               study.config().eigenvalue_k);
   const auto fit = study.RunEigenvalueFit(/*with_bootstrap=*/true);

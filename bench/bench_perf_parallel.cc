@@ -1,7 +1,9 @@
 // Wall-clock scaling of the parallel kernels at 1/2/4/8 worker threads,
 // with a cross-thread-count equality audit (the determinism contract says
 // every kernel is bit-identical for any thread count). Emits
-// BENCH_parallel.json with per-kernel seconds and speedups.
+// BENCH_parallel.json with per-kernel seconds, speedups, and the
+// scheduler's metrics snapshot (per-thread chunks claimed and busy
+// fractions) for each thread count.
 //
 // Usage: bench_perf_parallel [--scale=N] [--seed=S] [--json=PATH]
 
@@ -18,9 +20,10 @@
 #include "bench_common.h"
 #include "gen/verified_network.h"
 #include "stats/powerlaw.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace bench {
@@ -35,6 +38,31 @@ struct KernelResult {
   bool identical = true;  // outputs matched the 1-thread run bit for bit
 };
 
+// Scheduler metrics for one thread-count run, pulled from the registry
+// snapshot after the kernels finish.
+struct SchedulerMetrics {
+  uint64_t for_calls = 0;
+  uint64_t chunks_claimed = 0;
+  std::vector<uint64_t> thread_chunks;   // indexed by pool slot
+  std::vector<uint64_t> thread_busy_ns;  // indexed by pool slot
+};
+
+SchedulerMetrics CollectSchedulerMetrics(int threads) {
+  const util::MetricsSnapshot snap = util::MetricsRegistry::Global().Snapshot();
+  SchedulerMetrics m;
+  m.for_calls = static_cast<uint64_t>(snap.CounterOr0("parallel.for_calls"));
+  m.chunks_claimed =
+      static_cast<uint64_t>(snap.CounterOr0("parallel.chunks_claimed"));
+  for (int slot = 0; slot < threads; ++slot) {
+    const std::string prefix = "parallel.thread." + std::to_string(slot);
+    m.thread_chunks.push_back(
+        static_cast<uint64_t>(snap.CounterOr0(prefix + ".chunks")));
+    m.thread_busy_ns.push_back(
+        static_cast<uint64_t>(snap.CounterOr0(prefix + ".busy_ns")));
+  }
+  return m;
+}
+
 // One measured run of every kernel at the current global thread count.
 // Returns the per-kernel times and fills `signature` with a value-summary
 // of each kernel's output for the equality audit.
@@ -42,7 +70,7 @@ std::vector<double> RunKernels(const BenchArgs& args,
                                std::vector<std::vector<double>>* signature) {
   std::vector<double> seconds;
   signature->clear();
-  util::Stopwatch sw;
+  util::SpanTimer sw;
 
   // generate
   gen::VerifiedNetworkConfig gcfg;
@@ -148,11 +176,17 @@ int main(int argc, char** argv) {
   std::printf("parallel kernel scaling at n=%u (hardware_concurrency=%u)\n",
               args.num_users, std::thread::hardware_concurrency());
   std::vector<std::vector<double>> baseline_sig;
+  std::vector<bench::SchedulerMetrics> sched(bench::kNumThreadCounts);
+  // Metrics observe the scheduler without perturbing results — the
+  // identical-output audit below doubles as a check of that claim.
+  util::SetMetricsEnabled(true);
   for (size_t t = 0; t < bench::kNumThreadCounts; ++t) {
     const int threads = bench::kThreadCounts[t];
     util::SetThreadCount(threads);
+    util::MetricsRegistry::Global().ResetValues();
     std::vector<std::vector<double>> sig;
     const std::vector<double> secs = bench::RunKernels(args, &sig);
+    sched[t] = bench::CollectSchedulerMetrics(threads);
     if (t == 0) {
       baseline_sig = sig;
     }
@@ -165,6 +199,7 @@ int main(int argc, char** argv) {
                   sig[k] == baseline_sig[k] ? "" : "  MISMATCH");
     }
   }
+  util::SetMetricsEnabled(false);
   util::SetThreadCount(0);
 
   double total_1 = 0.0, total_4 = 0.0;
@@ -203,6 +238,35 @@ int main(int argc, char** argv) {
                  r.seconds[2] > 0.0 ? r.seconds[0] / r.seconds[2] : 0.0,
                  r.identical ? "true" : "false",
                  k + 1 < kNumKernels ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scheduler\": {\n");
+  for (size_t t = 0; t < bench::kNumThreadCounts; ++t) {
+    const bench::SchedulerMetrics& m = sched[t];
+    uint64_t busy_total = 0;
+    for (uint64_t b : m.thread_busy_ns) busy_total += b;
+    std::fprintf(f,
+                 "    \"%d\": {\"for_calls\": %llu, \"chunks_claimed\": "
+                 "%llu, \"threads\": [",
+                 bench::kThreadCounts[t],
+                 static_cast<unsigned long long>(m.for_calls),
+                 static_cast<unsigned long long>(m.chunks_claimed));
+    for (size_t s = 0; s < m.thread_chunks.size(); ++s) {
+      const double busy_fraction =
+          busy_total > 0
+              ? static_cast<double>(m.thread_busy_ns[s]) /
+                    static_cast<double>(busy_total)
+              : 0.0;
+      std::fprintf(f,
+                   "%s{\"chunks\": %llu, \"busy_ns\": %llu, "
+                   "\"busy_fraction\": %.4f}",
+                   s > 0 ? ", " : "",
+                   static_cast<unsigned long long>(m.thread_chunks[s]),
+                   static_cast<unsigned long long>(m.thread_busy_ns[s]),
+                   busy_fraction);
+    }
+    std::fprintf(f, "]}%s\n",
+                 t + 1 < bench::kNumThreadCounts ? "," : "");
   }
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"aggregate_speedup_4t\": %.3f,\n", aggregate_speedup_4);

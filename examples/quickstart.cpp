@@ -8,7 +8,7 @@
 #include <cstdlib>
 
 #include "core/study.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace elitenet;
@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
   config.clustering_samples = 6000;
   config.eigenvalue_k = 120;
 
-  util::Stopwatch total;
+  util::SpanTimer total;
   core::VerifiedStudy study(config);
 
-  util::Stopwatch phase;
+  util::SpanTimer phase("quickstart.generate");
   const Status gen_status = study.Generate();
   if (!gen_status.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(study.network().graph.num_edges()),
               phase.Seconds());
 
-  phase.Reset();
+  phase.Reset("quickstart.analysis");
   const Result<core::StudyReport> report = study.RunAll();
   if (!report.ok()) {
     std::fprintf(stderr, "analysis failed: %s\n",

@@ -4,13 +4,20 @@
 // paper-vs-measured report.
 //
 //   ./build/examples/verified_study [--scale=N|full] [--seed=S]
-//                                   [--save=DIR]
+//                                   [--save=DIR] [--trace=FILE]
+//                                   [--metrics=FILE] [--progress]
 //
 // At --scale=full (231,246 users, ~79M edges) expect several GB of RAM
 // and tens of minutes; the default 40,000-user run finishes in under two
 // minutes on a laptop. --save writes the generated dataset (graph, user
 // records, bios, activity) to a directory in the library's published
 // format (core/dataset.h).
+//
+// Observability: --trace=run.json writes a Chrome trace-event file (open
+// in chrome://tracing or ui.perfetto.dev), --metrics=run_metrics.json
+// dumps the counter/histogram snapshot, and --progress streams stage
+// names as the pipeline advances. ELITENET_TRACE / ELITENET_METRICS do
+// the same process-wide without flags.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +26,7 @@
 
 #include "core/dataset.h"
 #include "core/study.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace elitenet;
@@ -27,6 +34,9 @@ int main(int argc, char** argv) {
   uint32_t num_users = 40000;
   uint64_t seed = 2018;
   std::string save_dir;
+  std::string trace_path;
+  std::string metrics_path;
+  bool progress = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       const char* v = argv[i] + 8;
@@ -37,6 +47,12 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--save=", 7) == 0) {
       save_dir = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     }
   }
 
@@ -48,14 +64,22 @@ int main(int argc, char** argv) {
   config.betweenness_pivots = 256;
   config.clustering_samples = 12000;
   config.eigenvalue_k = 250;
+  config.trace_path = trace_path;
+  config.metrics_path = metrics_path;
+  if (progress) {
+    config.progress = [](const std::string& stage) {
+      std::printf("  [stage] %s\n", stage.c_str());
+      std::fflush(stdout);
+    };
+  }
 
   core::VerifiedStudy study(config);
-  util::Stopwatch total;
+  util::SpanTimer total;
 
   std::printf("generating synthetic verified-user dataset (n=%u, seed "
               "%llu)...\n",
               num_users, static_cast<unsigned long long>(seed));
-  util::Stopwatch phase;
+  util::SpanTimer phase;
   if (const Status s = study.Generate(); !s.ok()) {
     std::fprintf(stderr, "generation failed: %s\n", s.ToString().c_str());
     return 1;

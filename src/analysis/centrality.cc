@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -78,6 +80,7 @@ double PowerIterationStep(const DiGraph& g, double damping,
 
 Result<PageRankResult> PageRank(const DiGraph& g,
                                 const PageRankOptions& options) {
+  ELITENET_SPAN("analysis.pagerank");
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping must be in (0, 1)");
   }
@@ -102,6 +105,7 @@ Result<PageRankResult> PageRank(const DiGraph& g,
     }
   }
   out.iterations = std::min(out.iterations, options.max_iterations);
+  ELITENET_GAUGE_SET("analysis.pagerank.iterations", out.iterations);
   out.scores = std::move(rank);
   return out;
 }
@@ -109,6 +113,7 @@ Result<PageRankResult> PageRank(const DiGraph& g,
 Result<PageRankResult> PersonalizedPageRank(
     const DiGraph& g, const std::vector<double>& teleport_weights,
     const PageRankOptions& options) {
+  ELITENET_SPAN("analysis.personalized_pagerank");
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping must be in (0, 1)");
   }
@@ -203,6 +208,7 @@ void BrandesFromSource(const DiGraph& g, NodeId s, std::vector<double>* bc,
 
 Result<std::vector<double>> Betweenness(const DiGraph& g,
                                         const BetweennessOptions& options) {
+  ELITENET_SPAN("analysis.betweenness");
   const NodeId n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
   if (n == 0) return bc;
@@ -219,6 +225,7 @@ Result<std::vector<double>> Betweenness(const DiGraph& g,
     sources.assign(picks.begin(), picks.end());
     scale = static_cast<double>(n) / static_cast<double>(options.pivots);
   }
+  ELITENET_COUNT("analysis.betweenness.pivots", sources.size());
 
   // Pivot sources split into a fixed number of blocks (independent of the
   // thread count); each block accumulates into its own n-sized buffer with

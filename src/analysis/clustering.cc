@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -90,6 +92,7 @@ struct ClusteringPartial {
 ClusteringStats SweepClustering(const DiGraph& g,
                                 const std::vector<NodeId>& nodes,
                                 const std::vector<std::vector<NodeId>>* cache) {
+  ELITENET_COUNT("analysis.clustering.nodes_swept", nodes.size());
   const ClusteringPartial total = util::ParallelReduce(
       0, nodes.size(), 0, ClusteringPartial{},
       [&](size_t lo, size_t hi) {
@@ -131,6 +134,7 @@ ClusteringStats SweepClustering(const DiGraph& g,
 }  // namespace
 
 ClusteringStats ComputeClustering(const DiGraph& g) {
+  ELITENET_SPAN("analysis.clustering");
   const NodeId n = g.num_nodes();
   std::vector<std::vector<NodeId>> adj(n);
   // Each entry is written by exactly one chunk: safe and deterministic.
@@ -147,6 +151,7 @@ ClusteringStats ComputeClustering(const DiGraph& g) {
 
 ClusteringStats ComputeClusteringSampled(const DiGraph& g, uint32_t samples,
                                          util::Rng* rng) {
+  ELITENET_SPAN("analysis.clustering_sampled");
   EN_CHECK(rng != nullptr);
   const NodeId n = g.num_nodes();
   std::vector<NodeId> eligible;

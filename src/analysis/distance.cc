@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -51,6 +53,7 @@ std::vector<uint32_t> ReverseBfs(const DiGraph& g, NodeId target) {
 
 DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
                                      util::Rng* rng) {
+  ELITENET_SPAN("analysis.sample_distances");
   EN_CHECK(rng != nullptr);
   DistanceDistribution out;
 
@@ -70,6 +73,7 @@ DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
     for (uint32_t p : picks) sources.push_back(candidates[p]);
   }
   out.sources_used = static_cast<uint32_t>(sources.size());
+  ELITENET_COUNT("analysis.distances.bfs_sources", sources.size());
 
   // BFS sources are independent: each task sweeps a block of sources into
   // its own partial tallies, merged in block order afterwards. All partials

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -11,6 +13,7 @@ using graph::DiGraph;
 using graph::NodeId;
 
 Result<HitsResult> Hits(const DiGraph& g, const HitsOptions& options) {
+  ELITENET_SPAN("analysis.hits");
   if (options.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
@@ -91,6 +94,7 @@ Result<HitsResult> Hits(const DiGraph& g, const HitsOptions& options) {
     }
   }
   out.iterations = std::min(out.iterations, options.max_iterations);
+  ELITENET_GAUGE_SET("analysis.hits.iterations", out.iterations);
   out.hub = std::move(hub);
   out.authority = std::move(auth);
   return out;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -137,6 +138,7 @@ Result<std::vector<double>> SymmetricTridiagonalEigenvalues(
 
 Result<LanczosResult> TopLaplacianEigenvalues(const DiGraph& g,
                                               const LanczosOptions& options) {
+  ELITENET_SPAN("analysis.lanczos");
   const NodeId n = g.num_nodes();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (options.k == 0) return Status::InvalidArgument("k must be positive");

@@ -4,34 +4,51 @@
 
 #include "core/paper_reference.h"
 #include "stats/distributions.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace core {
 
 namespace {
 
-// Honors StudyConfig::threads before entering a parallel kernel. A value
-// of 0 leaves the process-wide setting (env override / auto) untouched.
+// Honors StudyConfig::threads and the observability switches before
+// entering a pipeline stage. A threads value of 0 leaves the process-wide
+// setting (env override / auto) untouched; trace/metrics paths only ever
+// turn instrumentation on, never off (the env vars may have enabled it
+// process-wide already).
 void ApplyThreadConfig(const StudyConfig& config) {
   if (config.threads > 0) util::SetThreadCount(config.threads);
+  if (!config.trace_path.empty()) util::SetTracingEnabled(true);
+  if (!config.metrics_path.empty()) util::SetMetricsEnabled(true);
+}
+
+// Fires the live-progress hook for a named stage.
+void ReportStage(const StudyConfig& config, const char* stage) {
+  if (config.progress) config.progress(stage);
 }
 
 }  // namespace
 
 Status VerifiedStudy::Generate() {
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.generate");
+  ReportStage(config_, "generate/network");
   EN_ASSIGN_OR_RETURN(gen::VerifiedNetwork net,
                       gen::GenerateVerifiedNetwork(config_.network));
   network_ = std::move(net);
+  ReportStage(config_, "generate/profiles");
   EN_ASSIGN_OR_RETURN(std::vector<gen::UserProfile> profiles,
                       gen::GenerateProfiles(*network_, config_.profiles));
   profiles_ = std::move(profiles);
+  ReportStage(config_, "generate/bios");
   EN_ASSIGN_OR_RETURN(gen::BioCorpus bios,
                       gen::GenerateBios(*network_, config_.bios));
   bios_ = std::move(bios);
+  ReportStage(config_, "generate/activity");
   EN_ASSIGN_OR_RETURN(gen::ActivitySeries activity,
                       gen::GenerateActivity(config_.activity));
   activity_ = std::move(activity);
@@ -71,6 +88,8 @@ Status RequireGenerated(bool generated) {
 Result<BasicReport> VerifiedStudy::RunBasic() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.basic");
+  ReportStage(config_, "basic");
   const graph::DiGraph& g = network_->graph;
 
   BasicReport r;
@@ -151,6 +170,8 @@ Result<PowerLawReport> VerifiedStudy::RunOutDegreeFit(
     bool with_bootstrap) const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.outdegree_fit");
+  ReportStage(config_, "outdegree_fit");
   std::vector<double> degrees = analysis::OutDegreeVector(network_->graph);
   // The fitters require positive data; zero out-degrees (sinks, isolated)
   // are outside any power-law support, as in the paper's Fig. 2 which
@@ -169,6 +190,8 @@ Result<PowerLawReport> VerifiedStudy::RunEigenvalueFit(
     bool with_bootstrap) const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.eigenvalue_fit");
+  ReportStage(config_, "eigenvalue_fit");
   analysis::LanczosOptions opts;
   opts.k = config_.eigenvalue_k;
   opts.seed = config_.analysis_seed ^ 0xE16E;
@@ -192,6 +215,8 @@ Result<PowerLawReport> VerifiedStudy::RunEigenvalueFit(
 Result<analysis::DistanceDistribution> VerifiedStudy::RunDistances() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.distances");
+  ReportStage(config_, "distances");
   util::Rng rng(config_.analysis_seed ^ 0xD157);
   return analysis::SampleDistances(network_->graph,
                                    config_.distance_sources, &rng);
@@ -201,6 +226,8 @@ Result<std::vector<RelationReport>> VerifiedStudy::RunCentralityRelations()
     const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
   ApplyThreadConfig(config_);
+  ELITENET_SPAN("study.centrality_relations");
+  ReportStage(config_, "centrality_relations");
   const graph::DiGraph& g = network_->graph;
 
   analysis::PageRankOptions pr_opts;
@@ -246,6 +273,8 @@ Result<std::vector<RelationReport>> VerifiedStudy::RunCentralityRelations()
 
 Result<TextReport> VerifiedStudy::RunText(size_t top_k) const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ELITENET_SPAN("study.text");
+  ReportStage(config_, "text");
   text::NGramCounter unigrams(1), bigrams(2), trigrams(3), fourgrams(4);
   for (const std::string& bio : bios_->bios) {
     const auto clauses = text::TokenizeClauses(bio);
@@ -271,6 +300,8 @@ Result<TextReport> VerifiedStudy::RunText(size_t top_k) const {
 
 Result<ActivityReport> VerifiedStudy::RunActivity() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ELITENET_SPAN("study.activity");
+  ReportStage(config_, "activity");
   const std::vector<double>& series = activity_->daily_tweets;
   const int max_lag = std::min<int>(config_.portmanteau_max_lag,
                                     static_cast<int>(series.size()) - 2);
@@ -298,15 +329,28 @@ Result<ActivityReport> VerifiedStudy::RunActivity() const {
 
 Result<StudyReport> VerifiedStudy::RunAll() const {
   EN_RETURN_IF_ERROR(RequireGenerated(generated()));
+  ApplyThreadConfig(config_);
   StudyReport report;
-  EN_ASSIGN_OR_RETURN(report.basic, RunBasic());
-  EN_ASSIGN_OR_RETURN(report.out_degree, RunOutDegreeFit());
-  const Result<PowerLawReport> eigen = RunEigenvalueFit();
-  if (eigen.ok()) report.eigenvalues = *eigen;
-  EN_ASSIGN_OR_RETURN(report.distances, RunDistances());
-  EN_ASSIGN_OR_RETURN(report.relations, RunCentralityRelations());
-  EN_ASSIGN_OR_RETURN(report.text, RunText());
-  EN_ASSIGN_OR_RETURN(report.activity, RunActivity());
+  {
+    ELITENET_SPAN("study.run_all");
+    EN_ASSIGN_OR_RETURN(report.basic, RunBasic());
+    EN_ASSIGN_OR_RETURN(report.out_degree, RunOutDegreeFit());
+    const Result<PowerLawReport> eigen = RunEigenvalueFit();
+    if (eigen.ok()) report.eigenvalues = *eigen;
+    EN_ASSIGN_OR_RETURN(report.distances, RunDistances());
+    EN_ASSIGN_OR_RETURN(report.relations, RunCentralityRelations());
+    EN_ASSIGN_OR_RETURN(report.text, RunText());
+    EN_ASSIGN_OR_RETURN(report.activity, RunActivity());
+  }
+  // The run_all span is closed above so the exported trace includes it.
+  if (!config_.trace_path.empty()) {
+    EN_RETURN_IF_ERROR(
+        util::TraceRecorder::Global().WriteChromeJson(config_.trace_path));
+  }
+  if (!config_.metrics_path.empty()) {
+    EN_RETURN_IF_ERROR(util::MetricsRegistry::Global().Snapshot().WriteJson(
+        config_.metrics_path));
+  }
   return report;
 }
 

@@ -6,6 +6,7 @@
 #ifndef ELITENET_CORE_STUDY_H_
 #define ELITENET_CORE_STUDY_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,6 +61,28 @@ struct StudyConfig {
   /// ELITENET_THREADS environment variable if set, else
   /// hardware_concurrency. Results are bit-identical for any value.
   int threads = 0;
+
+  // ---- Observability (util/trace.h, util/metrics.h) ---------------------
+  // Instrumentation observes, it never decides: results are bit-identical
+  // with these on or off (tests/parallel_determinism_test.cc).
+
+  /// When nonempty, enables span tracing for this study's stages and
+  /// writes the Chrome trace-event JSON (chrome://tracing / Perfetto)
+  /// here when RunAll() finishes. Process-wide alternative:
+  /// ELITENET_TRACE=<path>, which dumps at exit instead.
+  std::string trace_path;
+
+  /// When nonempty, enables the metrics registry (stage counters plus the
+  /// parallel-scheduler instrumentation) and writes the JSON snapshot
+  /// here when RunAll() finishes. Process-wide alternative:
+  /// ELITENET_METRICS=<path>.
+  std::string metrics_path;
+
+  /// Live progress hook: invoked at the start of every pipeline stage
+  /// with a short stage name ("generate/network", "basic", "distances",
+  /// ...). Called from the thread running the study; keep it cheap and
+  /// never let it influence computation.
+  std::function<void(const std::string& stage)> progress;
 };
 
 /// §IV-A numbers.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace gen {
@@ -11,6 +12,7 @@ using timeseries::Date;
 using timeseries::DaysFromCivil;
 
 Result<ActivitySeries> GenerateActivity(const ActivityConfig& config) {
+  ELITENET_SPAN("gen.activity");
   if (config.num_days < 30) {
     return Status::InvalidArgument("need at least 30 days");
   }

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace gen {
@@ -351,8 +353,10 @@ uint64_t BioCorpus::CountRole(BioRole role) const {
 
 Result<BioCorpus> GenerateBios(const VerifiedNetwork& network,
                                const BioConfig& config) {
+  ELITENET_SPAN("gen.bios");
   const uint32_t n = network.graph.num_nodes();
   if (n == 0) return Status::InvalidArgument("empty network");
+  ELITENET_COUNT("gen.bios.users", n);
   util::Rng rng(config.seed);
 
   BioCorpus corpus;

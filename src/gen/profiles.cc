@@ -2,16 +2,20 @@
 
 #include <cmath>
 
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace gen {
 
 Result<std::vector<UserProfile>> GenerateProfiles(
     const VerifiedNetwork& network, const ProfileConfig& config) {
+  ELITENET_SPAN("gen.profiles");
   const graph::DiGraph& g = network.graph;
   const uint32_t n = g.num_nodes();
   if (n == 0) return Status::InvalidArgument("empty network");
+  ELITENET_COUNT("gen.profiles.users", n);
 
   util::Rng rng(config.seed);
   std::vector<UserProfile> profiles(n);

@@ -7,8 +7,10 @@
 
 #include "graph/builder.h"
 #include "stats/powerlaw.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace gen {
@@ -32,6 +34,7 @@ VerifiedNetworkConfig PaperScaleConfig() {
 
 Result<VerifiedNetwork> GenerateVerifiedNetwork(
     const VerifiedNetworkConfig& config) {
+  ELITENET_SPAN("gen.network");
   const uint32_t n = config.num_users;
   if (n < 1000) {
     return Status::InvalidArgument(
@@ -235,6 +238,10 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
   const uint64_t closure_seed = rng.Next();
 
   // Phase 1: base targets (community or global popularity sampling).
+  // The phase spans share one timer: Reset() closes the previous phase's
+  // span and opens the next, so the trace shows wiring_base /
+  // wiring_closure / assemble as siblings under gen.network.
+  util::SpanTimer phase_span("gen.network.wiring_base");
   std::vector<std::vector<NodeId>> base_targets(n);
   util::ParallelFor(0, n_core, 0, [&](size_t lo, size_t hi) {
     std::unordered_set<NodeId> chosen;
@@ -268,6 +275,7 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
       }
     }
   });
+  phase_span.Reset("gen.network.wiring_closure");
 
   // Phase 2: triadic-closure rewrites plus follow-back planting, buffered
   // per block. Rewrites target the same share of stubs as the serial
@@ -329,6 +337,7 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
       }
     }
   });
+  phase_span.Reset("gen.network.assemble");
 
   GraphBuilder builder(n);
   builder.Reserve(static_cast<size_t>(m_total * 1.05));
@@ -341,6 +350,7 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
   };
 
   for (std::vector<std::pair<NodeId, NodeId>>& block : block_edges) {
+    ELITENET_COUNT("gen.network.edges_emitted", block.size());
     for (const auto& [a, b] : block) {
       EN_RETURN_IF_ERROR(add_edge(a, b));
     }
@@ -386,6 +396,7 @@ Result<VerifiedNetwork> GenerateVerifiedNetwork(
   }
 
   EN_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  ELITENET_COUNT("gen.network.edges_built", out.graph.num_edges());
   return out;
 }
 

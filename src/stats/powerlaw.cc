@@ -6,7 +6,9 @@
 #include "stats/optimize.h"
 #include "stats/special.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace stats {
@@ -273,9 +275,11 @@ Result<GoodnessOfFit> BootstrapGoodness(std::span<const double> data,
                                         const PowerLawFit& fit,
                                         int replicates, util::Rng* rng,
                                         const PowerLawOptions& opts) {
+  ELITENET_SPAN("stats.bootstrap_goodness");
   if (replicates <= 0) {
     return Status::InvalidArgument("replicates must be positive");
   }
+  ELITENET_COUNT("stats.bootstrap.replicates", replicates);
   std::vector<double> body;
   uint64_t tail_count = 0;
   for (double x : data) {

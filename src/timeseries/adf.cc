@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "timeseries/ols.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace timeseries {
@@ -83,6 +84,7 @@ double MacKinnonCriticalValue(double level, AdfRegression regression,
 
 Result<AdfResult> AdfTest(std::span<const double> series,
                           const AdfOptions& options) {
+  ELITENET_SPAN("timeseries.adf");
   const size_t n = series.size();
   if (n < 15) return Status::InvalidArgument("series too short for ADF");
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 
+#include "util/trace.h"
+
 namespace elitenet {
 namespace timeseries {
 
@@ -46,6 +48,7 @@ double DefaultPenalty(size_t n) {
 
 Result<PeltResult> Pelt(std::span<const double> series,
                         const PeltOptions& options) {
+  ELITENET_SPAN("timeseries.pelt");
   const size_t n = series.size();
   const size_t min_len =
       static_cast<size_t>(std::max(options.min_segment_length, 2));
@@ -112,6 +115,7 @@ Result<PeltResult> Pelt(std::span<const double> series,
 
 Result<PenaltySweepResult> PeltPenaltySweep(
     std::span<const double> series, const PenaltySweepOptions& options) {
+  ELITENET_SPAN("timeseries.pelt_sweep");
   const size_t n = series.size();
   const double base = DefaultPenalty(n);
   const double hi = options.penalty_hi > 0.0 ? options.penalty_hi : 8.0 * base;

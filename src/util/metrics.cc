@@ -1,0 +1,238 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace elitenet {
+namespace util {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::once_flag g_metrics_env_once;
+
+// ELITENET_METRICS=<path>: enable metrics now and dump the JSON snapshot
+// to <path> when the process exits.
+void ResolveMetricsEnv() {
+  const char* env = std::getenv("ELITENET_METRICS");
+  if (env == nullptr || *env == '\0') return;
+  static std::string* path = new std::string(env);
+  g_metrics_enabled.store(true, std::memory_order_relaxed);
+  std::atexit([] {
+    const Status s =
+        MetricsRegistry::Global().Snapshot().WriteJson(*path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "elitenet: metrics dump failed: %s\n",
+                   s.ToString().c_str());
+    }
+  });
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  std::call_once(g_metrics_env_once, ResolveMetricsEnv);
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  std::call_once(g_metrics_env_once, ResolveMetricsEnv);
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(uint64_t v) {
+  // Bucket = bit width: 0 for v == 0, else 1 + floor(log2(v)).
+  const int b = std::bit_width(v);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// std::map keeps iteration (and so snapshots) name-sorted, and its nodes
+// never move, so handed-out metric pointers stay valid forever.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  static Impl* impl = new Impl;
+  return impl;
+}
+
+const MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Impl* m = impl();
+  std::lock_guard<std::mutex> lock(m->mutex);
+  auto it = m->counters.find(name);
+  if (it == m->counters.end()) {
+    it = m->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Impl* m = impl();
+  std::lock_guard<std::mutex> lock(m->mutex);
+  auto it = m->gauges.find(name);
+  if (it == m->gauges.end()) {
+    it = m->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl* m = impl();
+  std::lock_guard<std::mutex> lock(m->mutex);
+  auto it = m->histograms.find(name);
+  if (it == m->histograms.end()) {
+    it = m->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const Impl* m = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(m->mutex);
+  snap.counters.reserve(m->counters.size());
+  for (const auto& [name, counter] : m->counters) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(m->gauges.size());
+  for (const auto& [name, gauge] : m->gauges) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(m->histograms.size());
+  for (const auto& [name, histogram] : m->histograms) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t c = histogram->bucket(b);
+      if (c > 0) h.buckets.emplace_back(b, c);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  Impl* m = impl();
+  std::lock_guard<std::mutex> lock(m->mutex);
+  for (auto& [name, counter] : m->counters) counter->Reset();
+  for (auto& [name, gauge] : m->gauges) gauge->Reset();
+  for (auto& [name, histogram] : m->histograms) histogram->Reset();
+}
+
+uint64_t MetricsSnapshot::CounterOr0(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[64];
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, counters[i].name);
+    std::snprintf(buf, sizeof(buf), "\": %llu",
+                  static_cast<unsigned long long>(counters[i].value));
+    out += buf;
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, gauges[i].name);
+    std::snprintf(buf, sizeof(buf), "\": %lld",
+                  static_cast<long long>(gauges[i].value));
+    out += buf;
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, h.name);
+    std::snprintf(buf, sizeof(buf), "\": {\"count\": %llu, \"sum\": %llu",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum));
+    out += buf;
+    out += ", \"buckets\": {";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "\"%d\": %llu", h.buckets[b].first,
+                    static_cast<unsigned long long>(h.buckets[b].second));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsSnapshot::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output: " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to metrics output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace elitenet

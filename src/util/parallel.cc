@@ -1,23 +1,59 @@
 #include "util/parallel.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace elitenet {
 namespace util {
 
 namespace {
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-shard tally flushed into the registry once per Run, so the hot loop
+// touches no shared state beyond the task cursor. `slot` 0 is the calling
+// thread; workers are 1..threads-1.
+void RecordShardMetrics(int slot, uint64_t chunks, uint64_t busy_ns) {
+  if (chunks == 0) return;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("parallel.chunks_claimed")->Add(chunks);
+  reg.GetCounter("parallel.busy_ns")->Add(busy_ns);
+  const std::string prefix = "parallel.thread." + std::to_string(slot);
+  reg.GetCounter(prefix + ".chunks")->Add(chunks);
+  reg.GetCounter(prefix + ".busy_ns")->Add(busy_ns);
+}
+
 int AutoThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int fallback = hc == 0 ? 1 : static_cast<int>(hc);
   if (const char* env = std::getenv("ELITENET_THREADS");
       env != nullptr && *env != '\0') {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
+    const int parsed = ParseThreadCount(env, -1);
+    if (parsed > 0) return parsed;
+    // Warn once: a silent fallback would make "why is this single-
+    // threaded?" undiagnosable, the failure the old atoi parsing had.
+    static bool warned = [env, fallback] {
+      std::fprintf(stderr,
+                   "elitenet: ignoring invalid ELITENET_THREADS=\"%s\" "
+                   "(want an integer in [1, %d]); using %d\n",
+                   env, kMaxThreads, fallback);
+      return true;
+    }();
+    (void)warned;
   }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  return fallback;
 }
 
 std::atomic<int> g_thread_count{0};  // 0 = not yet resolved
@@ -35,6 +71,18 @@ class ParallelRegionGuard {
 };
 
 }  // namespace
+
+int ParseThreadCount(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text) return fallback;             // no digits at all
+  if (*end != '\0') return fallback;            // trailing junk ("8x", "3.5")
+  if (errno == ERANGE) return fallback;         // overflowed long
+  if (value < 1 || value > kMaxThreads) return fallback;
+  return static_cast<int>(value);
+}
 
 int ThreadCount() {
   int v = g_thread_count.load(std::memory_order_relaxed);
@@ -66,7 +114,7 @@ ThreadPool::ThreadPool(int threads) : num_threads_(threads) {
   EN_CHECK(threads >= 1);
   workers_.reserve(static_cast<size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
   }
 }
 
@@ -79,11 +127,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::RunShard(Batch* batch) {
+void ThreadPool::RunShard(Batch* batch, int slot) {
   ParallelRegionGuard guard;
+  // Metrics observe scheduling (chunks claimed, busy time) without
+  // influencing it: the clock reads happen outside the task cursor
+  // protocol, and nothing below reads a metric back.
+  const bool metrics = MetricsEnabled();
+  uint64_t claimed = 0;
+  uint64_t busy_ns = 0;
   for (;;) {
     const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->num_tasks) break;
+    const uint64_t t0 = metrics ? NowNs() : 0;
     try {
       (*batch->task)(i);
     } catch (...) {
@@ -93,11 +148,16 @@ void ThreadPool::RunShard(Batch* batch) {
         batch->error_index = i;
       }
     }
+    if (metrics) {
+      busy_ns += NowNs() - t0;
+      ++claimed;
+    }
     batch->completed.fetch_add(1, std::memory_order_acq_rel);
   }
+  if (metrics) RecordShardMetrics(slot, claimed, busy_ns);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int slot) {
   uint64_t seen_generation = 0;
   for (;;) {
     Batch* batch;
@@ -112,7 +172,7 @@ void ThreadPool::WorkerLoop() {
       batch = batch_;
       ++active_workers_;
     }
-    RunShard(batch);
+    RunShard(batch, slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_workers_;
@@ -124,9 +184,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunSerial(size_t num_tasks,
                            const std::function<void(size_t)>& task) {
   ParallelRegionGuard guard;
+  const bool metrics = MetricsEnabled();
+  const uint64_t t0 = metrics ? NowNs() : 0;
   // Ascending order: the first exception is the lowest-index one, matching
   // the parallel path's contract.
   for (size_t i = 0; i < num_tasks; ++i) task(i);
+  if (metrics) RecordShardMetrics(/*slot=*/0, num_tasks, NowNs() - t0);
 }
 
 void ThreadPool::Run(size_t num_tasks,
@@ -149,7 +212,7 @@ void ThreadPool::Run(size_t num_tasks,
 
   // The calling thread works too; with the dynamic cursor it simply claims
   // whatever the workers have not.
-  RunShard(&batch);
+  RunShard(&batch, /*slot=*/0);
 
   {
     // Wait until every task ran AND every worker left the shard loop —
@@ -172,6 +235,14 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t step = EffectiveGrain(range, grain);
   const size_t chunks = (range + step - 1) / step;
 
+  const bool metrics = MetricsEnabled();
+  if (metrics) {
+    ELITENET_COUNT("parallel.for_calls", 1);
+    ELITENET_COUNT("parallel.chunks", chunks);
+    ELITENET_HISTOGRAM("parallel.grain", step);
+  }
+  const uint64_t t0 = metrics ? NowNs() : 0;
+
   const auto run_chunk = [&](size_t c) {
     const size_t lo = begin + c * step;
     const size_t hi = lo + step < end ? lo + step : end;
@@ -180,8 +251,15 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
 
   const int threads = ThreadCount();
   if (threads == 1 || chunks == 1 || tl_in_parallel) {
-    ParallelRegionGuard guard;
-    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+    {
+      ParallelRegionGuard guard;
+      for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+    }
+    if (metrics) {
+      const uint64_t wall = NowNs() - t0;
+      RecordShardMetrics(/*slot=*/0, chunks, wall);
+      ELITENET_COUNT("parallel.run_ns", wall);
+    }
     return;
   }
 
@@ -196,6 +274,7 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     *pool = std::make_unique<ThreadPool>(threads);
   }
   (*pool)->Run(chunks, run_chunk);
+  if (metrics) ELITENET_COUNT("parallel.run_ns", NowNs() - t0);
 }
 
 }  // namespace util

@@ -38,6 +38,19 @@ namespace util {
 /// Effective global thread count (always >= 1).
 int ThreadCount();
 
+/// Upper bound accepted for thread-count overrides; larger requests are
+/// rejected as misconfiguration (no machine this library targets has more
+/// hardware threads, and a pool that size would only thrash).
+inline constexpr int kMaxThreads = 1024;
+
+/// Parses a thread-count override (the ELITENET_THREADS format): an
+/// optionally whitespace-prefixed base-10 integer in [1, kMaxThreads].
+/// Anything else — empty, non-numeric, trailing junk ("8x", "3.5"), zero,
+/// negative, or out of range (including values that overflow long) —
+/// returns `fallback`, so a typo degrades to the automatic default
+/// instead of silently misbehaving.
+int ParseThreadCount(const char* text, int fallback);
+
 /// Sets the global thread count used by ParallelFor/ParallelReduce.
 /// n <= 0 restores the automatic default (ELITENET_THREADS env var if set,
 /// else hardware_concurrency). Do not call concurrently with running
@@ -91,8 +104,10 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
-  void WorkerLoop();
-  static void RunShard(Batch* batch);
+  // `slot` identifies the participating thread for scheduler metrics:
+  // 0 is the thread that called Run, workers are 1..threads-1.
+  void WorkerLoop(int slot);
+  static void RunShard(Batch* batch, int slot);
   void RunSerial(size_t num_tasks, const std::function<void(size_t)>& task);
 
   int num_threads_;

@@ -1,0 +1,232 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace elitenet {
+namespace util {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::once_flag g_trace_env_once;
+
+// ELITENET_TRACE=<path>: enable tracing now and dump the Chrome JSON to
+// <path> when the process exits. Resolved once, on the first
+// TracingEnabled() call.
+void ResolveTraceEnv() {
+  const char* env = std::getenv("ELITENET_TRACE");
+  if (env == nullptr || *env == '\0') return;
+  static std::string* path = new std::string(env);
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+  std::atexit([] {
+    const Status s = TraceRecorder::Global().WriteChromeJson(*path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "elitenet: trace dump failed: %s\n",
+                   s.ToString().c_str());
+    }
+  });
+}
+
+// Per-thread span bookkeeping: a small sequential id (Chrome traces key
+// rows by tid) and the stack of open span indices for parent links.
+struct ThreadTraceState {
+  uint32_t id;
+  std::vector<int64_t> open_spans;
+};
+
+ThreadTraceState& LocalThreadState() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local ThreadTraceState state{
+      next_id.fetch_add(1, std::memory_order_relaxed), {}};
+  return state;
+}
+
+// JSON string escaping for span names (quotes, backslashes, control chars).
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string FormatDuration(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  std::call_once(g_trace_env_once, ResolveTraceEnv);
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  std::call_once(g_trace_env_once, ResolveTraceEnv);
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::BeginSpan(const char* name) {
+  const auto now = std::chrono::steady_clock::now();
+  ThreadTraceState& ts = LocalThreadState();
+
+  TraceEvent event;
+  event.name = name;
+  event.thread_id = ts.id;
+  if (!ts.open_spans.empty()) {
+    event.parent = static_cast<int32_t>(ts.open_spans.back());
+    event.depth = static_cast<int32_t>(ts.open_spans.size());
+  }
+
+  int64_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+            .count());
+    index = static_cast<int64_t>(events_.size());
+    events_.push_back(std::move(event));
+  }
+  ts.open_spans.push_back(index);
+  return index;
+}
+
+void TraceRecorder::EndSpan(int64_t index) {
+  const auto now = std::chrono::steady_clock::now();
+  ThreadTraceState& ts = LocalThreadState();
+  // Spans close in LIFO order per thread (RAII guarantees it); tolerate a
+  // recorder Clear() having dropped the entry in between.
+  if (!ts.open_spans.empty() && ts.open_spans.back() == index) {
+    ts.open_spans.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < 0 || static_cast<size_t>(index) >= events_.size()) return;
+  const uint64_t end_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+  TraceEvent& event = events_[static_cast<size_t>(index)];
+  event.duration_ns =
+      end_ns > event.start_ns ? end_ns - event.start_ns : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 128);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"cat\":\"elitenet\",\"ph\":\"X\",\"pid\":0";
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  e.thread_id, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3);
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string TraceRecorder::ToTextTree() const {
+  std::vector<TraceEvent> events = snapshot();
+  // Stable order: by thread, then start time (events were appended in
+  // begin order, which interleaves threads).
+  std::vector<size_t> order(events.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (events[a].thread_id != events[b].thread_id) {
+      return events[a].thread_id < events[b].thread_id;
+    }
+    return events[a].start_ns < events[b].start_ns;
+  });
+
+  std::string out;
+  uint32_t current_thread = UINT32_MAX;
+  for (size_t idx : order) {
+    const TraceEvent& e = events[idx];
+    if (e.thread_id != current_thread) {
+      current_thread = e.thread_id;
+      out += "thread " + std::to_string(current_thread) + "\n";
+    }
+    out.append(2 + 2 * static_cast<size_t>(e.depth), ' ');
+    out += e.name;
+    out += "  ";
+    out += FormatDuration(e.duration_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace elitenet

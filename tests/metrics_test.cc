@@ -1,0 +1,180 @@
+// Unit tests of the metrics registry: counter atomicity under
+// ParallelFor, enable-disable gating, snapshot ordering and determinism,
+// histogram bit-width bucketing, metric-pointer stability across
+// ResetValues, and JSON snapshot validity.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/parallel.h"
+
+namespace elitenet {
+namespace util {
+namespace {
+
+// Same structural JSON check as trace_test: balanced braces/brackets
+// outside of strings.
+bool JsonBalanced(const std::string& s) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().ResetValues();
+  }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    MetricsRegistry::Global().ResetValues();
+    SetThreadCount(0);
+  }
+};
+
+TEST_F(MetricsTest, CounterAtomicUnderParallelFor) {
+  SetThreadCount(4);
+  constexpr size_t kItems = 100000;
+  ParallelFor(0, kItems, 0, [](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ELITENET_COUNT("metrics_test.atomic", 1);
+    }
+  });
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterOr0("metrics_test.atomic"), kItems);
+}
+
+TEST_F(MetricsTest, DisabledMacrosRecordNothing) {
+  SetMetricsEnabled(false);
+  ELITENET_COUNT("metrics_test.gated", 5);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterOr0(
+                "metrics_test.gated"),
+            0u);
+  SetMetricsEnabled(true);
+  ELITENET_COUNT("metrics_test.gated", 5);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterOr0(
+                "metrics_test.gated"),
+            5u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndRepeatable) {
+  ELITENET_COUNT("metrics_test.b", 2);
+  ELITENET_COUNT("metrics_test.a", 1);
+  ELITENET_COUNT("metrics_test.c", 3);
+  const MetricsSnapshot first = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot second = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(first.counters.size(), second.counters.size());
+  for (size_t i = 0; i < first.counters.size(); ++i) {
+    EXPECT_EQ(first.counters[i].name, second.counters[i].name);
+    EXPECT_EQ(first.counters[i].value, second.counters[i].value);
+    if (i > 0) {
+      EXPECT_LT(first.counters[i - 1].name, first.counters[i].name);
+    }
+  }
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  ELITENET_GAUGE_SET("metrics_test.gauge", 41);
+  ELITENET_GAUGE_SET("metrics_test.gauge", -7);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "metrics_test.gauge") {
+      EXPECT_EQ(g.value, -7);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByBitWidth) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("metrics_test.hist");
+  h->Observe(0);     // bucket 0
+  h->Observe(1);     // bucket 1
+  h->Observe(2);     // bucket 2: [2, 4)
+  h->Observe(3);     // bucket 2
+  h->Observe(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 1030u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(11), 1u);
+  EXPECT_EQ(h->bucket(3), 0u);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "metrics_test.hist") continue;
+    found = true;
+    EXPECT_EQ(hv.count, 5u);
+    EXPECT_EQ(hv.sum, 1030u);
+    // Only non-empty buckets, ascending by bit width.
+    const std::vector<std::pair<int, uint64_t>> expected = {
+        {0, 1}, {1, 1}, {2, 2}, {11, 1}};
+    EXPECT_EQ(hv.buckets, expected);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, PointersSurviveResetValues) {
+  Counter* c = MetricsRegistry::Global().GetCounter("metrics_test.stable");
+  c->Add(9);
+  EXPECT_EQ(c->value(), 9u);
+  MetricsRegistry::Global().ResetValues();
+  // Same object, zeroed — cached macro pointers must stay valid.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("metrics_test.stable"), c);
+  EXPECT_EQ(c->value(), 0u);
+  c->Add(2);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterOr0(
+                "metrics_test.stable"),
+            2u);
+}
+
+TEST_F(MetricsTest, CounterOr0ForUnknownName) {
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterOr0(
+                "metrics_test.never_registered"),
+            0u);
+}
+
+TEST_F(MetricsTest, JsonSnapshotIsWellFormed) {
+  ELITENET_COUNT("metrics_test.json \"quoted\"", 1);
+  ELITENET_GAUGE_SET("metrics_test.json_gauge", 12);
+  ELITENET_HISTOGRAM("metrics_test.json_hist", 77);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("metrics_test.json \\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace elitenet

@@ -13,15 +13,22 @@
 #include "analysis/hits.h"
 #include "gen/verified_network.h"
 #include "stats/powerlaw.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace {
 
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
-  void TearDown() override { util::SetThreadCount(0); }
+  void TearDown() override {
+    util::SetThreadCount(0);
+    util::SetTracingEnabled(false);
+    util::SetMetricsEnabled(false);
+    util::TraceRecorder::Global().Clear();
+  }
 
   static const gen::VerifiedNetwork& Network() {
     static const gen::VerifiedNetwork* net = [] {
@@ -167,6 +174,85 @@ TEST_F(ParallelDeterminismTest, Clustering) {
         analysis::ComputeClusteringSampled(g, 500, &srng);
     EXPECT_EQ(sampled.average_local, base_sampled.average_local) << threads;
     EXPECT_EQ(sampled.nodes_evaluated, base_sampled.nodes_evaluated);
+  }
+}
+
+// The observability layer must observe without deciding: every kernel's
+// output stays bit-identical whether tracing and metrics are on or off,
+// at every thread count (satisfying the "instrumentation never feeds back
+// into results" contract of util/trace.h and util/metrics.h).
+TEST_F(ParallelDeterminismTest, InstrumentationDoesNotPerturbResults) {
+  const graph::DiGraph& g = Network().graph;
+
+  struct KernelOutputs {
+    std::vector<double> pagerank;
+    std::vector<double> betweenness;
+    double mean_distance = 0.0;
+    uint64_t reachable_pairs = 0;
+    double bootstrap_p = 0.0;
+  };
+  const auto run_kernels = [&] {
+    KernelOutputs out;
+    const auto pr = analysis::PageRank(g, {});
+    EXPECT_TRUE(pr.ok());
+    if (pr.ok()) out.pagerank = pr->scores;
+    analysis::BetweennessOptions opts;
+    opts.pivots = 64;
+    opts.seed = 5;
+    const auto bc = analysis::Betweenness(g, opts);
+    EXPECT_TRUE(bc.ok());
+    if (bc.ok()) out.betweenness = *bc;
+    util::Rng drng(42);
+    const analysis::DistanceDistribution dist =
+        analysis::SampleDistances(g, 16, &drng);
+    out.mean_distance = dist.mean_distance;
+    out.reachable_pairs = dist.reachable_pairs;
+    std::vector<double> degrees;
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.OutDegree(u) > 0) degrees.push_back(g.OutDegree(u));
+    }
+    const auto fit = stats::FitDiscrete(degrees);
+    EXPECT_TRUE(fit.ok());
+    if (fit.ok()) {
+      util::Rng brng(43);
+      const auto gof = stats::BootstrapGoodness(degrees, *fit, 6, &brng);
+      EXPECT_TRUE(gof.ok());
+      if (gof.ok()) out.bootstrap_p = gof->p_value;
+    }
+    return out;
+  };
+
+  util::SetThreadCount(1);
+  util::SetTracingEnabled(false);
+  util::SetMetricsEnabled(false);
+  const KernelOutputs base = run_kernels();
+
+  for (int threads : {1, 2, 4, 8}) {
+    util::SetThreadCount(threads);
+    for (const bool instrumented : {false, true}) {
+      util::SetTracingEnabled(instrumented);
+      util::SetMetricsEnabled(instrumented);
+      const KernelOutputs out = run_kernels();
+      EXPECT_EQ(out.pagerank, base.pagerank)
+          << threads << " threads, instrumented=" << instrumented;
+      EXPECT_EQ(out.betweenness, base.betweenness)
+          << threads << " threads, instrumented=" << instrumented;
+      EXPECT_EQ(out.mean_distance, base.mean_distance);
+      EXPECT_EQ(out.reachable_pairs, base.reachable_pairs);
+      EXPECT_EQ(out.bootstrap_p, base.bootstrap_p);
+      if (instrumented) {
+        // The run actually recorded something — the comparison above must
+        // not pass vacuously because instrumentation silently no-opped.
+        EXPECT_GT(util::TraceRecorder::Global().size(), 0u);
+        EXPECT_GT(util::MetricsRegistry::Global().Snapshot().CounterOr0(
+                      "parallel.for_calls"),
+                  0u);
+        util::SetTracingEnabled(false);
+        util::SetMetricsEnabled(false);
+        util::TraceRecorder::Global().Clear();
+        util::MetricsRegistry::Global().ResetValues();
+      }
+    }
   }
 }
 

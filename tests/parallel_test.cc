@@ -31,6 +31,29 @@ TEST(ThreadCountTest, AlwaysPositive) {
   EXPECT_GE(ThreadCount(), 1);
 }
 
+TEST(ParseThreadCountTest, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseThreadCount("1", -1), 1);
+  EXPECT_EQ(ParseThreadCount("8", -1), 8);
+  EXPECT_EQ(ParseThreadCount("  16", -1), 16);  // strtol skips whitespace
+  EXPECT_EQ(ParseThreadCount("1024", -1), kMaxThreads);
+}
+
+TEST(ParseThreadCountTest, RejectsNonNumeric) {
+  EXPECT_EQ(ParseThreadCount(nullptr, 7), 7);
+  EXPECT_EQ(ParseThreadCount("", 7), 7);
+  EXPECT_EQ(ParseThreadCount("abc", 7), 7);
+  EXPECT_EQ(ParseThreadCount("8x", 7), 7);    // trailing junk
+  EXPECT_EQ(ParseThreadCount("3.5", 7), 7);   // not an integer
+  EXPECT_EQ(ParseThreadCount("4 ", 7), 7);    // trailing space
+}
+
+TEST(ParseThreadCountTest, RejectsOutOfRange) {
+  EXPECT_EQ(ParseThreadCount("0", 7), 7);
+  EXPECT_EQ(ParseThreadCount("-3", 7), 7);
+  EXPECT_EQ(ParseThreadCount("1025", 7), 7);  // above kMaxThreads
+  EXPECT_EQ(ParseThreadCount("99999999999999999999", 7), 7);  // overflows long
+}
+
 TEST(EffectiveGrainTest, HonorsExplicitGrain) {
   EXPECT_EQ(EffectiveGrain(1000, 10), 10u);
   EXPECT_EQ(EffectiveGrain(5, 100), 100u);
