@@ -1,0 +1,427 @@
+// Traversal-kernel benchmark: classic top-down BFS vs the
+// direction-optimizing kernel, on the original and the degree-relabeled
+// verified network, at 1/2/4/8 worker threads — every cell of the grid
+// must produce the same relabel-invariant checksum (per-source reached
+// counts, distance sums, eccentricities), or the process exits non-zero.
+// Also times the rewired WCC and k-core kernels against bench-local copies
+// of their pre-kernel implementations (union-find, per-node heap vectors)
+// with full output equality checks. Emits BENCH_graph_kernels.json.
+//
+// MTEPS follows the GAP convention: sources * m / seconds / 1e6 regardless
+// of edges actually probed, so the direction-optimizing kernel's
+// short-circuiting shows up as higher TEPS, not a smaller numerator.
+//
+// Usage: bench_graph_kernels [--scale=N] [--seed=S] [--sources=K]
+//                            [--json=PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "analysis/components.h"
+#include "analysis/kcore.h"
+#include "bench_common.h"
+#include "gen/verified_network.h"
+#include "graph/frontier.h"
+#include "graph/traversal.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace elitenet {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr size_t kNumThreadCounts = 4;
+
+// Relabel-invariant summary of one BFS: counts and hop sums survive any
+// node renumbering, unlike raw distance vectors.
+struct SourceTally {
+  uint64_t reached = 0;
+  uint64_t dist_sum = 0;
+  uint32_t max_dist = 0;
+};
+
+uint64_t FnvMix(uint64_t h, uint64_t x) {
+  h ^= x;
+  return h * 0x100000001b3ULL;
+}
+
+uint64_t ChecksumTallies(const std::vector<SourceTally>& tallies) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SourceTally& t : tallies) {
+    h = FnvMix(h, t.reached);
+    h = FnvMix(h, t.dist_sum);
+    h = FnvMix(h, t.max_dist);
+  }
+  return h;
+}
+
+// One timed sweep: BFS from every source with per-block arenas (the same
+// parallel shape analysis::SampleDistances uses). Tallies land at the
+// source's index, so the output is identical for any thread count by
+// construction; the checksum's real job is comparing kernel modes and
+// node orderings.
+struct SweepResult {
+  double seconds = 0.0;
+  uint64_t edges_scanned = 0;
+  uint64_t bottom_up_levels = 0;
+  uint64_t checksum = 0;
+};
+
+SweepResult RunSweep(const graph::DiGraph& g,
+                     const std::vector<graph::NodeId>& sources,
+                     graph::BfsMode mode) {
+  std::vector<SourceTally> tallies(sources.size());
+  const size_t grain = util::EffectiveGrain(sources.size(), 0);
+  const size_t num_blocks = (sources.size() + grain - 1) / grain;
+  std::vector<uint64_t> block_edges(num_blocks, 0);
+  std::vector<uint64_t> block_bottom_up(num_blocks, 0);
+  util::SpanTimer sw;
+  util::ParallelFor(0, sources.size(), grain, [&](size_t lo, size_t hi) {
+    graph::ScratchArena arena(g.num_nodes());
+    graph::BfsOptions opts;
+    opts.mode = mode;
+    for (size_t i = lo; i < hi; ++i) {
+      const graph::BfsStats stats = graph::Bfs(g, sources[i], &arena, opts);
+      block_edges[lo / grain] += stats.edges_scanned;
+      block_bottom_up[lo / grain] += stats.bottom_up_levels;
+      SourceTally& t = tallies[i];
+      t.reached = stats.nodes_visited;
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        const uint32_t d = arena.DistanceOr(v, 0);
+        t.dist_sum += d;
+        t.max_dist = std::max(t.max_dist, d);
+      }
+    }
+  });
+  SweepResult out;
+  out.seconds = sw.Seconds();
+  for (uint64_t e : block_edges) out.edges_scanned += e;
+  for (uint64_t b : block_bottom_up) out.bottom_up_levels += b;
+  out.checksum = ChecksumTallies(tallies);
+  return out;
+}
+
+// -- Pre-kernel reference implementations, kept verbatim for honest
+// -- speedup numbers and output equality checks.
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), graph::NodeId{0});
+  }
+  graph::NodeId Find(graph::NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(graph::NodeId a, graph::NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<graph::NodeId> parent_;
+  std::vector<uint64_t> size_;
+};
+
+analysis::ComponentLabeling ClassicWcc(const graph::DiGraph& g) {
+  const graph::NodeId n = g.num_nodes();
+  UnionFind uf(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v : g.OutNeighbors(u)) uf.Union(u, v);
+  }
+  analysis::ComponentLabeling out;
+  out.label.assign(n, 0);
+  std::vector<uint32_t> root_to_id(n, UINT32_MAX);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const graph::NodeId root = uf.Find(u);
+    if (root_to_id[root] == UINT32_MAX) {
+      root_to_id[root] = out.num_components++;
+      out.sizes.push_back(0);
+    }
+    out.label[u] = root_to_id[root];
+    ++out.sizes[root_to_id[root]];
+  }
+  return out;
+}
+
+analysis::KCoreResult ClassicKCore(const graph::DiGraph& g) {
+  const graph::NodeId n = g.num_nodes();
+  analysis::KCoreResult out;
+  out.coreness.assign(n, 0);
+  if (n == 0) return out;
+  std::vector<std::vector<graph::NodeId>> adj(n);
+  std::vector<uint32_t> degree(n, 0);
+  uint32_t max_degree = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    adj[u] = analysis::UndirectedNeighbors(g, u);
+    degree[u] = static_cast<uint32_t>(adj[u].size());
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  std::vector<uint64_t> bin(max_degree + 2, 0);
+  for (graph::NodeId u = 0; u < n; ++u) ++bin[degree[u]];
+  uint64_t start = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    const uint64_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<graph::NodeId> order(n);
+  std::vector<uint64_t> pos(n);
+  {
+    std::vector<uint64_t> cursor(bin.begin(), bin.end() - 1);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]]++;
+      order[pos[u]] = u;
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    const graph::NodeId u = order[i];
+    out.coreness[u] = degree[u];
+    for (graph::NodeId v : adj[u]) {
+      if (degree[v] > degree[u]) {
+        const uint32_t dv = degree[v];
+        const uint64_t pv = pos[v];
+        const uint64_t pw = bin[dv];
+        const graph::NodeId w = order[pw];
+        if (v != w) {
+          std::swap(order[pv], order[pw]);
+          pos[v] = pw;
+          pos[w] = pv;
+        }
+        ++bin[dv];
+        --degree[v];
+      }
+    }
+  }
+  for (uint32_t c : out.coreness) out.max_core = std::max(out.max_core, c);
+  for (uint32_t c : out.coreness) {
+    if (c == out.max_core) ++out.innermost_size;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elitenet
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::string json_path = "BENCH_graph_kernels.json";
+  uint32_t num_sources = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--sources=", 10) == 0) {
+      num_sources = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
+
+  gen::VerifiedNetworkConfig gcfg;
+  gcfg.num_users = args.num_users;
+  gcfg.seed = args.seed;
+  auto net = gen::GenerateVerifiedNetwork(gcfg);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  const graph::DiGraph& g = net->graph;
+  const double m = static_cast<double>(g.num_edges());
+  std::printf("graph kernels at n=%u m=%llu sources=%u "
+              "(hardware_concurrency=%u)\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              num_sources, std::thread::hardware_concurrency());
+
+  // Degree-descending relabeling: same graph up to isomorphism, hub rows
+  // first — the layout the bottom-up probes like best.
+  util::SpanTimer sw;
+  const graph::DegreeRelabeling relabeled = g.RelabelByDegree();
+  const double relabel_seconds = sw.Seconds();
+
+  // Sources: non-isolated nodes sampled once; the relabeled sweep starts
+  // from the same nodes under their new ids, so tallies stay comparable.
+  std::vector<graph::NodeId> candidates;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) + g.InDegree(u) > 0) candidates.push_back(u);
+  }
+  if (candidates.empty()) {
+    std::fprintf(stderr, "graph has no edges; nothing to traverse\n");
+    return 1;
+  }
+  util::Rng rng(args.seed ^ 0x7EB5);
+  std::vector<graph::NodeId> sources;
+  if (candidates.size() <= num_sources) {
+    sources = candidates;
+  } else {
+    for (uint32_t p : rng.SampleWithoutReplacement(
+             static_cast<uint32_t>(candidates.size()), num_sources)) {
+      sources.push_back(candidates[p]);
+    }
+  }
+  std::vector<graph::NodeId> relabeled_sources;
+  for (graph::NodeId s : sources) {
+    relabeled_sources.push_back(relabeled.old_to_new[s]);
+  }
+
+  // The full grid: {classic, diropt} x {1,2,4,8 threads} x {orig, relab}.
+  struct Cell {
+    bench::SweepResult r;
+    const char* mode;
+    int threads;
+    const char* layout;
+  };
+  std::vector<Cell> cells;
+  const graph::BfsMode modes[] = {graph::BfsMode::kClassic,
+                                  graph::BfsMode::kDirectionOptimizing};
+  const char* mode_names[] = {"classic", "diropt"};
+  for (size_t mi = 0; mi < 2; ++mi) {
+    for (size_t ti = 0; ti < bench::kNumThreadCounts; ++ti) {
+      util::SetThreadCount(bench::kThreadCounts[ti]);
+      cells.push_back({bench::RunSweep(g, sources, modes[mi]), mode_names[mi],
+                       bench::kThreadCounts[ti], "original"});
+      cells.push_back({bench::RunSweep(relabeled.graph, relabeled_sources,
+                                       modes[mi]),
+                       mode_names[mi], bench::kThreadCounts[ti], "relabeled"});
+    }
+  }
+  util::SetThreadCount(0);
+
+  bool checksums_identical = true;
+  for (const Cell& c : cells) {
+    if (c.r.checksum != cells[0].r.checksum) checksums_identical = false;
+  }
+  const double k = static_cast<double>(sources.size());
+  for (const Cell& c : cells) {
+    const double mteps = c.r.seconds > 0.0 ? k * m / c.r.seconds / 1e6 : 0.0;
+    std::printf("  %-7s threads=%d %-9s %8.3fs  %8.1f MTEPS  "
+                "edges_scanned=%llu%s\n",
+                c.mode, c.threads, c.layout, c.r.seconds, mteps,
+                static_cast<unsigned long long>(c.r.edges_scanned),
+                c.r.checksum == cells[0].r.checksum ? "" : "  MISMATCH");
+  }
+
+  // Headline speedup: single-thread original-layout diropt vs classic —
+  // thread count cannot flatter it, only the algorithm can.
+  double classic_1t = 0.0, diropt_1t = 0.0;
+  uint64_t classic_edges = 0, diropt_edges = 0, diropt_bottom_up = 0;
+  for (const Cell& c : cells) {
+    if (c.threads != 1 || std::strcmp(c.layout, "original") != 0) continue;
+    if (std::strcmp(c.mode, "classic") == 0) {
+      classic_1t = c.r.seconds;
+      classic_edges = c.r.edges_scanned;
+    } else {
+      diropt_1t = c.r.seconds;
+      diropt_edges = c.r.edges_scanned;
+      diropt_bottom_up = c.r.bottom_up_levels;
+    }
+  }
+  const double bfs_speedup = diropt_1t > 0.0 ? classic_1t / diropt_1t : 0.0;
+
+  // WCC and k-core: rewired kernels vs their pre-kernel implementations.
+  util::SetThreadCount(1);
+  sw.Reset();
+  const auto wcc_classic = bench::ClassicWcc(g);
+  const double wcc_classic_sec = sw.Seconds();
+  sw.Reset();
+  const auto wcc_opt = analysis::WeaklyConnectedComponents(g);
+  const double wcc_opt_sec = sw.Seconds();
+  const bool wcc_equal = wcc_classic.label == wcc_opt.label &&
+                         wcc_classic.sizes == wcc_opt.sizes &&
+                         wcc_classic.num_components == wcc_opt.num_components;
+  sw.Reset();
+  const auto kcore_classic = bench::ClassicKCore(g);
+  const double kcore_classic_sec = sw.Seconds();
+  sw.Reset();
+  const auto kcore_opt = analysis::KCoreDecomposition(g);
+  const double kcore_opt_sec = sw.Seconds();
+  const bool kcore_equal = kcore_classic.coreness == kcore_opt.coreness &&
+                           kcore_classic.max_core == kcore_opt.max_core &&
+                           kcore_classic.innermost_size ==
+                               kcore_opt.innermost_size;
+  util::SetThreadCount(0);
+
+  std::printf("bfs: diropt %.2fx classic (1 thread, original layout); "
+              "edges scanned %llu -> %llu; bottom-up levels %llu\n",
+              bfs_speedup, static_cast<unsigned long long>(classic_edges),
+              static_cast<unsigned long long>(diropt_edges),
+              static_cast<unsigned long long>(diropt_bottom_up));
+  std::printf("wcc: union-find %.4fs -> bfs %.4fs (%.2fx), outputs %s\n",
+              wcc_classic_sec, wcc_opt_sec,
+              wcc_opt_sec > 0.0 ? wcc_classic_sec / wcc_opt_sec : 0.0,
+              wcc_equal ? "equal" : "DIFFER");
+  std::printf("kcore: heap-vectors %.4fs -> flat-csr %.4fs (%.2fx), "
+              "outputs %s\n",
+              kcore_classic_sec, kcore_opt_sec,
+              kcore_opt_sec > 0.0 ? kcore_classic_sec / kcore_opt_sec : 0.0,
+              kcore_equal ? "equal" : "DIFFER");
+  std::printf("relabel: %.4fs; checksums identical across grid: %s\n",
+              relabel_seconds, checksums_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  std::fprintf(f, "  \"num_edges\": %llu,\n",
+               static_cast<unsigned long long>(g.num_edges()));
+  std::fprintf(f, "  \"sources\": %zu,\n", sources.size());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"bfs_grid\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const double mteps = c.r.seconds > 0.0 ? k * m / c.r.seconds / 1e6 : 0.0;
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"threads\": %d, \"layout\": "
+                 "\"%s\", \"seconds\": %.5f, \"mteps\": %.2f, "
+                 "\"edges_scanned\": %llu, \"bottom_up_levels\": %llu, "
+                 "\"checksum\": \"%016llx\"}%s\n",
+                 c.mode, c.threads, c.layout, c.r.seconds, mteps,
+                 static_cast<unsigned long long>(c.r.edges_scanned),
+                 static_cast<unsigned long long>(c.r.bottom_up_levels),
+                 static_cast<unsigned long long>(c.r.checksum),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"bfs_diropt_speedup_1t\": %.3f,\n", bfs_speedup);
+  std::fprintf(f, "  \"wcc\": {\"classic_seconds\": %.5f, "
+               "\"optimized_seconds\": %.5f, \"speedup\": %.3f, "
+               "\"outputs_equal\": %s},\n",
+               wcc_classic_sec, wcc_opt_sec,
+               wcc_opt_sec > 0.0 ? wcc_classic_sec / wcc_opt_sec : 0.0,
+               wcc_equal ? "true" : "false");
+  std::fprintf(f, "  \"kcore\": {\"classic_seconds\": %.5f, "
+               "\"optimized_seconds\": %.5f, \"speedup\": %.3f, "
+               "\"outputs_equal\": %s},\n",
+               kcore_classic_sec, kcore_opt_sec,
+               kcore_opt_sec > 0.0 ? kcore_classic_sec / kcore_opt_sec : 0.0,
+               kcore_equal ? "true" : "false");
+  std::fprintf(f, "  \"relabel_seconds\": %.5f,\n", relabel_seconds);
+  std::fprintf(f, "  \"checksums_identical\": %s\n",
+               checksums_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  const bool ok = checksums_identical && wcc_equal && kcore_equal;
+  return ok ? 0 : 2;
+}

@@ -11,6 +11,8 @@
 #include "analysis/reciprocity.h"
 #include "analysis/spectral.h"
 #include "gen/verified_network.h"
+#include "graph/frontier.h"
+#include "graph/traversal.h"
 #include "util/rng.h"
 
 namespace {
@@ -50,6 +52,41 @@ void BM_Bfs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
 BENCHMARK(BM_Bfs);
+
+// BFS kernel modes head-to-head on the same source set: classic top-down
+// vs direction-optimizing (Arg 0/1).
+void BM_BfsKernel(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  graph::ScratchArena arena(g.num_nodes());
+  graph::BfsOptions opts;
+  opts.mode = state.range(0) == 0 ? graph::BfsMode::kClassic
+                                  : graph::BfsMode::kDirectionOptimizing;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto stats = graph::Bfs(
+        g, static_cast<graph::NodeId>(rng.UniformU64(g.num_nodes())), &arena,
+        opts);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BfsKernel)->Arg(0)->Arg(1);
+
+// Membership probes against real power-law rows: most rows are shorter
+// than kHasEdgeLinearThreshold (linear scan), hubs take the binary-search
+// path — the adaptive split this measures.
+void BM_HasEdge(benchmark::State& state) {
+  const auto& g = FixtureNetwork().graph;
+  util::Rng rng(11);
+  const graph::NodeId n = g.num_nodes();
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformU64(n));
+    const auto v = static_cast<graph::NodeId>(rng.UniformU64(n));
+    benchmark::DoNotOptimize(g.HasEdge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdge);
 
 void BM_PageRank(benchmark::State& state) {
   const auto& g = FixtureNetwork().graph;

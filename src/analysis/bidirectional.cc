@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/traversal.h"
 #include "util/check.h"
 
 namespace elitenet {
@@ -12,9 +13,14 @@ using graph::DiGraph;
 using graph::NodeId;
 
 PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
-                                   NodeId target) {
+                                   NodeId target,
+                                   graph::ScratchArena* fwd,
+                                   graph::ScratchArena* bwd) {
   EN_CHECK(source < g.num_nodes());
   EN_CHECK(target < g.num_nodes());
+  EN_CHECK(fwd != nullptr && bwd != nullptr);
+  EN_CHECK(fwd->num_nodes() == g.num_nodes());
+  EN_CHECK(bwd->num_nodes() == g.num_nodes());
   PairDistance out;
   if (source == target) {
     out.distance = 0;
@@ -22,11 +28,14 @@ PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
   }
 
   constexpr uint32_t kUnset = UINT32_MAX;
-  std::vector<uint32_t> fwd(g.num_nodes(), kUnset);
-  std::vector<uint32_t> bwd(g.num_nodes(), kUnset);
-  std::vector<NodeId> fwd_frontier{source}, bwd_frontier{target}, next;
-  fwd[source] = 0;
-  bwd[target] = 0;
+  fwd->BeginEpoch();
+  bwd->BeginEpoch();
+  std::vector<NodeId>& fwd_frontier = fwd->frontier();
+  std::vector<NodeId>& bwd_frontier = bwd->frontier();
+  fwd_frontier.assign(1, source);
+  bwd_frontier.assign(1, target);
+  fwd->Visit(source, 0, graph::kNoParent);
+  bwd->Visit(target, 0, graph::kNoParent);
   uint32_t fwd_depth = 0, bwd_depth = 0;
 
   while (!fwd_frontier.empty() && !bwd_frontier.empty()) {
@@ -37,30 +46,33 @@ PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
     // global optimum.
     const bool advance_forward = fwd_frontier.size() <= bwd_frontier.size();
     uint32_t best = kUnset;
-    next.clear();
     if (advance_forward) {
+      std::vector<NodeId>& next = fwd->next();
+      next.clear();
       ++fwd_depth;
       for (NodeId u : fwd_frontier) {
         ++out.expanded;
         for (NodeId v : g.OutNeighbors(u)) {
-          if (fwd[v] != kUnset) continue;
-          fwd[v] = fwd_depth;
-          if (bwd[v] != kUnset) {
-            best = std::min(best, fwd_depth + bwd[v]);
+          if (fwd->Visited(v)) continue;
+          fwd->Visit(v, fwd_depth, u);
+          if (bwd->Visited(v)) {
+            best = std::min(best, fwd_depth + bwd->Distance(v));
           }
           next.push_back(v);
         }
       }
       fwd_frontier.swap(next);
     } else {
+      std::vector<NodeId>& next = bwd->next();
+      next.clear();
       ++bwd_depth;
       for (NodeId u : bwd_frontier) {
         ++out.expanded;
         for (NodeId v : g.InNeighbors(u)) {
-          if (bwd[v] != kUnset) continue;
-          bwd[v] = bwd_depth;
-          if (fwd[v] != kUnset) {
-            best = std::min(best, bwd_depth + fwd[v]);
+          if (bwd->Visited(v)) continue;
+          bwd->Visit(v, bwd_depth, u);
+          if (fwd->Visited(v)) {
+            best = std::min(best, bwd_depth + fwd->Distance(v));
           }
           next.push_back(v);
         }
@@ -75,6 +87,13 @@ PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
   return out;  // unreachable
 }
 
+PairDistance BidirectionalDistance(const DiGraph& g, NodeId source,
+                                   NodeId target) {
+  graph::ScratchArena fwd(g.num_nodes());
+  graph::ScratchArena bwd(g.num_nodes());
+  return BidirectionalDistance(g, source, target, &fwd, &bwd);
+}
+
 PairSampleResult SamplePairDistances(const DiGraph& g, uint32_t pairs,
                                      util::Rng* rng) {
   EN_CHECK(rng != nullptr);
@@ -85,6 +104,10 @@ PairSampleResult SamplePairDistances(const DiGraph& g, uint32_t pairs,
   }
   if (candidates.size() < 2) return out;
 
+  // Two arenas for the whole sweep: each pair recycles the stamped
+  // buffers with an O(1) epoch bump instead of two O(n) allocations.
+  graph::ScratchArena fwd(g.num_nodes());
+  graph::ScratchArena bwd(g.num_nodes());
   double dist_sum = 0.0, expanded_sum = 0.0;
   for (uint32_t i = 0; i < pairs; ++i) {
     const NodeId s = candidates[rng->UniformU64(candidates.size())];
@@ -92,7 +115,7 @@ PairSampleResult SamplePairDistances(const DiGraph& g, uint32_t pairs,
     do {
       t = candidates[rng->UniformU64(candidates.size())];
     } while (t == s);
-    const PairDistance d = BidirectionalDistance(g, s, t);
+    const PairDistance d = BidirectionalDistance(g, s, t, &fwd, &bwd);
     expanded_sum += static_cast<double>(d.expanded);
     if (d.distance == UINT32_MAX) {
       ++out.unreachable_pairs;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "graph/digraph.h"
+#include "graph/frontier.h"
 #include "util/rng.h"
 
 namespace elitenet {
@@ -28,6 +29,16 @@ struct PairDistance {
 PairDistance BidirectionalDistance(const graph::DiGraph& g,
                                    graph::NodeId source,
                                    graph::NodeId target);
+
+/// Same search, but labels each side in a caller-owned epoch-stamped
+/// arena: a sweep over many pairs reuses the O(n) buffers instead of
+/// reallocating them per pair. Traversal order — and therefore `distance`
+/// and `expanded` — is identical to the vector-based overload.
+PairDistance BidirectionalDistance(const graph::DiGraph& g,
+                                   graph::NodeId source,
+                                   graph::NodeId target,
+                                   graph::ScratchArena* fwd,
+                                   graph::ScratchArena* bwd);
 
 struct PairSampleResult {
   double mean_distance = 0.0;

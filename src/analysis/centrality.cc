@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "graph/frontier.h"
+#include "graph/traversal.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -159,49 +161,52 @@ Result<PageRankResult> PersonalizedPageRank(
 
 namespace {
 
-// One Brandes source accumulation: BFS orders nodes by distance, then the
-// dependency back-propagation adds this source's contribution to `bc`.
+// One Brandes source accumulation: the direction-optimizing kernel orders
+// nodes by (level, id), then path counts and the dependency
+// back-propagation add this source's contribution to `bc`.
+//
+// Sigma is *pulled*: sigma(v) sums sigma(u) over in-neighbors one level
+// closer, walking the canonical visit order. Path counts are integers held
+// exactly in doubles, so the pull order cannot change their values — which
+// is what lets the BFS run bottom-up without disturbing determinism.
 void BrandesFromSource(const DiGraph& g, NodeId s, std::vector<double>* bc,
-                       std::vector<uint32_t>* dist,
+                       graph::ScratchArena* arena,
                        std::vector<double>* sigma,
                        std::vector<double>* delta,
                        std::vector<NodeId>* order) {
-  const NodeId n = g.num_nodes();
-  std::fill(dist->begin(), dist->end(), UINT32_MAX);
-  std::fill(sigma->begin(), sigma->end(), 0.0);
-  std::fill(delta->begin(), delta->end(), 0.0);
   order->clear();
+  graph::BfsOptions options;
+  options.visit_order = order;
+  graph::Bfs(g, s, arena, options);
 
-  (*dist)[s] = 0;
   (*sigma)[s] = 1.0;
-  size_t head = 0;
-  order->push_back(s);
-  while (head < order->size()) {
-    const NodeId u = (*order)[head++];
-    const uint32_t du = (*dist)[u];
-    for (NodeId v : g.OutNeighbors(u)) {
-      if ((*dist)[v] == UINT32_MAX) {
-        (*dist)[v] = du + 1;
-        order->push_back(v);
-      }
-      if ((*dist)[v] == du + 1) {
-        (*sigma)[v] += (*sigma)[u];
-      }
+  (*delta)[s] = 0.0;
+  for (size_t i = 1; i < order->size(); ++i) {
+    const NodeId v = (*order)[i];
+    const uint32_t dv = arena->Distance(v);
+    double acc = 0.0;
+    for (NodeId u : g.InNeighbors(v)) {
+      // DistanceOr yields UINT32_MAX for unvisited u; +1 wraps to 0 and
+      // can never equal dv >= 1, so no explicit visited check is needed.
+      if (arena->DistanceOr(u, UINT32_MAX) + 1 == dv) acc += (*sigma)[u];
     }
+    (*sigma)[v] = acc;
+    (*delta)[v] = 0.0;
   }
-  // Reverse BFS order = non-increasing distance; accumulate dependencies.
+
+  // Reverse canonical order = non-increasing distance; accumulate
+  // dependencies.
   for (size_t i = order->size(); i-- > 1;) {  // skip the source itself
     const NodeId w = (*order)[i];
-    const uint32_t dw = (*dist)[w];
+    const uint32_t dw = arena->Distance(w);
     const double coeff = (1.0 + (*delta)[w]) / (*sigma)[w];
     for (NodeId p : g.InNeighbors(w)) {
-      if ((*dist)[p] != UINT32_MAX && (*dist)[p] + 1 == dw) {
+      if (arena->DistanceOr(p, UINT32_MAX) + 1 == dw) {
         (*delta)[p] += (*sigma)[p] * coeff;
       }
     }
     (*bc)[w] += (*delta)[w];
   }
-  (void)n;
 }
 
 }  // namespace
@@ -241,14 +246,14 @@ Result<std::vector<double>> Betweenness(const DiGraph& g,
   util::ParallelFor(0, sources.size(), grain, [&](size_t lo, size_t hi) {
     std::vector<double>& local = block_bc[lo / grain];
     local.assign(n, 0.0);
-    std::vector<uint32_t> dist(n);
+    graph::ScratchArena arena(n);
     std::vector<double> sigma(n), delta(n);
     std::vector<NodeId> order;
     order.reserve(n);
     for (size_t i = lo; i < hi; ++i) {
       const NodeId s = sources[i];
       if (g.OutDegree(s) == 0) continue;  // contributes nothing
-      BrandesFromSource(g, s, &local, &dist, &sigma, &delta, &order);
+      BrandesFromSource(g, s, &local, &arena, &sigma, &delta, &order);
     }
   });
   for (const std::vector<double>& local : block_bc) {

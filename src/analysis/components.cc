@@ -1,10 +1,12 @@
 #include "analysis/components.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "graph/builder.h"
+#include "graph/frontier.h"
+#include "graph/traversal.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -38,56 +40,35 @@ std::vector<NodeId> ComponentLabeling::Members(uint32_t id) const {
   return out;
 }
 
-namespace {
-
-/// Union-find with path halving and union by size.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
-    std::iota(parent_.begin(), parent_.end(), NodeId{0});
-  }
-
-  NodeId Find(NodeId x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void Union(NodeId a, NodeId b) {
-    a = Find(a);
-    b = Find(b);
-    if (a == b) return;
-    if (size_[a] < size_[b]) std::swap(a, b);
-    parent_[b] = a;
-    size_[a] += size_[b];
-  }
-
- private:
-  std::vector<NodeId> parent_;
-  std::vector<uint64_t> size_;
-};
-
-}  // namespace
-
 ComponentLabeling WeaklyConnectedComponents(const DiGraph& g) {
+  ELITENET_SPAN("analysis.wcc");
   const NodeId n = g.num_nodes();
-  UnionFind uf(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : g.OutNeighbors(u)) uf.Union(u, v);
-  }
   ComponentLabeling out;
   out.label.assign(n, 0);
-  std::vector<uint32_t> root_to_id(n, UINT32_MAX);
-  for (NodeId u = 0; u < n; ++u) {
-    const NodeId root = uf.Find(u);
-    if (root_to_id[root] == UINT32_MAX) {
-      root_to_id[root] = out.num_components++;
-      out.sizes.push_back(0);
-    }
-    out.label[u] = root_to_id[root];
-    ++out.sizes[root_to_id[root]];
+  if (n == 0) return out;
+
+  // Multi-root direction-optimizing BFS over the undirected view. All
+  // roots share one arena epoch (fresh_epoch = false), so earlier
+  // components act as walls, and one running remaining-degree total, so
+  // the switch heuristic stays O(1) per root. Scanning roots in ascending
+  // id assigns component ids in order of each component's smallest member
+  // — the same numbering the old union-find pass produced.
+  graph::ScratchArena arena(n);
+  arena.BeginEpoch();
+  uint64_t remaining_degree = 2 * g.num_edges();
+  graph::BfsOptions options;
+  options.direction = graph::TraversalDirection::kUndirected;
+  options.fresh_epoch = false;
+  options.remaining_degree = &remaining_degree;
+  std::vector<NodeId> members;
+  options.visit_order = &members;
+  for (NodeId root = 0; root < n; ++root) {
+    if (arena.Visited(root)) continue;
+    members.clear();
+    const graph::BfsStats stats = graph::Bfs(g, root, &arena, options);
+    const uint32_t comp = out.num_components++;
+    out.sizes.push_back(stats.nodes_visited);
+    for (NodeId v : members) out.label[v] = comp;
   }
   return out;
 }

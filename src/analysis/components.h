@@ -31,7 +31,9 @@ struct ComponentLabeling {
   std::vector<graph::NodeId> Members(uint32_t id) const;
 };
 
-/// Weakly connected components via union-find (edges treated undirected).
+/// Weakly connected components via a multi-root direction-optimizing BFS
+/// over the undirected view (edges treated undirected). Component ids are
+/// assigned in order of each component's smallest member.
 ComponentLabeling WeaklyConnectedComponents(const graph::DiGraph& g);
 
 /// Strongly connected components via an iterative Tarjan traversal

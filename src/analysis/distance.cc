@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/frontier.h"
+#include "graph/traversal.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -15,28 +17,18 @@ using graph::NodeId;
 
 namespace {
 
-// BFS parameterized over the adjacency accessor.
-template <typename NeighborFn>
-std::vector<uint32_t> BfsImpl(const DiGraph& g, NodeId source,
-                              NeighborFn neighbors) {
+// Runs one direction-optimizing BFS and materializes the distance vector
+// callers of the vector-returning API expect.
+std::vector<uint32_t> BfsToVector(const DiGraph& g, NodeId source,
+                                  graph::TraversalDirection direction) {
   EN_CHECK(source < g.num_nodes());
+  graph::ScratchArena arena(g.num_nodes());
+  graph::BfsOptions options;
+  options.direction = direction;
+  graph::Bfs(g, source, &arena, options);
   std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::vector<NodeId> frontier, next;
-  dist[source] = 0;
-  frontier.push_back(source);
-  uint32_t level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    next.clear();
-    for (NodeId u : frontier) {
-      for (NodeId v : neighbors(u)) {
-        if (dist[v] == kUnreachable) {
-          dist[v] = level;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dist[v] = arena.DistanceOr(v, kUnreachable);
   }
   return dist;
 }
@@ -44,11 +36,11 @@ std::vector<uint32_t> BfsImpl(const DiGraph& g, NodeId source,
 }  // namespace
 
 std::vector<uint32_t> Bfs(const DiGraph& g, NodeId source) {
-  return BfsImpl(g, source, [&](NodeId u) { return g.OutNeighbors(u); });
+  return BfsToVector(g, source, graph::TraversalDirection::kForward);
 }
 
 std::vector<uint32_t> ReverseBfs(const DiGraph& g, NodeId target) {
-  return BfsImpl(g, target, [&](NodeId u) { return g.InNeighbors(u); });
+  return BfsToVector(g, target, graph::TraversalDirection::kReverse);
 }
 
 DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
@@ -91,19 +83,24 @@ DistanceDistribution SampleDistances(const DiGraph& g, uint32_t num_sources,
   std::vector<Partial> partials(num_blocks);
   util::ParallelFor(0, sources.size(), grain, [&](size_t lo, size_t hi) {
     Partial& p = partials[lo / grain];
+    // One epoch-stamped arena per block: sources in the block reuse its
+    // buffers instead of allocating O(n) scratch per BFS, and the
+    // direction-optimizing kernel reads distances straight out of it.
+    graph::ScratchArena arena(g.num_nodes());
     for (size_t i = lo; i < hi; ++i) {
       const NodeId s = sources[i];
-      const std::vector<uint32_t> dist = Bfs(g, s);
+      graph::Bfs(g, s, &arena);
       for (NodeId v : candidates) {
         if (v == s) continue;
-        if (dist[v] == kUnreachable) {
+        const uint32_t d = arena.DistanceOr(v, kUnreachable);
+        if (d == kUnreachable) {
           ++p.unreachable;
           continue;
         }
         ++p.reachable;
-        p.total_dist += dist[v];
-        p.hops.Add(dist[v]);
-        p.max_dist = std::max(p.max_dist, dist[v]);
+        p.total_dist += d;
+        p.hops.Add(d);
+        p.max_dist = std::max(p.max_dist, d);
       }
     }
   });

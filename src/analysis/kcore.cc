@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "analysis/clustering.h"
+#include "graph/traversal.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace analysis {
@@ -11,19 +12,19 @@ using graph::DiGraph;
 using graph::NodeId;
 
 KCoreResult KCoreDecomposition(const DiGraph& g) {
+  ELITENET_SPAN("analysis.kcore");
   const NodeId n = g.num_nodes();
   KCoreResult out;
   out.coreness.assign(n, 0);
   if (n == 0) return out;
 
-  // Undirected adjacency (built once; peeling needs repeated neighbor
-  // scans).
-  std::vector<std::vector<NodeId>> adj(n);
+  // Flat undirected CSR (built once, in parallel; peeling needs repeated
+  // neighbor scans and a contiguous target array beats n heap vectors).
+  const graph::UndirectedCsr adj = graph::BuildUndirectedCsr(g);
   std::vector<uint32_t> degree(n, 0);
   uint32_t max_degree = 0;
   for (NodeId u = 0; u < n; ++u) {
-    adj[u] = UndirectedNeighbors(g, u);
-    degree[u] = static_cast<uint32_t>(adj[u].size());
+    degree[u] = adj.Degree(u);
     max_degree = std::max(max_degree, degree[u]);
   }
 
@@ -51,7 +52,7 @@ KCoreResult KCoreDecomposition(const DiGraph& g) {
   for (uint64_t i = 0; i < n; ++i) {
     const NodeId u = order[i];
     out.coreness[u] = degree[u];
-    for (NodeId v : adj[u]) {
+    for (NodeId v : adj.Neighbors(u)) {
       if (degree[v] > degree[u]) {
         // Swap v with the first node of its degree bucket, then shrink
         // the bucket boundary and decrement.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "util/parallel.h"
+
 namespace elitenet {
 namespace graph {
 
@@ -37,44 +39,82 @@ bool GraphBuilder::ContainsBuffered(NodeId u, NodeId v) const {
 }
 
 Result<DiGraph> GraphBuilder::Build() {
-  std::sort(edges_.begin(), edges_.end());
-  const auto dup_begin = std::unique(edges_.begin(), edges_.end());
-  const bool had_duplicates = dup_begin != edges_.end();
-  edges_.erase(dup_begin, edges_.end());
-  if (had_duplicates && !options_.allow_duplicates) {
-    edges_.clear();
+  const size_t n = num_nodes_;
+  const size_t buffered = edges_.size();
+
+  // Two-pass counting sort keyed by source: O(m) placement instead of the
+  // old O(m log m) comparison sort of the whole edge buffer. Only the
+  // per-row neighbor lists still get sorted (m log max_degree total).
+  std::vector<EdgeIdx> out_offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) ++out_offsets[u + 1];
+  for (size_t i = 1; i <= n; ++i) out_offsets[i] += out_offsets[i - 1];
+  std::vector<NodeId> out_targets(buffered);
+  {
+    std::vector<EdgeIdx> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) out_targets[cursor[u]++] = v;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort and coalesce each row in place; rows are disjoint, so this runs
+  // in parallel. The surviving (deduplicated) row length lands in
+  // row_size[u]; the reduce sums dropped duplicates deterministically.
+  std::vector<EdgeIdx> row_size(n, 0);
+  const uint64_t duplicates = util::ParallelReduce(
+      0, n, 0, uint64_t{0},
+      [&](size_t lo, size_t hi) {
+        uint64_t dropped = 0;
+        for (size_t u = lo; u < hi; ++u) {
+          const auto row_begin = out_targets.begin() + out_offsets[u];
+          const auto row_end = out_targets.begin() + out_offsets[u + 1];
+          std::sort(row_begin, row_end);
+          const auto unique_end = std::unique(row_begin, row_end);
+          row_size[u] = static_cast<EdgeIdx>(unique_end - row_begin);
+          dropped += static_cast<uint64_t>(row_end - unique_end);
+        }
+        return dropped;
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
+  if (duplicates > 0 && !options_.allow_duplicates) {
     return Status::AlreadyExists("duplicate edges in strict ingest mode");
   }
 
-  const size_t m = edges_.size();
-  const size_t n = num_nodes_;
+  // Compact coalesced rows leftward (new offsets never exceed old ones,
+  // so an ascending forward copy is safe) and finalize the offsets.
+  if (duplicates > 0) {
+    EdgeIdx write = 0;
+    for (size_t u = 0; u < n; ++u) {
+      const EdgeIdx read = out_offsets[u];
+      const EdgeIdx count = row_size[u];
+      if (write != read) {
+        std::copy(out_targets.begin() + read,
+                  out_targets.begin() + read + count,
+                  out_targets.begin() + write);
+      }
+      out_offsets[u] = write;
+      write += count;
+    }
+    out_offsets[n] = write;
+    out_targets.resize(write);
+  }
+  const size_t m = out_targets.size();
 
-  std::vector<EdgeIdx> out_offsets(n + 1, 0);
-  std::vector<NodeId> out_targets(m);
+  // Reverse CSR via counting placement; iterating rows in ascending u with
+  // each row sorted yields globally (u, v)-sorted edges, so every
+  // in-neighbor list comes out sorted.
   std::vector<EdgeIdx> in_offsets(n + 1, 0);
+  for (size_t i = 0; i < m; ++i) ++in_offsets[out_targets[i] + 1];
+  for (size_t i = 1; i <= n; ++i) in_offsets[i] += in_offsets[i - 1];
   std::vector<NodeId> in_targets(m);
-
-  // Forward CSR: edges_ is already sorted by (u, v).
-  for (const auto& [u, v] : edges_) {
-    ++out_offsets[u + 1];
-    ++in_offsets[v + 1];
-  }
-  for (size_t i = 1; i <= n; ++i) {
-    out_offsets[i] += out_offsets[i - 1];
-    in_offsets[i] += in_offsets[i - 1];
-  }
-  for (size_t i = 0; i < m; ++i) out_targets[i] = edges_[i].second;
-
-  // Reverse CSR via counting placement; sources arrive in ascending order
-  // per target because edges_ is sorted by (u, v), so each in-neighbor
-  // list comes out sorted.
-  std::vector<EdgeIdx> cursor(in_offsets.begin(), in_offsets.end() - 1);
-  for (const auto& [u, v] : edges_) {
-    in_targets[cursor[v]++] = u;
+  {
+    std::vector<EdgeIdx> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (size_t u = 0; u < n; ++u) {
+      for (EdgeIdx e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        in_targets[cursor[out_targets[e]]++] = static_cast<NodeId>(u);
+      }
+    }
   }
 
-  edges_.clear();
-  edges_.shrink_to_fit();
   return DiGraph(std::move(out_offsets), std::move(out_targets),
                  std::move(in_offsets), std::move(in_targets));
 }

@@ -1,8 +1,10 @@
 // Mutable edge accumulator that finalizes into an immutable DiGraph.
 //
 // GraphBuilder accepts edges in any order, drops self-loops (optional) and
-// duplicates, and produces sorted CSR adjacency in O(m log m). It is the
-// only sanctioned way to construct a DiGraph from scratch.
+// duplicates, and produces sorted CSR adjacency via a two-pass counting
+// sort keyed by source — O(m) placement plus per-row neighbor sorts
+// (O(m log max_degree) total, parallel across rows). It is the only
+// sanctioned way to construct a DiGraph from scratch.
 
 #ifndef ELITENET_GRAPH_BUILDER_H_
 #define ELITENET_GRAPH_BUILDER_H_

@@ -1,6 +1,10 @@
 #include "graph/digraph.h"
 
 #include <algorithm>
+#include <numeric>
+
+#include "util/parallel.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace graph {
@@ -24,6 +28,12 @@ DiGraph::DiGraph(std::vector<EdgeIdx> out_offsets,
 
 bool DiGraph::HasEdge(NodeId u, NodeId v) const {
   const auto nbrs = OutNeighbors(u);
+  if (nbrs.size() < kHasEdgeLinearThreshold) {
+    for (NodeId w : nbrs) {
+      if (w >= v) return w == v;  // rows are sorted ascending
+    }
+    return false;
+  }
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
@@ -43,6 +53,55 @@ uint64_t DiGraph::CountIsolated() const {
 
 DiGraph DiGraph::Transpose() const {
   return DiGraph(in_offsets_, in_targets_, out_offsets_, out_targets_);
+}
+
+DegreeRelabeling DiGraph::RelabelByDegree() const {
+  ELITENET_SPAN("graph.relabel_by_degree");
+  const NodeId n = num_nodes();
+  DegreeRelabeling out;
+  out.new_to_old.resize(n);
+  std::iota(out.new_to_old.begin(), out.new_to_old.end(), NodeId{0});
+  std::sort(out.new_to_old.begin(), out.new_to_old.end(),
+            [this](NodeId a, NodeId b) {
+              const uint64_t da =
+                  static_cast<uint64_t>(OutDegree(a)) + InDegree(a);
+              const uint64_t db =
+                  static_cast<uint64_t>(OutDegree(b)) + InDegree(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  out.old_to_new.resize(n);
+  for (NodeId i = 0; i < n; ++i) out.old_to_new[out.new_to_old[i]] = i;
+
+  std::vector<EdgeIdx> out_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<EdgeIdx> in_offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    out_offsets[i + 1] = out_offsets[i] + OutDegree(out.new_to_old[i]);
+    in_offsets[i + 1] = in_offsets[i] + InDegree(out.new_to_old[i]);
+  }
+  std::vector<NodeId> out_targets(num_edges());
+  std::vector<NodeId> in_targets(num_edges());
+  // Rows are independent: map each row's targets through the permutation
+  // and re-sort it, in parallel (deterministic — no cross-row state).
+  util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const NodeId old_u = out.new_to_old[i];
+      EdgeIdx w = out_offsets[i];
+      for (NodeId v : OutNeighbors(old_u)) {
+        out_targets[w++] = out.old_to_new[v];
+      }
+      std::sort(out_targets.begin() + out_offsets[i],
+                out_targets.begin() + w);
+      w = in_offsets[i];
+      for (NodeId v : InNeighbors(old_u)) {
+        in_targets[w++] = out.old_to_new[v];
+      }
+      std::sort(in_targets.begin() + in_offsets[i], in_targets.begin() + w);
+    }
+  });
+  out.graph = DiGraph(std::move(out_offsets), std::move(out_targets),
+                      std::move(in_offsets), std::move(in_targets));
+  return out;
 }
 
 }  // namespace graph

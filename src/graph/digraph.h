@@ -66,8 +66,13 @@ class DiGraph {
     return static_cast<uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
   }
 
-  /// True iff edge u->v exists. O(log deg(u)) binary search.
+  /// True iff edge u->v exists. Degree-adaptive: linear scan of the sorted
+  /// row below kHasEdgeLinearThreshold neighbors (branch-predictable, no
+  /// pivot arithmetic), binary search above.
   bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Row length below which HasEdge scans linearly instead of bisecting.
+  static constexpr uint32_t kHasEdgeLinearThreshold = 8;
 
   /// Edge density m / (n * (n-1)); 0 for graphs with fewer than 2 nodes.
   double Density() const;
@@ -85,6 +90,12 @@ class DiGraph {
   /// swaps the two CSR halves.
   DiGraph Transpose() const;
 
+  /// Relabels nodes in descending total-degree (out + in) order, ties
+  /// broken by ascending original id. On skewed graphs this packs the hubs
+  /// — the rows traversals touch most — into the front of the CSR arrays
+  /// for cache locality. See DegreeRelabeling for mapping results back.
+  struct DegreeRelabeling RelabelByDegree() const;
+
   /// Structural equality (same node count and identical edge sets).
   bool operator==(const DiGraph& other) const = default;
 
@@ -93,6 +104,19 @@ class DiGraph {
   std::vector<NodeId> out_targets_;
   std::vector<EdgeIdx> in_offsets_;
   std::vector<NodeId> in_targets_;
+};
+
+/// A degree-ordered relabeling of a DiGraph: the permuted graph plus both
+/// directions of the id mapping. Results computed on `graph` map back to
+/// original ids via new_to_old (and sources map in via old_to_new);
+/// permutation-invariant aggregates (distance histograms, component sizes,
+/// coreness multisets) need no mapping at all.
+struct DegreeRelabeling {
+  DiGraph graph;
+  /// new id -> original id (the sort order).
+  std::vector<NodeId> new_to_old;
+  /// original id -> new id (the inverse permutation).
+  std::vector<NodeId> old_to_new;
 };
 
 }  // namespace graph

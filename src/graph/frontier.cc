@@ -1,0 +1,28 @@
+#include "graph/frontier.h"
+
+#include <bit>
+
+namespace elitenet {
+namespace graph {
+
+uint64_t CountSetBits(const NodeBitmap& bits) {
+  uint64_t count = 0;
+  for (uint64_t w : bits.words()) count += std::popcount(w);
+  return count;
+}
+
+void ExtractSetBits(const NodeBitmap& bits, std::vector<NodeId>* out) {
+  out->clear();
+  const std::vector<uint64_t>& words = bits.words();
+  for (size_t wi = 0; wi < words.size(); ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out->push_back(static_cast<NodeId>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace graph
+}  // namespace elitenet

@@ -1,0 +1,326 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+// Edge-set adapters. Each direction supplies the successor iteration used
+// by top-down levels, the predecessor probe used by bottom-up levels, and
+// the successor-degree bookkeeping behind the Beamer switch heuristic.
+// Bottom-up probes scan predecessor lists in ascending id order and stop
+// at the first frontier hit, which is exactly the canonical minimum-id
+// parent — early exit and determinism come from the same scan order.
+
+struct ForwardAdj {
+  const DiGraph& g;
+  uint64_t TotalDegree() const { return g.num_edges(); }
+  uint64_t SuccDegree(NodeId u) const { return g.OutDegree(u); }
+  template <typename Fn>
+  void ForEachSucc(NodeId u, Fn&& fn) const {
+    for (NodeId v : g.OutNeighbors(u)) fn(v);
+  }
+  std::pair<NodeId, uint64_t> FindFrontierPred(
+      NodeId v, const NodeBitmap& frontier) const {
+    uint64_t probes = 0;
+    for (NodeId u : g.InNeighbors(v)) {
+      ++probes;
+      if (frontier.Test(u)) return {u, probes};
+    }
+    return {kNoParent, probes};
+  }
+};
+
+struct ReverseAdj {
+  const DiGraph& g;
+  uint64_t TotalDegree() const { return g.num_edges(); }
+  uint64_t SuccDegree(NodeId u) const { return g.InDegree(u); }
+  template <typename Fn>
+  void ForEachSucc(NodeId u, Fn&& fn) const {
+    for (NodeId v : g.InNeighbors(u)) fn(v);
+  }
+  std::pair<NodeId, uint64_t> FindFrontierPred(
+      NodeId v, const NodeBitmap& frontier) const {
+    uint64_t probes = 0;
+    for (NodeId u : g.OutNeighbors(v)) {
+      ++probes;
+      if (frontier.Test(u)) return {u, probes};
+    }
+    return {kNoParent, probes};
+  }
+};
+
+struct UndirectedAdj {
+  const DiGraph& g;
+  uint64_t TotalDegree() const { return 2 * g.num_edges(); }
+  uint64_t SuccDegree(NodeId u) const {
+    return static_cast<uint64_t>(g.OutDegree(u)) + g.InDegree(u);
+  }
+  template <typename Fn>
+  void ForEachSucc(NodeId u, Fn&& fn) const {
+    for (NodeId v : g.OutNeighbors(u)) fn(v);
+    for (NodeId v : g.InNeighbors(u)) fn(v);
+  }
+  // Minimum-id frontier neighbor over the union: take the first hit of
+  // each sorted list (each an early-exit scan) and keep the smaller.
+  std::pair<NodeId, uint64_t> FindFrontierPred(
+      NodeId v, const NodeBitmap& frontier) const {
+    uint64_t probes = 0;
+    NodeId best = kNoParent;
+    for (NodeId u : g.OutNeighbors(v)) {
+      ++probes;
+      if (frontier.Test(u)) {
+        best = u;
+        break;
+      }
+    }
+    for (NodeId u : g.InNeighbors(v)) {
+      if (u >= best) break;  // sorted: no smaller hit possible past here
+      ++probes;
+      if (frontier.Test(u)) {
+        best = u;
+        break;
+      }
+    }
+    return {best, probes};
+  }
+};
+
+template <typename Adj>
+BfsStats BfsImpl(const DiGraph& g, NodeId source, ScratchArena* arena,
+                 const BfsOptions& opt, const Adj& adj) {
+  BfsStats stats;
+  const NodeId n = g.num_nodes();
+  if (opt.fresh_epoch) arena->BeginEpoch();
+  EN_CHECK_MSG(!arena->Visited(source), "BFS source already visited");
+
+  uint64_t remaining = opt.remaining_degree != nullptr
+                           ? *opt.remaining_degree
+                           : adj.TotalDegree();
+
+  std::vector<NodeId>& frontier = arena->frontier();
+  std::vector<NodeId>& next = arena->next();
+  frontier.clear();
+  next.clear();
+
+  arena->Visit(source, 0, source);
+  frontier.push_back(source);
+  stats.nodes_visited = 1;
+  if (opt.visit_order != nullptr) opt.visit_order->push_back(source);
+  uint64_t frontier_degree = adj.SuccDegree(source);
+  remaining -= frontier_degree;
+
+  bool bottom_up = false;
+  bool frontier_bits_valid = false;
+  bool unvisited_bits_valid = false;
+  uint32_t level = 0;
+
+  while (!frontier.empty()) {
+    ++level;
+
+    // Per-level direction decision (Beamer heuristics). Inputs — frontier
+    // size, frontier successor degree, remaining unvisited degree — are
+    // functions of the graph and the level sets alone, so the decision is
+    // identical on every run at every thread count.
+    bool want_bottom_up = false;
+    switch (opt.mode) {
+      case BfsMode::kClassic:
+        want_bottom_up = false;
+        break;
+      case BfsMode::kBottomUp:
+        want_bottom_up = true;
+        break;
+      case BfsMode::kDirectionOptimizing:
+        if (!bottom_up) {
+          want_bottom_up =
+              frontier.size() >= opt.min_bottom_up_frontier &&
+              static_cast<double>(frontier_degree) * opt.alpha >
+                  static_cast<double>(remaining);
+        } else {
+          want_bottom_up = static_cast<double>(frontier.size()) * opt.beta >=
+                           static_cast<double>(n);
+        }
+        break;
+    }
+    if (want_bottom_up != bottom_up) {
+      ++stats.direction_switches;
+      bottom_up = want_bottom_up;
+    }
+
+    next.clear();
+    uint64_t next_degree = 0;
+
+    if (!bottom_up) {
+      // Top-down: scan the sparse frontier's successor rows.
+      for (NodeId u : frontier) {
+        adj.ForEachSucc(u, [&](NodeId v) {
+          ++stats.edges_scanned;
+          if (!arena->Visited(v)) {
+            arena->Visit(v, level, u);
+            next.push_back(v);
+            next_degree += adj.SuccDegree(v);
+          } else if (opt.compute_parents && arena->Distance(v) == level &&
+                     u < arena->Parent(v)) {
+            // Canonical tie-break: keep the minimum-id predecessor.
+            arena->SetParent(v, u);
+          }
+        });
+      }
+      if (opt.visit_order != nullptr) {
+        std::sort(next.begin(), next.end());
+      }
+      // Top-down visits bypass the dense structures; rebuild on re-entry.
+      frontier_bits_valid = false;
+      unvisited_bits_valid = false;
+    } else {
+      // Bottom-up: iterate unvisited nodes word-at-a-time and probe their
+      // predecessor rows against the dense frontier bitmap. Discovery
+      // order is ascending id, so `next` needs no canonicalizing sort.
+      ++stats.bottom_up_levels;
+      NodeBitmap& fbits = arena->frontier_bits();
+      NodeBitmap& nbits = arena->next_bits();
+      NodeBitmap& ubits = arena->unvisited_bits();
+      if (!frontier_bits_valid) {
+        fbits.ClearAll();
+        for (NodeId u : frontier) fbits.Set(u);
+      }
+      if (!unvisited_bits_valid) {
+        ubits.ClearAll();
+        for (NodeId v = 0; v < n; ++v) {
+          if (!arena->Visited(v)) ubits.Set(v);
+        }
+        unvisited_bits_valid = true;
+      }
+      nbits.ClearAll();
+      const std::vector<uint64_t>& words = ubits.words();
+      for (size_t wi = 0; wi < words.size(); ++wi) {
+        uint64_t w = words[wi];
+        while (w != 0) {
+          const NodeId v =
+              static_cast<NodeId>(wi * 64 + std::countr_zero(w));
+          w &= w - 1;
+          const auto [parent, probes] = adj.FindFrontierPred(v, fbits);
+          stats.edges_scanned += probes;
+          if (parent != kNoParent) {
+            arena->Visit(v, level, parent);
+            next.push_back(v);
+            nbits.Set(v);
+            ubits.Clear(v);
+            next_degree += adj.SuccDegree(v);
+          }
+        }
+      }
+      std::swap(fbits, nbits);  // next level's frontier bitmap, ready-made
+      frontier_bits_valid = true;
+    }
+
+    if (!next.empty()) {
+      stats.levels = level;
+      stats.nodes_visited += next.size();
+      if (opt.visit_order != nullptr) {
+        opt.visit_order->insert(opt.visit_order->end(), next.begin(),
+                                next.end());
+      }
+    }
+    remaining -= next_degree;
+    frontier_degree = next_degree;
+    frontier.swap(next);
+  }
+
+  if (opt.remaining_degree != nullptr) *opt.remaining_degree = remaining;
+
+  ELITENET_COUNT("graph.bfs.runs", 1);
+  ELITENET_COUNT("graph.bfs.edges_scanned", stats.edges_scanned);
+  if (stats.direction_switches > 0) {
+    ELITENET_COUNT("graph.bfs.direction_switches", stats.direction_switches);
+    ELITENET_COUNT("graph.bfs.bottom_up_levels", stats.bottom_up_levels);
+  }
+  return stats;
+}
+
+}  // namespace
+
+BfsStats Bfs(const DiGraph& g, NodeId source, ScratchArena* arena,
+             const BfsOptions& options) {
+  EN_CHECK(arena != nullptr);
+  EN_CHECK(source < g.num_nodes());
+  EN_CHECK_EQ(arena->num_nodes(), g.num_nodes());
+  switch (options.direction) {
+    case TraversalDirection::kReverse:
+      return BfsImpl(g, source, arena, options, ReverseAdj{g});
+    case TraversalDirection::kUndirected:
+      return BfsImpl(g, source, arena, options, UndirectedAdj{g});
+    case TraversalDirection::kForward:
+    default:
+      return BfsImpl(g, source, arena, options, ForwardAdj{g});
+  }
+}
+
+UndirectedCsr BuildUndirectedCsr(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  UndirectedCsr csr;
+  csr.offsets.assign(static_cast<size_t>(n) + 1, 0);
+
+  // Upper-bound layout: row u gets OutDegree + InDegree slots, so a single
+  // merge pass can fill every row (rows are disjoint — parallel with no
+  // coordination and trivially deterministic) while recording the
+  // deduplicated size. Reciprocal edges then leave gaps, closed by one
+  // cheap leftward compaction. One merge scan total, not two.
+  for (size_t x = 0; x < n; ++x) {
+    const NodeId u = static_cast<NodeId>(x);
+    csr.offsets[x + 1] = csr.offsets[x] + g.OutDegree(u) + g.InDegree(u);
+  }
+  csr.targets.resize(csr.offsets[n]);
+  std::vector<EdgeIdx> row_size(n, 0);
+  util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+    for (size_t x = lo; x < hi; ++x) {
+      const NodeId u = static_cast<NodeId>(x);
+      const auto a = g.OutNeighbors(u);
+      const auto b = g.InNeighbors(u);
+      size_t i = 0, j = 0;
+      EdgeIdx w = csr.offsets[x];
+      while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+          csr.targets[w++] = a[i];
+          ++i;
+          ++j;
+        } else if (a[i] < b[j]) {
+          csr.targets[w++] = a[i++];
+        } else {
+          csr.targets[w++] = b[j++];
+        }
+      }
+      while (i < a.size()) csr.targets[w++] = a[i++];
+      while (j < b.size()) csr.targets[w++] = b[j++];
+      row_size[x] = w - csr.offsets[x];
+    }
+  });
+
+  // Compact rows leftward (new offsets never exceed old ones, so an
+  // ascending forward copy is safe) and finalize the offsets.
+  EdgeIdx write = 0;
+  for (size_t x = 0; x < n; ++x) {
+    const EdgeIdx read = csr.offsets[x];
+    const EdgeIdx count = row_size[x];
+    if (write != read) {
+      std::copy(csr.targets.begin() + read, csr.targets.begin() + read + count,
+                csr.targets.begin() + write);
+    }
+    csr.offsets[x] = write;
+    write += count;
+  }
+  csr.offsets[n] = write;
+  csr.targets.resize(write);
+  csr.targets.shrink_to_fit();
+  return csr;
+}
+
+}  // namespace graph
+}  // namespace elitenet

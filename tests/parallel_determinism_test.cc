@@ -5,13 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "analysis/centrality.h"
 #include "analysis/clustering.h"
+#include "analysis/components.h"
 #include "analysis/distance.h"
 #include "analysis/hits.h"
+#include "analysis/kcore.h"
 #include "gen/verified_network.h"
+#include "graph/frontier.h"
+#include "graph/traversal.h"
 #include "stats/powerlaw.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -174,6 +179,99 @@ TEST_F(ParallelDeterminismTest, Clustering) {
         analysis::ComputeClusteringSampled(g, 500, &srng);
     EXPECT_EQ(sampled.average_local, base_sampled.average_local) << threads;
     EXPECT_EQ(sampled.nodes_evaluated, base_sampled.nodes_evaluated);
+  }
+}
+
+// Relabel-invariant summary of one BFS (counts and hop sums survive any
+// node renumbering).
+struct BfsTally {
+  uint64_t reached = 0;
+  uint64_t dist_sum = 0;
+  uint32_t max_dist = 0;
+  bool operator==(const BfsTally&) const = default;
+};
+
+BfsTally TallyBfs(const graph::DiGraph& g, graph::NodeId source) {
+  graph::ScratchArena arena(g.num_nodes());
+  const graph::BfsStats stats = graph::Bfs(g, source, &arena);
+  BfsTally t;
+  t.reached = stats.nodes_visited;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const uint32_t d = arena.DistanceOr(v, 0);
+    t.dist_sum += d;
+    t.max_dist = std::max(t.max_dist, d);
+  }
+  return t;
+}
+
+// The traversal-backed kernels (multi-root WCC, flat-CSR k-core, the BFS
+// kernel itself) must stay bit-identical for any thread count.
+TEST_F(ParallelDeterminismTest, TraversalKernels) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const analysis::ComponentLabeling wcc_base =
+      analysis::WeaklyConnectedComponents(g);
+  const analysis::KCoreResult kcore_base = analysis::KCoreDecomposition(g);
+  const std::vector<graph::NodeId> sources = {0, 7, g.num_nodes() / 2,
+                                              g.num_nodes() - 1};
+  std::vector<BfsTally> tallies_base;
+  for (graph::NodeId s : sources) tallies_base.push_back(TallyBfs(g, s));
+
+  for (int threads : kThreadCounts) {
+    util::SetThreadCount(threads);
+    const analysis::ComponentLabeling wcc =
+        analysis::WeaklyConnectedComponents(g);
+    EXPECT_EQ(wcc.label, wcc_base.label) << threads;
+    EXPECT_EQ(wcc.sizes, wcc_base.sizes);
+    EXPECT_EQ(wcc.num_components, wcc_base.num_components);
+    const analysis::KCoreResult kcore = analysis::KCoreDecomposition(g);
+    EXPECT_EQ(kcore.coreness, kcore_base.coreness) << threads;
+    EXPECT_EQ(kcore.max_core, kcore_base.max_core);
+    EXPECT_EQ(kcore.innermost_size, kcore_base.innermost_size);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(TallyBfs(g, sources[i]), tallies_base[i])
+          << "source " << sources[i] << " at " << threads << " threads";
+    }
+  }
+}
+
+// Degree relabeling is an isomorphism, so every integer-valued kernel
+// output must carry over node for node (float scores are excluded: their
+// accumulation order legitimately changes with the numbering).
+TEST_F(ParallelDeterminismTest, RelabeledGraphEquivalence) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const graph::DegreeRelabeling r = g.RelabelByDegree();
+  ASSERT_EQ(r.graph.num_nodes(), g.num_nodes());
+  ASSERT_EQ(r.graph.num_edges(), g.num_edges());
+
+  // Coreness maps node for node.
+  const analysis::KCoreResult kc = analysis::KCoreDecomposition(g);
+  const analysis::KCoreResult kc_rel = analysis::KCoreDecomposition(r.graph);
+  EXPECT_EQ(kc.max_core, kc_rel.max_core);
+  EXPECT_EQ(kc.innermost_size, kc_rel.innermost_size);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(kc_rel.coreness[r.old_to_new[u]], kc.coreness[u]) << u;
+  }
+
+  // WCC: same partition under the mapping (ids may renumber).
+  const analysis::ComponentLabeling wcc = analysis::WeaklyConnectedComponents(g);
+  const analysis::ComponentLabeling wcc_rel =
+      analysis::WeaklyConnectedComponents(r.graph);
+  ASSERT_EQ(wcc.num_components, wcc_rel.num_components);
+  std::vector<uint32_t> comp_map(wcc.num_components, UINT32_MAX);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint32_t c = wcc.label[u];
+    const uint32_t c_rel = wcc_rel.label[r.old_to_new[u]];
+    if (comp_map[c] == UINT32_MAX) comp_map[c] = c_rel;
+    ASSERT_EQ(comp_map[c], c_rel) << "node " << u;
+    ASSERT_EQ(wcc.sizes[c], wcc_rel.sizes[c_rel]);
+  }
+
+  // BFS from mapped sources: identical relabel-invariant tallies.
+  for (graph::NodeId s : {graph::NodeId{0}, g.num_nodes() / 2}) {
+    EXPECT_EQ(TallyBfs(g, s), TallyBfs(r.graph, r.old_to_new[s]))
+        << "source " << s;
   }
 }
 
