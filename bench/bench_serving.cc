@@ -1,0 +1,422 @@
+// Closed-loop load bench for the serving layer (src/serve/).
+//
+// Generates the verified network, builds one QueryEngine per worker-thread
+// count in {1, 2, 4, 8}, and replays the *same* deterministic zipf-skewed
+// request mix against each — per-user lookups concentrated on the hubs,
+// the way verification-style traffic concentrates on celebrities. The
+// replay is closed-loop: at most `threads` requests are in flight, so
+// latencies measure service time, not queue depth.
+//
+// Emits BENCH_serving.json with QPS, wall time, cache hit-rate, and
+// p50/p95/p99 latency per query type at every thread count, plus a
+// cache-efficacy microbench (top-k miss path vs hit path). Two hard
+// assertions make it a correctness harness as well as a bench:
+//   * responses are byte-identical across all thread counts (order-
+//     sensitive FNV checksum over the JSON bytes, request by request);
+//   * the top-k hit path is at least 5x faster than the miss path.
+// Either failing exits non-zero, which is how the ctest smoke run
+// (label "perf") turns load-testing into CI coverage.
+//
+// Usage: bench_serving [--scale=N] [--seed=S] [--requests=R]
+//                      [--zipf=EXPONENT] [--json=PATH]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/verified_network.h"
+#include "serve/engine.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace elitenet {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr size_t kNumThreadCounts = 4;
+constexpr size_t kNumTypes = 5;  // matches serve::RequestType values
+
+uint64_t FnvMix(uint64_t h, uint64_t x) {
+  h ^= x;
+  return h * 0x100000001b3ULL;
+}
+
+uint64_t FnvString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Draws ranks with P(r) ~ 1/(r+1)^s over [0, n) by inverse CDF on the
+// precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cumulative_(n) {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cumulative_[r] = total;
+    }
+  }
+
+  size_t Sample(util::Rng* rng) const {
+    const double u = rng->UniformDouble() * cumulative_.back();
+    return static_cast<size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+// The query mix: per-user lookups dominate, whole-graph summaries are
+// rare — the companion paper's verification-style workload.
+std::vector<serve::Request> MakeRequestMix(const graph::DiGraph& g,
+                                           size_t count, double zipf_s,
+                                           uint64_t seed) {
+  // Hot set = nodes by descending total degree: zipf rank 0 is the
+  // biggest hub, exactly where real per-user traffic lands.
+  std::vector<graph::NodeId> by_degree(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) by_degree[u] = u;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     const uint64_t da = g.OutDegree(a) + g.InDegree(a);
+                     const uint64_t db = g.OutDegree(b) + g.InDegree(b);
+                     if (da != db) return da > db;
+                     return a < b;
+                   });
+  ZipfSampler zipf(by_degree.size(), zipf_s);
+  util::Rng rng(seed);
+  const uint32_t ks[] = {10, 20, 50, 100};
+  const uint32_t limits[] = {16, 32, 64};
+
+  std::vector<serve::Request> mix;
+  mix.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    serve::Request r;
+    const double t = rng.UniformDouble();
+    if (t < 0.35) {
+      r.type = serve::RequestType::kEgoSummary;
+      r.node = by_degree[zipf.Sample(&rng)];
+    } else if (t < 0.60) {
+      r.type = serve::RequestType::kNeighbors;
+      r.node = by_degree[zipf.Sample(&rng)];
+      r.direction = rng.Bernoulli(0.5) ? serve::NeighborDirection::kOut
+                                       : serve::NeighborDirection::kIn;
+      r.limit = limits[rng.UniformU64(3)];
+    } else if (t < 0.80) {
+      r.type = serve::RequestType::kTopKRank;
+      r.k = ks[rng.UniformU64(4)];
+    } else if (t < 0.95) {
+      r.type = serve::RequestType::kDistance;
+      r.node = by_degree[zipf.Sample(&rng)];
+      r.target = by_degree[zipf.Sample(&rng)];
+    } else {
+      r.type = serve::RequestType::kFingerprint;
+    }
+    mix.push_back(r);
+  }
+  return mix;
+}
+
+struct TypeLatencies {
+  std::vector<double> micros;
+
+  double Percentile(double q) const {
+    if (micros.empty()) return 0.0;
+    std::vector<double> sorted = micros;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size() - 1, idx == 0 ? 0 : idx - 1)];
+  }
+};
+
+struct RunResult {
+  int threads = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double warmup_seconds = 0.0;
+  uint64_t checksum = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t degraded = 0;
+  TypeLatencies latency[kNumTypes];
+};
+
+// Replays `mix` closed-loop: a window of `threads` requests in flight,
+// reaped in submission order so the checksum (and every latency sample's
+// index) is independent of scheduling.
+RunResult RunClosedLoop(const graph::DiGraph& g,
+                        const std::vector<serve::Request>& mix, int threads) {
+  serve::EngineOptions opts;
+  opts.threads = threads;
+  opts.cache_capacity = 8192;
+  auto engine = serve::QueryEngine::Create(g, opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine startup failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  RunResult out;
+  out.threads = threads;
+  out.warmup_seconds = (*engine)->warmup_seconds();
+
+  struct InFlight {
+    size_t index;
+    std::chrono::steady_clock::time_point submitted;
+    std::future<serve::QueryResponse> future;
+  };
+  std::deque<InFlight> window;
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  size_t next_to_hash = 0;
+  std::vector<uint64_t> hashes(mix.size(), 0);
+
+  auto reap = [&](InFlight& f) {
+    const serve::QueryResponse resp = f.future.get();
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - f.submitted)
+            .count();
+    out.latency[static_cast<size_t>(mix[f.index].type)].micros.push_back(us);
+    if (resp.degraded) ++out.degraded;
+    hashes[f.index] = FnvString(resp.json);
+  };
+
+  util::SpanTimer wall("bench.serving.replay");
+  for (size_t i = 0; i < mix.size(); ++i) {
+    if (window.size() >= static_cast<size_t>(threads)) {
+      reap(window.front());
+      window.pop_front();
+    }
+    window.push_back(
+        {i, std::chrono::steady_clock::now(), (*engine)->Submit(mix[i])});
+  }
+  while (!window.empty()) {
+    reap(window.front());
+    window.pop_front();
+  }
+  out.wall_seconds = wall.Seconds();
+  out.qps = static_cast<double>(mix.size()) / out.wall_seconds;
+  for (; next_to_hash < mix.size(); ++next_to_hash) {
+    checksum = FnvMix(checksum, hashes[next_to_hash]);
+  }
+  out.checksum = checksum;
+  out.cache_hits = (*engine)->cache_hits();
+  out.cache_misses = (*engine)->cache_misses();
+  return out;
+}
+
+// Cache-efficacy microbench: top-k misses (fresh k per call) vs hits
+// (same k re-asked). Median over `samples` calls each.
+struct CacheEfficacy {
+  double miss_p50_us = 0.0;
+  double hit_p50_us = 0.0;
+  double speedup = 0.0;
+  uint32_t k = 0;
+  size_t samples = 0;
+};
+
+CacheEfficacy MeasureTopKCache(const graph::DiGraph& g, size_t samples) {
+  serve::EngineOptions opts;
+  opts.threads = 1;
+  opts.cache_capacity = 8192;
+  auto engine = serve::QueryEngine::Create(g, opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine startup failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  CacheEfficacy out;
+  out.samples = samples;
+  // Big enough that the miss path formats hundreds of rows; still below
+  // any graph the bench generates.
+  const uint32_t k_base = std::min<uint32_t>(200, g.num_nodes() / 2 + 1);
+  out.k = k_base;
+
+  auto timed = [&](const serve::Request& r) {
+    util::SpanTimer t;
+    const serve::QueryResponse resp = (*engine)->Execute(r);
+    const double us = t.Seconds() * 1e6;
+    if (!resp.ok) {
+      std::fprintf(stderr, "topk failed: %s\n", resp.json.c_str());
+      std::exit(1);
+    }
+    return us;
+  };
+
+  std::vector<double> miss, hit;
+  for (size_t i = 0; i < samples; ++i) {
+    serve::Request r;
+    r.type = serve::RequestType::kTopKRank;
+    r.k = k_base + static_cast<uint32_t>(i);  // distinct key: always a miss
+    miss.push_back(timed(r));
+  }
+  serve::Request hot;
+  hot.type = serve::RequestType::kTopKRank;
+  hot.k = k_base;
+  (void)timed(hot);  // ensure resident
+  for (size_t i = 0; i < samples; ++i) hit.push_back(timed(hot));
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  out.miss_p50_us = median(std::move(miss));
+  out.hit_p50_us = median(std::move(hit));
+  out.speedup = out.hit_p50_us > 0.0 ? out.miss_p50_us / out.hit_p50_us : 0.0;
+  return out;
+}
+
+const char* kTypeNames[kNumTypes] = {"ego", "topk", "dist", "neighbors",
+                                     "fingerprint"};
+
+}  // namespace
+}  // namespace bench
+}  // namespace elitenet
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::string json_path = "BENCH_serving.json";
+  size_t num_requests = 12000;
+  double zipf_s = 1.1;
+  size_t cache_samples = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      num_requests = std::strtoull(argv[i] + 11, nullptr, 10);
+    }
+    if (std::strncmp(argv[i], "--zipf=", 7) == 0) {
+      zipf_s = std::strtod(argv[i] + 7, nullptr);
+    }
+  }
+
+  gen::VerifiedNetworkConfig gcfg;
+  gcfg.num_users = args.num_users;
+  gcfg.seed = args.seed;
+  auto net = gen::GenerateVerifiedNetwork(gcfg);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  const graph::DiGraph& g = net->graph;
+  std::printf("serving bench: n=%u m=%llu requests=%zu zipf=%.2f "
+              "(hardware_concurrency=%u)\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              num_requests, zipf_s, std::thread::hardware_concurrency());
+
+  const std::vector<serve::Request> mix =
+      bench::MakeRequestMix(g, num_requests, zipf_s, args.seed ^ 0x5E47E);
+
+  std::vector<bench::RunResult> runs;
+  for (size_t t = 0; t < bench::kNumThreadCounts; ++t) {
+    runs.push_back(bench::RunClosedLoop(g, mix, bench::kThreadCounts[t]));
+    const bench::RunResult& r = runs.back();
+    const double hit_rate =
+        r.cache_hits + r.cache_misses > 0
+            ? static_cast<double>(r.cache_hits) /
+                  static_cast<double>(r.cache_hits + r.cache_misses)
+            : 0.0;
+    std::printf("  threads=%d  qps=%9.0f  wall=%6.3fs  hit_rate=%.3f  "
+                "checksum=%016llx\n",
+                r.threads, r.qps, r.wall_seconds, hit_rate,
+                static_cast<unsigned long long>(r.checksum));
+  }
+
+  bool checksums_identical = true;
+  for (const bench::RunResult& r : runs) {
+    if (r.checksum != runs[0].checksum) checksums_identical = false;
+  }
+  if (!checksums_identical) {
+    std::fprintf(stderr,
+                 "FAIL: responses are not byte-identical across thread "
+                 "counts\n");
+  }
+
+  const bench::CacheEfficacy cache =
+      bench::MeasureTopKCache(g, cache_samples);
+  std::printf("  topk cache: miss p50 %.1fus, hit p50 %.1fus, %.1fx\n",
+              cache.miss_p50_us, cache.hit_p50_us, cache.speedup);
+  const bool cache_fast_enough = cache.speedup >= 5.0;
+  if (!cache_fast_enough) {
+    std::fprintf(stderr,
+                 "FAIL: top-k cache hit path only %.1fx faster than the "
+                 "miss path (need >= 5x)\n",
+                 cache.speedup);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  std::fprintf(f, "  \"num_edges\": %llu,\n",
+               static_cast<unsigned long long>(g.num_edges()));
+  std::fprintf(f, "  \"requests\": %zu,\n", mix.size());
+  std::fprintf(f, "  \"zipf_exponent\": %.3f,\n", zipf_s);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"grid\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const bench::RunResult& r = runs[i];
+    const uint64_t lookups = r.cache_hits + r.cache_misses;
+    std::fprintf(f, "    {\"threads\": %d, \"qps\": %.1f, "
+                 "\"wall_seconds\": %.4f, \"warmup_seconds\": %.3f,\n",
+                 r.threads, r.qps, r.wall_seconds, r.warmup_seconds);
+    std::fprintf(f, "     \"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"cache_hit_rate\": %.4f, \"degraded\": %llu,\n",
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses),
+                 lookups > 0 ? static_cast<double>(r.cache_hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0,
+                 static_cast<unsigned long long>(r.degraded));
+    std::fprintf(f, "     \"checksum\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(r.checksum));
+    std::fprintf(f, "     \"latency_us\": {");
+    for (size_t t = 0; t < bench::kNumTypes; ++t) {
+      const bench::TypeLatencies& lat = r.latency[t];
+      std::fprintf(f,
+                   "%s\"%s\": {\"count\": %zu, \"p50\": %.1f, "
+                   "\"p95\": %.1f, \"p99\": %.1f}",
+                   t == 0 ? "" : ", ", bench::kTypeNames[t],
+                   lat.micros.size(), lat.Percentile(0.50),
+                   lat.Percentile(0.95), lat.Percentile(0.99));
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"checksums_identical\": %s,\n",
+               checksums_identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"topk_cache\": {\"k\": %u, \"samples\": %zu, "
+               "\"miss_p50_us\": %.2f, \"hit_p50_us\": %.2f, "
+               "\"speedup\": %.2f, \"meets_5x\": %s}\n",
+               cache.k, cache.samples, cache.miss_p50_us, cache.hit_p50_us,
+               cache.speedup, cache_fast_enough ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return (checksums_identical && cache_fast_enough) ? 0 : 1;
+}

@@ -9,23 +9,27 @@
 //   elitenet_cli distance <graph>      separation distribution (Fig. 3)
 //   elitenet_cli fingerprint <graph>   signature + similarity to the paper
 //   elitenet_cli rank <graph> [k]      top-k users by PageRank
+//   elitenet_cli serve <graph> [N]     query engine on stdin/stdout (N workers)
 //   elitenet_cli convert <in> <out>    edge list <-> binary snapshot
 //
-// <graph> ending in ".eng" is loaded as a binary snapshot, anything else
-// as a text edge list.
+// <graph> is loaded through core::LoadAnyGraph: a dataset directory
+// (SaveDataset layout), a ".eng" binary snapshot, or a text edge list.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "analysis/centrality.h"
 #include "analysis/components.h"
 #include "analysis/degree.h"
 #include "analysis/distance.h"
 #include "analysis/reciprocity.h"
+#include "core/dataset.h"
 #include "core/fingerprint.h"
 #include "graph/io.h"
+#include "serve/server.h"
 #include "stats/distributions.h"
 #include "stats/powerlaw.h"
 #include "stats/vuong.h"
@@ -36,11 +40,6 @@
 namespace {
 
 using namespace elitenet;
-
-Result<graph::DiGraph> LoadGraph(const std::string& path) {
-  if (util::EndsWith(path, ".eng")) return graph::LoadBinary(path);
-  return graph::ReadEdgeListText(path);
-}
 
 int CmdStats(const graph::DiGraph& g) {
   const auto deg = analysis::ComputeDegreeStats(g);
@@ -173,6 +172,33 @@ int CmdRank(const graph::DiGraph& g, uint32_t k) {
   return 0;
 }
 
+int CmdServe(graph::DiGraph g, int threads) {
+  serve::EngineOptions opts;
+  opts.threads = threads;
+  auto engine = serve::QueryEngine::Create(std::move(g), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine startup failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "warm in %.2fs; %d workers; protocol: ego <n> | topk <k> | "
+               "dist <s> <t> [deadline_us] | neighbors <n> out|in [limit] | "
+               "fingerprint | quit\n",
+               (*engine)->warmup_seconds(), (*engine)->threads());
+  const serve::ServeStats stats =
+      serve::ServeLines(engine->get(), stdin, stdout);
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors, %llu degraded), "
+               "cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>((*engine)->cache_hits()),
+               static_cast<unsigned long long>((*engine)->cache_misses()));
+  return 0;
+}
+
 int CmdConvert(const graph::DiGraph& g, const std::string& out) {
   const Status s = util::EndsWith(out, ".eng")
                        ? graph::SaveBinary(g, out)
@@ -188,8 +214,8 @@ int CmdConvert(const graph::DiGraph& g, const std::string& out) {
 void Usage() {
   std::fputs(
       "usage: elitenet_cli <stats|powerlaw|distance|fingerprint|rank|"
-      "convert> <graph> [args]\n"
-      "  graph: text edge list, or .eng binary snapshot\n",
+      "serve|convert> <graph> [args]\n"
+      "  graph: text edge list, .eng binary snapshot, or dataset dir\n",
       stderr);
 }
 
@@ -201,7 +227,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  auto g = LoadGraph(argv[2]);
+  auto g = core::LoadAnyGraph(argv[2]);
   if (!g.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
                  g.status().ToString().c_str());
@@ -218,6 +244,10 @@ int main(int argc, char** argv) {
     const uint32_t k =
         argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 10;
     return CmdRank(*g, k);
+  }
+  if (command == "serve") {
+    const int threads = argc > 3 ? std::atoi(argv[3]) : 1;
+    return CmdServe(std::move(*g), threads);
   }
   if (command == "convert") {
     if (argc < 4) {

@@ -1,0 +1,78 @@
+// elitenet_serve — the serving layer as a standalone front-end: load a
+// graph once, build warm indexes, then answer newline-delimited requests
+// on stdin with one JSON object per line on stdout until EOF or "quit".
+//
+//   elitenet_serve <graph|dataset-dir> [--threads=N] [--cache=N]
+//
+//   $ elitenet_serve follows.eng <<'EOF'
+//   ego 42
+//   topk 5
+//   dist 3 1007 2000
+//   EOF
+//
+// Responses are pure functions of the graph and the request (no
+// timestamps, no cache/thread artifacts), so piping the same request file
+// through twice diffs clean. Diagnostics go to stderr only.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/dataset.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  if (argc < 2) {
+    std::fputs(
+        "usage: elitenet_serve <graph|dataset-dir> [--threads=N] "
+        "[--cache=N]\n",
+        stderr);
+    return 2;
+  }
+  serve::EngineOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opts.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      opts.cache_capacity =
+          static_cast<size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto g = core::LoadAnyGraph(argv[1]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %u nodes, %llu edges; warming indexes...\n",
+               g->num_nodes(),
+               static_cast<unsigned long long>(g->num_edges()));
+
+  auto engine = serve::QueryEngine::Create(std::move(*g), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine startup failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ready in %.2fs (%d workers)\n",
+               (*engine)->warmup_seconds(), (*engine)->threads());
+
+  const serve::ServeStats stats =
+      serve::ServeLines(engine->get(), stdin, stdout);
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors, %llu degraded), "
+               "cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>((*engine)->cache_hits()),
+               static_cast<unsigned long long>((*engine)->cache_misses()));
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verify ladder for elitenet, in increasing strictness:
+#
+#   1. tier-1: Release-ish build + the whole ctest suite (the CI gate);
+#   2. tsan:   ThreadSanitizer build, "tsan"-labelled tests (parallel
+#              scheduler, traversal kernels, serving cache + executor);
+#   3. smoke:  small-N serving load bench — fails on any cross-thread
+#              response divergence or a cache hit path slower than 5x
+#              the miss path.
+#
+# Usage: scripts/check.sh [--skip-tsan]
+# Runs from any cwd; builds live in build/ and build-tsan/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  echo "== tsan: thread-focused tests under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DELITENET_ENABLE_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  (cd build-tsan && ctest -L tsan --output-on-failure -j "$JOBS")
+else
+  echo "== tsan: skipped (--skip-tsan) =="
+fi
+
+echo "== smoke: serving load bench (determinism + cache efficacy) =="
+(cd build && ./bench/bench_serving --scale=4000 --requests=1500 \
+  --json=BENCH_serving_check.json)
+
+echo "== all checks passed =="

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
 
 #include "graph/io.h"
 #include "timeseries/calendar.h"
@@ -237,6 +238,16 @@ Status SaveDataset(const StudyDataset& d, const std::string& dir) {
   EN_RETURN_IF_ERROR(WriteActivity(d, dir + "/activity.csv"));
   EN_RETURN_IF_ERROR(WriteManifest(d, dir + "/MANIFEST"));
   return Status::OK();
+}
+
+Result<graph::DiGraph> LoadAnyGraph(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    EN_ASSIGN_OR_RETURN(StudyDataset d, LoadDataset(path));
+    return std::move(d.network.graph);
+  }
+  if (util::EndsWith(path, ".eng")) return graph::LoadBinary(path);
+  return graph::ReadEdgeListText(path);
 }
 
 Result<StudyDataset> LoadDataset(const std::string& dir) {

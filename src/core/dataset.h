@@ -40,6 +40,15 @@ Status SaveDataset(const StudyDataset& dataset, const std::string& dir);
 /// manifest, per-file magic numbers, and cross-file size consistency.
 Result<StudyDataset> LoadDataset(const std::string& dir);
 
+/// Loads a graph from any source the tools accept, with one dispatch
+/// rule shared by `elitenet_cli` and the serving front-ends:
+///   * a directory  -> SaveDataset layout; returns its graph,
+///   * "*.eng"      -> binary CSR snapshot (graph/io.h),
+///   * anything else -> SNAP-style text edge list.
+/// Corrupt inputs surface as a clean Status (Corruption/IoError) with no
+/// partial graph.
+Result<graph::DiGraph> LoadAnyGraph(const std::string& path);
+
 }  // namespace core
 }  // namespace elitenet
 

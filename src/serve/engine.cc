@@ -1,0 +1,629 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "graph/frontier.h"
+#include "graph/traversal.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/string_utils.h"
+#include "util/trace.h"
+
+namespace elitenet {
+namespace serve {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) { *out += std::to_string(v); }
+
+void AppendI64(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+void AppendBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
+
+// Deadline-aware bounded bidirectional search. Identical expansion order
+// to analysis::BidirectionalDistance (advance the smaller frontier, finish
+// the level, take the best meeting) with one deadline poll per level, so a
+// query that finishes in time returns exactly the bytes the analysis
+// kernel would.
+struct BoundedDistanceResult {
+  uint32_t distance = UINT32_MAX;
+  /// Proven minimum for the true distance: completed levels with no
+  /// meeting push it up; UINT32_MAX once unreachability is proven.
+  uint32_t lower_bound = 0;
+  uint64_t expanded = 0;
+  /// False when the deadline expired first (distance is then unknown).
+  bool completed = true;
+};
+
+BoundedDistanceResult BoundedBidirectionalDistance(
+    const DiGraph& g, NodeId source, NodeId target,
+    const util::Deadline& deadline, graph::ScratchArena* fwd,
+    graph::ScratchArena* bwd) {
+  BoundedDistanceResult out;
+  if (source == target) {
+    out.distance = 0;
+    return out;
+  }
+  out.lower_bound = 1;
+
+  constexpr uint32_t kUnset = UINT32_MAX;
+  fwd->BeginEpoch();
+  bwd->BeginEpoch();
+  std::vector<NodeId>& fwd_frontier = fwd->frontier();
+  std::vector<NodeId>& bwd_frontier = bwd->frontier();
+  fwd_frontier.assign(1, source);
+  bwd_frontier.assign(1, target);
+  fwd->Visit(source, 0, graph::kNoParent);
+  bwd->Visit(target, 0, graph::kNoParent);
+  uint32_t fwd_depth = 0, bwd_depth = 0;
+
+  while (!fwd_frontier.empty() && !bwd_frontier.empty()) {
+    if (deadline.Expired()) {
+      out.completed = false;
+      return out;
+    }
+    const bool advance_forward = fwd_frontier.size() <= bwd_frontier.size();
+    uint32_t best = kUnset;
+    if (advance_forward) {
+      std::vector<NodeId>& next = fwd->next();
+      next.clear();
+      ++fwd_depth;
+      for (NodeId u : fwd_frontier) {
+        ++out.expanded;
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (fwd->Visited(v)) continue;
+          fwd->Visit(v, fwd_depth, u);
+          if (bwd->Visited(v)) {
+            best = std::min(best, fwd_depth + bwd->Distance(v));
+          }
+          next.push_back(v);
+        }
+      }
+      fwd_frontier.swap(next);
+    } else {
+      std::vector<NodeId>& next = bwd->next();
+      next.clear();
+      ++bwd_depth;
+      for (NodeId u : bwd_frontier) {
+        ++out.expanded;
+        for (NodeId v : g.InNeighbors(u)) {
+          if (bwd->Visited(v)) continue;
+          bwd->Visit(v, bwd_depth, u);
+          if (fwd->Visited(v)) {
+            best = std::min(best, bwd_depth + fwd->Distance(v));
+          }
+          next.push_back(v);
+        }
+      }
+      bwd_frontier.swap(next);
+    }
+    if (best != kUnset) {
+      out.distance = best;
+      out.lower_bound = best;
+      return out;
+    }
+    // Both levels complete with no meeting: any s->t path is longer than
+    // everything explored from either side.
+    out.lower_bound = fwd_depth + bwd_depth + 1;
+  }
+  out.lower_bound = kUnset;  // exhausted a side: provably unreachable
+  return out;
+}
+
+}  // namespace
+
+struct QueryEngine::Scratch {
+  explicit Scratch(NodeId n) : fwd(n), bwd(n) {}
+  graph::ScratchArena fwd;
+  graph::ScratchArena bwd;
+};
+
+struct QueryEngine::Impl {
+  struct Job {
+    Request req;
+    util::Deadline deadline;
+    std::promise<QueryResponse> promise;
+  };
+
+  std::unique_ptr<util::ShardedLruCache<std::string, std::string>> cache;
+
+  std::mutex scratch_mutex;
+  std::vector<std::unique_ptr<Scratch>> scratch_pool;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Job> queue;
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+  std::atomic<int64_t> inflight{0};
+};
+
+QueryEngine::QueryEngine(DiGraph g, const EngineOptions& options)
+    : graph_(std::move(g)), options_(options), impl_(new Impl) {
+  if (options_.cache_capacity > 0) {
+    impl_->cache =
+        std::make_unique<util::ShardedLruCache<std::string, std::string>>(
+            options_.cache_capacity, std::max<size_t>(1, options_.cache_shards));
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->shutdown = true;
+  }
+  impl_->queue_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    DiGraph g, const EngineOptions& options) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot serve an empty graph");
+  }
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(std::move(g), options));
+  EN_RETURN_IF_ERROR(engine->Warmup());
+  engine->StartWorkers();
+  return engine;
+}
+
+Status QueryEngine::Warmup() {
+  util::SpanTimer timer("serve.warmup");
+  const DiGraph& g = graph_;
+  {
+    ELITENET_SPAN("serve.warm.degree");
+    degree_stats_ = analysis::ComputeDegreeStats(g);
+    reciprocity_ = analysis::ComputeReciprocity(g);
+    mutual_degree_.assign(g.num_nodes(), 0);
+    util::ParallelFor(0, g.num_nodes(), 0, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const NodeId u = static_cast<NodeId>(i);
+        uint32_t mutual = 0;
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (g.HasEdge(v, u)) ++mutual;
+        }
+        mutual_degree_[i] = mutual;
+      }
+    });
+  }
+  {
+    ELITENET_SPAN("serve.warm.components");
+    wcc_ = analysis::WeaklyConnectedComponents(g);
+    scc_ = analysis::StronglyConnectedComponents(g);
+  }
+  {
+    ELITENET_SPAN("serve.warm.pagerank");
+    auto pr = analysis::PageRank(g, options_.pagerank);
+    if (!pr.ok()) return pr.status();
+    pagerank_ = std::move(pr->scores);
+    rank_order_ = analysis::TopKByScore(pagerank_, g.num_nodes());
+    rank_of_.assign(g.num_nodes(), 0);
+    for (size_t i = 0; i < rank_order_.size(); ++i) {
+      rank_of_[rank_order_[i]] = static_cast<uint32_t>(i + 1);
+    }
+  }
+  {
+    ELITENET_SPAN("serve.warm.fingerprint");
+    auto fp = core::ComputeFingerprint(g, options_.fingerprint);
+    if (fp.ok()) {
+      fingerprint_ = *fp;
+      fingerprint_similarity_ =
+          core::FingerprintSimilarity(*fp, core::PaperFingerprint());
+      fingerprint_ok_ = true;
+    } else {
+      fingerprint_error_ = fp.status().ToString();
+    }
+  }
+  warmup_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+void QueryEngine::StartWorkers() {
+  const int n = std::max(1, options_.threads);
+  impl_->workers.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void QueryEngine::WorkerLoop() {
+  for (;;) {
+    Impl::Job job;
+    {
+      std::unique_lock<std::mutex> lock(impl_->queue_mutex);
+      impl_->queue_cv.wait(lock, [this] {
+        return impl_->shutdown || !impl_->queue.empty();
+      });
+      if (impl_->queue.empty()) return;  // shutdown with nothing pending
+      job = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    job.promise.set_value(ExecuteWithDeadline(job.req, job.deadline));
+  }
+}
+
+std::future<QueryResponse> QueryEngine::Submit(const Request& r) {
+  Impl::Job job;
+  job.req = r;
+  job.deadline = r.deadline_us > 0 ? util::Deadline::After(r.deadline_us)
+                                   : util::Deadline::Infinite();
+  std::future<QueryResponse> fut = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    ELITENET_HISTOGRAM("serve.queue_depth", impl_->queue.size());
+    impl_->queue.push_back(std::move(job));
+  }
+  impl_->queue_cv.notify_one();
+  return fut;
+}
+
+QueryResponse QueryEngine::Execute(const Request& r) {
+  return ExecuteWithDeadline(r, r.deadline_us > 0
+                                    ? util::Deadline::After(r.deadline_us)
+                                    : util::Deadline::Infinite());
+}
+
+QueryResponse QueryEngine::ExecuteLine(std::string_view line) {
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    ELITENET_COUNT("serve.requests", 1);
+    ELITENET_COUNT("serve.errors", 1);
+    QueryResponse resp;
+    resp.ok = false;
+    resp.json = "{\"type\":\"error\",\"code\":\"";
+    resp.json += StatusCodeToString(parsed.status().code());
+    resp.json += "\",\"message\":\"";
+    resp.json += JsonEscape(parsed.status().message());
+    resp.json += "\",\"request\":\"";
+    resp.json += JsonEscape(util::StripAsciiWhitespace(line));
+    resp.json += "\"}";
+    return resp;
+  }
+  return Execute(*parsed);
+}
+
+namespace {
+
+const char* SpanNameFor(RequestType type) {
+  switch (type) {
+    case RequestType::kEgoSummary:
+      return "serve.ego";
+    case RequestType::kTopKRank:
+      return "serve.topk";
+    case RequestType::kDistance:
+      return "serve.dist";
+    case RequestType::kNeighbors:
+      return "serve.neighbors";
+    case RequestType::kFingerprint:
+      return "serve.fingerprint";
+  }
+  return "serve.unknown";
+}
+
+// Distinct macro call sites per type: the metrics macros cache their
+// metric pointer per call site, so one shared site with a runtime name
+// would bind every type to the first histogram it saw.
+void RecordLatency(RequestType type, uint64_t micros) {
+  switch (type) {
+    case RequestType::kEgoSummary:
+      ELITENET_HISTOGRAM("serve.latency_us.ego", micros);
+      break;
+    case RequestType::kTopKRank:
+      ELITENET_HISTOGRAM("serve.latency_us.topk", micros);
+      break;
+    case RequestType::kDistance:
+      ELITENET_HISTOGRAM("serve.latency_us.dist", micros);
+      break;
+    case RequestType::kNeighbors:
+      ELITENET_HISTOGRAM("serve.latency_us.neighbors", micros);
+      break;
+    case RequestType::kFingerprint:
+      ELITENET_HISTOGRAM("serve.latency_us.fingerprint", micros);
+      break;
+  }
+}
+
+QueryResponse ErrorResponse(const Request& r, const Status& status) {
+  ELITENET_COUNT("serve.errors", 1);
+  QueryResponse resp;
+  resp.ok = false;
+  resp.json = "{\"type\":\"error\",\"code\":\"";
+  resp.json += StatusCodeToString(status.code());
+  resp.json += "\",\"message\":\"";
+  resp.json += JsonEscape(status.message());
+  resp.json += "\",\"request\":\"";
+  resp.json += JsonEscape(CanonicalEncoding(r));
+  resp.json += "\"}";
+  return resp;
+}
+
+}  // namespace
+
+QueryResponse QueryEngine::ExecuteWithDeadline(const Request& r,
+                                               const util::Deadline& deadline) {
+  ELITENET_COUNT("serve.requests", 1);
+  util::ScopedSpan span(SpanNameFor(r.type));
+  const int64_t inflight =
+      impl_->inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+  ELITENET_GAUGE_SET("serve.inflight", inflight);
+  util::SpanTimer timer;
+
+  QueryResponse resp;
+  std::string key;
+  bool from_cache = false;
+  if (impl_->cache != nullptr) {
+    key = CacheKey(r);
+    std::string cached;
+    if (impl_->cache->Get(key, &cached)) {
+      ELITENET_COUNT("serve.cache.hit", 1);
+      resp.json = std::move(cached);
+      resp.cache_hit = true;
+      from_cache = true;
+    } else {
+      ELITENET_COUNT("serve.cache.miss", 1);
+    }
+  }
+  if (!from_cache) {
+    resp = Compute(r, deadline);
+    if (resp.ok && !resp.degraded && impl_->cache != nullptr) {
+      impl_->cache->Put(key, resp.json);
+    }
+  }
+
+  RecordLatency(r.type, static_cast<uint64_t>(timer.Seconds() * 1e6));
+  ELITENET_GAUGE_SET("serve.inflight",
+                     impl_->inflight.fetch_sub(1, std::memory_order_relaxed) -
+                         1);
+  return resp;
+}
+
+QueryResponse QueryEngine::Compute(const Request& r,
+                                   const util::Deadline& deadline) {
+  switch (r.type) {
+    case RequestType::kEgoSummary:
+      return DoEgoSummary(r);
+    case RequestType::kTopKRank:
+      return DoTopKRank(r);
+    case RequestType::kDistance:
+      return DoDistance(r, deadline);
+    case RequestType::kNeighbors:
+      return DoNeighbors(r);
+    case RequestType::kFingerprint:
+      return DoFingerprint();
+  }
+  return ErrorResponse(r, Status::Internal("unhandled request type"));
+}
+
+QueryResponse QueryEngine::DoEgoSummary(const Request& r) {
+  const NodeId u = r.node;
+  if (u >= graph_.num_nodes()) {
+    return ErrorResponse(
+        r, Status::NotFound("node " + std::to_string(u) + " not in graph"));
+  }
+  // Two-hop out-reach (distinct nodes within <= 2 follows, excluding u):
+  // the per-user audience estimate verification-style lookups want. Marked
+  // in a pooled arena so hub queries do not allocate O(n) scratch.
+  std::unique_ptr<Scratch> scratch = BorrowScratch();
+  graph::ScratchArena& a = scratch->fwd;
+  a.BeginEpoch();
+  a.Visit(u, 0, graph::kNoParent);
+  uint64_t reach = 0;
+  for (NodeId v : graph_.OutNeighbors(u)) {
+    if (!a.Visited(v)) {
+      a.Visit(v, 1, u);
+      ++reach;
+    }
+  }
+  for (NodeId v : graph_.OutNeighbors(u)) {
+    for (NodeId w : graph_.OutNeighbors(v)) {
+      if (!a.Visited(w)) {
+        a.Visit(w, 2, v);
+        ++reach;
+      }
+    }
+  }
+  ReturnScratch(std::move(scratch));
+
+  const uint32_t out_deg = graph_.OutDegree(u);
+  const uint32_t in_deg = graph_.InDegree(u);
+  QueryResponse resp;
+  std::string& j = resp.json;
+  j = "{\"type\":\"ego\",\"node\":";
+  AppendU64(&j, u);
+  j += ",\"out_degree\":";
+  AppendU64(&j, out_deg);
+  j += ",\"in_degree\":";
+  AppendU64(&j, in_deg);
+  j += ",\"mutual\":";
+  AppendU64(&j, mutual_degree_[u]);
+  j += ",\"reach_2hop\":";
+  AppendU64(&j, reach);
+  j += ",\"pagerank\":";
+  j += JsonDouble(pagerank_[u]);
+  j += ",\"rank\":";
+  AppendU64(&j, rank_of_[u]);
+  j += ",\"wcc_id\":";
+  AppendU64(&j, wcc_.label[u]);
+  j += ",\"wcc_size\":";
+  AppendU64(&j, wcc_.sizes[wcc_.label[u]]);
+  j += ",\"scc_id\":";
+  AppendU64(&j, scc_.label[u]);
+  j += ",\"scc_size\":";
+  AppendU64(&j, scc_.sizes[scc_.label[u]]);
+  j += ",\"is_sink\":";
+  AppendBool(&j, out_deg == 0 && in_deg > 0);
+  j += ",\"is_isolated\":";
+  AppendBool(&j, out_deg == 0 && in_deg == 0);
+  j += ",\"degraded\":false}";
+  return resp;
+}
+
+QueryResponse QueryEngine::DoTopKRank(const Request& r) {
+  const uint32_t returned =
+      std::min<uint32_t>(r.k, static_cast<uint32_t>(rank_order_.size()));
+  QueryResponse resp;
+  std::string& j = resp.json;
+  j = "{\"type\":\"topk\",\"k\":";
+  AppendU64(&j, r.k);
+  j += ",\"returned\":";
+  AppendU64(&j, returned);
+  j += ",\"rows\":[";
+  for (uint32_t i = 0; i < returned; ++i) {
+    const NodeId u = rank_order_[i];
+    if (i > 0) j += ',';
+    j += "{\"rank\":";
+    AppendU64(&j, i + 1);
+    j += ",\"node\":";
+    AppendU64(&j, u);
+    j += ",\"score\":";
+    j += JsonDouble(pagerank_[u]);
+    j += ",\"in_degree\":";
+    AppendU64(&j, graph_.InDegree(u));
+    j += ",\"out_degree\":";
+    AppendU64(&j, graph_.OutDegree(u));
+    j += '}';
+  }
+  j += "],\"degraded\":false}";
+  return resp;
+}
+
+QueryResponse QueryEngine::DoDistance(const Request& r,
+                                      const util::Deadline& deadline) {
+  if (r.node >= graph_.num_nodes() || r.target >= graph_.num_nodes()) {
+    return ErrorResponse(r, Status::NotFound("distance endpoint not in graph"));
+  }
+  std::unique_ptr<Scratch> scratch = BorrowScratch();
+  const BoundedDistanceResult d = BoundedBidirectionalDistance(
+      graph_, r.node, r.target, deadline, &scratch->fwd, &scratch->bwd);
+  ReturnScratch(std::move(scratch));
+
+  QueryResponse resp;
+  resp.degraded = !d.completed;
+  if (resp.degraded) ELITENET_COUNT("serve.degraded", 1);
+  std::string& j = resp.json;
+  j = "{\"type\":\"dist\",\"src\":";
+  AppendU64(&j, r.node);
+  j += ",\"dst\":";
+  AppendU64(&j, r.target);
+  if (d.completed) {
+    const bool reachable = d.distance != UINT32_MAX;
+    j += ",\"reachable\":";
+    AppendBool(&j, reachable);
+    j += ",\"distance\":";
+    AppendI64(&j, reachable ? static_cast<int64_t>(d.distance) : -1);
+  } else {
+    // Deadline hit: the true distance is unknown but provably at least
+    // lower_bound (every completed level failed to meet).
+    j += ",\"reachable\":null,\"distance\":-1,\"lower_bound\":";
+    AppendU64(&j, d.lower_bound);
+  }
+  j += ",\"expanded\":";
+  AppendU64(&j, d.expanded);
+  j += ",\"degraded\":";
+  AppendBool(&j, resp.degraded);
+  j += '}';
+  return resp;
+}
+
+QueryResponse QueryEngine::DoNeighbors(const Request& r) {
+  const NodeId u = r.node;
+  if (u >= graph_.num_nodes()) {
+    return ErrorResponse(
+        r, Status::NotFound("node " + std::to_string(u) + " not in graph"));
+  }
+  const std::span<const NodeId> all =
+      r.direction == NeighborDirection::kOut ? graph_.OutNeighbors(u)
+                                             : graph_.InNeighbors(u);
+  const size_t returned = std::min<size_t>(r.limit, all.size());
+  QueryResponse resp;
+  std::string& j = resp.json;
+  j = "{\"type\":\"neighbors\",\"node\":";
+  AppendU64(&j, u);
+  j += ",\"dir\":\"";
+  j += r.direction == NeighborDirection::kOut ? "out" : "in";
+  j += "\",\"total\":";
+  AppendU64(&j, all.size());
+  j += ",\"returned\":";
+  AppendU64(&j, returned);
+  j += ",\"nodes\":[";
+  for (size_t i = 0; i < returned; ++i) {
+    if (i > 0) j += ',';
+    AppendU64(&j, all[i]);
+  }
+  j += "],\"degraded\":false}";
+  return resp;
+}
+
+QueryResponse QueryEngine::DoFingerprint() {
+  if (!fingerprint_ok_) {
+    Request r;
+    r.type = RequestType::kFingerprint;
+    return ErrorResponse(
+        r, Status::FailedPrecondition("fingerprint unavailable: " +
+                                      fingerprint_error_));
+  }
+  QueryResponse resp;
+  std::string& j = resp.json;
+  j = "{\"type\":\"fingerprint\",\"density\":";
+  j += JsonDouble(fingerprint_.density);
+  j += ",\"reciprocity\":";
+  j += JsonDouble(fingerprint_.reciprocity);
+  j += ",\"clustering\":";
+  j += JsonDouble(fingerprint_.clustering);
+  j += ",\"assortativity\":";
+  j += JsonDouble(fingerprint_.assortativity);
+  j += ",\"giant_scc_fraction\":";
+  j += JsonDouble(fingerprint_.giant_scc_fraction);
+  j += ",\"mean_distance\":";
+  j += JsonDouble(fingerprint_.mean_distance);
+  j += ",\"powerlaw_alpha\":";
+  j += JsonDouble(fingerprint_.powerlaw_alpha);
+  j += ",\"attracting_fraction\":";
+  j += JsonDouble(fingerprint_.attracting_fraction);
+  j += ",\"similarity_to_paper\":";
+  j += JsonDouble(fingerprint_similarity_);
+  j += ",\"degraded\":false}";
+  return resp;
+}
+
+std::unique_ptr<QueryEngine::Scratch> QueryEngine::BorrowScratch() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->scratch_mutex);
+    if (!impl_->scratch_pool.empty()) {
+      std::unique_ptr<Scratch> s = std::move(impl_->scratch_pool.back());
+      impl_->scratch_pool.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<Scratch>(graph_.num_nodes());
+}
+
+void QueryEngine::ReturnScratch(std::unique_ptr<Scratch> s) {
+  std::lock_guard<std::mutex> lock(impl_->scratch_mutex);
+  impl_->scratch_pool.push_back(std::move(s));
+}
+
+int QueryEngine::threads() const {
+  return static_cast<int>(impl_->workers.size());
+}
+
+uint64_t QueryEngine::cache_hits() const {
+  return impl_->cache != nullptr ? impl_->cache->hits() : 0;
+}
+
+uint64_t QueryEngine::cache_misses() const {
+  return impl_->cache != nullptr ? impl_->cache->misses() : 0;
+}
+
+}  // namespace serve
+}  // namespace elitenet

@@ -1,0 +1,170 @@
+// QueryEngine — a long-lived in-memory serving layer over one loaded
+// graph, in the SNAP tradition of amortizing load/index cost across many
+// analyses: pay for the expensive whole-graph computations once at
+// startup ("warm indexes"), then answer per-user queries at interactive
+// latency from those indexes.
+//
+// Warm indexes built by Create():
+//   * degree tables + overall DegreeStats,
+//   * PageRank scores, the full descending rank order, and each node's
+//     1-based rank position,
+//   * WCC and SCC labelings (component id + size per node),
+//   * per-node mutual-edge counts (reciprocity flags),
+//   * the graph fingerprint and its similarity to the paper's signature.
+//
+// Query execution layers three serving mechanics on top:
+//   * a sharded LRU result cache keyed by the canonical request encoding
+//     (serve/request.h). Only complete, non-degraded, non-error responses
+//     are inserted, so a hit is always byte-identical to a recompute;
+//   * per-request deadlines (util/deadline.h). Distance queries — the one
+//     type that traverses the graph at query time — poll the deadline per
+//     BFS level and degrade to the best lower bound found with
+//     degraded=true; warm-index queries cost microseconds and always
+//     complete;
+//   * a thread-pool executor (Submit) for concurrent clients, with
+//     in-flight gauge, queue-depth histogram, per-type latency
+//     histograms, and cache hit/miss counters via util/metrics.
+//
+// Determinism: every non-degraded response is a pure function of the
+// graph and the request — no timings, thread ids, or cache state leak
+// into the bytes — so replaying a request stream produces byte-identical
+// responses at any worker-thread count (asserted by bench_serving and
+// serve_engine_test).
+
+#ifndef ELITENET_SERVE_ENGINE_H_
+#define ELITENET_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/centrality.h"
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+#include "core/fingerprint.h"
+#include "graph/digraph.h"
+#include "serve/request.h"
+#include "util/deadline.h"
+#include "util/lru_cache.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace serve {
+
+struct EngineOptions {
+  /// Executor worker threads (Submit). Execute() always runs on the
+  /// calling thread regardless.
+  int threads = 1;
+  /// Result-cache entries across all shards; 0 disables caching.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  analysis::PageRankOptions pagerank;
+  core::FingerprintOptions fingerprint;
+};
+
+struct QueryResponse {
+  /// Single-line JSON. Errors render as {"type":"error",...}.
+  std::string json;
+  bool ok = true;
+  /// True when a deadline cut the computation short; json carries the
+  /// best bound found. Never cached.
+  bool degraded = false;
+  /// True when served from the result cache (diagnostic only — the bytes
+  /// are identical either way, so this flag never appears in json).
+  bool cache_hit = false;
+};
+
+class QueryEngine {
+ public:
+  /// Builds every warm index (the expensive part — O(iterations * m) for
+  /// PageRank, O(n + m) per component labeling) and starts the executor.
+  /// Fails on an empty graph or a PageRank that cannot run; a failed
+  /// fingerprint (e.g. degenerate degree tail) is tolerated and surfaces
+  /// as an error response to fingerprint queries only.
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      graph::DiGraph g, const EngineOptions& options = {});
+
+  /// Stops the executor and joins its workers.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Synchronously answers `r` on the calling thread. Thread-safe.
+  QueryResponse Execute(const Request& r);
+
+  /// Parses one protocol line and answers it; parse failures become
+  /// well-formed error responses (never a crash or empty line).
+  QueryResponse ExecuteLine(std::string_view line);
+
+  /// Enqueues `r` for the worker pool. The request's deadline starts
+  /// counting at submission, so time spent queued burns budget — the
+  /// behaviour a latency SLO wants.
+  std::future<QueryResponse> Submit(const Request& r);
+
+  const graph::DiGraph& graph() const { return graph_; }
+  int threads() const;
+
+  /// Result-cache tallies since startup (also exported as the
+  /// serve.cache.hit / serve.cache.miss metrics counters).
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+
+  /// Seconds spent building warm indexes in Create().
+  double warmup_seconds() const { return warmup_seconds_; }
+
+ private:
+  QueryEngine(graph::DiGraph g, const EngineOptions& options);
+
+  Status Warmup();
+  void StartWorkers();
+  void WorkerLoop();
+
+  /// Computes (never consults the cache) — the miss path.
+  QueryResponse Compute(const Request& r, const util::Deadline& deadline);
+
+  QueryResponse DoEgoSummary(const Request& r);
+  QueryResponse DoTopKRank(const Request& r);
+  QueryResponse DoDistance(const Request& r, const util::Deadline& deadline);
+  QueryResponse DoNeighbors(const Request& r);
+  QueryResponse DoFingerprint();
+
+  QueryResponse ExecuteWithDeadline(const Request& r,
+                                    const util::Deadline& deadline);
+
+  struct Scratch;
+  /// Borrows a scratch (two arenas) from the pool, creating one on first
+  /// use; returned by ReturnScratch.
+  std::unique_ptr<Scratch> BorrowScratch();
+  void ReturnScratch(std::unique_ptr<Scratch> s);
+
+  const graph::DiGraph graph_;
+  const EngineOptions options_;
+
+  // Warm indexes (immutable after Warmup; read concurrently).
+  analysis::DegreeStats degree_stats_;
+  analysis::ReciprocityStats reciprocity_;
+  std::vector<uint32_t> mutual_degree_;  // per-node reciprocated out-edges
+  analysis::ComponentLabeling wcc_;
+  analysis::ComponentLabeling scc_;
+  std::vector<double> pagerank_;
+  std::vector<graph::NodeId> rank_order_;  // descending score, ties by id
+  std::vector<uint32_t> rank_of_;          // node -> 1-based rank
+  bool fingerprint_ok_ = false;
+  core::GraphFingerprint fingerprint_;
+  double fingerprint_similarity_ = 0.0;
+  std::string fingerprint_error_;
+  double warmup_seconds_ = 0.0;
+
+  struct Impl;  // executor queue, scratch pool, cache
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace elitenet
+
+#endif  // ELITENET_SERVE_ENGINE_H_

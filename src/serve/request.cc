@@ -1,0 +1,206 @@
+#include "serve/request.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace elitenet {
+namespace serve {
+
+namespace {
+
+// Parses a uint64 token with a range cap, rejecting junk.
+bool ParseBounded(std::string_view token, uint64_t max, uint64_t* out) {
+  uint64_t v = 0;
+  if (!util::ParseUint64(token, &v) || v > max) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseNodeId(std::string_view token, graph::NodeId* out) {
+  uint64_t v = 0;
+  if (!ParseBounded(token, UINT32_MAX, &v)) return false;
+  *out = static_cast<graph::NodeId>(v);
+  return true;
+}
+
+Status BadRequest(const std::string& what) {
+  return Status::InvalidArgument(what);
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kEgoSummary:
+      return "ego";
+    case RequestType::kTopKRank:
+      return "topk";
+    case RequestType::kDistance:
+      return "dist";
+    case RequestType::kNeighbors:
+      return "neighbors";
+    case RequestType::kFingerprint:
+      return "fingerprint";
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  const std::vector<std::string> tokens =
+      util::SplitWhitespace(util::StripAsciiWhitespace(line));
+  if (tokens.empty()) return BadRequest("empty request");
+  const std::string& verb = tokens[0];
+  Request r;
+
+  if (verb == "ego") {
+    if (tokens.size() != 2) return BadRequest("usage: ego <node>");
+    r.type = RequestType::kEgoSummary;
+    if (!ParseNodeId(tokens[1], &r.node)) {
+      return BadRequest("bad node id: " + tokens[1]);
+    }
+    return r;
+  }
+
+  if (verb == "topk") {
+    if (tokens.size() != 2) return BadRequest("usage: topk <k>");
+    r.type = RequestType::kTopKRank;
+    uint64_t k = 0;
+    if (!ParseBounded(tokens[1], UINT32_MAX, &k) || k == 0) {
+      return BadRequest("bad k: " + tokens[1]);
+    }
+    r.k = static_cast<uint32_t>(k);
+    return r;
+  }
+
+  if (verb == "dist") {
+    if (tokens.size() != 3 && tokens.size() != 4) {
+      return BadRequest("usage: dist <src> <dst> [deadline_us]");
+    }
+    r.type = RequestType::kDistance;
+    if (!ParseNodeId(tokens[1], &r.node)) {
+      return BadRequest("bad source id: " + tokens[1]);
+    }
+    if (!ParseNodeId(tokens[2], &r.target)) {
+      return BadRequest("bad target id: " + tokens[2]);
+    }
+    if (tokens.size() == 4 &&
+        !ParseBounded(tokens[3], UINT64_MAX, &r.deadline_us)) {
+      return BadRequest("bad deadline: " + tokens[3]);
+    }
+    return r;
+  }
+
+  if (verb == "neighbors") {
+    if (tokens.size() != 3 && tokens.size() != 4) {
+      return BadRequest("usage: neighbors <node> <out|in> [limit]");
+    }
+    r.type = RequestType::kNeighbors;
+    if (!ParseNodeId(tokens[1], &r.node)) {
+      return BadRequest("bad node id: " + tokens[1]);
+    }
+    if (tokens[2] == "out") {
+      r.direction = NeighborDirection::kOut;
+    } else if (tokens[2] == "in") {
+      r.direction = NeighborDirection::kIn;
+    } else {
+      return BadRequest("direction must be out|in, got: " + tokens[2]);
+    }
+    if (tokens.size() == 4) {
+      uint64_t limit = 0;
+      if (!ParseBounded(tokens[3], UINT32_MAX, &limit) || limit == 0) {
+        return BadRequest("bad limit: " + tokens[3]);
+      }
+      r.limit = static_cast<uint32_t>(limit);
+    }
+    return r;
+  }
+
+  if (verb == "fingerprint") {
+    if (tokens.size() != 1) return BadRequest("usage: fingerprint");
+    r.type = RequestType::kFingerprint;
+    return r;
+  }
+
+  return BadRequest("unknown request verb: " + verb);
+}
+
+std::string CacheKey(const Request& r) {
+  char buf[96];
+  switch (r.type) {
+    case RequestType::kEgoSummary:
+      std::snprintf(buf, sizeof(buf), "ego %u", r.node);
+      break;
+    case RequestType::kTopKRank:
+      std::snprintf(buf, sizeof(buf), "topk %u", r.k);
+      break;
+    case RequestType::kDistance:
+      std::snprintf(buf, sizeof(buf), "dist %u %u", r.node, r.target);
+      break;
+    case RequestType::kNeighbors:
+      std::snprintf(buf, sizeof(buf), "neighbors %u %s %u", r.node,
+                    r.direction == NeighborDirection::kOut ? "out" : "in",
+                    r.limit);
+      break;
+    case RequestType::kFingerprint:
+      std::snprintf(buf, sizeof(buf), "fingerprint");
+      break;
+  }
+  return buf;
+}
+
+std::string CanonicalEncoding(const Request& r) {
+  std::string s = CacheKey(r);
+  if (r.type == RequestType::kDistance && r.deadline_us != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %" PRIu64, r.deadline_us);
+    s += buf;
+  }
+  return s;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace serve
+}  // namespace elitenet

@@ -1,0 +1,42 @@
+#include "serve/server.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace elitenet {
+namespace serve {
+
+ServeStats ServeLines(QueryEngine* engine, std::FILE* in, std::FILE* out) {
+  EN_CHECK(engine != nullptr);
+  EN_CHECK(in != nullptr);
+  EN_CHECK(out != nullptr);
+  ServeStats stats;
+  std::string line;
+  int c;
+  bool eof = false;
+  while (!eof) {
+    line.clear();
+    while ((c = std::fgetc(in)) != EOF && c != '\n') {
+      line += static_cast<char>(c);
+    }
+    if (c == EOF) {
+      eof = true;
+      if (line.empty()) break;
+    }
+    const std::string_view stripped = util::StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (stripped == "quit") break;
+    const QueryResponse resp = engine->ExecuteLine(stripped);
+    ++stats.requests;
+    if (!resp.ok) ++stats.errors;
+    if (resp.degraded) ++stats.degraded;
+    std::fprintf(out, "%s\n", resp.json.c_str());
+    std::fflush(out);
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace elitenet

@@ -1,0 +1,34 @@
+// Line-protocol front-end: newline-delimited requests in, one JSON object
+// per line out. This is the transport the `elitenet_serve` example and the
+// `elitenet_cli serve` subcommand share — they differ only in how the
+// graph is loaded and which FILE*s are wired up (stdin/stdout for both
+// today; a socket accept loop can hand its FILE*s straight in).
+
+#ifndef ELITENET_SERVE_SERVER_H_
+#define ELITENET_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "serve/engine.h"
+
+namespace elitenet {
+namespace serve {
+
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t degraded = 0;
+};
+
+/// Reads requests from `in` until EOF or a "quit" line, answering each on
+/// `out` (flushed per line so interactive pipes see responses
+/// immediately). Blank lines and '#' comments are skipped; malformed
+/// requests produce {"type":"error",...} lines, never a crash or a silent
+/// drop. Returns tallies for the session.
+ServeStats ServeLines(QueryEngine* engine, std::FILE* in, std::FILE* out);
+
+}  // namespace serve
+}  // namespace elitenet
+
+#endif  // ELITENET_SERVE_SERVER_H_

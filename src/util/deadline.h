@@ -1,0 +1,63 @@
+// Per-request deadline plumbing for the serving layer.
+//
+// A Deadline is an absolute steady_clock point (or infinity) that travels
+// with a request from submission through execution. Long-running kernels
+// poll Expired() at natural checkpoints (a BFS level, a batch of
+// expansions) and degrade gracefully — return the best bound found so far
+// with a degraded flag — instead of blowing the latency budget or failing.
+//
+// Deadlines never feed back into *what* a completed computation returns:
+// a query that finishes in time produces the same bytes whether its
+// deadline was 1 ms or infinite, so the serving layer's byte-identical
+// determinism contract (bench_serving) only depends on queries that are
+// given enough time, never on clock readings.
+
+#ifndef ELITENET_UTIL_DEADLINE_H_
+#define ELITENET_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace elitenet {
+namespace util {
+
+/// An absolute point in time a request must not run past. Cheap to copy.
+class Deadline {
+ public:
+  /// No deadline: Expired() is always false.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `micros` microseconds from now. 0 is already expired.
+  static Deadline After(uint64_t micros) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::microseconds(micros);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Microseconds until expiry; 0 when expired, UINT64_MAX when infinite.
+  uint64_t RemainingMicros() const {
+    if (infinite_) return UINT64_MAX;
+    const auto left = at_ - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(left).count());
+  }
+
+ private:
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_DEADLINE_H_

@@ -1,0 +1,145 @@
+// Sharded LRU result cache for the serving layer.
+//
+// A fixed-capacity key -> value map with least-recently-used eviction,
+// split into independently locked shards so concurrent lookups from the
+// query executor's worker threads do not serialize on one mutex. A key
+// always maps to the same shard (by hash), so Get/Put for the same key
+// are linearized by that shard's lock; capacity is enforced per shard
+// (total capacity / shards, minimum 1 entry each).
+//
+// The cache stores *finished* results only — values are immutable once
+// inserted — so a racy double-miss on the same key merely computes the
+// value twice and inserts identical bytes; correctness never depends on
+// hit/miss timing. Hit/miss tallies are kept per shard under the shard
+// lock and summed on read.
+
+#ifndef ELITENET_UTIL_LRU_CACHE_H_
+#define ELITENET_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elitenet {
+namespace util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total across `shards` shards (each shard holds at
+  /// least one). Requires capacity >= 1 and shards >= 1.
+  explicit ShardedLruCache(size_t capacity, size_t shards = 8) {
+    EN_CHECK(capacity >= 1);
+    EN_CHECK(shards >= 1);
+    if (shards > capacity) shards = capacity;
+    const size_t per_shard = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Copies the cached value into `*out` and marks the entry most
+  /// recently used. Returns false (and leaves `*out` alone) on miss.
+  bool Get(const Key& key, Value* out) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      ++s.misses;
+      return false;
+    }
+    ++s.hits;
+    s.order.splice(s.order.begin(), s.order, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts (or refreshes) key -> value, evicting the shard's least
+  /// recently used entry when full.
+  void Put(const Key& key, Value value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.order.splice(s.order.begin(), s.order, it->second);
+      return;
+    }
+    if (s.order.size() >= s.capacity) {
+      s.index.erase(s.order.back().first);
+      s.order.pop_back();
+    }
+    s.order.emplace_front(key, std::move(value));
+    s.index[key] = s.order.begin();
+  }
+
+  /// Entries currently resident, across all shards.
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      n += s->order.size();
+    }
+    return n;
+  }
+
+  uint64_t hits() const { return SumTally(&Shard::hits); }
+  uint64_t misses() const { return SumTally(&Shard::misses); }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Drops every entry; hit/miss tallies are preserved.
+  void Clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->order.clear();
+      s->index.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    mutable std::mutex mutex;
+    size_t capacity;
+    std::list<std::pair<Key, Value>> order;  // front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Finalizer-style mix so shard choice uses high-entropy bits even when
+    // Hash is the identity (libstdc++ integer hashing).
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return *shards_[h % shards_.size()];
+  }
+
+  uint64_t SumTally(uint64_t Shard::* member) const {
+    uint64_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      n += (*s).*member;
+    }
+    return n;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_LRU_CACHE_H_

@@ -1,0 +1,150 @@
+// core::LoadAnyGraph is the one loading path shared by elitenet_cli and
+// the serving front-ends: dataset directory, ".eng" binary snapshot, or
+// text edge list. These tests pin the dispatch rule and — the part that
+// matters for a long-lived server — that corrupt inputs surface a clean
+// Status instead of crashing or yielding a half-loaded graph.
+
+#include "core/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+#include "graph/builder.h"
+#include "graph/io.h"
+
+namespace elitenet {
+namespace core {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+graph::DiGraph SmallGraph() {
+  graph::GraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0).ok());
+  EXPECT_TRUE(b.AddEdge(0, 3).ok());
+  // Touch the last node so the edge-list text round trip (which infers
+  // the node count from edges) reproduces the same graph.
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+StudyDataset SmallDataset() {
+  StudyConfig cfg;
+  cfg.network.num_users = 2000;
+  VerifiedStudy study(cfg);
+  EXPECT_TRUE(study.Generate().ok());
+  StudyDataset d;
+  d.network = study.network();
+  d.profiles = study.profiles();
+  d.bios = study.bios();
+  d.activity = study.activity();
+  return d;
+}
+
+void TruncateFile(const std::string& path, long keep_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, keep_bytes) << path;
+  std::string head(static_cast<size_t>(keep_bytes), '\0');
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_EQ(std::fread(head.data(), 1, head.size(), f), head.size());
+  std::fclose(f);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+}
+
+TEST(LoadAnyGraphTest, DispatchesToBinarySnapshot) {
+  const graph::DiGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/any_graph.eng";
+  ASSERT_TRUE(graph::SaveBinary(g, path).ok());
+  auto loaded = LoadAnyGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, g);
+}
+
+TEST(LoadAnyGraphTest, DispatchesToEdgeListText) {
+  const graph::DiGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/any_graph.txt";
+  ASSERT_TRUE(graph::WriteEdgeListText(g, path).ok());
+  auto loaded = LoadAnyGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, g);
+}
+
+TEST(LoadAnyGraphTest, DispatchesToDatasetDirectory) {
+  const StudyDataset d = SmallDataset();
+  const std::string dir = TempDirFor("any_graph_dataset");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto loaded = LoadAnyGraph(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, d.network.graph);
+}
+
+TEST(LoadAnyGraphTest, MissingPathIsCleanError) {
+  auto r = LoadAnyGraph("/no/such/graph.eng");
+  EXPECT_FALSE(r.ok());
+  auto r2 = LoadAnyGraph("/no/such/edges.txt");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(LoadAnyGraphTest, TruncatedBinarySnapshotIsCorruption) {
+  const graph::DiGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/truncated.eng";
+  ASSERT_TRUE(graph::SaveBinary(g, path).ok());
+  // Cut mid-array: the header parses but the payload is short.
+  TruncateFile(path, 40);
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+  // Cut mid-header too.
+  ASSERT_TRUE(graph::SaveBinary(g, path).ok());
+  TruncateFile(path, 3);
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, TruncatedDatasetGraphIsCorruption) {
+  const StudyDataset d = SmallDataset();
+  const std::string dir = TempDirFor("any_graph_truncated");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  TruncateFile(dir + "/graph.eng", 64);
+  EXPECT_EQ(LoadAnyGraph(dir).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, ManifestCountMismatchIsCorruption) {
+  const StudyDataset d = SmallDataset();
+  const std::string dir = TempDirFor("any_graph_badmanifest");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  std::ofstream(dir + "/MANIFEST")
+      << "elitenet-dataset v1\nusers 999\nedges 1\ndays 1\n";
+  EXPECT_EQ(LoadAnyGraph(dir).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, GarbageUsersFileIsCorruption) {
+  const StudyDataset d = SmallDataset();
+  const std::string dir = TempDirFor("any_graph_badusers");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  std::ofstream(dir + "/users.bin", std::ios::binary | std::ios::trunc)
+      << "this is not a users file at all";
+  EXPECT_EQ(LoadAnyGraph(dir).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, GarbageEdgeListIsCorruption) {
+  const std::string path = testing::TempDir() + "/garbage_edges.txt";
+  std::ofstream(path) << "# comment is fine\n0 1\nnot numbers here\n";
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace elitenet

@@ -1,0 +1,248 @@
+#include "serve/engine.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/bidirectional.h"
+#include "analysis/centrality.h"
+#include "graph/builder.h"
+#include "serve/request.h"
+
+namespace elitenet {
+namespace serve {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// A small fixed graph with every structural feature the ego summary
+// reports: a mutual pair (0<->1), a cycle (0->1->2->0), a tail reaching a
+// sink (2->3->4), and an isolated node (5).
+graph::DiGraph TestGraph() {
+  graph::GraphBuilder b(6);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(const graph::DiGraph& g,
+                                        int threads = 1) {
+  EngineOptions opts;
+  opts.threads = threads;
+  auto engine = QueryEngine::Create(g, opts);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+TEST(QueryEngineTest, RejectsEmptyGraph) {
+  graph::GraphBuilder b(0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(QueryEngine::Create(std::move(*g)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, EgoSummaryMatchesGraph) {
+  const graph::DiGraph g = TestGraph();
+  auto engine = MakeEngine(g);
+  const QueryResponse r = engine->ExecuteLine("ego 1");
+  ASSERT_TRUE(r.ok) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"type\":\"ego\"")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"node\":1")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"out_degree\":2")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"in_degree\":1")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"mutual\":1")) << r.json;  // 1<->0 only
+  EXPECT_TRUE(Contains(r.json, "\"degraded\":false")) << r.json;
+
+  // The reported PageRank is the warm index's value, byte-for-byte the
+  // same double the analysis kernel computes.
+  auto pr = analysis::PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(Contains(r.json, JsonDouble(pr->scores[1]))) << r.json;
+
+  const QueryResponse isolated = engine->ExecuteLine("ego 5");
+  ASSERT_TRUE(isolated.ok);
+  EXPECT_TRUE(Contains(isolated.json, "\"is_isolated\":true"))
+      << isolated.json;
+}
+
+TEST(QueryEngineTest, TopKMatchesAnalysisRanking) {
+  const graph::DiGraph g = TestGraph();
+  auto engine = MakeEngine(g);
+  auto pr = analysis::PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  const auto top = analysis::TopKByScore(pr->scores, 3);
+
+  const QueryResponse r = engine->ExecuteLine("topk 3");
+  ASSERT_TRUE(r.ok) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"returned\":3")) << r.json;
+  // Rows appear in the analysis kernel's order.
+  size_t pos = 0;
+  for (size_t i = 0; i < top.size(); ++i) {
+    const std::string needle = "\"rank\":" + std::to_string(i + 1) +
+                               ",\"node\":" + std::to_string(top[i]);
+    const size_t found = r.json.find(needle, pos);
+    EXPECT_NE(found, std::string::npos) << needle << " in " << r.json;
+    pos = found;
+  }
+
+  // k beyond n clips instead of failing.
+  const QueryResponse big = engine->ExecuteLine("topk 100");
+  ASSERT_TRUE(big.ok);
+  EXPECT_TRUE(Contains(big.json, "\"returned\":6")) << big.json;
+}
+
+TEST(QueryEngineTest, DistanceMatchesBidirectionalKernel) {
+  const graph::DiGraph g = TestGraph();
+  auto engine = MakeEngine(g);
+  const auto expect = analysis::BidirectionalDistance(g, 0, 4);
+  ASSERT_EQ(expect.distance, 4u);  // 0 -> 1 -> 2 -> 3 -> 4
+
+  const QueryResponse r = engine->ExecuteLine("dist 0 4");
+  ASSERT_TRUE(r.ok) << r.json;
+  EXPECT_FALSE(r.degraded);
+  EXPECT_TRUE(Contains(r.json, "\"reachable\":true")) << r.json;
+  EXPECT_TRUE(Contains(
+      r.json, "\"distance\":" + std::to_string(expect.distance)))
+      << r.json;
+  EXPECT_TRUE(Contains(
+      r.json, "\"expanded\":" + std::to_string(expect.expanded)))
+      << r.json;
+}
+
+TEST(QueryEngineTest, UnreachableDistanceIsCompleteNotDegraded) {
+  const graph::DiGraph g = TestGraph();
+  auto engine = MakeEngine(g);
+  // Node 4 is a sink, node 5 isolated: both directions provably empty.
+  for (const char* line : {"dist 4 0", "dist 0 5", "dist 5 0"}) {
+    const QueryResponse r = engine->ExecuteLine(line);
+    ASSERT_TRUE(r.ok) << line << ": " << r.json;
+    EXPECT_FALSE(r.degraded) << line;
+    EXPECT_TRUE(Contains(r.json, "\"reachable\":false")) << r.json;
+    EXPECT_TRUE(Contains(r.json, "\"distance\":-1")) << r.json;
+  }
+}
+
+TEST(QueryEngineTest, TinyDeadlineDegradesGracefully) {
+  // A long chain: thousands of BFS levels, each polling the deadline, so
+  // a ~0 budget provably cannot complete yet still yields a well-formed
+  // response carrying the proven lower bound.
+  constexpr graph::NodeId kChain = 20000;
+  graph::GraphBuilder b(kChain);
+  for (graph::NodeId u = 0; u + 1 < kChain; ++u) {
+    ASSERT_TRUE(b.AddEdge(u, u + 1).ok());
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto engine = MakeEngine(*g);
+
+  const QueryResponse r = engine->ExecuteLine("dist 0 19999 1");
+  ASSERT_TRUE(r.ok) << r.json;
+  EXPECT_TRUE(r.degraded) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"degraded\":true")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"reachable\":null")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"distance\":-1")) << r.json;
+  EXPECT_TRUE(Contains(r.json, "\"lower_bound\":")) << r.json;
+
+  // Degraded responses are never cached: asking again with no deadline
+  // must recompute and return the true distance.
+  const QueryResponse full = engine->ExecuteLine("dist 0 19999");
+  ASSERT_TRUE(full.ok) << full.json;
+  EXPECT_FALSE(full.degraded);
+  EXPECT_TRUE(Contains(full.json, "\"distance\":19999")) << full.json;
+}
+
+TEST(QueryEngineTest, ResponsesAreByteIdenticalAcrossWorkerCounts) {
+  const graph::DiGraph g = TestGraph();
+  std::vector<std::string> lines;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    lines.push_back("ego " + std::to_string(u));
+    lines.push_back("neighbors " + std::to_string(u) + " out");
+    lines.push_back("neighbors " + std::to_string(u) + " in 2");
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      lines.push_back("dist " + std::to_string(u) + " " + std::to_string(v));
+    }
+  }
+  lines.push_back("topk 4");
+
+  std::vector<std::string> reference;
+  for (int threads : {1, 2, 4}) {
+    auto engine = MakeEngine(g, threads);
+    // Submit everything, then reap in order — completion order is up to
+    // the scheduler, response bytes must not be.
+    std::vector<std::future<QueryResponse>> futures;
+    for (const std::string& line : lines) {
+      auto req = ParseRequest(line);
+      ASSERT_TRUE(req.ok()) << line;
+      futures.push_back(engine->Submit(*req));
+    }
+    std::vector<std::string> got;
+    for (auto& f : futures) got.push_back(f.get().json);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], reference[i])
+            << "thread count " << threads << " diverged on " << lines[i];
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, CacheHitsAreCountedAndByteIdentical) {
+  auto engine = MakeEngine(TestGraph());
+  const QueryResponse miss = engine->ExecuteLine("topk 3");
+  ASSERT_TRUE(miss.ok);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(engine->cache_hits(), 0u);
+  EXPECT_EQ(engine->cache_misses(), 1u);
+
+  const QueryResponse hit = engine->ExecuteLine("topk 3");
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.json, miss.json);
+  EXPECT_EQ(engine->cache_hits(), 1u);
+  EXPECT_EQ(engine->cache_misses(), 1u);
+
+  // Same query with a (generous) deadline shares the cache entry: the
+  // deadline is not part of the key.
+  Request with_deadline;
+  with_deadline.type = RequestType::kTopKRank;
+  with_deadline.k = 3;
+  with_deadline.deadline_us = 60ULL * 1000 * 1000;
+  const QueryResponse hit2 = engine->Execute(with_deadline);
+  ASSERT_TRUE(hit2.ok);
+  EXPECT_TRUE(hit2.cache_hit);
+  EXPECT_EQ(hit2.json, miss.json);
+}
+
+TEST(QueryEngineTest, OutOfRangeNodesAreCleanErrors) {
+  auto engine = MakeEngine(TestGraph());
+  for (const char* line :
+       {"ego 999", "neighbors 999 out", "dist 0 999", "dist 999 0"}) {
+    const QueryResponse r = engine->ExecuteLine(line);
+    EXPECT_FALSE(r.ok) << line;
+    EXPECT_TRUE(Contains(r.json, "\"type\":\"error\"")) << r.json;
+    EXPECT_TRUE(Contains(r.json, "NotFound")) << r.json;
+  }
+  // Parse failures are also well-formed error responses.
+  const QueryResponse bad = engine->ExecuteLine("launch missiles");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_TRUE(Contains(bad.json, "\"type\":\"error\"")) << bad.json;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace elitenet

@@ -1,0 +1,112 @@
+#include "serve/request.h"
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace serve {
+namespace {
+
+Request MustParse(const std::string& line) {
+  auto r = ParseRequest(line);
+  EXPECT_TRUE(r.ok()) << line << ": " << r.status().ToString();
+  return *r;
+}
+
+TEST(RequestCodecTest, RoundTripsEveryType) {
+  const char* lines[] = {
+      "ego 42",
+      "topk 25",
+      "dist 3 9000",
+      "dist 3 9000 1500",
+      "neighbors 7 out 64",
+      "neighbors 7 in 8",
+      "fingerprint",
+  };
+  for (const char* line : lines) {
+    const Request req = MustParse(line);
+    const std::string canonical = CanonicalEncoding(req);
+    const Request again = MustParse(canonical);
+    EXPECT_EQ(req, again) << line;
+    // Canonical form is a fixed point of the codec.
+    EXPECT_EQ(CanonicalEncoding(again), canonical) << line;
+  }
+}
+
+TEST(RequestCodecTest, CanonicalizesSloppyInput) {
+  EXPECT_EQ(CanonicalEncoding(MustParse("  ego   42  ")), "ego 42");
+  // Neighbors without an explicit limit gets the default made explicit.
+  const Request r = MustParse("neighbors 7 out");
+  EXPECT_EQ(r.limit, 32u);
+  EXPECT_EQ(CanonicalEncoding(r), "neighbors 7 out 32");
+}
+
+TEST(RequestCodecTest, DeadlineRoundTripsButStaysOutOfCacheKey) {
+  const Request with = MustParse("dist 1 2 777");
+  const Request without = MustParse("dist 1 2");
+  EXPECT_EQ(with.deadline_us, 777u);
+  EXPECT_EQ(without.deadline_us, 0u);
+  EXPECT_NE(CanonicalEncoding(with), CanonicalEncoding(without));
+  // The deadline changes whether a result arrives in time, never its
+  // bytes, so both requests share one cache entry.
+  EXPECT_EQ(CacheKey(with), CacheKey(without));
+  EXPECT_EQ(CacheKey(with), "dist 1 2");
+}
+
+TEST(RequestCodecTest, CacheKeyDistinguishesEverythingElse) {
+  EXPECT_NE(CacheKey(MustParse("ego 1")), CacheKey(MustParse("ego 2")));
+  EXPECT_NE(CacheKey(MustParse("topk 10")), CacheKey(MustParse("topk 11")));
+  EXPECT_NE(CacheKey(MustParse("dist 1 2")), CacheKey(MustParse("dist 2 1")));
+  EXPECT_NE(CacheKey(MustParse("neighbors 1 out 32")),
+            CacheKey(MustParse("neighbors 1 in 32")));
+  EXPECT_NE(CacheKey(MustParse("neighbors 1 out 32")),
+            CacheKey(MustParse("neighbors 1 out 16")));
+}
+
+TEST(RequestCodecTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "ego",
+      "ego x",
+      "ego 1 2",
+      "ego -5",
+      "ego 99999999999999999999",  // overflows uint32
+      "topk 0",
+      "topk",
+      "dist 1",
+      "dist 1 2 3 4",
+      "dist 1 nope",
+      "neighbors 1 sideways",
+      "neighbors 1 out 0",
+      "neighbors",
+      "fingerprint 1",
+      "frobnicate 1",
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: \"" << line << "\"";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(RequestCodecTest, JsonEscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(RequestCodecTest, JsonDoubleIsDeterministicAndFiniteOnly) {
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  EXPECT_EQ(JsonDouble(1.0 / 3.0), JsonDouble(1.0 / 3.0));
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace elitenet
