@@ -1,0 +1,330 @@
+// Cold-start bench: time-to-first-query (TTFQ) across the four graph
+// load paths the tools support, over the same underlying graph:
+//
+//   edge-list   text parse, then full warm-index build
+//   eng1        legacy binary deserialize into heap vectors, full build
+//   eng2        zero-copy mmap snapshot, full warm-index build
+//   eng2+widx   zero-copy mmap + persisted warm indexes (.widx sidecar)
+//
+// TTFQ = LoadAnyGraph + QueryEngine::Create + the first query answered —
+// the metric a restarting server actually feels. Each path also reports
+// the load/warmup split and the VmRSS delta (mmapped paths only fault in
+// pages the queries touch).
+//
+// Two hard assertions make the bench a correctness harness:
+//   * all four paths produce byte-identical responses to the same probe
+//     request stream (order-sensitive FNV over the JSON bytes) — the
+//     snapshot and sidecar formats may change *where* bytes come from,
+//     never *what* is served;
+//   * eng2+widx TTFQ is at least `--min-speedup=` (default 10) times
+//     faster than the eng1 rebuild path.
+// Either failing exits non-zero; the ctest smoke run (label "perf")
+// turns that into CI coverage.
+//
+// Usage: bench_cold_start [--scale=N] [--seed=S] [--json=PATH]
+//                         [--probes=N] [--min-speedup=X]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dataset.h"
+#include "gen/verified_network.h"
+#include "graph/io.h"
+#include "serve/engine.h"
+#include "serve/warm_index_cache.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace elitenet {
+namespace bench {
+namespace {
+
+uint64_t FnvString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t x) {
+  h ^= x;
+  return h * 0x100000001b3ULL;
+}
+
+// Resident set size from /proc/self/status, in KiB; 0 when unavailable
+// (non-Linux), in which case the rss_delta column reads 0 everywhere.
+int64_t RssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Deterministic probe stream touching every query type, spread across the
+// id space so component/rank/degree lookups exercise varied nodes.
+std::vector<serve::Request> MakeProbes(graph::NodeId n, size_t count,
+                                       uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<serve::Request> probes;
+  probes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    serve::Request r;
+    switch (i % 5) {
+      case 0:
+        r.type = serve::RequestType::kEgoSummary;
+        r.node = static_cast<graph::NodeId>(rng.UniformU64(n));
+        break;
+      case 1:
+        r.type = serve::RequestType::kTopKRank;
+        r.k = 10 + static_cast<uint32_t>(rng.UniformU64(90));
+        break;
+      case 2:
+        r.type = serve::RequestType::kDistance;
+        r.node = static_cast<graph::NodeId>(rng.UniformU64(n));
+        r.target = static_cast<graph::NodeId>(rng.UniformU64(n));
+        break;
+      case 3:
+        r.type = serve::RequestType::kNeighbors;
+        r.node = static_cast<graph::NodeId>(rng.UniformU64(n));
+        r.direction = rng.Bernoulli(0.5) ? serve::NeighborDirection::kOut
+                                         : serve::NeighborDirection::kIn;
+        r.limit = 32;
+        break;
+      default:
+        r.type = serve::RequestType::kFingerprint;
+        break;
+    }
+    probes.push_back(r);
+  }
+  return probes;
+}
+
+struct ColdStartResult {
+  std::string name;
+  double load_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double ttfq_seconds = 0.0;
+  double total_seconds = 0.0;  // load + warmup + all probes
+  int64_t rss_delta_kb = 0;
+  uint64_t checksum = 0;
+  std::string load_format;  // what LoadAnyGraph detected
+  bool from_widx = false;
+};
+
+// One full cold start: load `path` through the public dispatch, stand up
+// the engine (optionally against a .widx sidecar), answer every probe.
+ColdStartResult RunColdStart(const std::string& name, const std::string& path,
+                             const std::string& widx_path,
+                             const std::vector<serve::Request>& probes) {
+  ColdStartResult out;
+  out.name = name;
+  const int64_t rss_before = RssKb();
+  util::SpanTimer total;
+
+  core::GraphLoadInfo info;
+  auto g = core::LoadAnyGraph(path, &info);
+  if (!g.ok()) {
+    std::fprintf(stderr, "[%s] load failed: %s\n", name.c_str(),
+                 g.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.load_seconds = info.seconds;
+  out.load_format = info.format;
+
+  serve::EngineOptions opts;
+  opts.warm_index_path = widx_path;
+  auto engine = serve::QueryEngine::Create(std::move(*g), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "[%s] engine startup failed: %s\n", name.c_str(),
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.warmup_seconds = (*engine)->warmup_seconds();
+  out.from_widx = (*engine)->warm_index_from_cache();
+
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  bool first = true;
+  for (const serve::Request& r : probes) {
+    const serve::QueryResponse resp = (*engine)->Execute(r);
+    if (first) {
+      out.ttfq_seconds = total.Seconds();
+      first = false;
+    }
+    checksum = FnvMix(checksum, FnvString(resp.json));
+  }
+  out.checksum = checksum;
+  out.total_seconds = total.Seconds();
+  out.rss_delta_kb = RssKb() - rss_before;
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elitenet
+
+int main(int argc, char** argv) {
+  using namespace elitenet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::string json_path = "BENCH_cold_start.json";
+  size_t num_probes = 200;
+  double min_speedup = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--probes=", 9) == 0) {
+      num_probes = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+    if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::strtod(argv[i] + 14, nullptr);
+    }
+  }
+
+  gen::VerifiedNetworkConfig gcfg;
+  gcfg.num_users = args.num_users;
+  gcfg.seed = args.seed;
+  auto net = gen::GenerateVerifiedNetwork(gcfg);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+
+  // Artifacts. The canonical graph is the *edge-list roundtrip* of the
+  // generated one (text is the lossiest format: it cannot represent
+  // trailing isolated nodes), so every path serves exactly the same graph.
+  const std::string edges_path = bench::CsvPath(args, "cold_start.edges");
+  const std::string eng1_path = bench::CsvPath(args, "cold_start.eng");
+  const std::string eng2_path = bench::CsvPath(args, "cold_start.eng2");
+  const std::string widx_path = serve::WarmIndexPathFor(eng2_path);
+  if (Status s = graph::WriteEdgeListText(net->graph, edges_path); !s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto canonical = graph::ReadEdgeListText(edges_path);
+  if (!canonical.ok()) {
+    std::fprintf(stderr, "roundtrip failed: %s\n",
+                 canonical.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = graph::SaveBinary(*canonical, eng1_path); !s.ok()) {
+    std::fprintf(stderr, "eng1 write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = graph::SaveBinaryV2(*canonical, eng2_path); !s.ok()) {
+    std::fprintf(stderr, "eng2 write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::remove(widx_path.c_str());  // the widx run below must write it fresh
+
+  const graph::NodeId n = canonical->num_nodes();
+  std::printf("cold-start bench: n=%u m=%llu probes=%zu\n", n,
+              static_cast<unsigned long long>(canonical->num_edges()),
+              num_probes);
+  canonical = graph::DiGraph();  // benched paths reload from disk
+
+  const std::vector<serve::Request> probes =
+      bench::MakeProbes(n, num_probes, args.seed ^ 0xC01D);
+
+  // Seed the sidecar: one throwaway cold start against the eng2 snapshot
+  // with the widx path configured builds the indexes and persists them.
+  {
+    const bench::ColdStartResult seed_run = bench::RunColdStart(
+        "widx-seed", eng2_path, widx_path, {probes.front()});
+    if (seed_run.from_widx) {
+      std::fprintf(stderr, "FAIL: seed run unexpectedly found a sidecar\n");
+      return 1;
+    }
+  }
+
+  std::vector<bench::ColdStartResult> runs;
+  runs.push_back(bench::RunColdStart("edge-list", edges_path, "", probes));
+  runs.push_back(bench::RunColdStart("eng1", eng1_path, "", probes));
+  runs.push_back(bench::RunColdStart("eng2", eng2_path, "", probes));
+  runs.push_back(
+      bench::RunColdStart("eng2+widx", eng2_path, widx_path, probes));
+  for (const bench::ColdStartResult& r : runs) {
+    std::printf("  %-10s load=%8.4fs warm=%8.4fs ttfq=%8.4fs rss=%+7lld KB "
+                "checksum=%016llx%s\n",
+                r.name.c_str(), r.load_seconds, r.warmup_seconds,
+                r.ttfq_seconds, static_cast<long long>(r.rss_delta_kb),
+                static_cast<unsigned long long>(r.checksum),
+                r.from_widx ? " (widx hit)" : "");
+  }
+
+  bool ok = true;
+  bool identical = true;
+  if (!runs.back().from_widx) {
+    std::fprintf(stderr, "FAIL: eng2+widx run did not restore the sidecar\n");
+    ok = false;
+  }
+  for (const bench::ColdStartResult& r : runs) {
+    if (r.checksum != runs[0].checksum) {
+      std::fprintf(stderr,
+                   "FAIL: %s responses differ from the edge-list path\n",
+                   r.name.c_str());
+      identical = false;
+      ok = false;
+    }
+  }
+  const double speedup = runs[3].ttfq_seconds > 0.0
+                             ? runs[1].ttfq_seconds / runs[3].ttfq_seconds
+                             : 0.0;
+  std::printf("  TTFQ speedup eng2+widx over eng1: %.1fx (need >= %.1fx)\n",
+              speedup, min_speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: cold-start speedup %.1fx below %.1fx\n",
+                 speedup, min_speedup);
+    ok = false;
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  std::fprintf(f, "  \"num_nodes\": %u,\n", n);
+  std::fprintf(f, "  \"probes\": %zu,\n", num_probes);
+  std::fprintf(f, "  \"paths\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const bench::ColdStartResult& r = runs[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"format\": \"%s\", "
+                 "\"load_seconds\": %.6f, \"warmup_seconds\": %.6f, "
+                 "\"ttfq_seconds\": %.6f, \"total_seconds\": %.6f, "
+                 "\"rss_delta_kb\": %lld, \"from_widx\": %s, "
+                 "\"checksum\": \"%016llx\"}%s\n",
+                 r.name.c_str(), r.load_format.c_str(), r.load_seconds,
+                 r.warmup_seconds, r.ttfq_seconds, r.total_seconds,
+                 static_cast<long long>(r.rss_delta_kb),
+                 r.from_widx ? "true" : "false",
+                 static_cast<unsigned long long>(r.checksum),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"responses_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"ttfq_speedup_widx_over_eng1\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"min_speedup_required\": %.2f,\n", min_speedup);
+  std::fprintf(f, "  \"pass\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

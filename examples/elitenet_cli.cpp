@@ -11,9 +11,16 @@
 //   elitenet_cli rank <graph> [k]      top-k users by PageRank
 //   elitenet_cli serve <graph> [N]     query engine on stdin/stdout (N workers)
 //   elitenet_cli convert <in> <out>    edge list <-> binary snapshot
+//                                      (.eng2 = zero-copy mmap format,
+//                                       .eng = legacy ENG1, else text)
+//   elitenet_cli warmup <graph>        build/refresh the <graph>.widx
+//                                      warm-index sidecar serve uses
 //
 // <graph> is loaded through core::LoadAnyGraph: a dataset directory
-// (SaveDataset layout), a ".eng" binary snapshot, or a text edge list.
+// (SaveDataset layout), a ".eng"/".eng2" binary snapshot (magic-sniffed;
+// ENG2 is mmapped zero-copy), or a text edge list. `serve` and `warmup`
+// key the sidecar to the graph's checksum, so a stale .widx silently
+// rebuilds.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +37,7 @@
 #include "core/fingerprint.h"
 #include "graph/io.h"
 #include "serve/server.h"
+#include "serve/warm_index_cache.h"
 #include "stats/distributions.h"
 #include "stats/powerlaw.h"
 #include "stats/vuong.h"
@@ -172,9 +180,10 @@ int CmdRank(const graph::DiGraph& g, uint32_t k) {
   return 0;
 }
 
-int CmdServe(graph::DiGraph g, int threads) {
+int CmdServe(graph::DiGraph g, const std::string& graph_path, int threads) {
   serve::EngineOptions opts;
   opts.threads = threads;
+  opts.warm_index_path = serve::WarmIndexPathFor(graph_path);
   auto engine = serve::QueryEngine::Create(std::move(g), opts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine startup failed: %s\n",
@@ -182,10 +191,13 @@ int CmdServe(graph::DiGraph g, int threads) {
     return 1;
   }
   std::fprintf(stderr,
-               "warm in %.2fs; %d workers; protocol: ego <n> | topk <k> | "
-               "dist <s> <t> [deadline_us] | neighbors <n> out|in [limit] | "
-               "fingerprint | quit\n",
-               (*engine)->warmup_seconds(), (*engine)->threads());
+               "warm in %.2fs (%s); %d workers; protocol: ego <n> | "
+               "topk <k> | dist <s> <t> [deadline_us] | neighbors <n> "
+               "out|in [limit] | fingerprint | quit\n",
+               (*engine)->warmup_seconds(),
+               (*engine)->warm_index_from_cache() ? "restored from .widx"
+                                                  : "built fresh",
+               (*engine)->threads());
   const serve::ServeStats stats =
       serve::ServeLines(engine->get(), stdin, stdout);
   std::fprintf(stderr,
@@ -200,22 +212,50 @@ int CmdServe(graph::DiGraph g, int threads) {
 }
 
 int CmdConvert(const graph::DiGraph& g, const std::string& out) {
-  const Status s = util::EndsWith(out, ".eng")
-                       ? graph::SaveBinary(g, out)
-                       : graph::WriteEdgeListText(g, out);
+  const char* kind = "text edge list";
+  Status s;
+  if (util::EndsWith(out, ".eng2")) {
+    kind = "ENG2 zero-copy snapshot";
+    s = graph::SaveBinaryV2(g, out);
+  } else if (util::EndsWith(out, ".eng")) {
+    kind = "ENG1 snapshot (legacy)";
+    s = graph::SaveBinary(g, out);
+  } else {
+    s = graph::WriteEdgeListText(g, out);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s\n", out.c_str());
+  std::printf("wrote %s (%s)\n", out.c_str(), kind);
+  return 0;
+}
+
+int CmdWarmup(graph::DiGraph g, const std::string& graph_path) {
+  serve::EngineOptions opts;
+  opts.warm_index_path = serve::WarmIndexPathFor(graph_path);
+  auto engine = serve::QueryEngine::Create(std::move(g), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "warmup failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s %s in %.2fs\n",
+              (*engine)->warm_index_from_cache() ? "validated" : "wrote",
+              opts.warm_index_path.c_str(), (*engine)->warmup_seconds());
   return 0;
 }
 
 void Usage() {
   std::fputs(
       "usage: elitenet_cli <stats|powerlaw|distance|fingerprint|rank|"
-      "serve|convert> <graph> [args]\n"
-      "  graph: text edge list, .eng binary snapshot, or dataset dir\n",
+      "serve|convert|warmup> <graph> [args]\n"
+      "  graph: text edge list, .eng/.eng2 binary snapshot, or dataset "
+      "dir\n"
+      "  convert <in> <out>: out ending .eng2 writes the zero-copy mmap\n"
+      "    snapshot, .eng the legacy ENG1 format, anything else a text\n"
+      "    edge list\n"
+      "  warmup <graph>: precompute the <graph>.widx warm-index sidecar\n",
       stderr);
 }
 
@@ -227,14 +267,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  auto g = core::LoadAnyGraph(argv[2]);
+  core::GraphLoadInfo load_info;
+  auto g = core::LoadAnyGraph(argv[2], &load_info);
   if (!g.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
                  g.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "loaded %u nodes, %llu edges\n", g->num_nodes(),
-               static_cast<unsigned long long>(g->num_edges()));
+  std::fprintf(stderr, "loaded %u nodes, %llu edges (%s, %.3fs)\n",
+               g->num_nodes(),
+               static_cast<unsigned long long>(g->num_edges()),
+               load_info.format.c_str(), load_info.seconds);
 
   if (command == "stats") return CmdStats(*g);
   if (command == "powerlaw") return CmdPowerLaw(*g);
@@ -247,7 +290,7 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     const int threads = argc > 3 ? std::atoi(argv[3]) : 1;
-    return CmdServe(std::move(*g), threads);
+    return CmdServe(std::move(*g), argv[2], threads);
   }
   if (command == "convert") {
     if (argc < 4) {
@@ -256,6 +299,7 @@ int main(int argc, char** argv) {
     }
     return CmdConvert(*g, argv[3]);
   }
+  if (command == "warmup") return CmdWarmup(std::move(*g), argv[2]);
   Usage();
   return 2;
 }

@@ -3,6 +3,13 @@
 // on stdin with one JSON object per line on stdout until EOF or "quit".
 //
 //   elitenet_serve <graph|dataset-dir> [--threads=N] [--cache=N]
+//                  [--no-widx]
+//
+// Warm indexes persist to a `<graph>.widx` sidecar keyed by the graph's
+// checksum: the first start builds and writes it, subsequent starts
+// restore it and skip the PageRank/components/fingerprint recompute
+// entirely. `--no-widx` disables the sidecar (always build fresh, write
+// nothing).
 //
 //   $ elitenet_serve follows.eng <<'EOF'
 //   ego 42
@@ -22,38 +29,47 @@
 
 #include "core/dataset.h"
 #include "serve/server.h"
+#include "serve/warm_index_cache.h"
 
 int main(int argc, char** argv) {
   using namespace elitenet;
   if (argc < 2) {
     std::fputs(
         "usage: elitenet_serve <graph|dataset-dir> [--threads=N] "
-        "[--cache=N]\n",
+        "[--cache=N] [--no-widx]\n",
         stderr);
     return 2;
   }
   serve::EngineOptions opts;
+  bool use_widx = true;
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       opts.threads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
       opts.cache_capacity =
           static_cast<size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-widx") == 0) {
+      use_widx = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
+  if (use_widx) opts.warm_index_path = serve::WarmIndexPathFor(argv[1]);
 
-  auto g = core::LoadAnyGraph(argv[1]);
+  core::GraphLoadInfo load_info;
+  auto g = core::LoadAnyGraph(argv[1], &load_info);
   if (!g.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
                  g.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "loaded %u nodes, %llu edges; warming indexes...\n",
+  std::fprintf(stderr,
+               "loaded %u nodes, %llu edges (%s, %.3fs); warming "
+               "indexes...\n",
                g->num_nodes(),
-               static_cast<unsigned long long>(g->num_edges()));
+               static_cast<unsigned long long>(g->num_edges()),
+               load_info.format.c_str(), load_info.seconds);
 
   auto engine = serve::QueryEngine::Create(std::move(*g), opts);
   if (!engine.ok()) {
@@ -61,8 +77,11 @@ int main(int argc, char** argv) {
                  engine.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "ready in %.2fs (%d workers)\n",
-               (*engine)->warmup_seconds(), (*engine)->threads());
+  std::fprintf(stderr, "ready in %.2fs (%s, %d workers)\n",
+               (*engine)->warmup_seconds(),
+               (*engine)->warm_index_from_cache() ? "warm indexes restored"
+                                                  : "warm indexes built",
+               (*engine)->threads());
 
   const serve::ServeStats stats =
       serve::ServeLines(engine->get(), stdin, stdout);

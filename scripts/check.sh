@@ -42,4 +42,8 @@ echo "== smoke: serving load bench (determinism + cache efficacy) =="
 (cd build && ./bench/bench_serving --scale=4000 --requests=1500 \
   --json=BENCH_serving_check.json)
 
+echo "== smoke: cold-start bench (4 load paths, byte-identity, widx speedup) =="
+(cd build && ./bench/bench_cold_start --scale=4000 --probes=100 \
+  --min-speedup=3 --json=BENCH_cold_start_check.json)
+
 echo "== all checks passed =="

@@ -10,7 +10,9 @@
 
 #include "graph/io.h"
 #include "timeseries/calendar.h"
+#include "util/metrics.h"
 #include "util/string_utils.h"
+#include "util/trace.h"
 
 namespace elitenet {
 namespace core {
@@ -240,14 +242,70 @@ Status SaveDataset(const StudyDataset& d, const std::string& dir) {
   return Status::OK();
 }
 
-Result<graph::DiGraph> LoadAnyGraph(const std::string& path) {
+namespace {
+
+uint64_t FileSizeOr0(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+// The dispatch behind LoadAnyGraph; `format` is filled with what the
+// bytes turned out to be, independent of the extension.
+Result<graph::DiGraph> LoadAnyGraphImpl(const std::string& path,
+                                        std::string* format,
+                                        uint64_t* bytes) {
   struct ::stat st;
   if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    ELITENET_SPAN("serve.load.dataset_dir");
+    *format = "dataset-dir";
+    *bytes = FileSizeOr0(path + "/graph.eng");
     EN_ASSIGN_OR_RETURN(StudyDataset d, LoadDataset(path));
     return std::move(d.network.graph);
   }
-  if (util::EndsWith(path, ".eng")) return graph::LoadBinary(path);
+  *bytes = FileSizeOr0(path);
+  if (util::EndsWith(path, ".eng") || util::EndsWith(path, ".eng2")) {
+    EN_ASSIGN_OR_RETURN(const graph::SnapshotFormat snap,
+                        graph::SniffSnapshot(path));
+    switch (snap) {
+      case graph::SnapshotFormat::kV1: {
+        ELITENET_SPAN("serve.load.eng1");
+        *format = "eng1";
+        return graph::LoadBinary(path);
+      }
+      case graph::SnapshotFormat::kV2: {
+        ELITENET_SPAN("serve.load.eng2_mmap");
+        *format = "eng2-mmap";
+        return graph::MapBinary(path);
+      }
+      case graph::SnapshotFormat::kNotSnapshot:
+        return Status::Corruption(
+            "snapshot extension but no ENG1/ENG2 magic: " + path);
+    }
+  }
+  ELITENET_SPAN("serve.load.edge_list");
+  *format = "edge-list";
   return graph::ReadEdgeListText(path);
+}
+
+}  // namespace
+
+Result<graph::DiGraph> LoadAnyGraph(const std::string& path,
+                                    GraphLoadInfo* info) {
+  util::SpanTimer timer("serve.load");
+  std::string format = "unknown";
+  uint64_t bytes = 0;
+  auto g = LoadAnyGraphImpl(path, &format, &bytes);
+  const double seconds = timer.Seconds();
+  ELITENET_GAUGE_SET("serve.load_bytes", bytes);
+  ELITENET_GAUGE_SET("serve.load_micros",
+                     static_cast<int64_t>(seconds * 1e6));
+  if (info != nullptr) {
+    info->format = format;
+    info->bytes = bytes;
+    info->seconds = seconds;
+  }
+  return g;
 }
 
 Result<StudyDataset> LoadDataset(const std::string& dir) {

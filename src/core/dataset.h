@@ -40,14 +40,31 @@ Status SaveDataset(const StudyDataset& dataset, const std::string& dir);
 /// manifest, per-file magic numbers, and cross-file size consistency.
 Result<StudyDataset> LoadDataset(const std::string& dir);
 
+/// What LoadAnyGraph actually did — the detected format, how many bytes
+/// were read or mapped, and how long the load took. The same numbers are
+/// recorded under the "serve.load" trace span and the serve.load_bytes /
+/// serve.load_micros gauges, so cold-start cost is visible to the
+/// observability layer.
+struct GraphLoadInfo {
+  /// "dataset-dir", "eng1", "eng2-mmap", or "edge-list".
+  std::string format;
+  /// Size of the loaded file (for a dataset dir: its graph.eng).
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
 /// Loads a graph from any source the tools accept, with one dispatch
 /// rule shared by `elitenet_cli` and the serving front-ends:
-///   * a directory  -> SaveDataset layout; returns its graph,
-///   * "*.eng"      -> binary CSR snapshot (graph/io.h),
-///   * anything else -> SNAP-style text edge list.
+///   * a directory         -> SaveDataset layout; returns its graph,
+///   * "*.eng" / "*.eng2"  -> snapshot; the magic is sniffed, so an ENG1
+///                            file deserializes (graph/io.h LoadBinary)
+///                            and an ENG2 file is mmapped zero-copy
+///                            (MapBinary) regardless of extension,
+///   * anything else       -> SNAP-style text edge list.
 /// Corrupt inputs surface as a clean Status (Corruption/IoError) with no
-/// partial graph.
-Result<graph::DiGraph> LoadAnyGraph(const std::string& path);
+/// partial graph. `info`, when non-null, receives what was detected.
+Result<graph::DiGraph> LoadAnyGraph(const std::string& path,
+                                    GraphLoadInfo* info = nullptr);
 
 }  // namespace core
 }  // namespace elitenet

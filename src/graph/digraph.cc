@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -9,14 +10,38 @@
 namespace elitenet {
 namespace graph {
 
+namespace {
+
+// Backing for the zero-node graph: one offset entry of 0, no targets.
+// Static so empty graphs need no allocation and no keepalive.
+constexpr EdgeIdx kEmptyOffsets[1] = {0};
+
+}  // namespace
+
+struct DiGraph::VectorStorage {
+  std::vector<EdgeIdx> out_offsets;
+  std::vector<NodeId> out_targets;
+  std::vector<EdgeIdx> in_offsets;
+  std::vector<NodeId> in_targets;
+};
+
+DiGraph::DiGraph()
+    : out_offsets_(kEmptyOffsets, 1), in_offsets_(kEmptyOffsets, 1) {}
+
 DiGraph::DiGraph(std::vector<EdgeIdx> out_offsets,
                  std::vector<NodeId> out_targets,
                  std::vector<EdgeIdx> in_offsets,
-                 std::vector<NodeId> in_targets)
-    : out_offsets_(std::move(out_offsets)),
-      out_targets_(std::move(out_targets)),
-      in_offsets_(std::move(in_offsets)),
-      in_targets_(std::move(in_targets)) {
+                 std::vector<NodeId> in_targets) {
+  auto storage = std::make_shared<VectorStorage>();
+  storage->out_offsets = std::move(out_offsets);
+  storage->out_targets = std::move(out_targets);
+  storage->in_offsets = std::move(in_offsets);
+  storage->in_targets = std::move(in_targets);
+  out_offsets_ = storage->out_offsets;
+  out_targets_ = storage->out_targets;
+  in_offsets_ = storage->in_offsets;
+  in_targets_ = storage->in_targets;
+  keepalive_ = std::move(storage);
   EN_CHECK(!out_offsets_.empty());
   EN_CHECK(out_offsets_.size() == in_offsets_.size());
   EN_CHECK(out_offsets_.front() == 0);
@@ -24,6 +49,72 @@ DiGraph::DiGraph(std::vector<EdgeIdx> out_offsets,
   EN_CHECK(out_offsets_.back() == out_targets_.size());
   EN_CHECK(in_offsets_.back() == in_targets_.size());
   EN_CHECK(out_targets_.size() == in_targets_.size());
+}
+
+DiGraph DiGraph::FromBorrowed(std::span<const EdgeIdx> out_offsets,
+                              std::span<const NodeId> out_targets,
+                              std::span<const EdgeIdx> in_offsets,
+                              std::span<const NodeId> in_targets,
+                              std::shared_ptr<const void> keepalive) {
+  EN_CHECK(!out_offsets.empty());
+  EN_CHECK(out_offsets.size() == in_offsets.size());
+  EN_CHECK(out_offsets.front() == 0);
+  EN_CHECK(in_offsets.front() == 0);
+  EN_CHECK(out_offsets.back() == out_targets.size());
+  EN_CHECK(in_offsets.back() == in_targets.size());
+  EN_CHECK(out_targets.size() == in_targets.size());
+  DiGraph g;
+  g.out_offsets_ = out_offsets;
+  g.out_targets_ = out_targets;
+  g.in_offsets_ = in_offsets;
+  g.in_targets_ = in_targets;
+  g.keepalive_ = std::move(keepalive);
+  g.borrowed_ = true;
+  return g;
+}
+
+DiGraph::DiGraph(DiGraph&& other) noexcept
+    : out_offsets_(other.out_offsets_),
+      out_targets_(other.out_targets_),
+      in_offsets_(other.in_offsets_),
+      in_targets_(other.in_targets_),
+      keepalive_(std::move(other.keepalive_)),
+      borrowed_(other.borrowed_) {
+  // Leave the source in the valid empty state rather than with views into
+  // storage it no longer keeps alive.
+  other.out_offsets_ = std::span<const EdgeIdx>(kEmptyOffsets, 1);
+  other.in_offsets_ = std::span<const EdgeIdx>(kEmptyOffsets, 1);
+  other.out_targets_ = {};
+  other.in_targets_ = {};
+  other.borrowed_ = false;
+}
+
+DiGraph& DiGraph::operator=(DiGraph&& other) noexcept {
+  if (this != &other) {
+    out_offsets_ = other.out_offsets_;
+    out_targets_ = other.out_targets_;
+    in_offsets_ = other.in_offsets_;
+    in_targets_ = other.in_targets_;
+    keepalive_ = std::move(other.keepalive_);
+    borrowed_ = other.borrowed_;
+    other.out_offsets_ = std::span<const EdgeIdx>(kEmptyOffsets, 1);
+    other.in_offsets_ = std::span<const EdgeIdx>(kEmptyOffsets, 1);
+    other.out_targets_ = {};
+    other.in_targets_ = {};
+    other.borrowed_ = false;
+  }
+  return *this;
+}
+
+bool DiGraph::operator==(const DiGraph& other) const {
+  return std::equal(out_offsets_.begin(), out_offsets_.end(),
+                    other.out_offsets_.begin(), other.out_offsets_.end()) &&
+         std::equal(out_targets_.begin(), out_targets_.end(),
+                    other.out_targets_.begin(), other.out_targets_.end()) &&
+         std::equal(in_offsets_.begin(), in_offsets_.end(),
+                    other.in_offsets_.begin(), other.in_offsets_.end()) &&
+         std::equal(in_targets_.begin(), in_targets_.end(),
+                    other.in_targets_.begin(), other.in_targets_.end());
 }
 
 bool DiGraph::HasEdge(NodeId u, NodeId v) const {
@@ -52,7 +143,10 @@ uint64_t DiGraph::CountIsolated() const {
 }
 
 DiGraph DiGraph::Transpose() const {
-  return DiGraph(in_offsets_, in_targets_, out_offsets_, out_targets_);
+  DiGraph t = FromBorrowed(in_offsets_, in_targets_, out_offsets_,
+                           out_targets_, keepalive_);
+  t.borrowed_ = borrowed_;  // sharing owned vectors is not a file borrow
+  return t;
 }
 
 DegreeRelabeling DiGraph::RelabelByDegree() const {

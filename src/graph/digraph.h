@@ -5,6 +5,14 @@
 // ids are dense 32-bit integers [0, num_nodes). Edge counts use 64 bits:
 // the paper-scale graph has 79,213,811 edges and the design leaves headroom.
 //
+// Storage model: the four CSR arrays are immutable views (std::span) into
+// a refcounted backing block. The block is either heap vectors (the
+// GraphBuilder path) or externally owned memory such as a read-only file
+// mapping (graph/io.h MapBinary over util/mmap_file.h) — every kernel in
+// analysis/ runs unchanged on either. Because the storage never mutates,
+// copies, Transpose(), and pass-by-value are O(1) pointer shares, not
+// O(m) array copies.
+//
 // Construction goes through GraphBuilder (graph/builder.h), which sorts and
 // deduplicates; every algorithm in analysis/ takes `const DiGraph&`.
 
@@ -12,6 +20,7 @@
 #define ELITENET_GRAPH_DIGRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,7 +36,7 @@ using EdgeIdx = uint64_t;
 class DiGraph {
  public:
   /// Empty graph with zero nodes.
-  DiGraph() { out_offsets_.push_back(0); in_offsets_.push_back(0); }
+  DiGraph();
 
   /// Takes ownership of prebuilt CSR arrays. `out_offsets` must have
   /// num_nodes+1 entries, be non-decreasing, start at 0 and end at
@@ -36,6 +45,24 @@ class DiGraph {
   /// exact transpose edge multiset. GraphBuilder guarantees all of this.
   DiGraph(std::vector<EdgeIdx> out_offsets, std::vector<NodeId> out_targets,
           std::vector<EdgeIdx> in_offsets, std::vector<NodeId> in_targets);
+
+  /// Borrowed-storage mode: views over memory owned elsewhere (typically
+  /// a read-only mmap of an ENG2 snapshot). `keepalive` is retained for
+  /// the graph's lifetime — and the lifetime of every copy — so the
+  /// views can never dangle. The caller must have validated the same CSR
+  /// invariants the owning constructor documents.
+  static DiGraph FromBorrowed(std::span<const EdgeIdx> out_offsets,
+                              std::span<const NodeId> out_targets,
+                              std::span<const EdgeIdx> in_offsets,
+                              std::span<const NodeId> in_targets,
+                              std::shared_ptr<const void> keepalive);
+
+  /// Copies share the immutable backing block: O(1).
+  DiGraph(const DiGraph&) = default;
+  DiGraph& operator=(const DiGraph&) = default;
+  /// Moved-from graphs reset to the empty state (valid, zero nodes).
+  DiGraph(DiGraph&& other) noexcept;
+  DiGraph& operator=(DiGraph&& other) noexcept;
 
   NodeId num_nodes() const {
     return static_cast<NodeId>(out_offsets_.size() - 1);
@@ -81,13 +108,17 @@ class DiGraph {
   uint64_t CountIsolated() const;
 
   /// Raw CSR access, for serialization and tight algorithm loops.
-  const std::vector<EdgeIdx>& out_offsets() const { return out_offsets_; }
-  const std::vector<NodeId>& out_targets() const { return out_targets_; }
-  const std::vector<EdgeIdx>& in_offsets() const { return in_offsets_; }
-  const std::vector<NodeId>& in_targets() const { return in_targets_; }
+  std::span<const EdgeIdx> out_offsets() const { return out_offsets_; }
+  std::span<const NodeId> out_targets() const { return out_targets_; }
+  std::span<const EdgeIdx> in_offsets() const { return in_offsets_; }
+  std::span<const NodeId> in_targets() const { return in_targets_; }
 
-  /// Returns the transpose graph (every edge reversed). O(m) copy that
-  /// swaps the two CSR halves.
+  /// True when the CSR views point into externally owned memory (a file
+  /// mapping) rather than heap vectors built by this process.
+  bool borrows_storage() const { return borrowed_; }
+
+  /// Returns the transpose graph (every edge reversed). O(1): shares the
+  /// backing block with the two CSR halves swapped.
   DiGraph Transpose() const;
 
   /// Relabels nodes in descending total-degree (out + in) order, ties
@@ -97,13 +128,19 @@ class DiGraph {
   struct DegreeRelabeling RelabelByDegree() const;
 
   /// Structural equality (same node count and identical edge sets).
-  bool operator==(const DiGraph& other) const = default;
+  bool operator==(const DiGraph& other) const;
 
  private:
-  std::vector<EdgeIdx> out_offsets_;
-  std::vector<NodeId> out_targets_;
-  std::vector<EdgeIdx> in_offsets_;
-  std::vector<NodeId> in_targets_;
+  struct VectorStorage;  // heap backing for the owning constructor
+
+  std::span<const EdgeIdx> out_offsets_;
+  std::span<const NodeId> out_targets_;
+  std::span<const EdgeIdx> in_offsets_;
+  std::span<const NodeId> in_targets_;
+  /// Keeps the viewed memory alive: a VectorStorage block, a file
+  /// mapping, or (for the empty graph) nothing.
+  std::shared_ptr<const void> keepalive_;
+  bool borrowed_ = false;
 };
 
 /// A degree-ordered relabeling of a DiGraph: the permuted graph plus both

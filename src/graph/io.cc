@@ -1,13 +1,16 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/builder.h"
+#include "util/mmap_file.h"
 #include "util/string_utils.h"
 
 namespace elitenet {
@@ -15,8 +18,12 @@ namespace graph {
 
 namespace {
 
-constexpr char kMagic[4] = {'E', 'N', 'G', '1'};
-constexpr uint32_t kVersion = 1;
+constexpr char kMagicV1[4] = {'E', 'N', 'G', '1'};
+constexpr char kMagicV2[4] = {'E', 'N', 'G', '2'};
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint64_t kAlignment = 64;
+constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -36,21 +43,12 @@ uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
 }
 
 template <typename T>
-uint64_t ChecksumVector(const std::vector<T>& v, uint64_t seed) {
+uint64_t ChecksumSpan(std::span<const T> v, uint64_t seed) {
   return Fnv1a(v.data(), v.size() * sizeof(T), seed);
 }
 
-uint64_t GraphChecksum(const DiGraph& g) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  h = ChecksumVector(g.out_offsets(), h);
-  h = ChecksumVector(g.out_targets(), h);
-  h = ChecksumVector(g.in_offsets(), h);
-  h = ChecksumVector(g.in_targets(), h);
-  return h;
-}
-
 template <typename T>
-Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+Status WriteSpan(std::FILE* f, std::span<const T> v) {
   const size_t bytes = v.size() * sizeof(T);
   if (bytes == 0) return Status::OK();
   if (std::fwrite(v.data(), 1, bytes, f) != bytes) {
@@ -70,7 +68,77 @@ Status ReadVector(std::FILE* f, size_t count, std::vector<T>* out) {
   return Status::OK();
 }
 
+/// The CSR invariants every loader must establish before handing memory
+/// to DiGraph: offsets monotone from 0 to m on both sides, all targets
+/// in [0, n). Shared by the heap (ENG1) and mapped (ENG2) paths.
+Status ValidateCsr(std::span<const EdgeIdx> out_offsets,
+                   std::span<const NodeId> out_targets,
+                   std::span<const EdgeIdx> in_offsets,
+                   std::span<const NodeId> in_targets, uint64_t n,
+                   uint64_t m) {
+  if (out_offsets.front() != 0 || in_offsets.front() != 0 ||
+      out_offsets.back() != m || in_offsets.back() != m) {
+    return Status::Corruption("inconsistent CSR offsets");
+  }
+  for (size_t i = 1; i < out_offsets.size(); ++i) {
+    if (out_offsets[i] < out_offsets[i - 1] ||
+        in_offsets[i] < in_offsets[i - 1]) {
+      return Status::Corruption("non-monotone CSR offsets");
+    }
+  }
+  for (NodeId t : out_targets) {
+    if (t >= n) return Status::Corruption("edge target out of range");
+  }
+  for (NodeId t : in_targets) {
+    if (t >= n) return Status::Corruption("edge source out of range");
+  }
+  return Status::OK();
+}
+
+// ENG2 on-disk structures. Both are naturally aligned and padded to their
+// exact on-disk size; static_asserts pin the layout the format promises.
+struct SnapshotHeaderV2 {
+  char magic[4];
+  uint32_t version;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint64_t graph_checksum;
+  uint32_t section_count;
+  uint8_t padding[28];
+};
+static_assert(sizeof(SnapshotHeaderV2) == 64, "ENG2 header is 64 bytes");
+
+struct SectionEntryV2 {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t offset;
+  uint64_t length;
+  uint64_t checksum;
+};
+static_assert(sizeof(SectionEntryV2) == 32, "ENG2 section entry is 32 bytes");
+
+constexpr uint32_t kNumSections = 4;
+
+uint64_t AlignUp(uint64_t v) { return (v + kAlignment - 1) & ~(kAlignment - 1); }
+
+Status CheckLittleEndianHost() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotSupported(
+        "ENG2 snapshots are little-endian; this host is not");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+uint64_t GraphChecksum(const DiGraph& g) {
+  uint64_t h = kFnvBasis;
+  h = ChecksumSpan(g.out_offsets(), h);
+  h = ChecksumSpan(g.out_targets(), h);
+  h = ChecksumSpan(g.in_offsets(), h);
+  h = ChecksumSpan(g.in_targets(), h);
+  return h;
+}
 
 Status WriteEdgeListText(const DiGraph& g, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "w"));
@@ -135,18 +203,18 @@ Status SaveBinary(const DiGraph& g, const std::string& path) {
   const uint64_t checksum = GraphChecksum(g);
   const uint32_t reserved = 0;
 
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+  if (std::fwrite(kMagicV1, 1, 4, f.get()) != 4 ||
+      std::fwrite(&kVersionV1, sizeof(kVersionV1), 1, f.get()) != 1 ||
       std::fwrite(&reserved, sizeof(reserved), 1, f.get()) != 1 ||
       std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
       std::fwrite(&m, sizeof(m), 1, f.get()) != 1 ||
       std::fwrite(&checksum, sizeof(checksum), 1, f.get()) != 1) {
     return Status::IoError("header write failed");
   }
-  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.out_offsets()));
-  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.out_targets()));
-  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.in_offsets()));
-  EN_RETURN_IF_ERROR(WriteVector(f.get(), g.in_targets()));
+  EN_RETURN_IF_ERROR(WriteSpan(f.get(), g.out_offsets()));
+  EN_RETURN_IF_ERROR(WriteSpan(f.get(), g.out_targets()));
+  EN_RETURN_IF_ERROR(WriteSpan(f.get(), g.in_offsets()));
+  EN_RETURN_IF_ERROR(WriteSpan(f.get(), g.in_targets()));
   return Status::OK();
 }
 
@@ -165,10 +233,10 @@ Result<DiGraph> LoadBinary(const std::string& path) {
       std::fread(&checksum, sizeof(checksum), 1, f.get()) != 1) {
     return Status::Corruption("truncated header: " + path);
   }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
+  if (std::memcmp(magic, kMagicV1, 4) != 0) {
     return Status::Corruption("bad magic: " + path);
   }
-  if (version != kVersion) {
+  if (version != kVersionV1) {
     return Status::NotSupported("unsupported snapshot version " +
                                 std::to_string(version));
   }
@@ -199,23 +267,8 @@ Result<DiGraph> LoadBinary(const std::string& path) {
   EN_RETURN_IF_ERROR(ReadVector(f.get(), n + 1, &in_offsets));
   EN_RETURN_IF_ERROR(ReadVector(f.get(), m, &in_targets));
 
-  // Structural validation before trusting offsets.
-  if (out_offsets.front() != 0 || in_offsets.front() != 0 ||
-      out_offsets.back() != m || in_offsets.back() != m) {
-    return Status::Corruption("inconsistent CSR offsets");
-  }
-  for (size_t i = 1; i < out_offsets.size(); ++i) {
-    if (out_offsets[i] < out_offsets[i - 1] ||
-        in_offsets[i] < in_offsets[i - 1]) {
-      return Status::Corruption("non-monotone CSR offsets");
-    }
-  }
-  for (NodeId t : out_targets) {
-    if (t >= n) return Status::Corruption("edge target out of range");
-  }
-  for (NodeId t : in_targets) {
-    if (t >= n) return Status::Corruption("edge source out of range");
-  }
+  EN_RETURN_IF_ERROR(ValidateCsr(out_offsets, out_targets, in_offsets,
+                                 in_targets, n, m));
 
   DiGraph g(std::move(out_offsets), std::move(out_targets),
             std::move(in_offsets), std::move(in_targets));
@@ -223,6 +276,179 @@ Result<DiGraph> LoadBinary(const std::string& path) {
     return Status::Corruption("checksum mismatch: " + path);
   }
   return g;
+}
+
+Status SaveBinaryV2(const DiGraph& g, const std::string& path) {
+  EN_RETURN_IF_ERROR(CheckLittleEndianHost());
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+
+  const uint64_t n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+
+  SnapshotHeaderV2 header = {};
+  std::memcpy(header.magic, kMagicV2, 4);
+  header.version = kVersionV2;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.graph_checksum = GraphChecksum(g);
+  header.section_count = kNumSections;
+
+  struct SectionData {
+    const void* data;
+    uint64_t length;
+  };
+  const SectionData sections[kNumSections] = {
+      {g.out_offsets().data(), (n + 1) * sizeof(EdgeIdx)},
+      {g.out_targets().data(), m * sizeof(NodeId)},
+      {g.in_offsets().data(), (n + 1) * sizeof(EdgeIdx)},
+      {g.in_targets().data(), m * sizeof(NodeId)},
+  };
+
+  SectionEntryV2 table[kNumSections] = {};
+  uint64_t offset =
+      AlignUp(sizeof(SnapshotHeaderV2) + kNumSections * sizeof(SectionEntryV2));
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    table[i].id = i;
+    table[i].offset = offset;
+    table[i].length = sections[i].length;
+    table[i].checksum =
+        Fnv1a(sections[i].data, sections[i].length, kFnvBasis);
+    offset = AlignUp(offset + sections[i].length);
+  }
+
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
+      std::fwrite(table, sizeof(SectionEntryV2), kNumSections, f.get()) !=
+          kNumSections) {
+    return Status::IoError("header write failed: " + path);
+  }
+  uint64_t written = sizeof(header) + kNumSections * sizeof(SectionEntryV2);
+  const char zeros[kAlignment] = {};
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    const uint64_t pad = table[i].offset - written;
+    if (pad > 0 && std::fwrite(zeros, 1, pad, f.get()) != pad) {
+      return Status::IoError("padding write failed: " + path);
+    }
+    if (sections[i].length > 0 &&
+        std::fwrite(sections[i].data, 1, sections[i].length, f.get()) !=
+            sections[i].length) {
+      return Status::IoError("section write failed: " + path);
+    }
+    written = table[i].offset + sections[i].length;
+  }
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<DiGraph> MapBinary(const std::string& path) {
+  EN_RETURN_IF_ERROR(CheckLittleEndianHost());
+  EN_ASSIGN_OR_RETURN(util::MmapFile mapped, util::MmapFile::Open(path));
+  const uint8_t* base = mapped.data();
+  const uint64_t size = mapped.size();
+
+  if (size < sizeof(SnapshotHeaderV2)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  SnapshotHeaderV2 header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagicV2, 4) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (header.version != kVersionV2) {
+    return Status::NotSupported("unsupported ENG2 snapshot version " +
+                                std::to_string(header.version));
+  }
+  const uint64_t n = header.num_nodes;
+  const uint64_t m = header.num_edges;
+  if (n > UINT32_MAX) return Status::Corruption("node count overflow");
+  if (header.section_count != kNumSections) {
+    return Status::Corruption("unexpected section count");
+  }
+  const uint64_t table_end =
+      sizeof(SnapshotHeaderV2) + kNumSections * sizeof(SectionEntryV2);
+  if (size < table_end) {
+    return Status::Corruption("truncated section table: " + path);
+  }
+  SectionEntryV2 table[kNumSections];
+  std::memcpy(table, base + sizeof(SnapshotHeaderV2), sizeof(table));
+
+  const uint64_t expected_lengths[kNumSections] = {
+      (n + 1) * sizeof(EdgeIdx), m * sizeof(NodeId),
+      (n + 1) * sizeof(EdgeIdx), m * sizeof(NodeId)};
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    const SectionEntryV2& s = table[i];
+    if (s.id != i) return Status::Corruption("section table out of order");
+    if (s.offset % kAlignment != 0) {
+      return Status::Corruption("misaligned section offset");
+    }
+    if (s.length > size || s.offset > size - s.length) {
+      return Status::Corruption("section exceeds file: " + path);
+    }
+    if (s.length != expected_lengths[i]) {
+      return Status::Corruption("section length disagrees with node/edge "
+                                "counts: " + path);
+    }
+    if (Fnv1a(base + s.offset, s.length, kFnvBasis) != s.checksum) {
+      return Status::Corruption("section checksum mismatch: " + path);
+    }
+  }
+
+  const std::span<const EdgeIdx> out_offsets(
+      reinterpret_cast<const EdgeIdx*>(base + table[0].offset), n + 1);
+  const std::span<const NodeId> out_targets(
+      reinterpret_cast<const NodeId*>(base + table[1].offset), m);
+  const std::span<const EdgeIdx> in_offsets(
+      reinterpret_cast<const EdgeIdx*>(base + table[2].offset), n + 1);
+  const std::span<const NodeId> in_targets(
+      reinterpret_cast<const NodeId*>(base + table[3].offset), m);
+
+  // Whole-graph checksum ties the four sections together (a swapped pair
+  // of same-length sections would fool per-section sums alone) and must
+  // match what GraphChecksum computes on any other load path — it is the
+  // warm-index invalidation key.
+  uint64_t h = kFnvBasis;
+  h = ChecksumSpan(out_offsets, h);
+  h = ChecksumSpan(out_targets, h);
+  h = ChecksumSpan(in_offsets, h);
+  h = ChecksumSpan(in_targets, h);
+  if (h != header.graph_checksum) {
+    return Status::Corruption("graph checksum mismatch: " + path);
+  }
+
+  EN_RETURN_IF_ERROR(ValidateCsr(out_offsets, out_targets, in_offsets,
+                                 in_targets, n, m));
+
+  auto keepalive = std::make_shared<util::MmapFile>(std::move(mapped));
+  return DiGraph::FromBorrowed(out_offsets, out_targets, in_offsets,
+                               in_targets, std::move(keepalive));
+}
+
+Result<SnapshotFormat> SniffSnapshot(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for reading: " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4) {
+    return SnapshotFormat::kNotSnapshot;
+  }
+  if (std::memcmp(magic, kMagicV1, 4) == 0) return SnapshotFormat::kV1;
+  if (std::memcmp(magic, kMagicV2, 4) == 0) return SnapshotFormat::kV2;
+  return SnapshotFormat::kNotSnapshot;
+}
+
+Result<DiGraph> LoadSnapshot(const std::string& path) {
+  EN_ASSIGN_OR_RETURN(const SnapshotFormat format, SniffSnapshot(path));
+  switch (format) {
+    case SnapshotFormat::kV1:
+      return LoadBinary(path);
+    case SnapshotFormat::kV2:
+      return MapBinary(path);
+    case SnapshotFormat::kNotSnapshot:
+      break;
+  }
+  return Status::Corruption("not an elitenet snapshot (no ENG1/ENG2 magic): " +
+                            path);
 }
 
 }  // namespace graph

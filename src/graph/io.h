@@ -1,11 +1,17 @@
 // Graph persistence.
 //
-// Two formats:
+// Three formats:
 //  * Text edge list — one "src dst" pair per line, '#' comments, the format
 //    SNAP datasets ship in. Interoperable but slow.
-//  * Binary CSR snapshot — versioned header with magic + checksum, then the
-//    four CSR arrays verbatim. Loads at memcpy speed; the format every
-//    bench uses for caching generated networks between runs.
+//  * ENG1 binary CSR snapshot (legacy, read/write) — versioned header with
+//    magic + whole-graph checksum, then the four CSR arrays verbatim.
+//    Loads at memcpy speed into heap vectors.
+//  * ENG2 zero-copy snapshot — a 64-byte-aligned, little-endian, sectioned
+//    file (magic, section table, per-section FNV checksums) whose CSR
+//    arrays are consumed *in place*: MapBinary mmaps the file read-only
+//    (util/mmap_file.h) and returns a DiGraph whose spans point straight
+//    into the page cache, so cold start pays validation, not
+//    deserialization. The serving path and every bench prefer ENG2.
 
 #ifndef ELITENET_GRAPH_IO_H_
 #define ELITENET_GRAPH_IO_H_
@@ -27,14 +33,57 @@ Status WriteEdgeListText(const DiGraph& g, const std::string& path);
 Result<DiGraph> ReadEdgeListText(const std::string& path,
                                  NodeId num_nodes = 0);
 
-/// Binary snapshot. Layout (little-endian):
+/// 64-bit FNV-1a chained over the four CSR arrays — the identity of a
+/// graph's exact byte content. Stored in both snapshot headers and used
+/// as the invalidation key for persisted warm indexes
+/// (serve/warm_index_cache.h).
+uint64_t GraphChecksum(const DiGraph& g);
+
+/// ENG1 binary snapshot (legacy, kept read/write for compatibility).
+/// Layout (little-endian):
 ///   magic "ENG1" | u32 version | u32 reserved | u64 num_nodes |
 ///   u64 num_edges | u64 checksum | out_offsets | out_targets |
 ///   in_offsets | in_targets
-/// The checksum is a 64-bit FNV-1a over the array bytes; Load verifies it
-/// and returns Corruption on mismatch.
+/// The checksum is GraphChecksum; Load verifies it and returns Corruption
+/// on mismatch.
 Status SaveBinary(const DiGraph& g, const std::string& path);
 Result<DiGraph> LoadBinary(const std::string& path);
+
+/// ENG2 sectioned snapshot. Layout (little-endian, every section start
+/// 64-byte aligned):
+///   header (64 B):  magic "ENG2" | u32 version | u64 num_nodes |
+///                   u64 num_edges | u64 graph_checksum |
+///                   u32 section_count | padding
+///   section table:  section_count x 32 B entries
+///                   { u32 id | u32 reserved | u64 offset | u64 length |
+///                     u64 fnv1a_checksum }
+///   payload:        out_offsets | out_targets | in_offsets | in_targets
+/// Section ids are 0..3 in that order. Alignment means a page-aligned
+/// mapping yields correctly aligned u64/u32 array pointers.
+Status SaveBinaryV2(const DiGraph& g, const std::string& path);
+
+/// Maps an ENG2 snapshot read-only and returns a borrowed-storage DiGraph
+/// over the mapping (kept alive for the graph's lifetime and every copy).
+/// Validates magic, version, section table bounds and alignment,
+/// per-section checksums, the header graph checksum, and the CSR
+/// structural invariants before returning; any mismatch is a clean
+/// Corruption/NotSupported with no partial graph.
+Result<DiGraph> MapBinary(const std::string& path);
+
+/// Which snapshot family a file's magic declares.
+enum class SnapshotFormat {
+  kNotSnapshot,  ///< no recognizable magic (likely a text edge list)
+  kV1,           ///< "ENG1"
+  kV2,           ///< "ENG2"
+};
+
+/// Reads the first four bytes of `path` and classifies them. IoError when
+/// the file cannot be opened; a short file is kNotSnapshot.
+Result<SnapshotFormat> SniffSnapshot(const std::string& path);
+
+/// Sniffs the magic and dispatches to LoadBinary (ENG1) or MapBinary
+/// (ENG2). Corruption when the file carries neither magic.
+Result<DiGraph> LoadSnapshot(const std::string& path);
 
 }  // namespace graph
 }  // namespace elitenet

@@ -8,7 +8,11 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
 #include "graph/frontier.h"
+#include "graph/io.h"
 #include "graph/traversal.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -179,12 +183,41 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
 
 Status QueryEngine::Warmup() {
   util::SpanTimer timer("serve.warmup");
+  WarmIndexKey key;
+  if (!options_.warm_index_path.empty()) {
+    key.graph_checksum = graph::GraphChecksum(graph_);
+    key.config_hash = WarmConfigHash(options_.pagerank, options_.fingerprint);
+    ELITENET_SPAN("serve.warm.widx_load");
+    auto restored =
+        LoadWarmIndexes(options_.warm_index_path, key, graph_.num_nodes());
+    if (restored.ok()) {
+      ELITENET_COUNT("serve.widx.hit", 1);
+      warm_ = std::move(*restored);
+      warm_from_cache_ = true;
+      warmup_seconds_ = timer.Seconds();
+      return Status::OK();
+    }
+    ELITENET_COUNT("serve.widx.miss", 1);
+  }
+  EN_RETURN_IF_ERROR(BuildWarmIndexes());
+  if (!options_.warm_index_path.empty()) {
+    // Best-effort: a read-only filesystem must not fail engine startup.
+    ELITENET_SPAN("serve.warm.widx_write");
+    if (SaveWarmIndexes(options_.warm_index_path, key, warm_).ok()) {
+      ELITENET_COUNT("serve.widx.write", 1);
+    }
+  }
+  warmup_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+Status QueryEngine::BuildWarmIndexes() {
   const DiGraph& g = graph_;
   {
     ELITENET_SPAN("serve.warm.degree");
-    degree_stats_ = analysis::ComputeDegreeStats(g);
-    reciprocity_ = analysis::ComputeReciprocity(g);
-    mutual_degree_.assign(g.num_nodes(), 0);
+    warm_.degree_stats = analysis::ComputeDegreeStats(g);
+    warm_.reciprocity = analysis::ComputeReciprocity(g);
+    warm_.mutual_degree.assign(g.num_nodes(), 0);
     util::ParallelFor(0, g.num_nodes(), 0, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         const NodeId u = static_cast<NodeId>(i);
@@ -192,39 +225,38 @@ Status QueryEngine::Warmup() {
         for (NodeId v : g.OutNeighbors(u)) {
           if (g.HasEdge(v, u)) ++mutual;
         }
-        mutual_degree_[i] = mutual;
+        warm_.mutual_degree[i] = mutual;
       }
     });
   }
   {
     ELITENET_SPAN("serve.warm.components");
-    wcc_ = analysis::WeaklyConnectedComponents(g);
-    scc_ = analysis::StronglyConnectedComponents(g);
+    warm_.wcc = analysis::WeaklyConnectedComponents(g);
+    warm_.scc = analysis::StronglyConnectedComponents(g);
   }
   {
     ELITENET_SPAN("serve.warm.pagerank");
     auto pr = analysis::PageRank(g, options_.pagerank);
     if (!pr.ok()) return pr.status();
-    pagerank_ = std::move(pr->scores);
-    rank_order_ = analysis::TopKByScore(pagerank_, g.num_nodes());
-    rank_of_.assign(g.num_nodes(), 0);
-    for (size_t i = 0; i < rank_order_.size(); ++i) {
-      rank_of_[rank_order_[i]] = static_cast<uint32_t>(i + 1);
+    warm_.pagerank = std::move(pr->scores);
+    warm_.rank_order = analysis::TopKByScore(warm_.pagerank, g.num_nodes());
+    warm_.rank_of.assign(g.num_nodes(), 0);
+    for (size_t i = 0; i < warm_.rank_order.size(); ++i) {
+      warm_.rank_of[warm_.rank_order[i]] = static_cast<uint32_t>(i + 1);
     }
   }
   {
     ELITENET_SPAN("serve.warm.fingerprint");
     auto fp = core::ComputeFingerprint(g, options_.fingerprint);
     if (fp.ok()) {
-      fingerprint_ = *fp;
-      fingerprint_similarity_ =
+      warm_.fingerprint = *fp;
+      warm_.fingerprint_similarity =
           core::FingerprintSimilarity(*fp, core::PaperFingerprint());
-      fingerprint_ok_ = true;
+      warm_.fingerprint_ok = true;
     } else {
-      fingerprint_error_ = fp.status().ToString();
+      warm_.fingerprint_error = fp.status().ToString();
     }
   }
-  warmup_seconds_ = timer.Seconds();
   return Status::OK();
 }
 
@@ -445,21 +477,21 @@ QueryResponse QueryEngine::DoEgoSummary(const Request& r) {
   j += ",\"in_degree\":";
   AppendU64(&j, in_deg);
   j += ",\"mutual\":";
-  AppendU64(&j, mutual_degree_[u]);
+  AppendU64(&j, warm_.mutual_degree[u]);
   j += ",\"reach_2hop\":";
   AppendU64(&j, reach);
   j += ",\"pagerank\":";
-  j += JsonDouble(pagerank_[u]);
+  j += JsonDouble(warm_.pagerank[u]);
   j += ",\"rank\":";
-  AppendU64(&j, rank_of_[u]);
+  AppendU64(&j, warm_.rank_of[u]);
   j += ",\"wcc_id\":";
-  AppendU64(&j, wcc_.label[u]);
+  AppendU64(&j, warm_.wcc.label[u]);
   j += ",\"wcc_size\":";
-  AppendU64(&j, wcc_.sizes[wcc_.label[u]]);
+  AppendU64(&j, warm_.wcc.sizes[warm_.wcc.label[u]]);
   j += ",\"scc_id\":";
-  AppendU64(&j, scc_.label[u]);
+  AppendU64(&j, warm_.scc.label[u]);
   j += ",\"scc_size\":";
-  AppendU64(&j, scc_.sizes[scc_.label[u]]);
+  AppendU64(&j, warm_.scc.sizes[warm_.scc.label[u]]);
   j += ",\"is_sink\":";
   AppendBool(&j, out_deg == 0 && in_deg > 0);
   j += ",\"is_isolated\":";
@@ -470,7 +502,7 @@ QueryResponse QueryEngine::DoEgoSummary(const Request& r) {
 
 QueryResponse QueryEngine::DoTopKRank(const Request& r) {
   const uint32_t returned =
-      std::min<uint32_t>(r.k, static_cast<uint32_t>(rank_order_.size()));
+      std::min<uint32_t>(r.k, static_cast<uint32_t>(warm_.rank_order.size()));
   QueryResponse resp;
   std::string& j = resp.json;
   j = "{\"type\":\"topk\",\"k\":";
@@ -479,14 +511,14 @@ QueryResponse QueryEngine::DoTopKRank(const Request& r) {
   AppendU64(&j, returned);
   j += ",\"rows\":[";
   for (uint32_t i = 0; i < returned; ++i) {
-    const NodeId u = rank_order_[i];
+    const NodeId u = warm_.rank_order[i];
     if (i > 0) j += ',';
     j += "{\"rank\":";
     AppendU64(&j, i + 1);
     j += ",\"node\":";
     AppendU64(&j, u);
     j += ",\"score\":";
-    j += JsonDouble(pagerank_[u]);
+    j += JsonDouble(warm_.pagerank[u]);
     j += ",\"in_degree\":";
     AppendU64(&j, graph_.InDegree(u));
     j += ",\"out_degree\":";
@@ -565,33 +597,33 @@ QueryResponse QueryEngine::DoNeighbors(const Request& r) {
 }
 
 QueryResponse QueryEngine::DoFingerprint() {
-  if (!fingerprint_ok_) {
+  if (!warm_.fingerprint_ok) {
     Request r;
     r.type = RequestType::kFingerprint;
     return ErrorResponse(
         r, Status::FailedPrecondition("fingerprint unavailable: " +
-                                      fingerprint_error_));
+                                      warm_.fingerprint_error));
   }
   QueryResponse resp;
   std::string& j = resp.json;
   j = "{\"type\":\"fingerprint\",\"density\":";
-  j += JsonDouble(fingerprint_.density);
+  j += JsonDouble(warm_.fingerprint.density);
   j += ",\"reciprocity\":";
-  j += JsonDouble(fingerprint_.reciprocity);
+  j += JsonDouble(warm_.fingerprint.reciprocity);
   j += ",\"clustering\":";
-  j += JsonDouble(fingerprint_.clustering);
+  j += JsonDouble(warm_.fingerprint.clustering);
   j += ",\"assortativity\":";
-  j += JsonDouble(fingerprint_.assortativity);
+  j += JsonDouble(warm_.fingerprint.assortativity);
   j += ",\"giant_scc_fraction\":";
-  j += JsonDouble(fingerprint_.giant_scc_fraction);
+  j += JsonDouble(warm_.fingerprint.giant_scc_fraction);
   j += ",\"mean_distance\":";
-  j += JsonDouble(fingerprint_.mean_distance);
+  j += JsonDouble(warm_.fingerprint.mean_distance);
   j += ",\"powerlaw_alpha\":";
-  j += JsonDouble(fingerprint_.powerlaw_alpha);
+  j += JsonDouble(warm_.fingerprint.powerlaw_alpha);
   j += ",\"attracting_fraction\":";
-  j += JsonDouble(fingerprint_.attracting_fraction);
+  j += JsonDouble(warm_.fingerprint.attracting_fraction);
   j += ",\"similarity_to_paper\":";
-  j += JsonDouble(fingerprint_similarity_);
+  j += JsonDouble(warm_.fingerprint_similarity);
   j += ",\"degraded\":false}";
   return resp;
 }

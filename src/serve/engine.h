@@ -42,12 +42,10 @@
 #include <vector>
 
 #include "analysis/centrality.h"
-#include "analysis/components.h"
-#include "analysis/degree.h"
-#include "analysis/reciprocity.h"
 #include "core/fingerprint.h"
 #include "graph/digraph.h"
 #include "serve/request.h"
+#include "serve/warm_index_cache.h"
 #include "util/deadline.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
@@ -64,6 +62,11 @@ struct EngineOptions {
   size_t cache_shards = 8;
   analysis::PageRankOptions pagerank;
   core::FingerprintOptions fingerprint;
+  /// When non-empty, Create() tries to restore the warm indexes from this
+  /// `.widx` sidecar (keyed by graph checksum + index config) before
+  /// computing them, and writes the sidecar back after a fresh build. A
+  /// stale or corrupt sidecar degrades to a rebuild, never an error.
+  std::string warm_index_path;
 };
 
 struct QueryResponse {
@@ -114,13 +117,23 @@ class QueryEngine {
   uint64_t cache_hits() const;
   uint64_t cache_misses() const;
 
-  /// Seconds spent building warm indexes in Create().
+  /// Seconds spent building (or restoring) warm indexes in Create().
   double warmup_seconds() const { return warmup_seconds_; }
+
+  /// True when the warm indexes were restored from the `.widx` sidecar
+  /// instead of computed (diagnostic; the served bytes are identical).
+  bool warm_index_from_cache() const { return warm_from_cache_; }
+
+  /// The warm-index bundle (immutable after Create).
+  const WarmIndexes& warm_indexes() const { return warm_; }
 
  private:
   QueryEngine(graph::DiGraph g, const EngineOptions& options);
 
+  /// Load-or-build: consult the sidecar when configured, else compute
+  /// every index and (best-effort) persist it for the next cold start.
   Status Warmup();
+  Status BuildWarmIndexes();
   void StartWorkers();
   void WorkerLoop();
 
@@ -145,19 +158,11 @@ class QueryEngine {
   const graph::DiGraph graph_;
   const EngineOptions options_;
 
-  // Warm indexes (immutable after Warmup; read concurrently).
-  analysis::DegreeStats degree_stats_;
-  analysis::ReciprocityStats reciprocity_;
-  std::vector<uint32_t> mutual_degree_;  // per-node reciprocated out-edges
-  analysis::ComponentLabeling wcc_;
-  analysis::ComponentLabeling scc_;
-  std::vector<double> pagerank_;
-  std::vector<graph::NodeId> rank_order_;  // descending score, ties by id
-  std::vector<uint32_t> rank_of_;          // node -> 1-based rank
-  bool fingerprint_ok_ = false;
-  core::GraphFingerprint fingerprint_;
-  double fingerprint_similarity_ = 0.0;
-  std::string fingerprint_error_;
+  // Warm indexes (immutable after Warmup; read concurrently). Restored
+  // from the sidecar or computed — either way the same bytes, which is
+  // what keeps responses identical across load paths.
+  WarmIndexes warm_;
+  bool warm_from_cache_ = false;
   double warmup_seconds_ = 0.0;
 
   struct Impl;  // executor queue, scratch pool, cache

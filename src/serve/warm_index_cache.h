@@ -1,0 +1,99 @@
+// Persisted warm indexes — the serving layer's answer to checkpoint
+// loading. QueryEngine::Create pays O(iterations * m) to build PageRank,
+// component labelings, mutual-edge counts, and the fingerprint before the
+// first query. All of it is a pure function of (graph bytes, index
+// config), so it can be computed once, written to a `<graph>.widx`
+// sidecar, and on the next cold start mapped + validated instead of
+// recomputed.
+//
+// Invalidation key: the pair (GraphChecksum of the CSR arrays,
+// WarmConfigHash of every option that feeds an index). A key mismatch is
+// not corruption — it means "these indexes describe some other graph or
+// config" — so loads fail with FailedPrecondition and the engine rebuilds
+// and rewrites. Structural damage (truncation, checksum mismatch, version
+// skew) also degrades to a rebuild, never a crash.
+//
+// File layout ("WIDX", little-endian, 64-byte-aligned sections, same
+// conventions as the ENG2 graph snapshot in graph/io.h):
+//   header (64 B): magic "WIDX" | u32 version | u64 graph_checksum |
+//                  u64 config_hash | u64 num_nodes | u32 section_count |
+//                  padding
+//   section table: entries { u32 id | u32 reserved | u64 offset |
+//                  u64 length | u64 fnv1a_checksum }
+//   sections:      scalars | mutual_degree | wcc_label | wcc_sizes |
+//                  scc_label | scc_sizes | pagerank | rank_order |
+//                  rank_of | fingerprint_error
+
+#ifndef ELITENET_SERVE_WARM_INDEX_CACHE_H_
+#define ELITENET_SERVE_WARM_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/centrality.h"
+#include "analysis/components.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+#include "core/fingerprint.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace serve {
+
+/// Every index QueryEngine builds at warmup, gathered so the whole set
+/// can be persisted and restored as one unit.
+struct WarmIndexes {
+  analysis::DegreeStats degree_stats;
+  analysis::ReciprocityStats reciprocity;
+  /// Per-node count of reciprocated out-edges.
+  std::vector<uint32_t> mutual_degree;
+  analysis::ComponentLabeling wcc;
+  analysis::ComponentLabeling scc;
+  std::vector<double> pagerank;
+  /// All nodes by descending PageRank, ties by id.
+  std::vector<graph::NodeId> rank_order;
+  /// node -> 1-based rank position.
+  std::vector<uint32_t> rank_of;
+  bool fingerprint_ok = false;
+  core::GraphFingerprint fingerprint;
+  double fingerprint_similarity = 0.0;
+  std::string fingerprint_error;
+};
+
+/// Identity of a warm-index set: which graph bytes and which index
+/// configuration produced it.
+struct WarmIndexKey {
+  uint64_t graph_checksum = 0;
+  uint64_t config_hash = 0;
+};
+
+/// FNV-1a over every option that changes an index's value, plus an
+/// internal format-generation constant — bump-on-change lives in the
+/// implementation, so stale sidecars from older layouts never validate.
+uint64_t WarmConfigHash(const analysis::PageRankOptions& pagerank,
+                        const core::FingerprintOptions& fingerprint);
+
+/// Conventional sidecar path for a graph file: "<path>.widx" (trailing
+/// slashes stripped first, so dataset dirs get "<dir>.widx").
+std::string WarmIndexPathFor(const std::string& graph_path);
+
+/// Writes the sidecar atomically (temp file + rename): a concurrent
+/// reader sees the old bytes or the new bytes, never a torn file.
+Status SaveWarmIndexes(const std::string& path, const WarmIndexKey& key,
+                       const WarmIndexes& indexes);
+
+/// Maps the sidecar, validates magic/version/key/checksums and internal
+/// consistency against `expected_nodes`, and returns the restored
+/// indexes. FailedPrecondition for a key that does not match (stale
+/// sidecar), Corruption for structural damage — callers treat any error
+/// as "rebuild".
+Result<WarmIndexes> LoadWarmIndexes(const std::string& path,
+                                    const WarmIndexKey& key,
+                                    graph::NodeId expected_nodes);
+
+}  // namespace serve
+}  // namespace elitenet
+
+#endif  // ELITENET_SERVE_WARM_INDEX_CACHE_H_

@@ -1,0 +1,54 @@
+// Read-only memory-mapped files (RAII).
+//
+// MmapFile::Open maps an entire file read-only and unmaps it on
+// destruction. The mapping is immutable and page-aligned, so callers may
+// hand out views (std::span) into it from any number of threads; whoever
+// holds the last shared_ptr<MmapFile> keeps the bytes alive. This is the
+// storage engine behind zero-copy graph snapshots (graph/io.h MapBinary)
+// and persisted warm indexes (serve/warm_index_cache.h): instead of
+// deserializing arrays into heap vectors, consumers point spans at the
+// mapping and let the page cache do the loading.
+
+#ifndef ELITENET_UTIL_MMAP_FILE_H_
+#define ELITENET_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace util {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only in its entirety. A zero-length file maps to an
+  /// empty (nullptr, 0) view, which is valid. IoError when the file
+  /// cannot be opened or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// First mapped byte; nullptr iff size() == 0. Page-aligned, so any
+  /// offset that is a multiple of alignof(T) yields a well-aligned T*.
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_MMAP_FILE_H_

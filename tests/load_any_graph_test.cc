@@ -70,18 +70,55 @@ TEST(LoadAnyGraphTest, DispatchesToBinarySnapshot) {
   const graph::DiGraph g = SmallGraph();
   const std::string path = testing::TempDir() + "/any_graph.eng";
   ASSERT_TRUE(graph::SaveBinary(g, path).ok());
-  auto loaded = LoadAnyGraph(path);
+  GraphLoadInfo info;
+  auto loaded = LoadAnyGraph(path, &info);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(*loaded, g);
+  EXPECT_EQ(info.format, "eng1");
+  EXPECT_GT(info.bytes, 0u);
+  EXPECT_FALSE(loaded->borrows_storage());
+}
+
+TEST(LoadAnyGraphTest, DispatchesToZeroCopySnapshot) {
+  const graph::DiGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/any_graph.eng2";
+  ASSERT_TRUE(graph::SaveBinaryV2(g, path).ok());
+  GraphLoadInfo info;
+  auto loaded = LoadAnyGraph(path, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, g);
+  EXPECT_EQ(info.format, "eng2-mmap");
+  EXPECT_GT(info.bytes, 0u);
+  EXPECT_TRUE(loaded->borrows_storage());
+}
+
+TEST(LoadAnyGraphTest, SnapshotDispatchSniffsMagicNotExtension) {
+  // An ENG2 file behind a ".eng" name still maps zero-copy, and vice
+  // versa — the front-ends promise the magic decides.
+  const graph::DiGraph g = SmallGraph();
+  const std::string v2_as_eng = testing::TempDir() + "/sniffed.eng";
+  ASSERT_TRUE(graph::SaveBinaryV2(g, v2_as_eng).ok());
+  GraphLoadInfo info;
+  auto loaded = LoadAnyGraph(v2_as_eng, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(info.format, "eng2-mmap");
+
+  const std::string v1_as_eng2 = testing::TempDir() + "/sniffed.eng2";
+  ASSERT_TRUE(graph::SaveBinary(g, v1_as_eng2).ok());
+  auto loaded1 = LoadAnyGraph(v1_as_eng2, &info);
+  ASSERT_TRUE(loaded1.ok()) << loaded1.status().ToString();
+  EXPECT_EQ(info.format, "eng1");
 }
 
 TEST(LoadAnyGraphTest, DispatchesToEdgeListText) {
   const graph::DiGraph g = SmallGraph();
   const std::string path = testing::TempDir() + "/any_graph.txt";
   ASSERT_TRUE(graph::WriteEdgeListText(g, path).ok());
-  auto loaded = LoadAnyGraph(path);
+  GraphLoadInfo info;
+  auto loaded = LoadAnyGraph(path, &info);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(*loaded, g);
+  EXPECT_EQ(info.format, "edge-list");
 }
 
 TEST(LoadAnyGraphTest, DispatchesToDatasetDirectory) {
@@ -110,6 +147,31 @@ TEST(LoadAnyGraphTest, TruncatedBinarySnapshotIsCorruption) {
   // Cut mid-header too.
   ASSERT_TRUE(graph::SaveBinary(g, path).ok());
   TruncateFile(path, 3);
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, TruncatedZeroCopySnapshotIsCorruption) {
+  const graph::DiGraph g = SmallGraph();
+  const std::string path = testing::TempDir() + "/truncated.eng2";
+  ASSERT_TRUE(graph::SaveBinaryV2(g, path).ok());
+  TruncateFile(path, 200);  // past the section table, mid-payload
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+  ASSERT_TRUE(graph::SaveBinaryV2(g, path).ok());
+  TruncateFile(path, 10);  // mid-header
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, SnapshotExtensionWithoutMagicIsCorruption) {
+  // A ".eng2" file holding text must not fall back to the edge-list
+  // parser: a snapshot extension promises a snapshot.
+  const std::string path = testing::TempDir() + "/not_really.eng2";
+  std::ofstream(path) << "0 1\n1 2\n";
+  EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoadAnyGraphTest, ZeroLengthSnapshotIsCorruption) {
+  const std::string path = testing::TempDir() + "/zero_len.eng2";
+  std::ofstream(path, std::ios::binary | std::ios::trunc).flush();
   EXPECT_EQ(LoadAnyGraph(path).status().code(), StatusCode::kCorruption);
 }
 

@@ -9,8 +9,11 @@
 
 #include "analysis/bidirectional.h"
 #include "analysis/centrality.h"
+#include "core/dataset.h"
 #include "graph/builder.h"
+#include "graph/io.h"
 #include "serve/request.h"
+#include "serve/warm_index_cache.h"
 
 namespace elitenet {
 namespace serve {
@@ -196,6 +199,70 @@ TEST(QueryEngineTest, ResponsesAreByteIdenticalAcrossWorkerCounts) {
       for (size_t i = 0; i < got.size(); ++i) {
         EXPECT_EQ(got[i], reference[i])
             << "thread count " << threads << " diverged on " << lines[i];
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, MappedSnapshotWithSidecarServesIdenticalBytes) {
+  // The full persistence path — text edge list -> ENG2 zero-copy mmap ->
+  // .widx warm-index restore — must serve byte-identical responses to an
+  // engine rebuilt from the text file, at any worker count. This is the
+  // contract that makes the cold-start fast path safe to ship.
+  const graph::DiGraph g = TestGraph();
+  const std::string txt = testing::TempDir() + "/sidecar_identity.txt";
+  const std::string eng2 = testing::TempDir() + "/sidecar_identity.eng2";
+  const std::string widx = WarmIndexPathFor(eng2);
+  ASSERT_TRUE(graph::WriteEdgeListText(g, txt).ok());
+  std::remove(widx.c_str());
+
+  // Canonical graph comes back through the public text loader; the ENG2
+  // snapshot is written from it so every path serves the same bytes.
+  auto from_text = core::LoadAnyGraph(txt);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  ASSERT_TRUE(graph::SaveBinaryV2(*from_text, eng2).ok());
+
+  std::vector<std::string> lines;
+  for (graph::NodeId u = 0; u < from_text->num_nodes(); ++u) {
+    lines.push_back("ego " + std::to_string(u));
+    lines.push_back("neighbors " + std::to_string(u) + " out");
+    for (graph::NodeId v = 0; v < from_text->num_nodes(); ++v) {
+      lines.push_back("dist " + std::to_string(u) + " " + std::to_string(v));
+    }
+  }
+  lines.push_back("topk 5");
+  lines.push_back("fingerprint");
+
+  // Reference: rebuilt-from-text engine, no sidecar.
+  std::vector<std::string> reference;
+  {
+    auto engine = MakeEngine(*from_text);
+    for (const std::string& line : lines) {
+      reference.push_back(engine->ExecuteLine(line).json);
+    }
+  }
+
+  // First mapped start writes the sidecar, second restores it; both must
+  // match the reference byte for byte, at 1 and 4 workers.
+  for (int round = 0; round < 2; ++round) {
+    for (int threads : {1, 4}) {
+      auto mapped = core::LoadAnyGraph(eng2);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      ASSERT_TRUE(mapped->borrows_storage());
+      EngineOptions opts;
+      opts.threads = threads;
+      opts.warm_index_path = widx;
+      auto engine = QueryEngine::Create(std::move(*mapped), opts);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      if (round == 0 && threads == 1) {
+        EXPECT_FALSE((*engine)->warm_index_from_cache());
+      } else {
+        EXPECT_TRUE((*engine)->warm_index_from_cache());
+      }
+      for (size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ((*engine)->ExecuteLine(lines[i]).json, reference[i])
+            << "round " << round << " threads " << threads << " line "
+            << lines[i];
       }
     }
   }
