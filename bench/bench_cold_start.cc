@@ -301,6 +301,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(args.seed));
   std::fprintf(f, "  \"num_nodes\": %u,\n", n);
   std::fprintf(f, "  \"probes\": %zu,\n", num_probes);
+  bench::WriteEnvironmentJson(f);
   std::fprintf(f, "  \"paths\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const bench::ColdStartResult& r = runs[i];

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "util/parallel.h"
 #include "util/table.h"
@@ -77,6 +78,11 @@ core::VerifiedStudy MakeStudy(const BenchArgs& args) {
 std::string CsvPath(const BenchArgs& args, const std::string& name) {
   ::mkdir(args.out_dir.c_str(), 0755);  // best-effort; Open reports errors
   return args.out_dir + "/" + name;
+}
+
+void WriteEnvironmentJson(std::FILE* f) {
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n  \"threads\": %d,\n",
+               std::thread::hardware_concurrency(), util::ThreadCount());
 }
 
 double RelDev(double measured, double paper) {

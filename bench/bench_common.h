@@ -6,6 +6,7 @@
 #define ELITENET_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "core/study.h"
@@ -46,6 +47,13 @@ core::VerifiedStudy MakeStudy(const BenchArgs& args);
 
 /// Ensures the output directory exists; returns out_dir + "/" + name.
 std::string CsvPath(const BenchArgs& args, const std::string& name);
+
+/// Writes the execution-environment fields every BENCH_*.json carries —
+/// `"hardware_concurrency": <hw>,\n  "threads": <effective>,\n` — so a
+/// result read in isolation says what parallelism produced it (a 1x
+/// speedup on a single-core container is expected, not a regression).
+/// Call inside an open JSON object, two-space indent, comma included.
+void WriteEnvironmentJson(std::FILE* f);
 
 /// Relative deviation |measured - paper| / |paper|.
 double RelDev(double measured, double paper);

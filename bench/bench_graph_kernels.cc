@@ -384,8 +384,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"num_edges\": %llu,\n",
                static_cast<unsigned long long>(g.num_edges()));
   std::fprintf(f, "  \"sources\": %zu,\n", sources.size());
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::WriteEnvironmentJson(f);
   std::fprintf(f, "  \"bfs_grid\": [\n");
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -171,7 +172,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"elements\": %zu,\n", elements);
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
-  std::fprintf(f, "  \"threads\": %d,\n", util::ThreadCount());
+  bench::WriteEnvironmentJson(f);
   std::fprintf(f, "  \"plain_seconds\": %.6f,\n", plain);
   std::fprintf(f, "  \"disabled_seconds\": %.6f,\n", disabled);
   std::fprintf(f, "  \"metrics_on_seconds\": %.6f,\n", metrics_on);

@@ -224,8 +224,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(args.seed));
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::WriteEnvironmentJson(f);
   std::fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
   std::fprintf(f, "  \"kernels\": {\n");
   for (size_t k = 0; k < kNumKernels; ++k) {

@@ -374,8 +374,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(g.num_edges()));
   std::fprintf(f, "  \"requests\": %zu,\n", mix.size());
   std::fprintf(f, "  \"zipf_exponent\": %.3f,\n", zipf_s);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::WriteEnvironmentJson(f);
   std::fprintf(f, "  \"grid\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const bench::RunResult& r = runs[i];

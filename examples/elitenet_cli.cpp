@@ -240,9 +240,26 @@ int CmdWarmup(graph::DiGraph g, const std::string& graph_path) {
                  engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s %s in %.2fs\n",
-              (*engine)->warm_index_from_cache() ? "validated" : "wrote",
-              opts.warm_index_path.c_str(), (*engine)->warmup_seconds());
+  const bool reused = (*engine)->warm_index_from_cache();
+  std::printf("%s %s in %.2fs (dist oracle: %s)\n",
+              reused ? "reused existing" : "rebuilt",
+              opts.warm_index_path.c_str(), (*engine)->warmup_seconds(),
+              (*engine)->distance_oracle_active() ? "built"
+                                                  : "unavailable");
+  auto sections = serve::DescribeWarmIndexes(opts.warm_index_path);
+  if (!sections.ok()) {
+    std::fprintf(stderr, "cannot inventory sidecar: %s\n",
+                 sections.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total = 0;
+  for (const serve::WarmIndexSectionInfo& s : *sections) {
+    std::printf("  %-18s %12llu bytes\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.bytes));
+    total += s.bytes;
+  }
+  std::printf("  %-18s %12llu bytes (%zu sections)\n", "total",
+              static_cast<unsigned long long>(total), sections->size());
   return 0;
 }
 

@@ -4,9 +4,10 @@
 #   1. tier-1: Release-ish build + the whole ctest suite (the CI gate);
 #   2. tsan:   ThreadSanitizer build, "tsan"-labelled tests (parallel
 #              scheduler, traversal kernels, serving cache + executor);
-#   3. smoke:  small-N serving load bench — fails on any cross-thread
-#              response divergence or a cache hit path slower than 5x
-#              the miss path.
+#   3. perf:   the "perf"-labelled ctest smoke benches (graph kernels,
+#              serving load, cold start, distance oracle) — each is a
+#              hard-asserting harness that fails on response divergence,
+#              cache/oracle slowdowns, or degraded queries.
 #
 # Usage: scripts/check.sh [--skip-tsan]
 # Runs from any cwd; builds live in build/ and build-tsan/.
@@ -38,12 +39,7 @@ else
   echo "== tsan: skipped (--skip-tsan) =="
 fi
 
-echo "== smoke: serving load bench (determinism + cache efficacy) =="
-(cd build && ./bench/bench_serving --scale=4000 --requests=1500 \
-  --json=BENCH_serving_check.json)
-
-echo "== smoke: cold-start bench (4 load paths, byte-identity, widx speedup) =="
-(cd build && ./bench/bench_cold_start --scale=4000 --probes=100 \
-  --min-speedup=3 --json=BENCH_cold_start_check.json)
+echo "== perf: smoke benches (kernels, serving, cold start, dist oracle) =="
+(cd build && ctest -L perf --output-on-failure -j "$JOBS")
 
 echo "== all checks passed =="

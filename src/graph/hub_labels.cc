@@ -1,0 +1,368 @@
+#include "graph/hub_labels.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/frontier.h"
+#include "graph/traversal.h"
+#include "util/parallel.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+// One pruned BFS from `root` on the relabeled graph. Forward BFSs expand
+// out-edges and append (root, d(root->v)) to L_in(v); backward BFSs expand
+// in-edges and append to L_out(v). In both cases the rows being appended to
+// are exactly the rows the prune query reads, so the routine takes just one
+// row array plus the dense distance view of the root's *opposite* label set
+// (root_dist[h] = d(root->h) forward, d(h->root) backward).
+//
+// Level-synchronous with three parallel-safe phases per level:
+//   A (parallel) gather unvisited neighbors per fixed-boundary frontier
+//     chunk into chunk-local buffers — reads the arena, writes nothing
+//     shared;
+//   B (serial) walk the chunk buffers in chunk order, first-come dedupe via
+//     arena.Visit — the only phase that mutates traversal state;
+//   C (parallel) per deduped candidate, run the prune query against its own
+//     row and append the new label on survival — rows are disjoint per
+//     node, so no two workers ever touch the same vector;
+//   D (serial) compact survivors into the next frontier.
+// Chunk boundaries come from EffectiveGrain, so every phase computes the
+// same thing at any thread count.
+//
+// Prune soundness: a candidate's row holds only hubs ranked before `root`
+// (a (root, ·) entry would mean the node was already visited in this BFS),
+// and root_dist is densified from rows that this BFS never appends to, so
+// the query is exactly Query_{root-1} — fixed for the whole BFS, which is
+// what lets level-parallel evaluation match the sequential algorithm
+// label-for-label.
+//
+// Returns the number of labels appended.
+uint64_t PrunedBfs(const DiGraph& rg, NodeId root, bool forward,
+                   std::vector<std::vector<HubLabelEntry>>& rows,
+                   const std::vector<uint32_t>& root_dist,
+                   ScratchArena& arena, std::vector<NodeId>& candidates,
+                   std::vector<uint8_t>& keep,
+                   std::vector<std::vector<NodeId>>& chunk_buf) {
+  arena.BeginEpoch();
+  arena.Visit(root, 0, root);
+  // The root is never prunable: hubs before it cannot certify distance 0.
+  rows[root].push_back(PackHubLabel(root, 0));
+  uint64_t appended = 1;
+
+  std::vector<NodeId>& frontier = arena.frontier();
+  frontier.clear();
+  frontier.push_back(root);
+
+  // Below this frontier width the phased machinery costs more than the
+  // level itself (two closure dispatches per level bites hard on
+  // high-diameter graphs, where every frontier is a handful of nodes).
+  // The serial path walks the frontier in index order — the exact order
+  // the chunked phases produce — so the two paths are interchangeable
+  // without affecting output.
+  constexpr size_t kSerialFrontier = 256;
+  // With one worker the phases degrade to three extra passes over the
+  // candidate set (plus duplicate neighbor writes into the chunk
+  // buffers), so a solo pool always takes the serial path.
+  const bool serial_pool = util::ThreadCount() <= 1;
+
+  for (uint32_t depth = 1; !frontier.empty(); ++depth) {
+    if (serial_pool || frontier.size() <= kSerialFrontier) {
+      candidates.clear();
+      for (const NodeId u : frontier) {
+        for (const NodeId v :
+             forward ? rg.OutNeighbors(u) : rg.InNeighbors(u)) {
+          if (!arena.Visited(v)) {
+            arena.Visit(v, depth, v);
+            candidates.push_back(v);
+          }
+        }
+      }
+      if (candidates.empty()) break;
+      frontier.clear();
+      for (const NodeId v : candidates) {
+        // Only the boolean "is there a certificate <= depth" matters, so
+        // stop at the first one — rows lead with the highest-degree hubs,
+        // which certify almost every pruned candidate in one or two
+        // probes. (Without the break this loop is the build's hot spot.)
+        bool pruned = false;
+        for (const HubLabelEntry e : rows[v]) {
+          const uint32_t rd = root_dist[HubLabelRank(e)];
+          if (rd == kInfiniteDistance) continue;
+          if (uint64_t{rd} + HubLabelDist(e) <= depth) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) continue;
+        rows[v].push_back(PackHubLabel(root, depth));
+        frontier.push_back(v);
+        ++appended;
+      }
+      continue;
+    }
+
+    // Phase A: gather candidate neighbors per chunk.
+    const size_t step = util::EffectiveGrain(frontier.size(), 0);
+    const size_t chunks = (frontier.size() + step - 1) / step;
+    if (chunk_buf.size() < chunks) chunk_buf.resize(chunks);
+    util::ParallelFor(0, frontier.size(), step, [&](size_t lo, size_t hi) {
+      std::vector<NodeId>& buf = chunk_buf[lo / step];
+      buf.clear();
+      for (size_t i = lo; i < hi; ++i) {
+        const NodeId u = frontier[i];
+        for (const NodeId v :
+             forward ? rg.OutNeighbors(u) : rg.InNeighbors(u)) {
+          if (!arena.Visited(v)) buf.push_back(v);
+        }
+      }
+    });
+
+    // Phase B: first-come dedupe in chunk order; mark visited.
+    candidates.clear();
+    for (size_t c = 0; c < chunks; ++c) {
+      for (const NodeId v : chunk_buf[c]) {
+        if (!arena.Visited(v)) {
+          arena.Visit(v, depth, v);
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Phase C: prune query + label append, disjoint row per candidate.
+    keep.assign(candidates.size(), 0);
+    util::ParallelFor(0, candidates.size(), 0, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const NodeId v = candidates[i];
+        // First certificate wins, same early exit as the serial path.
+        bool pruned = false;
+        for (const HubLabelEntry e : rows[v]) {
+          const uint32_t rd = root_dist[HubLabelRank(e)];
+          if (rd == kInfiniteDistance) continue;
+          if (uint64_t{rd} + HubLabelDist(e) <= depth) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) continue;  // no label, no expansion
+        rows[v].push_back(PackHubLabel(root, depth));
+        keep[i] = 1;
+      }
+    });
+
+    // Phase D: survivors become the next frontier.
+    frontier.clear();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (keep[i]) {
+        frontier.push_back(candidates[i]);
+        ++appended;
+      }
+    }
+  }
+  return appended;
+}
+
+// Flattens per-node rows (indexed by relabeled id) into a CSR pair indexed
+// by original id. Rows are already sorted ascending by hub rank — labels
+// were appended in hub-processing order.
+void Flatten(const std::vector<std::vector<HubLabelEntry>>& rows,
+             const std::vector<NodeId>& old_to_new,
+             std::vector<EdgeIdx>* offsets,
+             std::vector<HubLabelEntry>* entries) {
+  const size_t n = old_to_new.size();
+  offsets->resize(n + 1);
+  (*offsets)[0] = 0;
+  for (size_t o = 0; o < n; ++o) {
+    (*offsets)[o + 1] = (*offsets)[o] + rows[old_to_new[o]].size();
+  }
+  entries->resize((*offsets)[n]);
+  util::ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+    for (size_t o = lo; o < hi; ++o) {
+      const std::vector<HubLabelEntry>& row = rows[old_to_new[o]];
+      std::copy(row.begin(), row.end(), entries->begin() + (*offsets)[o]);
+    }
+  });
+}
+
+}  // namespace
+
+uint32_t HubLabels::Distance(NodeId s, NodeId t) const {
+  if (s == t) return 0;
+  const std::span<const HubLabelEntry> out = OutLabels(s);
+  const std::span<const HubLabelEntry> in = InLabels(t);
+  uint64_t best = UINT64_MAX;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < out.size() && j < in.size()) {
+    const uint32_t ho = HubLabelRank(out[i]);
+    const uint32_t hi = HubLabelRank(in[j]);
+    if (ho < hi) {
+      ++i;
+    } else if (hi < ho) {
+      ++j;
+    } else {
+      const uint64_t d =
+          uint64_t{HubLabelDist(out[i])} + HubLabelDist(in[j]);
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    }
+  }
+  return best == UINT64_MAX ? kInfiniteDistance
+                            : static_cast<uint32_t>(best);
+}
+
+HubLabelStats HubLabels::Stats() const {
+  HubLabelStats stats;
+  const NodeId n = num_nodes();
+  stats.out_entries = out_entries_.size();
+  stats.in_entries = in_entries_.size();
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t out_row =
+        static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+    const uint32_t in_row =
+        static_cast<uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+    if (out_row > stats.max_out_entries) stats.max_out_entries = out_row;
+    if (in_row > stats.max_in_entries) stats.max_in_entries = in_row;
+  }
+  if (n > 0) {
+    stats.avg_out_entries = static_cast<double>(stats.out_entries) / n;
+    stats.avg_in_entries = static_cast<double>(stats.in_entries) / n;
+  }
+  stats.bytes = (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIdx) +
+                (out_entries_.size() + in_entries_.size()) *
+                    sizeof(HubLabelEntry);
+  return stats;
+}
+
+HubLabels HubLabels::FromArrays(std::vector<EdgeIdx> out_offsets,
+                                std::vector<HubLabelEntry> out_entries,
+                                std::vector<EdgeIdx> in_offsets,
+                                std::vector<HubLabelEntry> in_entries) {
+  HubLabels labels;
+  labels.out_offsets_ = std::move(out_offsets);
+  labels.out_entries_ = std::move(out_entries);
+  labels.in_offsets_ = std::move(in_offsets);
+  labels.in_entries_ = std::move(in_entries);
+  return labels;
+}
+
+HubLabels BuildHubLabels(const DiGraph& g, const HubLabelOptions& options) {
+  HubLabels labels;
+  const NodeId n = g.num_nodes();
+  if (n == 0) {
+    labels.out_offsets_.assign(1, 0);
+    labels.in_offsets_.assign(1, 0);
+    return labels;
+  }
+
+  const DegreeRelabeling rel = g.RelabelByDegree();
+  const DiGraph& rg = rel.graph;
+
+  // Rows indexed by relabeled id == hub rank; hub rank r processes node r.
+  std::vector<std::vector<HubLabelEntry>> out_rows(n);
+  std::vector<std::vector<HubLabelEntry>> in_rows(n);
+  uint64_t total_out = 0;
+  uint64_t total_in = 0;
+  const uint64_t budget =
+      options.max_avg_label_entries == 0
+          ? UINT64_MAX
+          : static_cast<uint64_t>(options.max_avg_label_entries) * n;
+
+  ScratchArena arena(n);
+  std::vector<uint32_t> root_dist(n, kInfiniteDistance);
+  std::vector<NodeId> candidates;
+  std::vector<uint8_t> keep;
+  std::vector<std::vector<NodeId>> chunk_buf;
+
+  for (NodeId r = 0; r < n; ++r) {
+    // Forward: L_out(r) (hubs before r that r reaches) densifies the prune
+    // query for appends into L_in. The densified row is never appended to
+    // by this BFS, so the view stays valid throughout.
+    for (const HubLabelEntry e : out_rows[r]) {
+      root_dist[HubLabelRank(e)] = HubLabelDist(e);
+    }
+    total_in += PrunedBfs(rg, r, /*forward=*/true, in_rows, root_dist,
+                          arena, candidates, keep, chunk_buf);
+    for (const HubLabelEntry e : out_rows[r]) {
+      root_dist[HubLabelRank(e)] = kInfiniteDistance;
+    }
+    if (total_in > budget) return HubLabels{};
+
+    // Backward over in-edges: L_in(r) drives the prune query for L_out.
+    for (const HubLabelEntry e : in_rows[r]) {
+      root_dist[HubLabelRank(e)] = HubLabelDist(e);
+    }
+    total_out += PrunedBfs(rg, r, /*forward=*/false, out_rows, root_dist,
+                           arena, candidates, keep, chunk_buf);
+    for (const HubLabelEntry e : in_rows[r]) {
+      root_dist[HubLabelRank(e)] = kInfiniteDistance;
+    }
+    if (total_out > budget) return HubLabels{};
+  }
+
+  Flatten(out_rows, rel.old_to_new, &labels.out_offsets_,
+          &labels.out_entries_);
+  Flatten(in_rows, rel.old_to_new, &labels.in_offsets_, &labels.in_entries_);
+  return labels;
+}
+
+namespace {
+
+Status ValidateSide(const char* side, const std::vector<EdgeIdx>& offsets,
+                    const std::vector<HubLabelEntry>& entries, NodeId n) {
+  if (offsets.size() != static_cast<size_t>(n) + 1) {
+    return Status::Corruption(std::string("hub label ") + side +
+                              " offsets have wrong length");
+  }
+  if (offsets[0] != 0 || offsets[n] != entries.size()) {
+    return Status::Corruption(std::string("hub label ") + side +
+                              " offsets do not span the entry array");
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (offsets[u + 1] < offsets[u]) {
+      return Status::Corruption(std::string("hub label ") + side +
+                                " offsets decrease");
+    }
+    uint64_t prev_rank = UINT64_MAX;
+    for (EdgeIdx i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const uint32_t rank = HubLabelRank(entries[i]);
+      const uint32_t dist = HubLabelDist(entries[i]);
+      if (rank >= n || dist >= n) {
+        return Status::Corruption(std::string("hub label ") + side +
+                                  " entry out of range");
+      }
+      if (prev_rank != UINT64_MAX && rank <= prev_rank) {
+        return Status::Corruption(std::string("hub label ") + side +
+                                  " row not strictly ascending");
+      }
+      prev_rank = rank;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateHubLabels(const HubLabels& labels, NodeId expected_nodes) {
+  if (labels.empty()) {
+    // "Oracle not built" is a legal persisted state, but only when all
+    // four arrays are absent together.
+    if (!labels.out_entries().empty() || !labels.in_offsets().empty() ||
+        !labels.in_entries().empty()) {
+      return Status::Corruption("hub labels partially present");
+    }
+    return Status::OK();
+  }
+  EN_RETURN_IF_ERROR(ValidateSide("out", labels.out_offsets(),
+                                  labels.out_entries(), expected_nodes));
+  EN_RETURN_IF_ERROR(ValidateSide("in", labels.in_offsets(),
+                                  labels.in_entries(), expected_nodes));
+  return Status::OK();
+}
+
+}  // namespace graph
+}  // namespace elitenet

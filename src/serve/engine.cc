@@ -186,7 +186,8 @@ Status QueryEngine::Warmup() {
   WarmIndexKey key;
   if (!options_.warm_index_path.empty()) {
     key.graph_checksum = graph::GraphChecksum(graph_);
-    key.config_hash = WarmConfigHash(options_.pagerank, options_.fingerprint);
+    key.config_hash = WarmConfigHash(options_.pagerank, options_.fingerprint,
+                                     options_.distance_oracle);
     ELITENET_SPAN("serve.warm.widx_load");
     auto restored =
         LoadWarmIndexes(options_.warm_index_path, key, graph_.num_nodes());
@@ -244,6 +245,13 @@ Status QueryEngine::BuildWarmIndexes() {
     for (size_t i = 0; i < warm_.rank_order.size(); ++i) {
       warm_.rank_of[warm_.rank_order[i]] = static_cast<uint32_t>(i + 1);
     }
+  }
+  if (options_.distance_oracle) {
+    // May return an unbuilt (empty) labeling when the pruned-label budget
+    // is exceeded; dist then serves via the BFS fallback. Either outcome
+    // is persisted as-is, so a restored engine behaves identically.
+    ELITENET_SPAN("serve.warm.dist_oracle");
+    warm_.hub_labels = graph::BuildHubLabels(g);
   }
   {
     ELITENET_SPAN("serve.warm.fingerprint");
@@ -534,10 +542,22 @@ QueryResponse QueryEngine::DoDistance(const Request& r,
   if (r.node >= graph_.num_nodes() || r.target >= graph_.num_nodes()) {
     return ErrorResponse(r, Status::NotFound("distance endpoint not in graph"));
   }
-  std::unique_ptr<Scratch> scratch = BorrowScratch();
-  const BoundedDistanceResult d = BoundedBidirectionalDistance(
-      graph_, r.node, r.target, deadline, &scratch->fwd, &scratch->bwd);
-  ReturnScratch(std::move(scratch));
+  BoundedDistanceResult d;
+  if (!warm_.hub_labels.empty()) {
+    // Oracle fast path: exact distance by label intersection, no graph
+    // traversal, no deadline interaction — it cannot degrade.
+    ELITENET_COUNT("serve.dist.oracle_hit", 1);
+    util::SpanTimer intersect_timer;
+    d.distance = warm_.hub_labels.Distance(r.node, r.target);
+    ELITENET_HISTOGRAM("serve.dist.intersect_us",
+                       static_cast<uint64_t>(intersect_timer.Seconds() * 1e6));
+  } else {
+    ELITENET_COUNT("serve.dist.bfs_fallback", 1);
+    std::unique_ptr<Scratch> scratch = BorrowScratch();
+    d = BoundedBidirectionalDistance(graph_, r.node, r.target, deadline,
+                                     &scratch->fwd, &scratch->bwd);
+    ReturnScratch(std::move(scratch));
+  }
 
   QueryResponse resp;
   resp.degraded = !d.completed;
@@ -548,19 +568,24 @@ QueryResponse QueryEngine::DoDistance(const Request& r,
   j += ",\"dst\":";
   AppendU64(&j, r.target);
   if (d.completed) {
+    // Note: no traversal-cost field here — a completed answer must be a
+    // pure function of (graph, request) so the oracle and BFS paths stay
+    // byte-identical (and cacheable interchangeably).
     const bool reachable = d.distance != UINT32_MAX;
     j += ",\"reachable\":";
     AppendBool(&j, reachable);
     j += ",\"distance\":";
     AppendI64(&j, reachable ? static_cast<int64_t>(d.distance) : -1);
   } else {
-    // Deadline hit: the true distance is unknown but provably at least
-    // lower_bound (every completed level failed to meet).
+    // Deadline hit (BFS fallback only): the true distance is unknown but
+    // provably at least lower_bound (every completed level failed to
+    // meet). Degraded responses are never cached, so the diagnostic
+    // expansion count is safe to include.
     j += ",\"reachable\":null,\"distance\":-1,\"lower_bound\":";
     AppendU64(&j, d.lower_bound);
+    j += ",\"expanded\":";
+    AppendU64(&j, d.expanded);
   }
-  j += ",\"expanded\":";
-  AppendU64(&j, d.expanded);
   j += ",\"degraded\":";
   AppendBool(&j, resp.degraded);
   j += '}';

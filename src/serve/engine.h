@@ -16,11 +16,13 @@
 //   * a sharded LRU result cache keyed by the canonical request encoding
 //     (serve/request.h). Only complete, non-degraded, non-error responses
 //     are inserted, so a hit is always byte-identical to a recompute;
-//   * per-request deadlines (util/deadline.h). Distance queries — the one
-//     type that traverses the graph at query time — poll the deadline per
-//     BFS level and degrade to the best lower bound found with
-//     degraded=true; warm-index queries cost microseconds and always
-//     complete;
+//   * per-request deadlines (util/deadline.h). Distance queries answer
+//     from the warm hub-label oracle (graph/hub_labels.h) by label
+//     intersection — exact and microseconds, never degraded. When the
+//     oracle is disabled or its construction blew the label budget, they
+//     fall back to bidirectional BFS, polling the deadline per level and
+//     degrading to the best lower bound found with degraded=true;
+//     warm-index queries cost microseconds and always complete;
 //   * a thread-pool executor (Submit) for concurrent clients, with
 //     in-flight gauge, queue-depth histogram, per-type latency
 //     histograms, and cache hit/miss counters via util/metrics.
@@ -62,6 +64,11 @@ struct EngineOptions {
   size_t cache_shards = 8;
   analysis::PageRankOptions pagerank;
   core::FingerprintOptions fingerprint;
+  /// Build the hub-label distance oracle at warmup so dist answers by
+  /// label intersection instead of traversing. Construction falls back
+  /// cleanly (dist reverts to bidirectional BFS) if the pruned labeling
+  /// exceeds its size budget — see graph::HubLabelOptions.
+  bool distance_oracle = true;
   /// When non-empty, Create() tries to restore the warm indexes from this
   /// `.widx` sidecar (keyed by graph checksum + index config) before
   /// computing them, and writes the sidecar back after a fresh build. A
@@ -126,6 +133,11 @@ class QueryEngine {
 
   /// The warm-index bundle (immutable after Create).
   const WarmIndexes& warm_indexes() const { return warm_; }
+
+  /// True when dist queries are answered by the hub-label oracle; false
+  /// when it is disabled by options or construction blew its budget (in
+  /// which case dist uses the bidirectional-BFS fallback).
+  bool distance_oracle_active() const { return !warm_.hub_labels.empty(); }
 
  private:
   QueryEngine(graph::DiGraph g, const EngineOptions& options);

@@ -15,14 +15,18 @@ namespace serve {
 namespace {
 
 constexpr char kMagic[4] = {'W', 'I', 'D', 'X'};
-constexpr uint32_t kVersion = 1;
+// v2: four distance-oracle (hub label) sections appended after
+// fingerprint_error. v1 readers see version 2 and bail with NotSupported;
+// this reader does the same for v1 files — both directions of skew
+// degrade to a rebuild.
+constexpr uint32_t kVersion = 2;
 constexpr uint64_t kAlignment = 64;
 constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
-constexpr uint32_t kNumSections = 10;
+constexpr uint32_t kNumSections = 14;
 /// Bumped whenever the scalar block layout or section set changes, so
 /// sidecars written by an older layout fail the config hash instead of
 /// being misread.
-constexpr uint64_t kFormatGeneration = 1;
+constexpr uint64_t kFormatGeneration = 2;
 
 enum SectionId : uint32_t {
   kScalars = 0,
@@ -35,6 +39,17 @@ enum SectionId : uint32_t {
   kRankOrder = 7,
   kRankOf = 8,
   kFingerprintError = 9,
+  kHubOutOffsets = 10,
+  kHubOutEntries = 11,
+  kHubInOffsets = 12,
+  kHubInEntries = 13,
+};
+
+constexpr const char* kSectionNames[kNumSections] = {
+    "scalars",     "mutual_degree",   "wcc_label",       "wcc_sizes",
+    "scc_label",   "scc_sizes",       "pagerank",        "rank_order",
+    "rank_of",     "fingerprint_error", "hub_out_offsets", "hub_out_entries",
+    "hub_in_offsets", "hub_in_entries",
 };
 
 struct FileCloser {
@@ -193,7 +208,8 @@ Status CopySection(const uint8_t* base, const SectionEntry& s,
 }  // namespace
 
 uint64_t WarmConfigHash(const analysis::PageRankOptions& pagerank,
-                        const core::FingerprintOptions& fingerprint) {
+                        const core::FingerprintOptions& fingerprint,
+                        bool distance_oracle) {
   const uint64_t fields[] = {
       kFormatGeneration,
       std::bit_cast<uint64_t>(pagerank.damping),
@@ -202,6 +218,7 @@ uint64_t WarmConfigHash(const analysis::PageRankOptions& pagerank,
       fingerprint.distance_sources,
       fingerprint.clustering_samples,
       fingerprint.seed,
+      distance_oracle ? uint64_t{1} : uint64_t{0},
   };
   return Fnv1a(fields, sizeof(fields), kFnvBasis);
 }
@@ -231,6 +248,14 @@ Status SaveWarmIndexes(const std::string& path, const WarmIndexKey& key,
       {w.rank_order.data(), w.rank_order.size() * sizeof(graph::NodeId)},
       {w.rank_of.data(), w.rank_of.size() * sizeof(uint32_t)},
       {w.fingerprint_error.data(), w.fingerprint_error.size()},
+      {w.hub_labels.out_offsets().data(),
+       w.hub_labels.out_offsets().size() * sizeof(graph::EdgeIdx)},
+      {w.hub_labels.out_entries().data(),
+       w.hub_labels.out_entries().size() * sizeof(graph::HubLabelEntry)},
+      {w.hub_labels.in_offsets().data(),
+       w.hub_labels.in_offsets().size() * sizeof(graph::EdgeIdx)},
+      {w.hub_labels.in_entries().data(),
+       w.hub_labels.in_entries().size() * sizeof(graph::HubLabelEntry)},
   };
 
   HeaderV1 header = {};
@@ -372,6 +397,22 @@ Result<WarmIndexes> LoadWarmIndexes(const std::string& path,
       reinterpret_cast<const char*>(base + table[kFingerprintError].offset),
       table[kFingerprintError].length);
 
+  std::vector<graph::EdgeIdx> hub_out_offsets;
+  std::vector<graph::HubLabelEntry> hub_out_entries;
+  std::vector<graph::EdgeIdx> hub_in_offsets;
+  std::vector<graph::HubLabelEntry> hub_in_entries;
+  EN_RETURN_IF_ERROR(
+      CopySection(base, table[kHubOutOffsets], &hub_out_offsets));
+  EN_RETURN_IF_ERROR(
+      CopySection(base, table[kHubOutEntries], &hub_out_entries));
+  EN_RETURN_IF_ERROR(CopySection(base, table[kHubInOffsets], &hub_in_offsets));
+  EN_RETURN_IF_ERROR(CopySection(base, table[kHubInEntries], &hub_in_entries));
+  w.hub_labels = graph::HubLabels::FromArrays(
+      std::move(hub_out_offsets), std::move(hub_out_entries),
+      std::move(hub_in_offsets), std::move(hub_in_entries));
+  EN_RETURN_IF_ERROR(graph::ValidateHubLabels(
+      w.hub_labels, static_cast<graph::NodeId>(n)));
+
   // Internal consistency: every per-node array must cover exactly n nodes
   // and every stored id must be in range, so query-time lookups can index
   // without bounds checks — exactly the guarantees a fresh build gives.
@@ -404,6 +445,41 @@ Result<WarmIndexes> LoadWarmIndexes(const std::string& path,
     }
   }
   return w;
+}
+
+Result<std::vector<WarmIndexSectionInfo>> DescribeWarmIndexes(
+    const std::string& path) {
+  EN_ASSIGN_OR_RETURN(util::MmapFile mapped, util::MmapFile::Open(path));
+  const uint8_t* base = mapped.data();
+  const uint64_t size = mapped.size();
+
+  if (size < sizeof(HeaderV1)) {
+    return Status::Corruption("truncated warm-index header: " + path);
+  }
+  HeaderV1 header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad warm-index magic: " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported("unsupported warm-index version " +
+                                std::to_string(header.version));
+  }
+  if (header.section_count != kNumSections ||
+      size < sizeof(HeaderV1) + kNumSections * sizeof(SectionEntry)) {
+    return Status::Corruption("truncated warm-index section table: " + path);
+  }
+  SectionEntry table[kNumSections];
+  std::memcpy(table, base + sizeof(HeaderV1), sizeof(table));
+  std::vector<WarmIndexSectionInfo> sections;
+  sections.reserve(kNumSections);
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    if (table[i].id != i) {
+      return Status::Corruption("warm-index section table out of order");
+    }
+    sections.push_back({kSectionNames[i], table[i].length});
+  }
+  return sections;
 }
 
 }  // namespace serve

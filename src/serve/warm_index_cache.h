@@ -22,7 +22,13 @@
 //                  u64 length | u64 fnv1a_checksum }
 //   sections:      scalars | mutual_degree | wcc_label | wcc_sizes |
 //                  scc_label | scc_sizes | pagerank | rank_order |
-//                  rank_of | fingerprint_error
+//                  rank_of | fingerprint_error | hub_out_offsets |
+//                  hub_out_entries | hub_in_offsets | hub_in_entries
+//
+// Version history: v1 had the first ten sections; v2 added the four
+// distance-oracle (hub label) sections. Readers reject other versions
+// with NotSupported — the engine treats that exactly like corruption and
+// rebuilds, so version skew in either direction degrades cleanly.
 
 #ifndef ELITENET_SERVE_WARM_INDEX_CACHE_H_
 #define ELITENET_SERVE_WARM_INDEX_CACHE_H_
@@ -37,6 +43,7 @@
 #include "analysis/reciprocity.h"
 #include "core/fingerprint.h"
 #include "graph/digraph.h"
+#include "graph/hub_labels.h"
 #include "util/status.h"
 
 namespace elitenet {
@@ -60,6 +67,10 @@ struct WarmIndexes {
   core::GraphFingerprint fingerprint;
   double fingerprint_similarity = 0.0;
   std::string fingerprint_error;
+  /// The dist query's 2-hop distance oracle. empty() means "not built" —
+  /// either the oracle is disabled by config or construction blew its
+  /// budget — and the engine answers dist with bidirectional BFS instead.
+  graph::HubLabels hub_labels;
 };
 
 /// Identity of a warm-index set: which graph bytes and which index
@@ -73,7 +84,8 @@ struct WarmIndexKey {
 /// internal format-generation constant — bump-on-change lives in the
 /// implementation, so stale sidecars from older layouts never validate.
 uint64_t WarmConfigHash(const analysis::PageRankOptions& pagerank,
-                        const core::FingerprintOptions& fingerprint);
+                        const core::FingerprintOptions& fingerprint,
+                        bool distance_oracle);
 
 /// Conventional sidecar path for a graph file: "<path>.widx" (trailing
 /// slashes stripped first, so dataset dirs get "<dir>.widx").
@@ -92,6 +104,19 @@ Status SaveWarmIndexes(const std::string& path, const WarmIndexKey& key,
 Result<WarmIndexes> LoadWarmIndexes(const std::string& path,
                                     const WarmIndexKey& key,
                                     graph::NodeId expected_nodes);
+
+/// One row of the sidecar inventory DescribeWarmIndexes returns.
+struct WarmIndexSectionInfo {
+  std::string name;
+  uint64_t bytes = 0;
+};
+
+/// Reads just the header and section table of an existing sidecar and
+/// returns its per-section sizes in file order (the `elitenet_cli warmup`
+/// report). Validates structure but not the key — an inventory of a stale
+/// sidecar is still an inventory.
+Result<std::vector<WarmIndexSectionInfo>> DescribeWarmIndexes(
+    const std::string& path);
 
 }  // namespace serve
 }  // namespace elitenet

@@ -1,0 +1,243 @@
+// Pruned landmark labeling tests: the oracle must agree with BFS on
+// every (s, t) pair of randomized digraphs — exactness is the whole
+// contract — the label arrays must satisfy the structural invariants
+// ValidateHubLabels enforces on load, and the construction budget must
+// abort cleanly (empty result, never a partial one) on graphs where
+// labels would grow superlinearly.
+
+#include "graph/hub_labels.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/verified_network.h"
+#include "graph/builder.h"
+#include "graph/frontier.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+// Ground truth: forward BFS distances from every source.
+std::vector<std::vector<uint32_t>> AllPairsBfs(const DiGraph& g) {
+  std::vector<std::vector<uint32_t>> dist(g.num_nodes());
+  ScratchArena arena(g.num_nodes());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    Bfs(g, s, &arena);
+    dist[s].resize(g.num_nodes());
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      dist[s][t] = arena.DistanceOr(t, kInfiniteDistance);
+    }
+  }
+  return dist;
+}
+
+DiGraph RandomDigraph(NodeId n, double p, uint64_t seed) {
+  GraphBuilder b(n);
+  util::Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.Bernoulli(p)) EXPECT_TRUE(b.AddEdge(u, v).ok());
+    }
+  }
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+void ExpectOracleMatchesBfs(const DiGraph& g, const std::string& what) {
+  const HubLabels labels = BuildHubLabels(g);
+  ASSERT_FALSE(labels.empty()) << what;
+  ASSERT_TRUE(ValidateHubLabels(labels, g.num_nodes()).ok()) << what;
+  const auto truth = AllPairsBfs(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      ASSERT_EQ(labels.Distance(s, t), truth[s][t])
+          << what << ": dist(" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(HubLabelsTest, EmptyGraphBuildsEmptyOracle) {
+  GraphBuilder b(0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const HubLabels labels = BuildHubLabels(*g);
+  EXPECT_EQ(labels.num_nodes(), 0u);
+  EXPECT_TRUE(ValidateHubLabels(labels, 0).ok());
+}
+
+TEST(HubLabelsTest, SingleNodeAndSelfDistance) {
+  GraphBuilder b(1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const HubLabels labels = BuildHubLabels(*g);
+  ASSERT_FALSE(labels.empty());
+  EXPECT_EQ(labels.Distance(0, 0), 0u);
+}
+
+TEST(HubLabelsTest, DirectedPathIsAsymmetric) {
+  constexpr NodeId kLen = 12;
+  GraphBuilder b(kLen);
+  for (NodeId u = 0; u + 1 < kLen; ++u) {
+    ASSERT_TRUE(b.AddEdge(u, u + 1).ok());
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const HubLabels labels = BuildHubLabels(*g);
+  ASSERT_FALSE(labels.empty());
+  for (NodeId s = 0; s < kLen; ++s) {
+    for (NodeId t = 0; t < kLen; ++t) {
+      const uint32_t want = s <= t ? t - s : kInfiniteDistance;
+      EXPECT_EQ(labels.Distance(s, t), want) << s << " -> " << t;
+    }
+  }
+}
+
+TEST(HubLabelsTest, MatchesBfsOnRandomDigraphs) {
+  // Sparse through dense, several seeds each: disconnected fragments,
+  // one giant SCC, and everything between.
+  for (const double p : {0.02, 0.08, 0.25}) {
+    for (const uint64_t seed : {1u, 7u, 99u}) {
+      const DiGraph g = RandomDigraph(60, p, seed);
+      ExpectOracleMatchesBfs(
+          g, "p=" + std::to_string(p) + " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(HubLabelsTest, MatchesBfsOnGeneratedNetwork) {
+  // The smallest scale the generator's default density supports. Full
+  // all-pairs would be 16M checks; BFS from a spread of sources against
+  // every target keeps the same exactness bar at test speed.
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = 4000;
+  auto net = gen::GenerateVerifiedNetwork(cfg);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  const DiGraph& g = net->graph;
+
+  const HubLabels labels = BuildHubLabels(g);
+  ASSERT_FALSE(labels.empty());
+  ASSERT_TRUE(ValidateHubLabels(labels, g.num_nodes()).ok());
+
+  ScratchArena arena(g.num_nodes());
+  util::Rng rng(2026);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.UniformU64(g.num_nodes()));
+    Bfs(g, s, &arena);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      ASSERT_EQ(labels.Distance(s, t),
+                arena.DistanceOr(t, kInfiniteDistance))
+          << "dist(" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(HubLabelsTest, StatsDescribeTheLabelArrays) {
+  const DiGraph g = RandomDigraph(50, 0.1, 3);
+  const HubLabels labels = BuildHubLabels(g);
+  ASSERT_FALSE(labels.empty());
+  const HubLabelStats stats = labels.Stats();
+  EXPECT_EQ(stats.out_entries, labels.out_entries().size());
+  EXPECT_EQ(stats.in_entries, labels.in_entries().size());
+  // Every node carries at least its own hub in both directions.
+  EXPECT_GE(stats.out_entries, static_cast<uint64_t>(g.num_nodes()));
+  EXPECT_GE(stats.in_entries, static_cast<uint64_t>(g.num_nodes()));
+  EXPECT_GE(stats.max_out_entries, 1u);
+  EXPECT_GE(stats.avg_out_entries, 1.0);
+  EXPECT_EQ(stats.bytes, (labels.out_entries().size() +
+                          labels.in_entries().size()) *
+                                 sizeof(HubLabelEntry) +
+                             (labels.out_offsets().size() +
+                              labels.in_offsets().size()) *
+                                 sizeof(EdgeIdx));
+}
+
+TEST(HubLabelsTest, BudgetAbortReturnsEmptyNotPartial) {
+  const DiGraph g = RandomDigraph(80, 0.1, 11);
+  HubLabelOptions opts;
+  opts.max_avg_label_entries = 1;  // impossible: self-labels alone hit it
+  const HubLabels labels = BuildHubLabels(g, opts);
+  EXPECT_TRUE(labels.empty());
+  EXPECT_TRUE(labels.out_offsets().empty());
+  EXPECT_TRUE(labels.out_entries().empty());
+  EXPECT_TRUE(labels.in_offsets().empty());
+  EXPECT_TRUE(labels.in_entries().empty());
+  // "Not built" is a valid persisted state.
+  EXPECT_TRUE(ValidateHubLabels(labels, g.num_nodes()).ok());
+}
+
+TEST(HubLabelsTest, ValidateRejectsStructuralDamage) {
+  const DiGraph g = RandomDigraph(40, 0.1, 5);
+  const HubLabels good = BuildHubLabels(g);
+  ASSERT_FALSE(good.empty());
+  const NodeId n = g.num_nodes();
+
+  auto arrays = [&](auto mutate) {
+    std::vector<EdgeIdx> oo(good.out_offsets().begin(),
+                            good.out_offsets().end());
+    std::vector<HubLabelEntry> oe(good.out_entries().begin(),
+                                  good.out_entries().end());
+    std::vector<EdgeIdx> io(good.in_offsets().begin(),
+                            good.in_offsets().end());
+    std::vector<HubLabelEntry> ie(good.in_entries().begin(),
+                                  good.in_entries().end());
+    mutate(oo, oe, io, ie);
+    return HubLabels::FromArrays(std::move(oo), std::move(oe), std::move(io),
+                                 std::move(ie));
+  };
+  using OffV = std::vector<EdgeIdx>;
+  using EntV = std::vector<HubLabelEntry>;
+
+  // Wrong offsets length.
+  EXPECT_FALSE(ValidateHubLabels(
+                   arrays([](OffV& oo, EntV&, OffV&, EntV&) {
+                     oo.pop_back();
+                   }),
+                   n)
+                   .ok());
+  // Offsets not monotone.
+  EXPECT_FALSE(ValidateHubLabels(
+                   arrays([](OffV& oo, EntV&, OffV&, EntV&) {
+                     std::swap(oo[1], oo[2]);
+                   }),
+                   n)
+                   .ok());
+  // Hub rank out of range.
+  EXPECT_FALSE(ValidateHubLabels(
+                   arrays([&](OffV&, EntV& oe, OffV&, EntV&) {
+                     oe[0] = PackHubLabel(n, 0);
+                   }),
+                   n)
+                   .ok());
+  // Ranks within a row not strictly ascending.
+  EXPECT_FALSE(ValidateHubLabels(
+                   arrays([&](OffV& oo, EntV& oe, OffV&, EntV&) {
+                     for (NodeId u = 0; u < n; ++u) {
+                       if (oo[u + 1] - oo[u] >= 2) {
+                         std::swap(oe[oo[u]], oe[oo[u] + 1]);
+                         break;
+                       }
+                     }
+                   }),
+                   n)
+                   .ok());
+  // One direction present, the other missing: partial state is invalid.
+  EXPECT_FALSE(ValidateHubLabels(
+                   arrays([](OffV&, EntV&, OffV& io, EntV& ie) {
+                     io.clear();
+                     ie.clear();
+                   }),
+                   n)
+                   .ok());
+  // Node-count mismatch against the caller's graph.
+  EXPECT_FALSE(ValidateHubLabels(good, n + 1).ok());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace elitenet

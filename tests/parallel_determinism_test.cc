@@ -16,6 +16,7 @@
 #include "analysis/kcore.h"
 #include "gen/verified_network.h"
 #include "graph/frontier.h"
+#include "graph/hub_labels.h"
 #include "graph/traversal.h"
 #include "stats/powerlaw.h"
 #include "util/metrics.h"
@@ -179,6 +180,26 @@ TEST_F(ParallelDeterminismTest, Clustering) {
         analysis::ComputeClusteringSampled(g, 500, &srng);
     EXPECT_EQ(sampled.average_local, base_sampled.average_local) << threads;
     EXPECT_EQ(sampled.nodes_evaluated, base_sampled.nodes_evaluated);
+  }
+}
+
+// The distance-oracle labels are persisted and checksummed, so the
+// construction must be a pure function of the graph: bit-identical
+// offset and entry arrays at every thread count (the acceptance grid is
+// 1/2/4/8; 3 rides along to catch non-power-of-two chunking bugs).
+TEST_F(ParallelDeterminismTest, HubLabels) {
+  const graph::DiGraph& g = Network().graph;
+  util::SetThreadCount(1);
+  const graph::HubLabels base = graph::BuildHubLabels(g);
+  ASSERT_FALSE(base.empty());
+  ASSERT_TRUE(graph::ValidateHubLabels(base, g.num_nodes()).ok());
+  for (int threads : {2, 3, 4, 8}) {
+    util::SetThreadCount(threads);
+    const graph::HubLabels labels = graph::BuildHubLabels(g);
+    EXPECT_EQ(labels.out_offsets(), base.out_offsets()) << threads;
+    EXPECT_EQ(labels.out_entries(), base.out_entries()) << threads;
+    EXPECT_EQ(labels.in_offsets(), base.in_offsets()) << threads;
+    EXPECT_EQ(labels.in_entries(), base.in_entries()) << threads;
   }
 }
 

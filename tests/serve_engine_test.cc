@@ -109,6 +109,7 @@ TEST(QueryEngineTest, TopKMatchesAnalysisRanking) {
 TEST(QueryEngineTest, DistanceMatchesBidirectionalKernel) {
   const graph::DiGraph g = TestGraph();
   auto engine = MakeEngine(g);
+  ASSERT_TRUE(engine->distance_oracle_active());
   const auto expect = analysis::BidirectionalDistance(g, 0, 4);
   ASSERT_EQ(expect.distance, 4u);  // 0 -> 1 -> 2 -> 3 -> 4
 
@@ -119,9 +120,31 @@ TEST(QueryEngineTest, DistanceMatchesBidirectionalKernel) {
   EXPECT_TRUE(Contains(
       r.json, "\"distance\":" + std::to_string(expect.distance)))
       << r.json;
-  EXPECT_TRUE(Contains(
-      r.json, "\"expanded\":" + std::to_string(expect.expanded)))
-      << r.json;
+}
+
+TEST(QueryEngineTest, OracleAndBfsFallbackAreByteIdentical) {
+  const graph::DiGraph g = TestGraph();
+  auto oracle = MakeEngine(g);
+  ASSERT_TRUE(oracle->distance_oracle_active());
+
+  EngineOptions bfs_opts;
+  bfs_opts.threads = 1;
+  bfs_opts.distance_oracle = false;
+  auto bfs = QueryEngine::Create(g, bfs_opts);
+  ASSERT_TRUE(bfs.ok()) << bfs.status().ToString();
+  ASSERT_FALSE((*bfs)->distance_oracle_active());
+
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::string line =
+          "dist " + std::to_string(u) + " " + std::to_string(v);
+      const QueryResponse a = oracle->ExecuteLine(line);
+      const QueryResponse b = (*bfs)->ExecuteLine(line);
+      ASSERT_TRUE(a.ok) << line << ": " << a.json;
+      ASSERT_TRUE(b.ok) << line << ": " << b.json;
+      EXPECT_EQ(a.json, b.json) << line;
+    }
+  }
 }
 
 TEST(QueryEngineTest, UnreachableDistanceIsCompleteNotDegraded) {
@@ -149,6 +172,11 @@ TEST(QueryEngineTest, TinyDeadlineDegradesGracefully) {
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
   auto engine = MakeEngine(*g);
+  // A chain is pathological for hub labeling (quadratic label growth),
+  // so the builder's budget abort must have kicked in and left dist on
+  // the BFS path — otherwise the oracle would answer without expanding
+  // and this test could not exercise deadline degradation.
+  ASSERT_FALSE(engine->distance_oracle_active());
 
   const QueryResponse r = engine->ExecuteLine("dist 0 19999 1");
   ASSERT_TRUE(r.ok) << r.json;

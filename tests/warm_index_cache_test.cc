@@ -41,7 +41,8 @@ graph::DiGraph TestGraph() {
 
 WarmIndexKey KeyFor(const graph::DiGraph& g, const EngineOptions& opts) {
   return {graph::GraphChecksum(g),
-          WarmConfigHash(opts.pagerank, opts.fingerprint)};
+          WarmConfigHash(opts.pagerank, opts.fingerprint,
+                         opts.distance_oracle)};
 }
 
 void FlipByte(const std::string& path, long offset) {
@@ -73,16 +74,21 @@ TEST(WarmIndexPathTest, AppendsWidxAndStripsTrailingSlashes) {
 TEST(WarmConfigHashTest, SensitiveToEveryIndexOption) {
   analysis::PageRankOptions pr;
   core::FingerprintOptions fp;
-  const uint64_t base = WarmConfigHash(pr, fp);
-  EXPECT_EQ(WarmConfigHash(pr, fp), base);
+  const uint64_t base = WarmConfigHash(pr, fp, true);
+  EXPECT_EQ(WarmConfigHash(pr, fp, true), base);
 
   analysis::PageRankOptions pr2 = pr;
   pr2.damping += 0.01;
-  EXPECT_NE(WarmConfigHash(pr2, fp), base);
+  EXPECT_NE(WarmConfigHash(pr2, fp, true), base);
 
   core::FingerprintOptions fp2 = fp;
   fp2.seed += 1;
-  EXPECT_NE(WarmConfigHash(pr, fp2), base);
+  EXPECT_NE(WarmConfigHash(pr, fp2, true), base);
+
+  // Toggling the distance oracle changes the key: a sidecar built without
+  // the oracle never validates for an engine that expects one (and vice
+  // versa) — it degrades to a rebuild instead of serving without labels.
+  EXPECT_NE(WarmConfigHash(pr, fp, false), base);
 }
 
 TEST(WarmIndexCacheTest, RoundTripRestoresEveryIndex) {
@@ -112,6 +118,13 @@ TEST(WarmIndexCacheTest, RoundTripRestoresEveryIndex) {
   EXPECT_EQ(restored->fingerprint_ok, built.fingerprint_ok);
   EXPECT_EQ(restored->fingerprint_error, built.fingerprint_error);
   EXPECT_EQ(restored->fingerprint_similarity, built.fingerprint_similarity);
+  ASSERT_FALSE(built.hub_labels.empty());
+  EXPECT_EQ(restored->hub_labels.out_offsets(),
+            built.hub_labels.out_offsets());
+  EXPECT_EQ(restored->hub_labels.out_entries(),
+            built.hub_labels.out_entries());
+  EXPECT_EQ(restored->hub_labels.in_offsets(), built.hub_labels.in_offsets());
+  EXPECT_EQ(restored->hub_labels.in_entries(), built.hub_labels.in_entries());
 }
 
 TEST(WarmIndexCacheTest, StaleGraphChecksumIsFailedPrecondition) {
@@ -166,6 +179,66 @@ TEST(WarmIndexCacheTest, VersionSkewIsNotSupported) {
       StatusCode::kNotSupported);
 }
 
+// Forward compatibility, old side: a sidecar written by the previous
+// format generation (version 1, no hub-label sections) must be refused
+// with NotSupported — never misparsed — and the engine must degrade it
+// to a rebuild that rewrites the file in the current format.
+TEST(WarmIndexCacheTest, OldFormatSidecarDegradesToRebuildAndRewrite) {
+  const graph::DiGraph g = TestGraph();
+  const std::string widx = TempPath("old_format.widx");
+  std::remove(widx.c_str());
+  EngineWithSidecar(g, widx);
+
+  // Rewind the header's version field (u32 at offset 4) from 2 to 1,
+  // simulating a file left behind by the previous release.
+  {
+    std::fstream f(widx, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const uint32_t v1 = 1;
+    f.seekp(4);
+    f.write(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  }
+
+  EngineOptions opts;
+  EXPECT_EQ(
+      LoadWarmIndexes(widx, KeyFor(g, opts), g.num_nodes()).status().code(),
+      StatusCode::kNotSupported);
+
+  auto engine = EngineWithSidecar(g, widx);  // must not fail
+  EXPECT_FALSE(engine->warm_index_from_cache());
+  auto next = EngineWithSidecar(g, widx);  // the rebuild rewrote v2
+  EXPECT_TRUE(next->warm_index_from_cache());
+}
+
+// Forward compatibility, new side: an oracle-bearing sidecar must be
+// cleanly rejected by readers that predate the hub-label sections. The
+// v1 reader's first check is `version == 1` (NotSupported on mismatch),
+// so it suffices that the on-disk version advanced; a reader that only
+// differs in config (oracle disabled) is caught by the key instead.
+TEST(WarmIndexCacheTest, NewSectionsAreInvisibleToOldReaders) {
+  const graph::DiGraph g = TestGraph();
+  const std::string widx = TempPath("new_sections.widx");
+  std::remove(widx.c_str());
+  EngineWithSidecar(g, widx);
+
+  uint32_t version = 0;
+  {
+    std::ifstream f(widx, std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(4);
+    f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  }
+  EXPECT_EQ(version, 2u) << "hub-label sections must bump the format version";
+
+  EngineOptions no_oracle;
+  no_oracle.distance_oracle = false;
+  EXPECT_EQ(
+      LoadWarmIndexes(widx, KeyFor(g, no_oracle), g.num_nodes())
+          .status()
+          .code(),
+      StatusCode::kFailedPrecondition);
+}
+
 TEST(WarmIndexCacheTest, DamageIsCorruption) {
   const graph::DiGraph g = TestGraph();
   const std::string widx = TempPath("damage.widx");
@@ -180,10 +253,10 @@ TEST(WarmIndexCacheTest, DamageIsCorruption) {
             StatusCode::kCorruption);
 
   // Payload bit flip (first section starts after the 64 B header and the
-  // 10-entry * 32 B table, aligned to 384).
+  // 14-entry * 32 B table, aligned to 512).
   std::remove(widx.c_str());
   EngineWithSidecar(g, widx);
-  FlipByte(widx, 384);
+  FlipByte(widx, 512);
   EXPECT_EQ(LoadWarmIndexes(widx, key, g.num_nodes()).status().code(),
             StatusCode::kCorruption);
 
