@@ -8,8 +8,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/study.h"
+#include "graph/digraph.h"
+#include "serve/request.h"
 
 namespace elitenet {
 namespace bench {
@@ -54,6 +57,23 @@ std::string CsvPath(const BenchArgs& args, const std::string& name);
 /// speedup on a single-core container is expected, not a regression).
 /// Call inside an open JSON object, two-space indent, comma included.
 void WriteEnvironmentJson(std::FILE* f);
+
+/// One FNV-1a step folding `x` into hash state `h` — the order-sensitive
+/// combiner the serving benches use for response checksums.
+uint64_t FnvMix(uint64_t h, uint64_t x);
+
+/// FNV-1a over a byte string.
+uint64_t FnvString(const std::string& s);
+
+/// Deterministic zipf-skewed serving workload: per-user lookups (ego,
+/// neighbors) concentrated on the highest-degree hubs, rarer whole-graph
+/// queries (topk, dist, fingerprint) — verification-style traffic. The
+/// same (graph, count, zipf_s, seed) always yields the same mix, which
+/// is what makes replay checksums comparable across engines and
+/// telemetry settings.
+std::vector<serve::Request> MakeServeRequestMix(const graph::DiGraph& g,
+                                                size_t count, double zipf_s,
+                                                uint64_t seed);
 
 /// Relative deviation |measured - paper| / |paper|.
 double RelDev(double measured, double paper);

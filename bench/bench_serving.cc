@@ -44,92 +44,8 @@ constexpr int kThreadCounts[] = {1, 2, 4, 8};
 constexpr size_t kNumThreadCounts = 4;
 constexpr size_t kNumTypes = 5;  // matches serve::RequestType values
 
-uint64_t FnvMix(uint64_t h, uint64_t x) {
-  h ^= x;
-  return h * 0x100000001b3ULL;
-}
-
-uint64_t FnvString(const std::string& s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-// Draws ranks with P(r) ~ 1/(r+1)^s over [0, n) by inverse CDF on the
-// precomputed cumulative weights.
-class ZipfSampler {
- public:
-  ZipfSampler(size_t n, double s) : cumulative_(n) {
-    double total = 0.0;
-    for (size_t r = 0; r < n; ++r) {
-      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
-      cumulative_[r] = total;
-    }
-  }
-
-  size_t Sample(util::Rng* rng) const {
-    const double u = rng->UniformDouble() * cumulative_.back();
-    return static_cast<size_t>(
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
-        cumulative_.begin());
-  }
-
- private:
-  std::vector<double> cumulative_;
-};
-
-// The query mix: per-user lookups dominate, whole-graph summaries are
-// rare — the companion paper's verification-style workload.
-std::vector<serve::Request> MakeRequestMix(const graph::DiGraph& g,
-                                           size_t count, double zipf_s,
-                                           uint64_t seed) {
-  // Hot set = nodes by descending total degree: zipf rank 0 is the
-  // biggest hub, exactly where real per-user traffic lands.
-  std::vector<graph::NodeId> by_degree(g.num_nodes());
-  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) by_degree[u] = u;
-  std::stable_sort(by_degree.begin(), by_degree.end(),
-                   [&](graph::NodeId a, graph::NodeId b) {
-                     const uint64_t da = g.OutDegree(a) + g.InDegree(a);
-                     const uint64_t db = g.OutDegree(b) + g.InDegree(b);
-                     if (da != db) return da > db;
-                     return a < b;
-                   });
-  ZipfSampler zipf(by_degree.size(), zipf_s);
-  util::Rng rng(seed);
-  const uint32_t ks[] = {10, 20, 50, 100};
-  const uint32_t limits[] = {16, 32, 64};
-
-  std::vector<serve::Request> mix;
-  mix.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    serve::Request r;
-    const double t = rng.UniformDouble();
-    if (t < 0.35) {
-      r.type = serve::RequestType::kEgoSummary;
-      r.node = by_degree[zipf.Sample(&rng)];
-    } else if (t < 0.60) {
-      r.type = serve::RequestType::kNeighbors;
-      r.node = by_degree[zipf.Sample(&rng)];
-      r.direction = rng.Bernoulli(0.5) ? serve::NeighborDirection::kOut
-                                       : serve::NeighborDirection::kIn;
-      r.limit = limits[rng.UniformU64(3)];
-    } else if (t < 0.80) {
-      r.type = serve::RequestType::kTopKRank;
-      r.k = ks[rng.UniformU64(4)];
-    } else if (t < 0.95) {
-      r.type = serve::RequestType::kDistance;
-      r.node = by_degree[zipf.Sample(&rng)];
-      r.target = by_degree[zipf.Sample(&rng)];
-    } else {
-      r.type = serve::RequestType::kFingerprint;
-    }
-    mix.push_back(r);
-  }
-  return mix;
-}
+// FnvMix / FnvString / the zipf request-mix builder live in bench_common
+// so the observability serving bench replays the identical workload.
 
 struct TypeLatencies {
   std::vector<double> micros;
@@ -322,7 +238,7 @@ int main(int argc, char** argv) {
               num_requests, zipf_s, std::thread::hardware_concurrency());
 
   const std::vector<serve::Request> mix =
-      bench::MakeRequestMix(g, num_requests, zipf_s, args.seed ^ 0x5E47E);
+      bench::MakeServeRequestMix(g, num_requests, zipf_s, args.seed ^ 0x5E47E);
 
   std::vector<bench::RunResult> runs;
   for (size_t t = 0; t < bench::kNumThreadCounts; ++t) {

@@ -9,7 +9,13 @@
 //   elitenet_cli distance <graph>      separation distribution (Fig. 3)
 //   elitenet_cli fingerprint <graph>   signature + similarity to the paper
 //   elitenet_cli rank <graph> [k]      top-k users by PageRank
-//   elitenet_cli serve <graph> [N]     query engine on stdin/stdout (N workers)
+//   elitenet_cli serve <graph> [N]     query engine on stdin/stdout (N
+//                                      workers; also --metrics=<path>,
+//                                      --metrics-interval=<ms>,
+//                                      --flight-recorder=<K>, --slow-ms=<t>,
+//                                      --sample=<N>, --no-telemetry; admin
+//                                      lines #stats/#healthz/#recent/#slow/
+//                                      #trace <id> answer with JSON)
 //   elitenet_cli convert <in> <out>    edge list <-> binary snapshot
 //                                      (.eng2 = zero-copy mmap format,
 //                                       .eng = legacy ENG1, else text)
@@ -180,10 +186,20 @@ int CmdRank(const graph::DiGraph& g, uint32_t k) {
   return 0;
 }
 
-int CmdServe(graph::DiGraph g, const std::string& graph_path, int threads) {
+int CmdServe(graph::DiGraph g, const std::string& graph_path, int argc,
+             char** argv) {
   serve::EngineOptions opts;
-  opts.threads = threads;
+  serve::ApplyServeEnv(&opts);  // env first; explicit flags override
   opts.warm_index_path = serve::WarmIndexPathFor(graph_path);
+  for (int i = 0; i < argc; ++i) {
+    if (serve::ParseServeFlag(argv[i], &opts)) continue;
+    if (argv[i][0] != '-') {
+      opts.threads = std::atoi(argv[i]);  // positional worker count
+      continue;
+    }
+    std::fprintf(stderr, "unknown serve flag: %s\n", argv[i]);
+    return 2;
+  }
   auto engine = serve::QueryEngine::Create(std::move(g), opts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine startup failed: %s\n",
@@ -201,13 +217,16 @@ int CmdServe(graph::DiGraph g, const std::string& graph_path, int threads) {
   const serve::ServeStats stats =
       serve::ServeLines(engine->get(), stdin, stdout);
   std::fprintf(stderr,
-               "served %llu requests (%llu errors, %llu degraded), "
-               "cache %llu hits / %llu misses\n",
+               "served %llu requests (%llu errors, %llu degraded, "
+               "%llu admin), cache %llu hits / %llu misses\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.errors),
                static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.admin),
                static_cast<unsigned long long>((*engine)->cache_hits()),
                static_cast<unsigned long long>((*engine)->cache_misses()));
+  std::fputs(serve::RenderSummaryText((*engine)->telemetry()).c_str(),
+             stderr);
   return 0;
 }
 
@@ -306,8 +325,7 @@ int main(int argc, char** argv) {
     return CmdRank(*g, k);
   }
   if (command == "serve") {
-    const int threads = argc > 3 ? std::atoi(argv[3]) : 1;
-    return CmdServe(std::move(*g), argv[2], threads);
+    return CmdServe(std::move(*g), argv[2], argc - 3, argv + 3);
   }
   if (command == "convert") {
     if (argc < 4) {

@@ -3,7 +3,18 @@
 // on stdin with one JSON object per line on stdout until EOF or "quit".
 //
 //   elitenet_serve <graph|dataset-dir> [--threads=N] [--cache=N]
-//                  [--no-widx]
+//                  [--no-widx] [--metrics=<path>] [--metrics-interval=<ms>]
+//                  [--flight-recorder=<K>] [--slow-ms=<t>] [--sample=<N>]
+//                  [--no-telemetry]
+//
+// Telemetry: every request gets a deterministic trace id; the last K
+// requests live in an in-memory flight recorder introspectable over the
+// same line protocol (#stats, #healthz, #recent [n], #slow [n],
+// #trace <id>). --metrics=<path> starts a background exporter writing
+// JSON (and <path>.prom Prometheus text) snapshots every interval.
+// Env fallbacks (flags win): ELITENET_METRICS,
+// ELITENET_METRICS_INTERVAL_MS, ELITENET_FLIGHT_RECORDER,
+// ELITENET_SLOW_MS.
 //
 // Warm indexes persist to a `<graph>.widx` sidecar keyed by the graph's
 // checksum: the first start builds and writes it, subsequent starts
@@ -41,6 +52,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   serve::EngineOptions opts;
+  serve::ApplyServeEnv(&opts);  // env first; explicit flags override
   bool use_widx = true;
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -50,6 +62,8 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     } else if (std::strcmp(argv[i], "--no-widx") == 0) {
       use_widx = false;
+    } else if (serve::ParseServeFlag(argv[i], &opts)) {
+      // telemetry/metrics flag, handled
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -86,12 +100,15 @@ int main(int argc, char** argv) {
   const serve::ServeStats stats =
       serve::ServeLines(engine->get(), stdin, stdout);
   std::fprintf(stderr,
-               "served %llu requests (%llu errors, %llu degraded), "
-               "cache %llu hits / %llu misses\n",
+               "served %llu requests (%llu errors, %llu degraded, "
+               "%llu admin), cache %llu hits / %llu misses\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.errors),
                static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.admin),
                static_cast<unsigned long long>((*engine)->cache_hits()),
                static_cast<unsigned long long>((*engine)->cache_misses()));
+  std::fputs(serve::RenderSummaryText((*engine)->telemetry()).c_str(),
+             stderr);
   return 0;
 }

@@ -5,9 +5,10 @@
 #   2. tsan:   ThreadSanitizer build, "tsan"-labelled tests (parallel
 #              scheduler, traversal kernels, serving cache + executor);
 #   3. perf:   the "perf"-labelled ctest smoke benches (graph kernels,
-#              serving load, cold start, distance oracle) — each is a
-#              hard-asserting harness that fails on response divergence,
-#              cache/oracle slowdowns, or degraded queries.
+#              serving load, cold start, distance oracle, telemetry
+#              overhead) — each is a hard-asserting harness that fails on
+#              response divergence, cache/oracle/telemetry slowdowns, or
+#              degraded queries.
 #
 # Usage: scripts/check.sh [--skip-tsan]
 # Runs from any cwd; builds live in build/ and build-tsan/.
@@ -39,7 +40,7 @@ else
   echo "== tsan: skipped (--skip-tsan) =="
 fi
 
-echo "== perf: smoke benches (kernels, serving, cold start, dist oracle) =="
+echo "== perf: smoke benches (kernels, serving, cold start, oracle, telemetry) =="
 (cd build && ctest -L perf --output-on-failure -j "$JOBS")
 
 echo "== all checks passed =="

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -136,6 +138,8 @@ struct QueryEngine::Impl {
     Request req;
     util::Deadline deadline;
     std::promise<QueryResponse> promise;
+    uint64_t seq = 0;  ///< Telemetry sequence, assigned at submission.
+    std::chrono::steady_clock::time_point submitted;
   };
 
   std::unique_ptr<util::ShardedLruCache<std::string, std::string>> cache;
@@ -152,7 +156,10 @@ struct QueryEngine::Impl {
 };
 
 QueryEngine::QueryEngine(DiGraph g, const EngineOptions& options)
-    : graph_(std::move(g)), options_(options), impl_(new Impl) {
+    : graph_(std::move(g)),
+      options_(options),
+      impl_(new Impl),
+      telemetry_(new Telemetry(options.telemetry)) {
   if (options_.cache_capacity > 0) {
     impl_->cache =
         std::make_unique<util::ShardedLruCache<std::string, std::string>>(
@@ -161,6 +168,9 @@ QueryEngine::QueryEngine(DiGraph g, const EngineOptions& options)
 }
 
 QueryEngine::~QueryEngine() {
+  // Stop the exporter first: its final snapshot must run while the
+  // engine (cache counters, inflight gauge) is still alive.
+  exporter_.reset();
   {
     std::lock_guard<std::mutex> lock(impl_->queue_mutex);
     impl_->shutdown = true;
@@ -178,6 +188,16 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
       new QueryEngine(std::move(g), options));
   EN_RETURN_IF_ERROR(engine->Warmup());
   engine->StartWorkers();
+  if (!options.metrics_path.empty()) {
+    // Exposition implies recording: flip the util metrics switch so the
+    // macro-based counters/sketches the snapshots embed are live.
+    util::SetMetricsEnabled(true);
+    QueryEngine* raw = engine.get();
+    engine->exporter_ = std::make_unique<TelemetryExporter>(
+        engine->telemetry_.get(), options.metrics_path,
+        options.metrics_interval_ms,
+        [raw] { return raw->StatsContext(); });
+  }
   return engine;
 }
 
@@ -287,8 +307,20 @@ void QueryEngine::WorkerLoop() {
       if (impl_->queue.empty()) return;  // shutdown with nothing pending
       job = std::move(impl_->queue.front());
       impl_->queue.pop_front();
+      // Drain-side depth sample: together with the submission-side one,
+      // the queue_depth distribution sees both the arrival and the
+      // departure view of the backlog.
+      ELITENET_HISTOGRAM("serve.queue_depth", impl_->queue.size());
     }
-    job.promise.set_value(ExecuteWithDeadline(job.req, job.deadline));
+    RequestMeta meta;
+    meta.seq = job.seq;
+    meta.queued = true;
+    meta.queue_wait_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - job.submitted)
+            .count());
+    ELITENET_SKETCH("serve.queue.wait_us", meta.queue_wait_us);
+    job.promise.set_value(ExecuteWithDeadline(job.req, job.deadline, meta));
   }
 }
 
@@ -297,6 +329,11 @@ std::future<QueryResponse> QueryEngine::Submit(const Request& r) {
   job.req = r;
   job.deadline = r.deadline_us > 0 ? util::Deadline::After(r.deadline_us)
                                    : util::Deadline::Infinite();
+  // Sequence numbers are claimed at submission (not execution) so a
+  // replayed request stream maps to the same trace ids no matter how the
+  // workers interleave.
+  if (telemetry_->enabled()) job.seq = telemetry_->NextSeq();
+  job.submitted = std::chrono::steady_clock::now();
   std::future<QueryResponse> fut = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(impl_->queue_mutex);
@@ -308,9 +345,11 @@ std::future<QueryResponse> QueryEngine::Submit(const Request& r) {
 }
 
 QueryResponse QueryEngine::Execute(const Request& r) {
-  return ExecuteWithDeadline(r, r.deadline_us > 0
-                                    ? util::Deadline::After(r.deadline_us)
-                                    : util::Deadline::Infinite());
+  return ExecuteWithDeadline(r,
+                             r.deadline_us > 0
+                                 ? util::Deadline::After(r.deadline_us)
+                                 : util::Deadline::Infinite(),
+                             RequestMeta());
 }
 
 QueryResponse QueryEngine::ExecuteLine(std::string_view line) {
@@ -352,23 +391,25 @@ const char* SpanNameFor(RequestType type) {
 
 // Distinct macro call sites per type: the metrics macros cache their
 // metric pointer per call site, so one shared site with a runtime name
-// would bind every type to the first histogram it saw.
+// would bind every type to the first sketch it saw. Sketches (not the
+// power-of-two histograms) so the exported snapshots carry live
+// p50/p95/p99 per type at O(1) memory.
 void RecordLatency(RequestType type, uint64_t micros) {
   switch (type) {
     case RequestType::kEgoSummary:
-      ELITENET_HISTOGRAM("serve.latency_us.ego", micros);
+      ELITENET_SKETCH("serve.latency_us.ego", micros);
       break;
     case RequestType::kTopKRank:
-      ELITENET_HISTOGRAM("serve.latency_us.topk", micros);
+      ELITENET_SKETCH("serve.latency_us.topk", micros);
       break;
     case RequestType::kDistance:
-      ELITENET_HISTOGRAM("serve.latency_us.dist", micros);
+      ELITENET_SKETCH("serve.latency_us.dist", micros);
       break;
     case RequestType::kNeighbors:
-      ELITENET_HISTOGRAM("serve.latency_us.neighbors", micros);
+      ELITENET_SKETCH("serve.latency_us.neighbors", micros);
       break;
     case RequestType::kFingerprint:
-      ELITENET_HISTOGRAM("serve.latency_us.fingerprint", micros);
+      ELITENET_SKETCH("serve.latency_us.fingerprint", micros);
       break;
   }
 }
@@ -390,45 +431,93 @@ QueryResponse ErrorResponse(const Request& r, const Status& status) {
 }  // namespace
 
 QueryResponse QueryEngine::ExecuteWithDeadline(const Request& r,
-                                               const util::Deadline& deadline) {
+                                               const util::Deadline& deadline,
+                                               const RequestMeta& meta) {
   ELITENET_COUNT("serve.requests", 1);
-  util::ScopedSpan span(SpanNameFor(r.type));
+  Telemetry* tel =
+      telemetry_->enabled() ? telemetry_.get() : nullptr;
+  uint64_t seq = 0;
+  uint64_t trace_id = 0;
+  bool sampled = false;
+  if (tel != nullptr) {
+    // Synchronous Execute() claims its sequence here; Submit() claimed it
+    // at enqueue time so trace ids follow submission order.
+    seq = meta.seq != 0 ? meta.seq : tel->NextSeq();
+    trace_id = TraceIdFor(seq);
+    sampled = tel->Sampled(trace_id);
+  }
+  // Sampled requests capture their span tree via the thread-local sink;
+  // unsampled ones pay only the null-pointer check inside each span.
+  std::optional<util::SpanCapture> capture;
+  if (sampled) capture.emplace();
+
   const int64_t inflight =
       impl_->inflight.fetch_add(1, std::memory_order_relaxed) + 1;
   ELITENET_GAUGE_SET("serve.inflight", inflight);
   util::SpanTimer timer;
 
   QueryResponse resp;
-  std::string key;
-  bool from_cache = false;
-  if (impl_->cache != nullptr) {
-    key = CacheKey(r);
-    std::string cached;
-    if (impl_->cache->Get(key, &cached)) {
-      ELITENET_COUNT("serve.cache.hit", 1);
-      resp.json = std::move(cached);
-      resp.cache_hit = true;
-      from_cache = true;
-    } else {
-      ELITENET_COUNT("serve.cache.miss", 1);
+  {
+    util::ScopedSpan span(SpanNameFor(r.type));
+    std::string key;
+    bool from_cache = false;
+    if (impl_->cache != nullptr) {
+      key = CacheKey(r);
+      std::string cached;
+      if (impl_->cache->Get(key, &cached)) {
+        ELITENET_COUNT("serve.cache.hit", 1);
+        resp.json = std::move(cached);
+        resp.cache_hit = true;
+        from_cache = true;
+      } else {
+        ELITENET_COUNT("serve.cache.miss", 1);
+      }
     }
-  }
-  if (!from_cache) {
-    resp = Compute(r, deadline);
-    if (resp.ok && !resp.degraded && impl_->cache != nullptr) {
-      impl_->cache->Put(key, resp.json);
+    if (!from_cache) {
+      resp = Compute(r, deadline);
+      if (resp.ok && !resp.degraded && impl_->cache != nullptr) {
+        impl_->cache->Put(key, resp.json);
+      }
     }
-  }
+  }  // root span closes here so a sampled capture sees its duration
 
-  RecordLatency(r.type, static_cast<uint64_t>(timer.Seconds() * 1e6));
-  ELITENET_GAUGE_SET("serve.inflight",
-                     impl_->inflight.fetch_sub(1, std::memory_order_relaxed) -
-                         1);
+  const uint64_t latency_us = static_cast<uint64_t>(timer.Seconds() * 1e6);
+  RecordLatency(r.type, latency_us);
+  // Keep the fetch_sub outside the macro: ELITENET_GAUGE_SET skips its
+  // value argument when metrics are disabled, and the matching fetch_add
+  // above runs unconditionally.
+  const int64_t now_inflight =
+      impl_->inflight.fetch_sub(1, std::memory_order_relaxed) - 1;
+  ELITENET_GAUGE_SET("serve.inflight", now_inflight);
+  if (tel != nullptr) {
+    RequestRecord record;
+    record.trace_id = trace_id;
+    record.seq = seq;
+    record.request = r;
+    record.ok = resp.ok;
+    record.degraded = resp.degraded;
+    record.cache_hit = resp.cache_hit;
+    record.sampled = sampled;
+    record.queued = meta.queued;
+    record.queue_wait_us = meta.queue_wait_us;
+    record.latency_us = latency_us;
+    record.deadline_slack_us = deadline.RemainingMicros();
+    record.deadline_missed =
+        !deadline.infinite() && record.deadline_slack_us == 0;
+    record.oracle_fallback = r.type == RequestType::kDistance &&
+                             !resp.cache_hit && !distance_oracle_active();
+    if (capture.has_value()) {
+      record.spans = capture->Take();
+      record.spans_truncated = capture->truncated();
+    }
+    tel->Record(std::move(record));
+  }
   return resp;
 }
 
 QueryResponse QueryEngine::Compute(const Request& r,
                                    const util::Deadline& deadline) {
+  ELITENET_SPAN("serve.compute");
   switch (r.type) {
     case RequestType::kEgoSummary:
       return DoEgoSummary(r);
@@ -680,6 +769,45 @@ uint64_t QueryEngine::cache_hits() const {
 
 uint64_t QueryEngine::cache_misses() const {
   return impl_->cache != nullptr ? impl_->cache->misses() : 0;
+}
+
+void QueryEngine::ClearResultCache() {
+  if (impl_->cache != nullptr) impl_->cache->Clear();
+}
+
+void QueryEngine::SetTelemetryEnabled(bool on) {
+  telemetry_->set_enabled(on);
+}
+
+EngineStatsContext QueryEngine::StatsContext() const {
+  EngineStatsContext ctx;
+  ctx.nodes = graph_.num_nodes();
+  ctx.edges = graph_.num_edges();
+  ctx.workers = threads();
+  ctx.oracle_active = distance_oracle_active();
+  ctx.cache_hits = cache_hits();
+  ctx.cache_misses = cache_misses();
+  ctx.warmup_seconds = warmup_seconds_;
+  ctx.warm_from_cache = warm_from_cache_;
+  ctx.inflight = impl_->inflight.load(std::memory_order_relaxed);
+  return ctx;
+}
+
+std::string QueryEngine::AdminResponse(const AdminCommand& cmd) const {
+  switch (cmd.kind) {
+    case AdminCommand::Kind::kStats:
+      return RenderStatsJson(*telemetry_, StatsContext());
+    case AdminCommand::Kind::kHealthz:
+      return RenderHealthzJson(*telemetry_, StatsContext());
+    case AdminCommand::Kind::kRecent:
+      return RenderRecentJson(*telemetry_, cmd.n);
+    case AdminCommand::Kind::kSlow:
+      return RenderSlowJson(*telemetry_, cmd.n);
+    case AdminCommand::Kind::kTrace:
+      return RenderTraceJson(*telemetry_, cmd.trace_id);
+  }
+  return "{\"type\":\"error\",\"code\":\"internal\",\"message\":\"unhandled "
+         "admin command\"}";
 }
 
 }  // namespace serve

@@ -47,6 +47,7 @@
 #include "core/fingerprint.h"
 #include "graph/digraph.h"
 #include "serve/request.h"
+#include "serve/telemetry.h"
 #include "serve/warm_index_cache.h"
 #include "util/deadline.h"
 #include "util/lru_cache.h"
@@ -74,6 +75,15 @@ struct EngineOptions {
   /// computing them, and writes the sidecar back after a fresh build. A
   /// stale or corrupt sidecar degrades to a rebuild, never an error.
   std::string warm_index_path;
+  /// Live telemetry plane (trace ids, flight recorder, latency sketches,
+  /// SLO counters). Telemetry observes but never decides, so response
+  /// bytes are identical with it enabled, disabled, or sampled.
+  TelemetryOptions telemetry;
+  /// When non-empty, a background exporter thread writes a JSON snapshot
+  /// here (and Prometheus text to `metrics_path + ".prom"`) every
+  /// metrics_interval_ms; also turns on util metrics recording.
+  std::string metrics_path;
+  int metrics_interval_ms = 1000;
 };
 
 struct QueryResponse {
@@ -124,6 +134,16 @@ class QueryEngine {
   uint64_t cache_hits() const;
   uint64_t cache_misses() const;
 
+  /// Drops every result-cache entry (tallies are preserved). Lets
+  /// benchmarks replay cold-cache traffic against one long-lived engine
+  /// instead of rebuilding it per run.
+  void ClearResultCache();
+
+  /// Flips the telemetry plane's live master switch (responses are
+  /// byte-identical either way). An A/B overhead measurement toggles
+  /// this on one engine so both arms share the same heap layout.
+  void SetTelemetryEnabled(bool on);
+
   /// Seconds spent building (or restoring) warm indexes in Create().
   double warmup_seconds() const { return warmup_seconds_; }
 
@@ -138,6 +158,16 @@ class QueryEngine {
   /// when it is disabled by options or construction blew its budget (in
   /// which case dist uses the bidirectional-BFS fallback).
   bool distance_oracle_active() const { return !warm_.hub_labels.empty(); }
+
+  /// The engine's telemetry plane (always present; inert when
+  /// options.telemetry.enabled is false).
+  const Telemetry& telemetry() const { return *telemetry_; }
+
+  /// Engine-side facts for the admin/stats renderers.
+  EngineStatsContext StatsContext() const;
+
+  /// Answers one parsed admin command as a single JSON line.
+  std::string AdminResponse(const AdminCommand& cmd) const;
 
  private:
   QueryEngine(graph::DiGraph g, const EngineOptions& options);
@@ -158,8 +188,16 @@ class QueryEngine {
   QueryResponse DoNeighbors(const Request& r);
   QueryResponse DoFingerprint();
 
+  /// Executor-side facts about a request that exist before execution.
+  struct RequestMeta {
+    uint64_t seq = 0;  ///< Pre-assigned sequence number (0 = assign now).
+    uint64_t queue_wait_us = 0;
+    bool queued = false;
+  };
+
   QueryResponse ExecuteWithDeadline(const Request& r,
-                                    const util::Deadline& deadline);
+                                    const util::Deadline& deadline,
+                                    const RequestMeta& meta);
 
   struct Scratch;
   /// Borrows a scratch (two arenas) from the pool, creating one on first
@@ -179,6 +217,10 @@ class QueryEngine {
 
   struct Impl;  // executor queue, scratch pool, cache
   std::unique_ptr<Impl> impl_;
+
+  std::unique_ptr<Telemetry> telemetry_;
+  // Declared (and reset in ~QueryEngine) after everything it reads.
+  std::unique_ptr<TelemetryExporter> exporter_;
 };
 
 }  // namespace serve

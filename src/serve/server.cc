@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <cstdlib>
 #include <string>
 
 #include "util/check.h"
@@ -26,7 +27,30 @@ ServeStats ServeLines(QueryEngine* engine, std::FILE* in, std::FILE* out) {
       if (line.empty()) break;
     }
     const std::string_view stripped = util::StripAsciiWhitespace(line);
-    if (stripped.empty() || stripped.front() == '#') continue;
+    if (stripped.empty()) continue;
+    if (stripped.front() == '#') {
+      // Admin channel: recognized verbs are answered (off the query fast
+      // path — they only read telemetry rings and counters); anything
+      // else keeps working as a comment.
+      auto cmd = ParseAdminLine(stripped);
+      if (cmd.ok()) {
+        ++stats.admin;
+        const std::string json = engine->AdminResponse(*cmd);
+        std::fprintf(out, "%s\n", json.c_str());
+        std::fflush(out);
+      } else if (cmd.status().code() == StatusCode::kInvalidArgument) {
+        ++stats.admin;
+        ++stats.errors;
+        std::string json = "{\"type\":\"error\",\"code\":\"";
+        json += StatusCodeToString(cmd.status().code());
+        json += "\",\"message\":\"";
+        json += JsonEscape(cmd.status().message());
+        json += "\"}";
+        std::fprintf(out, "%s\n", json.c_str());
+        std::fflush(out);
+      }
+      continue;
+    }
     if (stripped == "quit") break;
     const QueryResponse resp = engine->ExecuteLine(stripped);
     ++stats.requests;
@@ -36,6 +60,75 @@ ServeStats ServeLines(QueryEngine* engine, std::FILE* in, std::FILE* out) {
     std::fflush(out);
   }
   return stats;
+}
+
+namespace {
+
+// "--flag=<uint>" value parse; false on empty/non-numeric.
+bool ParseUintValue(std::string_view value, uint64_t* out) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string_view::npos) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char ch : value) v = v * 10 + static_cast<uint64_t>(ch - '0');
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseServeFlag(std::string_view arg, EngineOptions* options) {
+  EN_CHECK(options != nullptr);
+  uint64_t v = 0;
+  if (arg.rfind("--metrics=", 0) == 0) {
+    options->metrics_path = std::string(arg.substr(10));
+    return true;
+  }
+  if (arg.rfind("--metrics-interval=", 0) == 0 &&
+      ParseUintValue(arg.substr(19), &v)) {
+    options->metrics_interval_ms = static_cast<int>(v);
+    return true;
+  }
+  if (arg.rfind("--flight-recorder=", 0) == 0 &&
+      ParseUintValue(arg.substr(18), &v)) {
+    options->telemetry.recorder_capacity = static_cast<size_t>(v);
+    return true;
+  }
+  if (arg.rfind("--slow-ms=", 0) == 0 && ParseUintValue(arg.substr(10), &v)) {
+    options->telemetry.slow_us = v * 1000;
+    return true;
+  }
+  if (arg.rfind("--sample=", 0) == 0 && ParseUintValue(arg.substr(9), &v)) {
+    options->telemetry.sample_every = static_cast<uint32_t>(v);
+    return true;
+  }
+  if (arg == "--no-telemetry") {
+    options->telemetry.enabled = false;
+    return true;
+  }
+  return false;
+}
+
+void ApplyServeEnv(EngineOptions* options) {
+  EN_CHECK(options != nullptr);
+  uint64_t v = 0;
+  if (const char* env = std::getenv("ELITENET_METRICS");
+      env != nullptr && *env != '\0') {
+    options->metrics_path = env;
+  }
+  if (const char* env = std::getenv("ELITENET_METRICS_INTERVAL_MS");
+      env != nullptr && ParseUintValue(env, &v)) {
+    options->metrics_interval_ms = static_cast<int>(v);
+  }
+  if (const char* env = std::getenv("ELITENET_FLIGHT_RECORDER");
+      env != nullptr && ParseUintValue(env, &v)) {
+    options->telemetry.recorder_capacity = static_cast<size_t>(v);
+  }
+  if (const char* env = std::getenv("ELITENET_SLOW_MS");
+      env != nullptr && ParseUintValue(env, &v)) {
+    options->telemetry.slow_us = v * 1000;
+  }
 }
 
 }  // namespace serve

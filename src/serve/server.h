@@ -19,14 +19,32 @@ struct ServeStats {
   uint64_t requests = 0;
   uint64_t errors = 0;
   uint64_t degraded = 0;
+  uint64_t admin = 0;  ///< '#'-prefixed admin commands answered.
 };
 
 /// Reads requests from `in` until EOF or a "quit" line, answering each on
 /// `out` (flushed per line so interactive pipes see responses
-/// immediately). Blank lines and '#' comments are skipped; malformed
-/// requests produce {"type":"error",...} lines, never a crash or a silent
-/// drop. Returns tallies for the session.
+/// immediately). Blank lines are skipped. '#' lines are admin commands
+/// when the verb is recognized (#stats, #healthz, #recent [n], #slow [n],
+/// #trace <id> — each answered with one JSON line off the query fast
+/// path) and comments otherwise, preserving the old comment syntax.
+/// Malformed requests and bad admin arguments produce
+/// {"type":"error",...} lines, never a crash or a silent drop. Returns
+/// tallies for the session.
 ServeStats ServeLines(QueryEngine* engine, std::FILE* in, std::FILE* out);
+
+/// Parses one telemetry-related command-line flag shared by
+/// `elitenet_serve` and `elitenet_cli serve` into `options`:
+///   --metrics=<path> --metrics-interval=<ms> --flight-recorder=<K>
+///   --slow-ms=<t> --sample=<N> --no-telemetry
+/// Returns false (options untouched) when `arg` is not one of these.
+bool ParseServeFlag(std::string_view arg, EngineOptions* options);
+
+/// Applies the telemetry environment fallbacks (ELITENET_METRICS,
+/// ELITENET_METRICS_INTERVAL_MS, ELITENET_FLIGHT_RECORDER,
+/// ELITENET_SLOW_MS) — StudyConfig parity for the serving front-ends.
+/// Call before flag parsing so explicit flags win.
+void ApplyServeEnv(EngineOptions* options);
 
 }  // namespace serve
 }  // namespace elitenet

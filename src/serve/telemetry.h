@@ -1,0 +1,302 @@
+// Live telemetry plane for the serving layer: per-request trace ids, a
+// flight recorder of recent request records, streaming latency sketches,
+// SLO counters, line-protocol admin introspection, and a background
+// exporter.
+//
+// Design constraints, in order:
+//
+//   1. *Determinism.* Telemetry observes, it never decides. Trace ids are
+//      a pure function of the request sequence number (splitmix64), and
+//      sampling is a pure function of the trace id — so a replayed
+//      request stream is sampled identically, and response bytes are
+//      byte-identical with telemetry on, off, or sampled, at any worker
+//      count (asserted by bench_observability's serving mode).
+//   2. *Hot-path cost.* Recording one request is: a handful of relaxed
+//      atomic adds (SLO counters + sketches), one fetch_add to claim a
+//      ring slot, and one uncontended per-slot mutex around a small
+//      struct copy. No allocation unless the request was sampled (span
+//      vector) — the canonical request string is rendered lazily, at
+//      admin time. Budget: <1% of serving throughput at default
+//      sampling (bench_observability asserts it).
+//   3. *Introspection without the fast path.* Admin commands (#stats,
+//      #healthz, #recent, #slow, #trace) read the rings and sketches
+//      under per-slot locks only; they never touch the query queue.
+
+#ifndef ELITENET_SERVE_TELEMETRY_H_
+#define ELITENET_SERVE_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace elitenet {
+namespace serve {
+
+/// Number of RequestType values (per-type counter/sketch array size).
+inline constexpr size_t kNumRequestTypes = 5;
+
+/// Trace id for the request with sequence number `seq` (1-based).
+/// splitmix64: bijective, so distinct requests get distinct ids, and
+/// deterministic, so a replayed stream traces identically.
+uint64_t TraceIdFor(uint64_t seq);
+
+/// 16 lowercase hex digits, zero-padded — the wire form of a trace id.
+std::string TraceIdHex(uint64_t trace_id);
+
+/// Parses a trace id as emitted by TraceIdHex (also accepts shorter hex
+/// and an optional 0x prefix). Returns false on empty/invalid input.
+bool ParseTraceId(std::string_view s, uint64_t* out);
+
+struct TelemetryOptions {
+  /// Master switch: when false, requests skip recording entirely (the
+  /// engine still answers identically — asserted by tests).
+  bool enabled = true;
+  /// Capture the full span tree for 1 in N requests (by trace id);
+  /// 0 disables span capture, 1 captures every request.
+  uint32_t sample_every = 64;
+  /// Flight-recorder ring capacity (rounded up to a power of two).
+  size_t recorder_capacity = 256;
+  /// Slow-query ring capacity (rounded up to a power of two).
+  size_t slow_capacity = 64;
+  /// A request at or over this latency is pinned into the slow ring
+  /// (deadline misses are always pinned). 0 pins everything.
+  uint64_t slow_us = 50000;
+};
+
+/// Everything remembered about one completed request.
+struct RequestRecord {
+  uint64_t trace_id = 0;
+  uint64_t seq = 0;
+  Request request;
+  bool ok = true;
+  bool degraded = false;
+  bool cache_hit = false;
+  bool sampled = false;
+  bool queued = false;  ///< Went through Submit (vs synchronous Execute).
+  bool deadline_missed = false;
+  bool oracle_fallback = false;  ///< dist answered by BFS, oracle absent.
+  uint64_t latency_us = 0;
+  uint64_t queue_wait_us = 0;  ///< Submit-to-drain delay (queued only).
+  /// Deadline budget left at completion; UINT64_MAX = no deadline.
+  uint64_t deadline_slack_us = UINT64_MAX;
+  /// Span tree (sampled requests only; empty otherwise).
+  std::vector<util::CapturedSpan> spans;
+  bool spans_truncated = false;
+};
+
+/// Fixed-capacity overwrite-oldest ring of RequestRecords. Writers claim
+/// a slot with one atomic fetch_add (no global lock, so concurrent
+/// workers never serialize against each other) and copy the record under
+/// that slot's own mutex; readers lock slots one at a time. Total pushes
+/// ever is kept alongside, so "dropped = total - capacity" is exact.
+class FlightRecorder {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 1.
+  explicit FlightRecorder(size_t capacity);
+
+  void Push(RequestRecord record);
+
+  /// Up to `n` most recent records, newest first.
+  std::vector<RequestRecord> Recent(size_t n) const;
+
+  /// Finds the newest resident record with this trace id.
+  bool FindTrace(uint64_t trace_id, RequestRecord* out) const;
+
+  size_t capacity() const { return capacity_; }
+  /// Records ever pushed (monotonic; resident = min(total, capacity)).
+  uint64_t total() const { return head_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    uint64_t ticket = 0;  ///< 1 + push index; 0 = never written.
+    RequestRecord record;
+  };
+
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+/// Monotonic per-request-type SLO tallies (plain struct of values — the
+/// atomic originals live inside Telemetry).
+struct SloCounters {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_miss = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// The serving telemetry plane: sequence numbers, sampling decisions,
+/// SLO counters, per-type latency sketches, and the two rings. One
+/// instance per QueryEngine; all methods are thread-safe.
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryOptions& options);
+
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Live master switch, initialized from options().enabled. Runtime
+  /// toggling lets an A/B measurement (bench_observability) compare
+  /// on/off on one engine — same heap layout, so the delta is the code
+  /// path, not allocator luck.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Next request sequence number (1-based, monotonic).
+  uint64_t NextSeq() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Deterministic 1-in-sample_every decision by trace id.
+  bool Sampled(uint64_t trace_id) const {
+    return options_.sample_every > 0 &&
+           trace_id % options_.sample_every == 0;
+  }
+
+  /// Folds one completed request into counters, sketches, and rings.
+  void Record(RequestRecord record);
+
+  const FlightRecorder& recent() const { return recent_; }
+  const FlightRecorder& slow() const { return slow_; }
+
+  /// Counters for one request type / summed over all types.
+  SloCounters type_counters(RequestType type) const;
+  SloCounters totals() const;
+  uint64_t oracle_fallbacks() const {
+    return oracle_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  /// Latency sketch for one request type; queue-wait sketch overall.
+  const util::QuantileSketch& latency_sketch(RequestType type) const {
+    return latency_[static_cast<size_t>(type)];
+  }
+  const util::QuantileSketch& queue_wait_sketch() const { return queue_wait_; }
+
+ private:
+  struct AtomicSlo {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> deadline_miss{0};
+    std::atomic<uint64_t> cache_hits{0};
+  };
+
+  TelemetryOptions options_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_seq_{1};
+  AtomicSlo per_type_[kNumRequestTypes];
+  std::atomic<uint64_t> oracle_fallbacks_{0};
+  util::QuantileSketch latency_[kNumRequestTypes];
+  util::QuantileSketch queue_wait_;
+  FlightRecorder recent_;
+  FlightRecorder slow_;
+};
+
+// ---------------------------------------------------------------------------
+// Admin introspection (the '#'-prefixed line-protocol commands).
+
+struct AdminCommand {
+  enum class Kind : uint8_t { kStats, kHealthz, kRecent, kSlow, kTrace };
+  Kind kind = Kind::kStats;
+  size_t n = 16;          ///< #recent / #slow record count.
+  uint64_t trace_id = 0;  ///< #trace argument.
+};
+
+/// Parses a '#'-prefixed admin line. Returns NotFound for lines that are
+/// not admin commands (plain comments — callers skip them silently, which
+/// keeps old request files with '#' comments working) and InvalidArgument
+/// for a recognized admin verb with bad arguments (callers answer with an
+/// error line).
+Result<AdminCommand> ParseAdminLine(std::string_view line);
+
+/// Engine-side facts the renderers need but Telemetry does not own.
+struct EngineStatsContext {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  int workers = 1;
+  bool oracle_active = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double warmup_seconds = 0.0;
+  bool warm_from_cache = false;
+  int64_t inflight = 0;
+};
+
+/// All renderers emit exactly one line of JSON (no trailing newline) —
+/// the admin channel shares the one-JSON-object-per-line wire contract
+/// with query responses.
+std::string RenderStatsJson(const Telemetry& t, const EngineStatsContext& ctx);
+std::string RenderHealthzJson(const Telemetry& t,
+                              const EngineStatsContext& ctx);
+std::string RenderRecentJson(const Telemetry& t, size_t n);
+std::string RenderSlowJson(const Telemetry& t, size_t n);
+std::string RenderTraceJson(const Telemetry& t, uint64_t trace_id);
+
+/// One RequestRecord as a JSON object (shared by #recent/#slow/#trace).
+std::string RenderRecordJson(const RequestRecord& record);
+
+/// Human-readable multi-line summary for clean-shutdown printing.
+std::string RenderSummaryText(const Telemetry& t);
+
+// ---------------------------------------------------------------------------
+// Background exporter.
+
+/// Periodically writes a combined JSON snapshot (engine stats + SLO
+/// burn rates + the util::MetricsRegistry snapshot) to `path` and a
+/// Prometheus text-format snapshot to `path + ".prom"`. Writes are
+/// atomic (temp file + rename) so scrapers never see a torn file. The
+/// exporter thread touches only telemetry state — never the query path.
+class TelemetryExporter {
+ public:
+  /// `stats_fn` supplies the engine-side context per snapshot; it must
+  /// stay valid until Stop()/destruction.
+  TelemetryExporter(const Telemetry* telemetry, std::string path,
+                    int interval_ms,
+                    std::function<EngineStatsContext()> stats_fn);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Stops the thread after one final write. Idempotent.
+  void Stop();
+
+  /// Snapshots written so far (testing/diagnostics).
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void WriteOnce(double interval_seconds);
+
+  const Telemetry* telemetry_;
+  std::string path_;
+  int interval_ms_;
+  std::function<EngineStatsContext()> stats_fn_;
+  std::atomic<uint64_t> writes_{0};
+  /// Totals at the previous snapshot, for burn-rate deltas.
+  SloCounters last_totals_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace elitenet
+
+#endif  // ELITENET_SERVE_TELEMETRY_H_

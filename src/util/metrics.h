@@ -90,6 +90,69 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// Mergeable log-linear quantile sketch for non-negative integer samples
+/// (latencies in microseconds, queue waits, byte sizes).
+///
+/// Layout: values below 2^(kSubBucketBits+1) get exact unit-width buckets;
+/// every octave above is split into 2^kSubBucketBits linear sub-buckets,
+/// so a bucket's width is at most value / 2^kSubBucketBits. Quantile()
+/// answers with the bucket midpoint, bounding the relative error by
+/// 2^-(kSubBucketBits+1) (= 1/64 ≈ 1.6% at the default 5 sub-bucket
+/// bits) — tight enough for p50/p95/p99 dashboards at O(1) memory,
+/// unlike an unbounded sample vector. Merge adds another sketch's
+/// buckets, so per-shard sketches aggregate exactly (bucket counts are
+/// integers — merged-then-queried equals observed-centrally-then-
+/// queried).
+///
+/// The bucket array is the ONLY state: Observe is a single relaxed
+/// fetch_add (this sketch sits on the serving hot path, where every
+/// extra atomic RMW is measurable — bench_observability's serving mode
+/// holds the whole telemetry plane under 1% of QPS), and count/sum/max
+/// are derived from the buckets at read time. count() is exact once
+/// writers quiesce; SumEstimate()/MaxEstimate() carry the same <= 1/64
+/// relative error as Quantile().
+class QuantileSketch {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Exact region [0, 2*kSubBuckets) plus kSubBuckets buckets for each of
+  /// the (64 - kSubBucketBits - 1) remaining octaves of uint64 range.
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + (63 - kSubBucketBits) * kSubBuckets;
+
+  /// Bucket holding `v`. Monotone in v; exact (unit width) below 64.
+  static size_t BucketIndex(uint64_t v);
+  /// Smallest value mapping to bucket `b`.
+  static uint64_t BucketLowerBound(size_t b);
+  /// Number of distinct values mapping to bucket `b`.
+  static uint64_t BucketWidth(size_t b);
+
+  void Observe(uint64_t v);
+  /// Adds every bucket of `other` into this sketch.
+  void Merge(const QuantileSketch& other);
+
+  /// Total samples (sums the buckets; exact once writers quiesce).
+  uint64_t count() const;
+  /// Sum of samples estimated from bucket midpoints (<= 1/64 rel. error;
+  /// exact when every sample was below 2*kSubBuckets).
+  double SumEstimate() const;
+  /// Upper bound of the highest non-empty bucket (>= the true max, within
+  /// one bucket width of it). 0 when empty.
+  uint64_t MaxEstimate() const;
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Value at quantile q in [0, 1]: the midpoint of the bucket containing
+  /// the sample of rank ceil(q * count). 0 when the sketch is empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
 /// A point-in-time copy of every registered metric, sorted by name.
 struct MetricsSnapshot {
   struct CounterValue {
@@ -107,15 +170,35 @@ struct MetricsSnapshot {
     /// (bit width, count) for non-empty buckets, ascending.
     std::vector<std::pair<int, uint64_t>> buckets;
   };
+  struct SketchValue {
+    std::string name;
+    uint64_t count = 0;
+    /// Midpoint-estimated sum and bucket-upper-bound max (see
+    /// QuantileSketch::SumEstimate / MaxEstimate).
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
 
+  /// Each vector is sorted ascending by name (guaranteed by Snapshot(), so
+  /// ToJson() is byte-stable across runs for equal metric values — golden
+  /// tests may diff it directly).
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  std::vector<SketchValue> sketches;
 
   /// Value of a counter by exact name; 0 when absent.
   uint64_t CounterOr0(std::string_view name) const;
 
   std::string ToJson() const;
+  /// Prometheus text exposition format (metric names sanitized to
+  /// [a-zA-Z0-9_] and prefixed "elitenet_"; sketches render as summaries
+  /// with quantile labels).
+  std::string ToPrometheusText() const;
   Status WriteJson(const std::string& path) const;
 };
 
@@ -130,6 +213,7 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+  QuantileSketch* GetSketch(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
 
@@ -180,6 +264,18 @@ class MetricsRegistry {
           elitenet_histogram_, __LINE__) =                                  \
           ::elitenet::util::MetricsRegistry::Global().GetHistogram(name);   \
       ELITENET_METRICS_CONCAT(elitenet_histogram_, __LINE__)                \
+          ->Observe(static_cast<uint64_t>(v));                              \
+    }                                                                       \
+  } while (0)
+
+/// Records one sample `v` in the quantile sketch `name`.
+#define ELITENET_SKETCH(name, v)                                            \
+  do {                                                                      \
+    if (::elitenet::util::MetricsEnabled()) {                               \
+      static ::elitenet::util::QuantileSketch* ELITENET_METRICS_CONCAT(     \
+          elitenet_sketch_, __LINE__) =                                     \
+          ::elitenet::util::MetricsRegistry::Global().GetSketch(name);      \
+      ELITENET_METRICS_CONCAT(elitenet_sketch_, __LINE__)                   \
           ->Observe(static_cast<uint64_t>(v));                              \
     }                                                                       \
   } while (0)

@@ -87,6 +87,62 @@ std::string FormatDuration(uint64_t ns) {
 
 }  // namespace
 
+namespace {
+// The innermost SpanCapture installed on this thread (nullptr = none).
+thread_local SpanCapture* g_active_capture = nullptr;
+}  // namespace
+
+SpanCapture::SpanCapture(size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()),
+      max_spans_(max_spans),
+      prev_(g_active_capture) {
+  spans_.reserve(max_spans < 64 ? max_spans : 64);
+  g_active_capture = this;
+}
+
+SpanCapture::~SpanCapture() { g_active_capture = prev_; }
+
+SpanCapture* SpanCapture::Active() { return g_active_capture; }
+
+int32_t SpanCapture::Begin(const char* name) {
+  if (spans_.size() >= max_spans_) {
+    truncated_ = true;
+    return -1;
+  }
+  CapturedSpan span;
+  span.name = name;
+  span.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  if (!open_.empty()) {
+    span.parent = open_.back();
+    span.depth = static_cast<int32_t>(open_.size());
+  }
+  const int32_t index = static_cast<int32_t>(spans_.size());
+  spans_.push_back(span);
+  open_.push_back(index);
+  return index;
+}
+
+void SpanCapture::End(int32_t index) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  if (!open_.empty() && open_.back() == index) open_.pop_back();
+  const uint64_t end_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  CapturedSpan& span = spans_[static_cast<size_t>(index)];
+  span.duration_ns = end_ns > span.start_ns ? end_ns - span.start_ns : 0;
+}
+
+std::vector<CapturedSpan> SpanCapture::Take() {
+  std::vector<CapturedSpan> out = std::move(spans_);
+  spans_.clear();
+  open_.clear();
+  return out;
+}
+
 bool TracingEnabled() {
   std::call_once(g_trace_env_once, ResolveTraceEnv);
   return g_tracing_enabled.load(std::memory_order_relaxed);

@@ -88,15 +88,68 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
 };
 
+/// One span as seen by a SpanCapture: name, timing relative to the
+/// capture's start, and tree position within the capture.
+struct CapturedSpan {
+  const char* name = nullptr;  ///< The macro's string literal (static).
+  uint64_t start_ns = 0;       ///< Relative to the capture's construction.
+  uint64_t duration_ns = 0;    ///< 0 while still open.
+  int32_t parent = -1;         ///< Index of the enclosing captured span.
+  int32_t depth = 0;           ///< Nesting depth within the capture.
+};
+
+/// Thread-local span sink: while a SpanCapture is alive on a thread,
+/// every ELITENET_SPAN on that thread ALSO records into it — independent
+/// of the global TracingEnabled() switch. This is how the serving layer
+/// captures one request's span tree into its flight-recorder record
+/// without turning on (and paying for) whole-process tracing. Captures
+/// nest: constructing a second capture shadows the first until it is
+/// destroyed. The cost to non-captured threads is one thread-local load
+/// and branch per span (measured with the disabled-instrumentation
+/// overhead in bench_observability).
+class SpanCapture {
+ public:
+  explicit SpanCapture(size_t max_spans = 256);
+  ~SpanCapture();
+
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+  /// Moves the captured spans out (the capture keeps recording into a
+  /// now-empty buffer; normally called once, after the workload).
+  std::vector<CapturedSpan> Take();
+  /// True when max_spans was hit and later spans were dropped.
+  bool truncated() const { return truncated_; }
+
+  /// The capture active on this thread, or nullptr. Used by ScopedSpan.
+  static SpanCapture* Active();
+  /// Opens/closes a captured span; Begin returns -1 when full.
+  int32_t Begin(const char* name);
+  void End(int32_t index);
+
+ private:
+  std::vector<CapturedSpan> spans_;
+  std::vector<int32_t> open_;
+  std::chrono::steady_clock::time_point epoch_;
+  size_t max_spans_;
+  bool truncated_ = false;
+  SpanCapture* prev_ = nullptr;
+};
+
 /// RAII scope recorded into TraceRecorder::Global(). Prefer the
 /// ELITENET_SPAN macro, which names the local variable for you.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
     if (TracingEnabled()) index_ = TraceRecorder::Global().BeginSpan(name);
+    if (SpanCapture* c = SpanCapture::Active()) {
+      capture_ = c;
+      capture_index_ = c->Begin(name);
+    }
   }
   ~ScopedSpan() {
     if (index_ >= 0) TraceRecorder::Global().EndSpan(index_);
+    if (capture_ != nullptr) capture_->End(capture_index_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -104,6 +157,8 @@ class ScopedSpan {
 
  private:
   int64_t index_ = -1;
+  SpanCapture* capture_ = nullptr;
+  int32_t capture_index_ = -1;
 };
 
 /// Wall-clock phase timer that doubles as a trace span: the span covers

@@ -167,12 +167,58 @@ TEST_F(MetricsTest, JsonSnapshotIsWellFormed) {
   ELITENET_COUNT("metrics_test.json \"quoted\"", 1);
   ELITENET_GAUGE_SET("metrics_test.json_gauge", 12);
   ELITENET_HISTOGRAM("metrics_test.json_hist", 77);
+  ELITENET_SKETCH("metrics_test.json_sketch", 300);
   const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
   EXPECT_TRUE(JsonBalanced(json)) << json;
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
   EXPECT_NE(json.find("metrics_test.json \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("metrics_test.json_sketch"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, SketchMacroRecordsQuantiles) {
+  for (int i = 1; i <= 100; ++i) {
+    ELITENET_SKETCH("metrics_test.sketch_macro", i);
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& s : snap.sketches) {
+    if (s.name != "metrics_test.sketch_macro") continue;
+    found = true;
+    EXPECT_EQ(s.count, 100u);
+    // p50 within the sketch's 1/64 relative-error bound of 50.
+    EXPECT_NEAR(s.p50, 50.0, 1.0);
+    EXPECT_NEAR(s.p99, 99.0, 99.0 / 64.0 + 0.5);
+    EXPECT_GE(s.max, 100u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, PrometheusTextIsSane) {
+  ELITENET_COUNT("metrics_test.prom.count", 3);
+  ELITENET_GAUGE_SET("metrics_test.prom-gauge", -4);
+  ELITENET_SKETCH("metrics_test.prom.sketch", 42);
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  // Names are sanitized to [a-zA-Z0-9_] and prefixed.
+  EXPECT_NE(text.find("elitenet_metrics_test_prom_count 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("elitenet_metrics_test_prom_gauge -4"),
+            std::string::npos)
+      << text;
+  // Sketches render as summaries with quantile labels + count/sum.
+  EXPECT_NE(text.find("elitenet_metrics_test_prom_sketch{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("elitenet_metrics_test_prom_sketch_count 1"),
+            std::string::npos)
+      << text;
+  // Every line is "name[{labels}] value" or a # comment.
+  EXPECT_EQ(text.find("  "), std::string::npos);
 }
 
 }  // namespace
