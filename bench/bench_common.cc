@@ -11,13 +11,21 @@
 
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/rss.h"
 #include "util/table.h"
 #include "util/trace.h"
 
 namespace elitenet {
 namespace bench {
 
+namespace {
+// RSS at ParseArgs time — the "before any work" baseline that
+// resident_delta_bytes is measured against.
+uint64_t g_baseline_rss = 0;
+}  // namespace
+
 BenchArgs ParseArgs(int argc, char** argv) {
+  if (g_baseline_rss == 0) g_baseline_rss = util::CurrentRssBytes();
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -85,7 +93,17 @@ std::string CsvPath(const BenchArgs& args, const std::string& name) {
 void WriteEnvironmentJson(std::FILE* f) {
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n  \"threads\": %d,\n",
                std::thread::hardware_concurrency(), util::ThreadCount());
+  const uint64_t current = util::CurrentRssBytes();
+  const uint64_t delta =
+      current > g_baseline_rss ? current - g_baseline_rss : 0;
+  std::fprintf(f,
+               "  \"peak_rss_bytes\": %llu,\n"
+               "  \"resident_delta_bytes\": %llu,\n",
+               static_cast<unsigned long long>(util::PeakRssBytes()),
+               static_cast<unsigned long long>(delta));
 }
+
+uint64_t PeakRssBytes() { return util::PeakRssBytes(); }
 
 uint64_t FnvMix(uint64_t h, uint64_t x) {
   h ^= x;

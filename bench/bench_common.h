@@ -52,11 +52,19 @@ core::VerifiedStudy MakeStudy(const BenchArgs& args);
 std::string CsvPath(const BenchArgs& args, const std::string& name);
 
 /// Writes the execution-environment fields every BENCH_*.json carries —
-/// `"hardware_concurrency": <hw>,\n  "threads": <effective>,\n` — so a
-/// result read in isolation says what parallelism produced it (a 1x
-/// speedup on a single-core container is expected, not a regression).
-/// Call inside an open JSON object, two-space indent, comma included.
+/// hardware_concurrency, effective threads, peak_rss_bytes (process
+/// high-water mark at write time) and resident_delta_bytes (RSS growth
+/// since ParseArgs) — so a result read in isolation says what
+/// parallelism *and* memory footprint produced it (a 1x speedup on a
+/// single-core container is expected, not a regression; a bench whose
+/// residency doubles is one even when its latency holds). Call inside an
+/// open JSON object, two-space indent, comma included.
 void WriteEnvironmentJson(std::FILE* f);
+
+/// Process peak RSS (VmHWM) in bytes; 0 where unmeasurable. Thin wrapper
+/// over util::PeakRssBytes so benches get the number without a util/rss.h
+/// include.
+uint64_t PeakRssBytes();
 
 /// One FNV-1a step folding `x` into hash state `h` — the order-sensitive
 /// combiner the serving benches use for response checksums.

@@ -1,0 +1,299 @@
+// Out-of-core scale bench: generate -> convert -> serve at sizes whose
+// edge list does not fit the memory the in-memory pipeline would need,
+// with the residency *asserted*, not eyeballed. Three phases, each with
+// its own peak-RSS attribution (util::ResetPeakRss between phases):
+//
+//   verify    at a CI-sized N, the streamed pipeline's snapshot is
+//             byte-compared against SaveBinaryV2 of the in-memory
+//             generator — the identity the out-of-core path promises;
+//   generate  GenerateVerifiedNetworkToSnapshot at --scale under
+//             --budget-mb, peak RSS asserted below a ceiling derived
+//             from O(n) state + 2 sort budgets — far below the
+//             in-memory pipeline's edge-dominated footprint;
+//   serve     the snapshot is mmapped and a QueryEngine replays a zipf
+//             request mix against it (mapped pages are file-backed, so
+//             this phase's ceiling adds the snapshot size).
+//
+// The 10M-node run uses a sparser config than the paper's density
+// (mean degree ~8, modest superfollower) so the *edge volume* is what
+// scales; the default --scale smoke keeps the same proportions.
+// Emits BENCH_scale.json.
+//
+//   ./build/bench/bench_scale [--scale=N] [--budget-mb=N]
+//       [--rss-limit-mb=N] [--verify-scale=N] [--requests=N] [--json=PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dataset.h"
+#include "gen/verified_network.h"
+#include "graph/io.h"
+#include "serve/engine.h"
+#include "util/parallel.h"
+#include "util/rss.h"
+#include "util/table.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace elitenet;
+
+// Sparse-at-scale network config: the paper's density is quadratic in n,
+// so at 10M nodes it would mean ~150G edges. Scale runs hold mean degree
+// ~16 instead (edge volume linear in n — 160M edges at 10M nodes, an
+// edge list alone bigger than the whole asserted RSS ceiling) and shrink
+// the superfollower to 2% of the network — still a 200k-out-degree
+// outlier at 10M.
+gen::VerifiedNetworkConfig ScaleConfig(uint32_t n, uint64_t seed) {
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = n;
+  cfg.seed = seed;
+  cfg.density = 16.0 / static_cast<double>(n);
+  cfg.superfollower_fraction = 0.02;
+  cfg.xmin_over_mean = 3.0;
+  return cfg;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return f.good() ? static_cast<uint64_t>(f.tellg()) : 0;
+}
+
+double Mib(uint64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  uint64_t budget_mb = 64;
+  uint64_t rss_limit_mb = 0;  // 0 = derive from scale + budget
+  uint32_t verify_scale = 6000;
+  size_t requests = 2000;
+  std::string json_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--budget-mb=", 12) == 0) {
+      budget_mb = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--rss-limit-mb=", 15) == 0) {
+      rss_limit_mb = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--verify-scale=", 15) == 0) {
+      verify_scale = static_cast<uint32_t>(std::atoi(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = static_cast<size_t>(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  if (args.threads > 0) util::SetThreadCount(args.threads);
+  const std::string out_dir = args.out_dir;
+  const std::string snapshot = bench::CsvPath(args, "scale_graph.eng2");
+  const uint64_t budget_bytes = budget_mb << 20;
+
+  // ---- Phase 0: byte-identity at CI size --------------------------------
+  // Streamed pipeline vs in-memory generator + SaveBinaryV2, at a budget
+  // tiny enough to force spill runs. This is the correctness gate that
+  // makes the RSS numbers below meaningful: bounded memory is only
+  // interesting if the bytes are the same ones.
+  bool identical = true;
+  uint64_t verify_edges = 0;
+  size_t verify_runs = 0;
+  if (verify_scale > 0) {
+    const gen::VerifiedNetworkConfig vcfg = ScaleConfig(verify_scale, args.seed);
+    const std::string mem_path = bench::CsvPath(args, "scale_verify_mem.eng2");
+    const std::string str_path = bench::CsvPath(args, "scale_verify_str.eng2");
+    auto mem = gen::GenerateVerifiedNetwork(vcfg);
+    if (!mem.ok()) {
+      std::fprintf(stderr, "verify generate failed: %s\n",
+                   mem.status().ToString().c_str());
+      return 1;
+    }
+    if (const Status s = graph::SaveBinaryV2(mem->graph, mem_path); !s.ok()) {
+      std::fprintf(stderr, "verify save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    gen::StreamedGenerateOptions vopt;
+    vopt.sort_budget_bytes = 128 << 10;  // 16k-record runs: forces spills
+    vopt.window_sources = 512;
+    auto streamed = gen::GenerateVerifiedNetworkToSnapshot(vcfg, str_path, vopt);
+    if (!streamed.ok()) {
+      std::fprintf(stderr, "verify streamed failed: %s\n",
+                   streamed.status().ToString().c_str());
+      return 1;
+    }
+    verify_edges = streamed->write.num_edges;
+    verify_runs = streamed->write.forward_spill_runs;
+    const std::string a = Slurp(mem_path), b = Slurp(str_path);
+    identical = !a.empty() && a == b;
+    std::printf("verify: n=%u m=%llu spill_runs=%zu streamed %s in-memory\n",
+                verify_scale, static_cast<unsigned long long>(verify_edges),
+                verify_runs, identical ? "==" : "DIFFERS FROM");
+    std::remove(mem_path.c_str());
+    std::remove(str_path.c_str());
+    if (!identical) return 2;
+  }
+
+  // ---- Phase 1: streamed generate + convert at scale --------------------
+  const gen::VerifiedNetworkConfig cfg = ScaleConfig(args.num_users, args.seed);
+  util::ResetPeakRss();
+  util::SpanTimer gen_timer("bench.scale.generate");
+  gen::StreamedGenerateOptions opt;
+  opt.sort_budget_bytes = budget_bytes;
+  auto net = gen::GenerateVerifiedNetworkToSnapshot(cfg, snapshot, opt);
+  const double generate_seconds = gen_timer.Seconds();
+  if (!net.ok()) {
+    std::fprintf(stderr, "streamed generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t generate_peak = util::PeakRssBytes();
+  const uint64_t m = net->write.num_edges;
+  const uint64_t snapshot_bytes = FileBytes(snapshot);
+
+  // The ceiling: O(n) generator/writer state (roles, popularity, degree
+  // sequence, alias samplers, has_in_edge, the writer's offsets array —
+  // ~46 B/node measured at 1M, 56 here for headroom) plus both sorters'
+  // budgets plus a fixed process baseline. Notably independent of m:
+  // the in-memory pipeline's footprint is instead dominated by O(m)
+  // terms — base-target rows, the builder's edge array and its
+  // counting-sort copy, the materialized CSR — ~28 B/edge on top of the
+  // same O(n) state, and even the bare packed edge list (8 B/edge)
+  // exceeds this whole ceiling at the 10M-node scale.
+  const uint64_t n64 = args.num_users;
+  const uint64_t ceiling_bytes =
+      rss_limit_mb > 0 ? rss_limit_mb << 20
+                       : 56 * n64 + 2 * budget_bytes + (160ull << 20);
+  const uint64_t in_memory_estimate = 28 * m + 56 * n64 + (64ull << 20);
+
+  std::printf(
+      "generate+convert: n=%s m=%s in %.1fs; budget %llu MiB "
+      "(%zu+%zu spill runs), peak RSS %.1f MiB (ceiling %.1f MiB, "
+      "in-memory pipeline would need ~%.1f MiB)\n",
+      util::FormatWithCommas(args.num_users).c_str(),
+      util::FormatWithCommas(m).c_str(), generate_seconds,
+      static_cast<unsigned long long>(budget_mb),
+      net->write.forward_spill_runs, net->write.reverse_spill_runs,
+      Mib(generate_peak), Mib(ceiling_bytes), Mib(in_memory_estimate));
+
+  const bool rss_ok = generate_peak > 0 && generate_peak <= ceiling_bytes;
+  if (generate_peak == 0) {
+    std::fprintf(stderr, "warning: RSS unmeasurable on this kernel; "
+                 "residency assertion skipped\n");
+  } else if (!rss_ok) {
+    std::fprintf(stderr, "FAIL: generate+convert peak RSS %.1f MiB exceeds "
+                 "ceiling %.1f MiB\n",
+                 Mib(generate_peak), Mib(ceiling_bytes));
+  }
+
+  // ---- Phase 2: serve from the mapped snapshot --------------------------
+  // Warm config sized for a bounded pass: no distance oracle (its labels
+  // are superlinear and have their own bench), fewer PageRank sweeps.
+  // Mapped CSR pages the kernels touch are file-backed but resident, so
+  // this phase's ceiling legitimately includes the snapshot size.
+  util::ResetPeakRss();
+  util::SpanTimer serve_timer("bench.scale.serve");
+  double warmup_seconds = 0.0, replay_seconds = 0.0;
+  uint64_t replay_checksum = 0;
+  {
+    auto g = graph::MapBinary(snapshot);
+    if (!g.ok()) {
+      std::fprintf(stderr, "map failed: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    serve::EngineOptions eopts;
+    eopts.distance_oracle = false;
+    eopts.pagerank.max_iterations = 30;
+    eopts.telemetry.enabled = false;
+    auto engine = serve::QueryEngine::Create(std::move(*g), eopts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine startup failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    warmup_seconds = (*engine)->warmup_seconds();
+    const auto mix = bench::MakeServeRequestMix((*engine)->graph(), requests,
+                                                1.1, args.seed);
+    util::SpanTimer replay_timer("bench.scale.replay");
+    for (const serve::Request& r : mix) {
+      const serve::QueryResponse resp = (*engine)->Execute(r);
+      replay_checksum = bench::FnvMix(replay_checksum,
+                                      bench::FnvString(resp.json));
+    }
+    replay_seconds = replay_timer.Seconds();
+  }
+  const double serve_seconds = serve_timer.Seconds();
+  const uint64_t serve_peak = util::PeakRssBytes();
+  const uint64_t serve_ceiling = ceiling_bytes + snapshot_bytes;
+  const bool serve_rss_ok = serve_peak == 0 || serve_peak <= serve_ceiling;
+  std::printf(
+      "serve: warm %.1fs, %zu requests in %.2fs, checksum %016llx, peak "
+      "RSS %.1f MiB (ceiling %.1f MiB incl. %.1f MiB mapped snapshot)\n",
+      warmup_seconds, requests, replay_seconds,
+      static_cast<unsigned long long>(replay_checksum), Mib(serve_peak),
+      Mib(serve_ceiling), Mib(snapshot_bytes));
+  if (!serve_rss_ok) {
+    std::fprintf(stderr, "FAIL: serve peak RSS %.1f MiB exceeds %.1f MiB\n",
+                 Mib(serve_peak), Mib(serve_ceiling));
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %u,\n", args.num_users);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  bench::WriteEnvironmentJson(f);
+  std::fprintf(f, "  \"num_edges\": %llu,\n",
+               static_cast<unsigned long long>(m));
+  std::fprintf(f, "  \"snapshot_bytes\": %llu,\n",
+               static_cast<unsigned long long>(snapshot_bytes));
+  std::fprintf(f, "  \"budget_mb\": %llu,\n",
+               static_cast<unsigned long long>(budget_mb));
+  std::fprintf(f,
+               "  \"verify\": {\"scale\": %u, \"num_edges\": %llu, "
+               "\"spill_runs\": %zu, \"byte_identical\": %s},\n",
+               verify_scale, static_cast<unsigned long long>(verify_edges),
+               verify_runs, identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"generate\": {\"seconds\": %.2f, \"input_records\": "
+               "%llu, \"forward_spill_runs\": %zu, \"reverse_spill_runs\": "
+               "%zu, \"peak_rss_bytes\": %llu, \"ceiling_bytes\": %llu, "
+               "\"in_memory_estimate_bytes\": %llu, \"rss_ok\": %s},\n",
+               generate_seconds,
+               static_cast<unsigned long long>(net->write.input_records),
+               net->write.forward_spill_runs, net->write.reverse_spill_runs,
+               static_cast<unsigned long long>(generate_peak),
+               static_cast<unsigned long long>(ceiling_bytes),
+               static_cast<unsigned long long>(in_memory_estimate),
+               rss_ok || generate_peak == 0 ? "true" : "false");
+  std::fprintf(f,
+               "  \"serve\": {\"seconds\": %.2f, \"warmup_seconds\": %.2f, "
+               "\"requests\": %zu, \"replay_seconds\": %.3f, "
+               "\"replay_checksum\": \"%016llx\", \"peak_rss_bytes\": %llu, "
+               "\"ceiling_bytes\": %llu, \"rss_ok\": %s}\n",
+               serve_seconds, warmup_seconds, requests, replay_seconds,
+               static_cast<unsigned long long>(replay_checksum),
+               static_cast<unsigned long long>(serve_peak),
+               static_cast<unsigned long long>(serve_ceiling),
+               serve_rss_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  std::remove(snapshot.c_str());
+  (void)out_dir;
+  const bool ok = identical && (rss_ok || generate_peak == 0) && serve_rss_ok;
+  return ok ? 0 : 2;
+}

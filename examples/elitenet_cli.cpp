@@ -18,7 +18,10 @@
 //                                      #trace <id> answer with JSON)
 //   elitenet_cli convert <in> <out>    edge list <-> binary snapshot
 //                                      (.eng2 = zero-copy mmap format,
-//                                       .eng = legacy ENG1, else text)
+//                                       .eng = legacy ENG1, else text;
+//                                       --budget-mb=N streams the .eng2
+//                                       write through an N-MiB external
+//                                       sort — same bytes, bounded RSS)
 //   elitenet_cli warmup <graph>        build/refresh the <graph>.widx
 //                                      warm-index sidecar serve uses
 //
@@ -48,6 +51,7 @@
 #include "stats/powerlaw.h"
 #include "stats/vuong.h"
 #include "util/rng.h"
+#include "util/rss.h"
 #include "util/string_utils.h"
 #include "util/table.h"
 
@@ -230,10 +234,31 @@ int CmdServe(graph::DiGraph g, const std::string& graph_path, int argc,
   return 0;
 }
 
-int CmdConvert(const graph::DiGraph& g, const std::string& out) {
+int CmdConvert(const graph::DiGraph& g, const std::string& out,
+               int64_t budget_mb) {
   const char* kind = "text edge list";
   Status s;
   if (util::EndsWith(out, ".eng2")) {
+    if (budget_mb >= 0) {
+      // Out-of-core path: external-sort the edges under the budget and
+      // stream the snapshot (byte-identical to the in-memory writer).
+      graph::StreamWriteOptions opts;
+      opts.sort_budget_bytes = static_cast<uint64_t>(budget_mb) << 20;
+      auto stats = graph::SaveStreamedV2(g, out, opts);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "write failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "wrote %s (ENG2, streamed: budget %lld MiB, %zu+%zu spill "
+          "runs, %llu edges, peak RSS %.1f MiB)\n",
+          out.c_str(), static_cast<long long>(budget_mb),
+          stats->forward_spill_runs, stats->reverse_spill_runs,
+          static_cast<unsigned long long>(stats->num_edges),
+          static_cast<double>(util::PeakRssBytes()) / (1 << 20));
+      return 0;
+    }
     kind = "ENG2 zero-copy snapshot";
     s = graph::SaveBinaryV2(g, out);
   } else if (util::EndsWith(out, ".eng")) {
@@ -288,9 +313,10 @@ void Usage() {
       "serve|convert|warmup> <graph> [args]\n"
       "  graph: text edge list, .eng/.eng2 binary snapshot, or dataset "
       "dir\n"
-      "  convert <in> <out>: out ending .eng2 writes the zero-copy mmap\n"
-      "    snapshot, .eng the legacy ENG1 format, anything else a text\n"
-      "    edge list\n"
+      "  convert <in> <out> [--budget-mb=N]: out ending .eng2 writes the\n"
+      "    zero-copy mmap snapshot, .eng the legacy ENG1 format, anything\n"
+      "    else a text edge list; --budget-mb streams the .eng2 write\n"
+      "    through an N-MiB external sort (same bytes, bounded memory)\n"
       "  warmup <graph>: precompute the <graph>.widx warm-index sidecar\n",
       stderr);
 }
@@ -332,7 +358,16 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
-    return CmdConvert(*g, argv[3]);
+    int64_t budget_mb = -1;  // -1 = in-memory writer
+    for (int i = 4; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--budget-mb=", 12) == 0) {
+        budget_mb = std::atoll(argv[i] + 12);
+      } else {
+        std::fprintf(stderr, "unknown convert flag: %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return CmdConvert(*g, argv[3], budget_mb);
   }
   if (command == "warmup") return CmdWarmup(std::move(*g), argv[2]);
   Usage();

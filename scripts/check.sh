@@ -6,9 +6,10 @@
 #              scheduler, traversal kernels, serving cache + executor);
 #   3. perf:   the "perf"-labelled ctest smoke benches (graph kernels,
 #              serving load, cold start, distance oracle, telemetry
-#              overhead) — each is a hard-asserting harness that fails on
-#              response divergence, cache/oracle/telemetry slowdowns, or
-#              degraded queries.
+#              overhead, out-of-core scale) — each is a hard-asserting
+#              harness that fails on response divergence,
+#              cache/oracle/telemetry slowdowns, degraded queries, or a
+#              busted streamed-vs-in-memory byte identity / RSS ceiling.
 #
 # Usage: scripts/check.sh [--skip-tsan]
 # Runs from any cwd; builds live in build/ and build-tsan/.

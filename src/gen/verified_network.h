@@ -24,9 +24,11 @@
 #define ELITENET_GEN_VERIFIED_NETWORK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/io.h"
 #include "util/status.h"
 
 namespace elitenet {
@@ -126,6 +128,47 @@ struct VerifiedNetwork {
 /// Generates the network. Deterministic in config.seed.
 Result<VerifiedNetwork> GenerateVerifiedNetwork(
     const VerifiedNetworkConfig& config);
+
+/// Tuning for the out-of-core generation path.
+struct StreamedGenerateOptions {
+  /// Memory budget for each external sorter (forward in the generator,
+  /// reverse inside the snapshot writer). 0 = unbounded (no spill).
+  uint64_t sort_budget_bytes = 256ull << 20;
+  /// Spill directory; empty puts temp files next to the snapshot.
+  std::string temp_dir;
+  /// Core sources wired per bounded window: edge buffers are freed into
+  /// the sorter every `window_sources` sources, so resident edge state is
+  /// one window's worth, not O(m).
+  uint32_t window_sources = 1 << 16;
+};
+
+/// What streamed generation produced. The graph itself lives only in the
+/// snapshot file — map it with graph::MapBinary / core::LoadAnyGraph.
+struct StreamedNetwork {
+  std::vector<UserRole> roles;
+  /// Same popularity weights the in-memory generator returns (profiles
+  /// reuse them); O(n).
+  std::vector<double> popularity;
+  VerifiedNetworkConfig config;
+  /// Records emitted into the sorter (pre-dedup).
+  uint64_t edges_emitted = 0;
+  graph::StreamWriteStats write;
+};
+
+/// Out-of-core generation: wires the identical network the in-memory
+/// generator builds — every RNG substream, follow-back, and repair edge
+/// included — but streams per-source edge blocks into a bounded-memory
+/// external sorter and writes the ENG2 snapshot directly from the sorted
+/// runs (graph::WriteStreamedV2). Peak residency is the O(n) role/
+/// popularity/degree state plus one sort budget plus one wiring window;
+/// the O(m) edge list never exists in RAM. The snapshot is byte-identical
+/// to SaveBinaryV2(GenerateVerifiedNetwork(config).graph) at any memory
+/// budget, window size, and thread count: the triadic-closure rewrites
+/// that read other sources' base-target rows recompute those rows from
+/// their per-source RNG substreams instead of loading them.
+Result<StreamedNetwork> GenerateVerifiedNetworkToSnapshot(
+    const VerifiedNetworkConfig& config, const std::string& snapshot_path,
+    const StreamedGenerateOptions& options = {});
 
 /// Convenience: config scaled to the paper's full 231,246 users.
 VerifiedNetworkConfig PaperScaleConfig();

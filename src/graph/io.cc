@@ -425,6 +425,263 @@ Result<DiGraph> MapBinary(const std::string& path) {
                                in_targets, std::move(keepalive));
 }
 
+namespace {
+
+/// Buffered section writer: batches values, folds every flushed byte into
+/// both the per-section FNV and the whole-graph FNV chain, and tracks the
+/// byte count. One instance per section, in section order, reproduces
+/// exactly the checksums SaveBinaryV2 computes from resident arrays.
+template <typename T>
+class SectionWriter {
+ public:
+  SectionWriter(std::FILE* f, uint64_t* graph_hash)
+      : file_(f), graph_hash_(graph_hash), section_hash_(kFnvBasis) {
+    buffer_.reserve(kBufferValues);
+  }
+
+  Status Append(T value) {
+    buffer_.push_back(value);
+    if (buffer_.size() >= kBufferValues) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    const size_t bytes = buffer_.size() * sizeof(T);
+    if (bytes == 0) return Status::OK();
+    section_hash_ = Fnv1a(buffer_.data(), bytes, section_hash_);
+    *graph_hash_ = Fnv1a(buffer_.data(), bytes, *graph_hash_);
+    if (std::fwrite(buffer_.data(), 1, bytes, file_) != bytes) {
+      return Status::IoError("section write failed");
+    }
+    bytes_written_ += bytes;
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  uint64_t section_checksum() const { return section_hash_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  static constexpr size_t kBufferValues = 1 << 20;
+
+  std::FILE* file_;
+  uint64_t* graph_hash_;
+  uint64_t section_hash_;
+  uint64_t bytes_written_ = 0;
+  std::vector<T> buffer_;
+};
+
+Status WritePadding(std::FILE* f, uint64_t from, uint64_t to) {
+  const char zeros[kAlignment] = {};
+  while (from < to) {
+    const uint64_t chunk = std::min<uint64_t>(to - from, kAlignment);
+    if (std::fwrite(zeros, 1, chunk, f) != chunk) {
+      return Status::IoError("padding write failed");
+    }
+    from += chunk;
+  }
+  return Status::OK();
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string BaseOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+Result<StreamWriteStats> WriteStreamedV2(util::ExtSorter* forward,
+                                         NodeId num_nodes,
+                                         const std::string& path,
+                                         const StreamWriteOptions& options) {
+  EN_RETURN_IF_ERROR(CheckLittleEndianHost());
+  EN_RETURN_IF_ERROR(forward->Finish());
+
+  const uint64_t n = num_nodes;
+  StreamWriteStats stats;
+  stats.num_nodes = n;
+  stats.input_records = forward->total_records();
+  stats.forward_spill_runs = forward->spill_run_count();
+
+  util::ExtSortOptions rev_options;
+  rev_options.budget_bytes = options.sort_budget_bytes;
+  rev_options.temp_dir =
+      options.temp_dir.empty() ? DirOf(path) : options.temp_dir;
+  rev_options.temp_prefix = BaseOf(path) + ".rev";
+  util::ExtSorter reverse(rev_options);
+
+  // Pass 1 (forward, counting): per-source degrees -> out_offsets, with
+  // coalescing and self-loop drops exactly as GraphBuilder does them.
+  // Unique edges simultaneously feed the (dst, src)-keyed reverse sorter,
+  // so the in-CSR passes below see a duplicate-free stream.
+  std::vector<EdgeIdx> offsets(n + 1, 0);
+  {
+    EN_ASSIGN_OR_RETURN(util::ExtSorter::Stream s, forward->Scan());
+    uint64_t record = 0;
+    bool any = false;
+    uint64_t prev = 0;
+    while (s.Next(&record)) {
+      const NodeId src = util::PackedSrc(record);
+      const NodeId dst = util::PackedDst(record);
+      if (src >= n || dst >= n) {
+        return Status::InvalidArgument("edge endpoint exceeds node count");
+      }
+      if (src == dst) {
+        ++stats.dropped_self_loops;
+        continue;
+      }
+      if (any && record == prev) {
+        ++stats.dropped_duplicates;
+        continue;
+      }
+      any = true;
+      prev = record;
+      ++offsets[src + 1];
+      ++stats.num_edges;
+      EN_RETURN_IF_ERROR(reverse.Add(util::PackEdgeReversed(src, dst)));
+    }
+    EN_RETURN_IF_ERROR(s.status());
+  }
+  EN_RETURN_IF_ERROR(reverse.Finish());
+  stats.reverse_spill_runs = reverse.spill_run_count();
+  for (uint64_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  const uint64_t m = stats.num_edges;
+
+  // Section layout is fully determined by (n, m); checksums arrive as the
+  // payload streams through, and the header + table are back-patched at
+  // the end.
+  SectionEntryV2 table[kNumSections] = {};
+  const uint64_t expected_lengths[kNumSections] = {
+      (n + 1) * sizeof(EdgeIdx), m * sizeof(NodeId),
+      (n + 1) * sizeof(EdgeIdx), m * sizeof(NodeId)};
+  uint64_t offset =
+      AlignUp(sizeof(SnapshotHeaderV2) + kNumSections * sizeof(SectionEntryV2));
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    table[i].id = i;
+    table[i].offset = offset;
+    table[i].length = expected_lengths[i];
+    offset = AlignUp(offset + expected_lengths[i]);
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  uint64_t graph_hash = kFnvBasis;
+  uint64_t written = 0;
+
+  // Section 0: out_offsets, from the resident O(n) array.
+  EN_RETURN_IF_ERROR(WritePadding(f.get(), written, table[0].offset));
+  {
+    SectionWriter<EdgeIdx> w(f.get(), &graph_hash);
+    for (EdgeIdx v : offsets) EN_RETURN_IF_ERROR(w.Append(v));
+    EN_RETURN_IF_ERROR(w.Flush());
+    table[0].checksum = w.section_checksum();
+    written = table[0].offset + w.bytes_written();
+  }
+
+  // Section 1: out_targets via a second forward merge. Records arrive in
+  // (src, dst) order, which *is* CSR placement order — dsts stream
+  // straight to disk with no cursor array.
+  EN_RETURN_IF_ERROR(WritePadding(f.get(), written, table[1].offset));
+  {
+    EN_ASSIGN_OR_RETURN(util::ExtSorter::Stream s, forward->Scan());
+    SectionWriter<NodeId> w(f.get(), &graph_hash);
+    uint64_t record = 0;
+    bool any = false;
+    uint64_t prev = 0;
+    while (s.Next(&record)) {
+      const NodeId src = util::PackedSrc(record);
+      const NodeId dst = util::PackedDst(record);
+      if (src == dst) continue;
+      if (any && record == prev) continue;
+      any = true;
+      prev = record;
+      EN_RETURN_IF_ERROR(w.Append(dst));
+    }
+    EN_RETURN_IF_ERROR(s.status());
+    EN_RETURN_IF_ERROR(w.Flush());
+    table[1].checksum = w.section_checksum();
+    written = table[1].offset + w.bytes_written();
+  }
+
+  // Section 2: in_offsets by a counting pass over the reverse stream
+  // (already unique), reusing the offsets array.
+  std::fill(offsets.begin(), offsets.end(), 0);
+  {
+    EN_ASSIGN_OR_RETURN(util::ExtSorter::Stream s, reverse.Scan());
+    uint64_t record = 0;
+    while (s.Next(&record)) ++offsets[util::PackedSrc(record) + 1];
+    EN_RETURN_IF_ERROR(s.status());
+  }
+  for (uint64_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  EN_RETURN_IF_ERROR(WritePadding(f.get(), written, table[2].offset));
+  {
+    SectionWriter<EdgeIdx> w(f.get(), &graph_hash);
+    for (EdgeIdx v : offsets) EN_RETURN_IF_ERROR(w.Append(v));
+    EN_RETURN_IF_ERROR(w.Flush());
+    table[2].checksum = w.section_checksum();
+    written = table[2].offset + w.bytes_written();
+  }
+
+  // Section 3: in_targets (sources) via the second reverse merge.
+  EN_RETURN_IF_ERROR(WritePadding(f.get(), written, table[3].offset));
+  {
+    EN_ASSIGN_OR_RETURN(util::ExtSorter::Stream s, reverse.Scan());
+    SectionWriter<NodeId> w(f.get(), &graph_hash);
+    uint64_t record = 0;
+    while (s.Next(&record)) {
+      EN_RETURN_IF_ERROR(w.Append(util::PackedDst(record)));
+    }
+    EN_RETURN_IF_ERROR(s.status());
+    EN_RETURN_IF_ERROR(w.Flush());
+    table[3].checksum = w.section_checksum();
+  }
+
+  // Back-patch the header and section table now that the checksums exist.
+  SnapshotHeaderV2 header = {};
+  std::memcpy(header.magic, kMagicV2, 4);
+  header.version = kVersionV2;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.graph_checksum = graph_hash;
+  header.section_count = kNumSections;
+  stats.graph_checksum = graph_hash;
+
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path);
+  }
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
+      std::fwrite(table, sizeof(SectionEntryV2), kNumSections, f.get()) !=
+          kNumSections) {
+    return Status::IoError("header write failed: " + path);
+  }
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + path);
+  }
+  return stats;
+}
+
+Result<StreamWriteStats> SaveStreamedV2(const DiGraph& g,
+                                        const std::string& path,
+                                        const StreamWriteOptions& options) {
+  util::ExtSortOptions fwd_options;
+  fwd_options.budget_bytes = options.sort_budget_bytes;
+  fwd_options.temp_dir =
+      options.temp_dir.empty() ? DirOf(path) : options.temp_dir;
+  fwd_options.temp_prefix = BaseOf(path) + ".fwd";
+  util::ExtSorter forward(fwd_options);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EN_RETURN_IF_ERROR(forward.Add(util::PackEdge(u, v)));
+    }
+  }
+  return WriteStreamedV2(&forward, g.num_nodes(), path, options);
+}
+
 Result<SnapshotFormat> SniffSnapshot(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open for reading: " + path);

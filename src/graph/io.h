@@ -19,6 +19,7 @@
 #include <string>
 
 #include "graph/digraph.h"
+#include "util/ext_sort.h"
 #include "util/status.h"
 
 namespace elitenet {
@@ -69,6 +70,53 @@ Status SaveBinaryV2(const DiGraph& g, const std::string& path);
 /// structural invariants before returning; any mismatch is a clean
 /// Corruption/NotSupported with no partial graph.
 Result<DiGraph> MapBinary(const std::string& path);
+
+/// Tuning for the out-of-core ENG2 writer.
+struct StreamWriteOptions {
+  /// Memory budget for the internal reverse-edge external sorter (the
+  /// forward sorter is the caller's and carries its own budget). 0 means
+  /// unbounded (sorts in RAM, no spill).
+  uint64_t sort_budget_bytes = 256ull << 20;
+  /// Spill directory for the reverse sorter. Empty derives the directory
+  /// of the output path, so temp files land next to the snapshot.
+  std::string temp_dir;
+};
+
+/// What a streamed write did — sizes for logging, spill counts for
+/// out-of-core telemetry, and the checksum that keys warm indexes.
+struct StreamWriteStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;          ///< unique edges written
+  uint64_t input_records = 0;      ///< records the forward sorter held
+  uint64_t dropped_duplicates = 0;
+  uint64_t dropped_self_loops = 0;
+  uint64_t graph_checksum = 0;     ///< matches GraphChecksum of a load
+  size_t forward_spill_runs = 0;
+  size_t reverse_spill_runs = 0;
+};
+
+/// Writes an ENG2 snapshot from a sorted edge stream without ever
+/// materializing the graph: `forward` holds edges packed with
+/// util::PackEdge (src-major order). Two merge passes build the out-CSR
+/// sections (counting pass -> offsets, placement pass -> targets); the
+/// counting pass simultaneously feeds a (dst, src)-keyed reverse sorter
+/// whose two passes build the in-CSR sections the same way. Peak memory
+/// is one (n+1)-entry offsets array plus the sorters' merge windows —
+/// never O(m). Duplicate edges coalesce and self-loops drop, matching
+/// GraphBuilder, so the resulting file is byte-identical to
+/// SaveBinaryV2(builder.Build()) over the same edge multiset, at any
+/// memory budget. Finishes `forward` if the caller has not.
+Result<StreamWriteStats> WriteStreamedV2(util::ExtSorter* forward,
+                                         NodeId num_nodes,
+                                         const std::string& path,
+                                         const StreamWriteOptions& options = {});
+
+/// Convenience: streams an in-memory DiGraph through the external-sort
+/// writer (both sorters under `sort_budget_bytes`). Exercises the
+/// out-of-core path from the CLI; byte-identical to SaveBinaryV2.
+Result<StreamWriteStats> SaveStreamedV2(const DiGraph& g,
+                                        const std::string& path,
+                                        const StreamWriteOptions& options = {});
 
 /// Which snapshot family a file's magic declares.
 enum class SnapshotFormat {

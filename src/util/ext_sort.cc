@@ -1,0 +1,251 @@
+#include "util/ext_sort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace elitenet {
+namespace util {
+
+namespace {
+
+/// Read block per run during the merge: 128Ki records = 1 MiB. Small
+/// enough that even hundreds of runs merge in tens of MiB; large enough
+/// that the merge is not syscall-bound.
+constexpr size_t kMergeBlockRecords = 128 * 1024;
+
+/// Floor for the spill-run size. A budget below this still works — it
+/// just spills 64 KiB runs — so pathological test budgets cannot create
+/// millions of one-record files.
+constexpr size_t kMinRunRecords = 8 * 1024;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+ExtSorter::ExtSorter(ExtSortOptions options) : options_(std::move(options)) {
+  if (options_.budget_bytes == 0) {
+    run_capacity_ = SIZE_MAX;  // unbounded: pure in-memory sort
+  } else {
+    run_capacity_ = std::max<size_t>(kMinRunRecords,
+                                     options_.budget_bytes / sizeof(uint64_t));
+    // Exact reservation: vector doubling would otherwise overshoot the
+    // budget by up to 2x right before a spill.
+    buffer_.reserve(run_capacity_);
+  }
+}
+
+ExtSorter::~ExtSorter() {
+  for (const std::string& path : spill_paths_) {
+    std::remove(path.c_str());
+  }
+}
+
+Status ExtSorter::Add(uint64_t record) { return AddBatch({&record, 1}); }
+
+Status ExtSorter::AddBatch(std::span<const uint64_t> records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Finish");
+  }
+  for (uint64_t record : records) {
+    buffer_.push_back(record);
+    ++total_records_;
+    if (buffer_.size() >= run_capacity_) {
+      EN_RETURN_IF_ERROR(SpillLocked());
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtSorter::SpillLocked() {
+  std::sort(buffer_.begin(), buffer_.end());
+
+  const std::string dir = options_.temp_dir.empty() ? "." : options_.temp_dir;
+  const std::string path = dir + "/" + options_.temp_prefix + ".run" +
+                           std::to_string(spill_paths_.size()) + ".tmp";
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    return Status::IoError("cannot open spill run for writing: " + path);
+  }
+  if (std::fwrite(buffer_.data(), sizeof(uint64_t), buffer_.size(), f.get()) !=
+      buffer_.size()) {
+    std::remove(path.c_str());
+    return Status::IoError("short write to spill run: " + path);
+  }
+  if (std::fflush(f.get()) != 0) {
+    std::remove(path.c_str());
+    return Status::IoError("flush failed for spill run: " + path);
+  }
+  spill_paths_.push_back(path);
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ExtSorter::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return Status::OK();
+  std::sort(buffer_.begin(), buffer_.end());
+  tail_run_ = std::move(buffer_);
+  buffer_ = {};
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Merge stream
+
+struct ExtSorter::Stream::RunReader {
+  // File-backed run (block-buffered)...
+  std::unique_ptr<std::FILE, FileCloser> file;
+  std::string path;
+  uint64_t remaining = 0;  // records the run promised but has not yielded
+  std::vector<uint64_t> block;
+  size_t block_pos = 0;
+  // ...or the in-memory tail run.
+  const std::vector<uint64_t>* mem = nullptr;
+  size_t mem_pos = 0;
+
+  uint64_t head = 0;
+  bool exhausted = false;
+};
+
+ExtSorter::Stream::Stream(const ExtSorter* parent) : parent_(parent) {}
+ExtSorter::Stream::~Stream() = default;
+ExtSorter::Stream::Stream(Stream&&) noexcept = default;
+ExtSorter::Stream& ExtSorter::Stream::operator=(Stream&&) noexcept = default;
+
+Result<ExtSorter::Stream> ExtSorter::Scan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!finished_) {
+    return Status::FailedPrecondition("Scan before Finish");
+  }
+  Stream s(this);
+  for (const std::string& path : spill_paths_) {
+    auto reader = std::make_unique<Stream::RunReader>();
+    reader->file.reset(std::fopen(path.c_str(), "rb"));
+    if (!reader->file) {
+      return Status::IoError("cannot reopen spill run: " + path);
+    }
+    reader->path = path;
+    reader->remaining = run_capacity_;  // every disk run is exactly full
+    s.readers_.push_back(std::move(reader));
+  }
+  if (!tail_run_.empty()) {
+    auto reader = std::make_unique<Stream::RunReader>();
+    reader->mem = &tail_run_;
+    s.readers_.push_back(std::move(reader));
+  }
+  s.num_runs_ = s.readers_.size();
+  for (size_t run = 0; run < s.num_runs_; ++run) {
+    if (!s.RefillReader(run) && !s.status_.ok()) {
+      return s.status_;  // a run truncated to nothing is visible up front
+    }
+  }
+  s.BuildLoserTree();
+  return s;
+}
+
+/// Loads the next record of `run` into its head slot. Returns false when
+/// the run is exhausted or a read fails (status_ tells which).
+bool ExtSorter::Stream::RefillReader(size_t run) {
+  RunReader& r = *readers_[run];
+  if (r.exhausted) return false;
+  if (r.mem != nullptr) {
+    if (r.mem_pos >= r.mem->size()) {
+      r.exhausted = true;
+      return false;
+    }
+    r.head = (*r.mem)[r.mem_pos++];
+    return true;
+  }
+  if (r.block_pos >= r.block.size()) {
+    if (r.remaining == 0) {
+      r.exhausted = true;
+      return false;
+    }
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(r.remaining, kMergeBlockRecords));
+    r.block.resize(want);
+    const size_t got =
+        std::fread(r.block.data(), sizeof(uint64_t), want, r.file.get());
+    if (got != want) {
+      r.exhausted = true;
+      status_ = Status::Corruption("truncated spill run mid-merge: " + r.path);
+      return false;
+    }
+    r.remaining -= want;
+    r.block_pos = 0;
+  }
+  r.head = r.block[r.block_pos++];
+  return true;
+}
+
+/// True when run `a` should win the match against run `b`. Exhausted runs
+/// always lose; equal keys break toward the lower run index so every
+/// match is a total order (the records are identical either way).
+bool ExtSorter::Stream::BeatsRun(uint32_t a, uint32_t b) const {
+  const bool a_live = a < num_runs_ && !readers_[a]->exhausted;
+  const bool b_live = b < num_runs_ && !readers_[b]->exhausted;
+  if (!a_live || !b_live) return a_live;
+  const uint64_t ka = readers_[a]->head;
+  const uint64_t kb = readers_[b]->head;
+  if (ka != kb) return ka < kb;
+  return a < b;
+}
+
+void ExtSorter::Stream::BuildLoserTree() {
+  size_t p = 1;
+  while (p < std::max<size_t>(num_runs_, 1)) p <<= 1;
+  leaf_base_ = p;
+  tree_.assign(p, 0);
+  // Play every match bottom-up: winners propagate in `node`, losers stay
+  // in the tree. node[p + i] is virtual run i (runs >= num_runs_ are
+  // permanently exhausted placeholders).
+  std::vector<uint32_t> node(2 * p);
+  for (size_t i = 0; i < p; ++i) node[p + i] = static_cast<uint32_t>(i);
+  for (size_t i = p; i-- > 1;) {
+    const uint32_t a = node[2 * i];
+    const uint32_t b = node[2 * i + 1];
+    const bool a_wins = BeatsRun(a, b);
+    node[i] = a_wins ? a : b;
+    tree_[i] = a_wins ? b : a;
+  }
+  tree_[0] = node[1];
+  if (num_runs_ == 0) done_ = true;
+}
+
+/// Replays matches from run `run`'s leaf to the root after its head
+/// changed (advanced or exhausted).
+void ExtSorter::Stream::ReplayFrom(size_t run) {
+  uint32_t winner = static_cast<uint32_t>(run);
+  for (size_t i = (leaf_base_ + run) >> 1; i >= 1; i >>= 1) {
+    if (BeatsRun(tree_[i], winner)) {
+      std::swap(tree_[i], winner);
+    }
+  }
+  tree_[0] = winner;
+}
+
+bool ExtSorter::Stream::Next(uint64_t* record) {
+  if (done_ || !status_.ok()) return false;
+  const uint32_t winner = tree_[0];
+  if (winner >= num_runs_ || readers_[winner]->exhausted) {
+    done_ = true;
+    return false;
+  }
+  *record = readers_[winner]->head;
+  if (!RefillReader(winner) && !status_.ok()) {
+    done_ = true;
+    return false;
+  }
+  ReplayFrom(winner);
+  return true;
+}
+
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,152 @@
+// Deterministic external sorter for fixed-size 64-bit records.
+//
+// ExtSorter accepts an unbounded stream of uint64 records under a fixed
+// memory budget: records accumulate in one bounded buffer, and every time
+// the buffer fills it is std::sort-ed and spilled to a temp file (a
+// "run" — raw little-endian uint64s). Finish() spills the tail; Scan()
+// then merges all runs with a k-way loser tree into one globally sorted
+// stream, holding only a small read block per run.
+//
+// Determinism contract: the merged stream is the *sorted multiset* of the
+// added records. Sorting is a pure function of the multiset, so the
+// output is byte-identical for any memory budget (any run partitioning)
+// and any Add() interleaving — concurrent producers need no coordination
+// beyond the sorter's internal mutex. This is what lets the streaming
+// generator (gen/verified_network.h) emit per-source edge blocks from
+// parallel workers and still produce the exact snapshot the in-memory
+// pipeline builds.
+//
+// Graph edges pack as (u64(src) << 32) | dst, which orders records by
+// (src, dst) — the CSR order the streaming ENG2 writer (graph/io.h)
+// consumes directly. The reverse adjacency uses (u64(dst) << 32) | src.
+
+#ifndef ELITENET_UTIL_EXT_SORT_H_
+#define ELITENET_UTIL_EXT_SORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elitenet {
+namespace util {
+
+struct ExtSortOptions {
+  /// In-memory run buffer size in bytes. Runs are budget_bytes/8 records;
+  /// the merge additionally holds kMergeBlockBytes per run. 0 means
+  /// unbounded: everything sorts in RAM and nothing spills.
+  uint64_t budget_bytes = 256ull << 20;
+  /// Directory for spill files (created files are unlinked in the
+  /// destructor). Empty uses the current directory.
+  std::string temp_dir;
+  /// Distinguishes concurrent sorters sharing a temp_dir.
+  std::string temp_prefix = "extsort";
+};
+
+/// Packs a directed edge for (src, dst)-ordered sorting.
+inline uint64_t PackEdge(uint32_t src, uint32_t dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+inline uint32_t PackedSrc(uint64_t record) {
+  return static_cast<uint32_t>(record >> 32);
+}
+inline uint32_t PackedDst(uint64_t record) {
+  return static_cast<uint32_t>(record);
+}
+/// The same edge keyed for (dst, src)-ordered sorting.
+inline uint64_t PackEdgeReversed(uint32_t src, uint32_t dst) {
+  return (static_cast<uint64_t>(dst) << 32) | src;
+}
+
+class ExtSorter {
+ public:
+  explicit ExtSorter(ExtSortOptions options = {});
+  /// Unlinks every spill file.
+  ~ExtSorter();
+
+  ExtSorter(const ExtSorter&) = delete;
+  ExtSorter& operator=(const ExtSorter&) = delete;
+
+  /// Buffers one record, spilling a sorted run when the buffer is full.
+  /// Thread-safe; the global order is insensitive to interleaving.
+  Status Add(uint64_t record);
+
+  /// Buffers a batch under one lock acquisition.
+  Status AddBatch(std::span<const uint64_t> records);
+
+  /// Spills the tail run and seals the sorter: no Add after Finish, any
+  /// number of Scan passes after it. Idempotent.
+  Status Finish();
+
+  uint64_t total_records() const { return total_records_; }
+  /// Number of on-disk spill runs (the tail kept in RAM is not counted).
+  size_t spill_run_count() const { return spill_paths_.size(); }
+  /// Spill file paths, for introspection and fault-injection tests.
+  const std::vector<std::string>& spill_paths() const { return spill_paths_; }
+
+  /// One sorted pass over all records. Owns per-run read state; the
+  /// parent sorter must outlive it and stay Finish()ed.
+  class Stream {
+   public:
+    ~Stream();
+    Stream(Stream&&) noexcept;
+    Stream& operator=(Stream&&) noexcept;
+
+    /// Yields the next record in ascending order. Returns false at end of
+    /// stream *or* on error — check status() to tell which.
+    bool Next(uint64_t* record);
+
+    /// OK until a read fails (e.g. a truncated spill file mid-merge).
+    const Status& status() const { return status_; }
+
+   private:
+    friend class ExtSorter;
+    struct RunReader;
+    explicit Stream(const ExtSorter* parent);
+
+    bool RefillReader(size_t run);
+    bool BeatsRun(uint32_t a, uint32_t b) const;
+    void BuildLoserTree();
+    void ReplayFrom(size_t run);
+
+    const ExtSorter* parent_ = nullptr;
+    Status status_;
+    std::vector<std::unique_ptr<RunReader>> readers_;
+    /// Loser tree over runs: tree_[0] holds the current winner, interior
+    /// nodes hold losers. Size is the run count rounded up to a power of
+    /// two; exhausted runs hold a +inf sentinel key.
+    std::vector<uint32_t> tree_;
+    size_t num_runs_ = 0;
+    size_t leaf_base_ = 0;
+    bool done_ = false;
+  };
+
+  /// Starts a merge pass. FailedPrecondition before Finish(); IoError if a
+  /// spill file cannot be reopened.
+  Result<Stream> Scan() const;
+
+ private:
+  Status SpillLocked();
+
+  ExtSortOptions options_;
+  size_t run_capacity_;  // records per spill run
+
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> buffer_;
+  std::vector<std::string> spill_paths_;
+  /// Sorted tail run that never hit the spill threshold (always in RAM;
+  /// the whole data set when budget_bytes == 0 or nothing spilled).
+  std::vector<uint64_t> tail_run_;
+  uint64_t total_records_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace util
+}  // namespace elitenet
+
+#endif  // ELITENET_UTIL_EXT_SORT_H_

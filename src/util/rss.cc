@@ -1,0 +1,47 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace elitenet {
+namespace util {
+
+namespace {
+
+// Scans /proc/self/status for "<field>:  <n> kB" and returns n * 1024.
+uint64_t StatusFieldBytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  uint64_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &kb) == 1) {
+      bytes = static_cast<uint64_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return StatusFieldBytes("VmRSS"); }
+
+uint64_t PeakRssBytes() { return StatusFieldBytes("VmHWM"); }
+
+bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace util
+}  // namespace elitenet

@@ -1,0 +1,210 @@
+// Out-of-core pipeline tests: the streamed ENG2 writer and the streamed
+// generator must produce files byte-identical to the in-memory path —
+// SaveBinaryV2 of a built graph, SaveBinaryV2 of the in-memory generator
+// — at every memory budget, window size, and thread count. Identity is
+// checked on raw file bytes, which covers section checksums and the
+// header graph checksum for free. Also the writer's GraphBuilder-matching
+// semantics (duplicate coalescing, self-loop dropping) and its input
+// validation.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/verified_network.h"
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "util/ext_sort.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace graph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+util::ExtSortOptions SortOptions(const char* prefix, uint64_t budget) {
+  util::ExtSortOptions o;
+  o.budget_bytes = budget;
+  o.temp_dir = testing::TempDir();
+  o.temp_prefix = prefix;
+  return o;
+}
+
+// A messy random edge multiset: duplicates and self-loops included, so
+// the writer's coalescing has real work to do.
+std::vector<std::pair<NodeId, NodeId>> RandomEdges(NodeId n, size_t count,
+                                                   uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    edges.emplace_back(static_cast<NodeId>(rng.UniformU64(n)),
+                       static_cast<NodeId>(rng.UniformU64(n)));
+  }
+  return edges;
+}
+
+TEST(StreamIoTest, WriterMatchesSaveBinaryV2) {
+  const NodeId n = 500;
+  const auto edges = RandomEdges(n, 20000, 11);
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) ASSERT_TRUE(builder.AddEdge(u, v).ok());
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  const std::string mem_path = TempPath("writer_mem.eng2");
+  ASSERT_TRUE(SaveBinaryV2(*built, mem_path).ok());
+
+  for (const uint64_t budget : {uint64_t{0}, uint64_t{64} << 10}) {
+    util::ExtSorter sorter(SortOptions("writer", budget));
+    for (const auto& [u, v] : edges) {
+      ASSERT_TRUE(sorter.Add(util::PackEdge(u, v)).ok());
+    }
+    const std::string str_path = TempPath("writer_str.eng2");
+    StreamWriteOptions opts;
+    opts.sort_budget_bytes = budget;
+    opts.temp_dir = testing::TempDir();
+    auto stats = WriteStreamedV2(&sorter, n, str_path, opts);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->num_nodes, n);
+    EXPECT_EQ(stats->num_edges, built->num_edges());
+    EXPECT_EQ(stats->graph_checksum, GraphChecksum(*built));
+    EXPECT_GT(stats->dropped_duplicates, 0u);
+    EXPECT_GT(stats->dropped_self_loops, 0u);
+    EXPECT_EQ(Slurp(str_path), Slurp(mem_path)) << "budget=" << budget;
+  }
+}
+
+TEST(StreamIoTest, StreamedFileMapsAndValidates) {
+  const NodeId n = 300;
+  const auto edges = RandomEdges(n, 5000, 12);
+  util::ExtSorter sorter(SortOptions("maps", 0));
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(sorter.Add(util::PackEdge(u, v)).ok());
+  }
+  const std::string path = TempPath("maps.eng2");
+  auto stats = WriteStreamedV2(&sorter, n, path, {});
+  ASSERT_TRUE(stats.ok());
+  auto g = MapBinary(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), n);
+  EXPECT_EQ(g->num_edges(), stats->num_edges);
+  EXPECT_EQ(GraphChecksum(*g), stats->graph_checksum);
+}
+
+TEST(StreamIoTest, SaveStreamedV2MatchesInMemoryWriter) {
+  const NodeId n = 400;
+  const auto edges = RandomEdges(n, 8000, 13);
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) ASSERT_TRUE(builder.AddEdge(u, v).ok());
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+
+  const std::string mem_path = TempPath("save_mem.eng2");
+  ASSERT_TRUE(SaveBinaryV2(*built, mem_path).ok());
+  const std::string str_path = TempPath("save_str.eng2");
+  StreamWriteOptions opts;
+  opts.sort_budget_bytes = 64 << 10;
+  opts.temp_dir = testing::TempDir();
+  auto stats = SaveStreamedV2(*built, str_path, opts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Slurp(str_path), Slurp(mem_path));
+}
+
+TEST(StreamIoTest, RejectsOutOfRangeEndpoints) {
+  util::ExtSorter sorter(SortOptions("range", 0));
+  ASSERT_TRUE(sorter.Add(util::PackEdge(0, 9)).ok());  // dst == n
+  auto stats = WriteStreamedV2(&sorter, 9, TempPath("range.eng2"), {});
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamIoTest, EmptySorterWritesValidEmptyGraph) {
+  util::ExtSorter sorter(SortOptions("empty", 0));
+  const std::string path = TempPath("empty.eng2");
+  auto stats = WriteStreamedV2(&sorter, 7, path, {});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->num_edges, 0u);
+  auto g = MapBinary(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 7u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+// The tentpole identity: streamed generation == in-memory generation +
+// SaveBinaryV2, on raw file bytes, across budgets, window sizes, and
+// thread counts. Small N keeps this in tier-1 time; bench_scale asserts
+// the same identity as its gate before the big run.
+TEST(StreamIoTest, StreamedGeneratorMatchesInMemoryAcrossBudgets) {
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = 3000;
+  cfg.seed = 77;
+
+  auto mem = gen::GenerateVerifiedNetwork(cfg);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  const std::string mem_path = TempPath("gen_mem.eng2");
+  ASSERT_TRUE(SaveBinaryV2(mem->graph, mem_path).ok());
+  const std::string expected = Slurp(mem_path);
+  ASSERT_FALSE(expected.empty());
+
+  struct Case {
+    uint64_t budget;
+    uint32_t window;
+  };
+  for (const Case c : {Case{0, 1u << 16}, Case{256 << 10, 512},
+                       Case{1 << 20, 100}}) {
+    gen::StreamedGenerateOptions opts;
+    opts.sort_budget_bytes = c.budget;
+    opts.window_sources = c.window;
+    opts.temp_dir = testing::TempDir();
+    const std::string path = TempPath("gen_str.eng2");
+    auto streamed = gen::GenerateVerifiedNetworkToSnapshot(cfg, path, opts);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_EQ(Slurp(path), expected)
+        << "budget=" << c.budget << " window=" << c.window;
+    // The O(n) side outputs must match the in-memory generator too.
+    EXPECT_EQ(streamed->roles, mem->roles);
+    EXPECT_EQ(streamed->popularity, mem->popularity);
+  }
+}
+
+TEST(StreamIoTest, StreamedGeneratorThreadCountInvariant) {
+  gen::VerifiedNetworkConfig cfg;
+  cfg.num_users = 2000;
+  cfg.seed = 99;
+  std::string first;
+  for (const int threads : {1, 3, 8}) {
+    util::SetThreadCount(threads);
+    gen::StreamedGenerateOptions opts;
+    opts.sort_budget_bytes = 128 << 10;
+    opts.window_sources = 256;
+    opts.temp_dir = testing::TempDir();
+    const std::string path = TempPath("gen_threads.eng2");
+    auto streamed = gen::GenerateVerifiedNetworkToSnapshot(cfg, path, opts);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    const std::string bytes = Slurp(path);
+    ASSERT_FALSE(bytes.empty());
+    if (first.empty()) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(bytes, first) << "threads=" << threads;
+    }
+  }
+  util::SetThreadCount(0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace elitenet
