@@ -24,6 +24,13 @@
 //                                       sort — same bytes, bounded RSS)
 //   elitenet_cli warmup <graph>        build/refresh the <graph>.widx
 //                                      warm-index sidecar serve uses
+//   elitenet_cli mutate <graph> <trace> [--out=PATH]
+//                                      replay an EMUT follow/unfollow
+//                                      trace through the live delta
+//                                      overlay, print apply rate +
+//                                      overlay high-water marks, and
+//                                      compact to a fresh ENG2 snapshot
+//                                      (default PATH: <graph>.mutated.eng2)
 //
 // <graph> is loaded through core::LoadAnyGraph: a dataset directory
 // (SaveDataset layout), a ".eng"/".eng2" binary snapshot (magic-sniffed;
@@ -31,6 +38,7 @@
 // key the sidecar to the graph's checksum, so a stale .widx silently
 // rebuilds.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +53,7 @@
 #include "core/dataset.h"
 #include "core/fingerprint.h"
 #include "graph/io.h"
+#include "serve/delta_overlay.h"
 #include "serve/server.h"
 #include "serve/warm_index_cache.h"
 #include "stats/distributions.h"
@@ -275,6 +284,77 @@ int CmdConvert(const graph::DiGraph& g, const std::string& out,
   return 0;
 }
 
+int CmdMutate(graph::DiGraph g, const std::string& graph_path,
+              const std::string& trace_path, int argc, char** argv) {
+  std::string out = graph_path + ".mutated.eng2";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown mutate flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  auto trace = serve::ReadMutationLog(trace_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot read trace %s: %s\n", trace_path.c_str(),
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  auto live = serve::LiveGraph::Create(std::move(g));
+  if (!live.ok()) {
+    std::fprintf(stderr, "live graph startup failed: %s\n",
+                 live.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t changed = 0;
+  for (size_t i = 0; i < trace->size(); ++i) {
+    auto outcome = (*live)->Apply((*trace)[i]);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "apply failed at record %zu: %s\n", i,
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (outcome->changed) ++changed;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const serve::OverlayStats stats = (*live)->Stats();
+  std::printf("applied %zu mutations in %.3fs (%.0f/s), %llu effective\n",
+              trace->size(), seconds,
+              seconds > 0.0 ? static_cast<double>(trace->size()) / seconds
+                            : 0.0,
+              static_cast<unsigned long long>(changed));
+  std::printf("  follows %llu  unfollows %llu  noops %llu\n",
+              static_cast<unsigned long long>(stats.follows),
+              static_cast<unsigned long long>(stats.unfollows),
+              static_cast<unsigned long long>(stats.noops));
+  std::printf("  live edges %s (reciprocity %.4f)\n",
+              util::FormatWithCommas(stats.live_edges).c_str(),
+              (*live)->current_reciprocity());
+  std::printf("  overlay high-water: %llu rows, %llu entries "
+              "(now %llu tombstones, %llu adds)\n",
+              static_cast<unsigned long long>(stats.hw_rows),
+              static_cast<unsigned long long>(stats.hw_entries),
+              static_cast<unsigned long long>(stats.tombstones),
+              static_cast<unsigned long long>(stats.overlay_adds));
+
+  auto cstats = (*live)->Compact(out);
+  if (!cstats.ok()) {
+    std::fprintf(stderr, "compaction failed: %s\n",
+                 cstats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compacted %llu edges @ version %llu -> %s (%.3fs)\n",
+              static_cast<unsigned long long>(cstats->num_edges),
+              static_cast<unsigned long long>(cstats->folded_version),
+              out.c_str(), cstats->seconds);
+  return 0;
+}
+
 int CmdWarmup(graph::DiGraph g, const std::string& graph_path) {
   serve::EngineOptions opts;
   opts.warm_index_path = serve::WarmIndexPathFor(graph_path);
@@ -310,14 +390,17 @@ int CmdWarmup(graph::DiGraph g, const std::string& graph_path) {
 void Usage() {
   std::fputs(
       "usage: elitenet_cli <stats|powerlaw|distance|fingerprint|rank|"
-      "serve|convert|warmup> <graph> [args]\n"
+      "serve|convert|warmup|mutate> <graph> [args]\n"
       "  graph: text edge list, .eng/.eng2 binary snapshot, or dataset "
       "dir\n"
       "  convert <in> <out> [--budget-mb=N]: out ending .eng2 writes the\n"
       "    zero-copy mmap snapshot, .eng the legacy ENG1 format, anything\n"
       "    else a text edge list; --budget-mb streams the .eng2 write\n"
       "    through an N-MiB external sort (same bytes, bounded memory)\n"
-      "  warmup <graph>: precompute the <graph>.widx warm-index sidecar\n",
+      "  warmup <graph>: precompute the <graph>.widx warm-index sidecar\n"
+      "  mutate <graph> <trace> [--out=PATH]: replay an EMUT\n"
+      "    follow/unfollow trace through the live delta overlay and\n"
+      "    compact the result to a fresh ENG2 snapshot\n",
       stderr);
 }
 
@@ -370,6 +453,13 @@ int main(int argc, char** argv) {
     return CmdConvert(*g, argv[3], budget_mb);
   }
   if (command == "warmup") return CmdWarmup(std::move(*g), argv[2]);
+  if (command == "mutate") {
+    if (argc < 4) {
+      Usage();
+      return 2;
+    }
+    return CmdMutate(std::move(*g), argv[2], argv[3], argc - 4, argv + 4);
+  }
   Usage();
   return 2;
 }

@@ -3,13 +3,15 @@
 #
 #   1. tier-1: Release-ish build + the whole ctest suite (the CI gate);
 #   2. tsan:   ThreadSanitizer build, "tsan"-labelled tests (parallel
-#              scheduler, traversal kernels, serving cache + executor);
+#              scheduler, traversal kernels, serving cache + executor,
+#              live delta-overlay reader/writer/compactor hammer);
 #   3. perf:   the "perf"-labelled ctest smoke benches (graph kernels,
 #              serving load, cold start, distance oracle, telemetry
-#              overhead, out-of-core scale) — each is a hard-asserting
-#              harness that fails on response divergence,
+#              overhead, out-of-core scale, live mutations) — each is a
+#              hard-asserting harness that fails on response divergence,
 #              cache/oracle/telemetry slowdowns, degraded queries, or a
-#              busted streamed-vs-in-memory byte identity / RSS ceiling.
+#              busted streamed-vs-in-memory / compaction-vs-cold-rebuild
+#              byte identity / RSS ceiling.
 #
 # Usage: scripts/check.sh [--skip-tsan]
 # Runs from any cwd; builds live in build/ and build-tsan/.
@@ -41,7 +43,7 @@ else
   echo "== tsan: skipped (--skip-tsan) =="
 fi
 
-echo "== perf: smoke benches (kernels, serving, cold start, oracle, telemetry) =="
+echo "== perf: smoke benches (kernels, serving, cold start, oracle, telemetry, mutations) =="
 (cd build && ctest -L perf --output-on-failure -j "$JOBS")
 
 echo "== all checks passed =="

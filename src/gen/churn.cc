@@ -1,0 +1,171 @@
+#include "gen/churn.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace elitenet {
+namespace gen {
+
+namespace {
+
+using graph::DiGraph;
+using graph::EdgeIdx;
+using graph::NodeId;
+
+uint64_t Key(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+// Row owning flat CSR position k: the dst whose in-row (or src whose
+// out-row) spans k.
+NodeId RowOf(std::span<const EdgeIdx> offsets, uint64_t k) {
+  auto it = std::upper_bound(offsets.begin(), offsets.end(),
+                             static_cast<EdgeIdx>(k));
+  return static_cast<NodeId>((it - offsets.begin()) - 1);
+}
+
+// Live churn state: the base is immutable, so presence is base membership
+// XOR the removed/added correction sets — the same base+delta shape the
+// serving overlay uses, sized by churn, not by the graph.
+struct ChurnState {
+  const DiGraph& base;
+  std::unordered_set<uint64_t> removed;  ///< base edges currently retracted
+  std::unordered_set<uint64_t> added;    ///< non-base edges currently present
+  std::vector<uint64_t> added_list;      ///< `added` as a sampleable array
+
+  explicit ChurnState(const DiGraph& b) : base(b) {}
+
+  bool Present(NodeId src, NodeId dst) const {
+    const uint64_t key = Key(src, dst);
+    if (base.HasEdge(src, dst)) return removed.find(key) == removed.end();
+    return added.find(key) != added.end();
+  }
+
+  void Follow(NodeId src, NodeId dst) {
+    const uint64_t key = Key(src, dst);
+    if (base.HasEdge(src, dst)) {
+      removed.erase(key);  // re-follow of a retracted base edge
+    } else if (added.insert(key).second) {
+      added_list.push_back(key);
+    }
+  }
+
+  void UnfollowBase(uint64_t key) { removed.insert(key); }
+
+  void UnfollowAdded(size_t index) {
+    added.erase(added_list[index]);
+    added_list[index] = added_list.back();
+    added_list.pop_back();
+  }
+};
+
+Status ValidateFraction(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be in [0, 1], got " +
+                                   std::to_string(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MutationTrace> GenerateMutationTrace(const DiGraph& base,
+                                            const MutationTraceConfig& config) {
+  if (base.num_nodes() < 2 || base.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "churn needs a base graph with >= 2 nodes and >= 1 edge");
+  }
+  EN_RETURN_IF_ERROR(ValidateFraction(config.unfollow_fraction,
+                                      "unfollow_fraction"));
+  EN_RETURN_IF_ERROR(ValidateFraction(config.preferential, "preferential"));
+  EN_RETURN_IF_ERROR(ValidateFraction(config.reciprocation, "reciprocation"));
+  EN_RETURN_IF_ERROR(ValidateFraction(config.base_unfollow_share,
+                                      "base_unfollow_share"));
+
+  const NodeId n = base.num_nodes();
+  const uint64_t m = base.num_edges();
+  util::Rng rng(config.seed);
+  ChurnState state(base);
+  MutationTrace trace;
+  trace.mutations.reserve(config.num_mutations);
+
+  // Every draw below retries until it lands on an effective mutation, so
+  // the emitted trace is all signal. The budget is a stall guard for
+  // pathological configs (e.g. unfollowing a graph dry); real configs
+  // reject a few percent of draws at most.
+  uint64_t attempts = 0;
+  const uint64_t budget =
+      64 * (static_cast<uint64_t>(config.num_mutations) + 1);
+  while (trace.mutations.size() < config.num_mutations) {
+    if (++attempts > budget) {
+      return Status::Internal(
+          "churn generator stalled: config rejects nearly every draw");
+    }
+
+    if (rng.Bernoulli(config.unfollow_fraction)) {
+      // Unfollow: retract a present edge — a base edge (an overlay
+      // tombstone once replayed) or one this trace added.
+      const bool want_base = state.added_list.empty() ||
+                             rng.Bernoulli(config.base_unfollow_share);
+      if (want_base) {
+        const uint64_t k = rng.UniformU64(m);
+        const NodeId src = RowOf(base.out_offsets(), k);
+        const NodeId dst = base.out_targets()[k];
+        const uint64_t key = Key(src, dst);
+        if (state.removed.find(key) != state.removed.end()) continue;
+        state.UnfollowBase(key);
+        trace.mutations.push_back(EdgeMutation{false, src, dst});
+        ++trace.unfollows;
+        ++trace.base_unfollows;
+      } else {
+        const size_t idx = static_cast<size_t>(
+            rng.UniformU64(state.added_list.size()));
+        const uint64_t key = state.added_list[idx];
+        const NodeId src = static_cast<NodeId>(key >> 32);
+        const NodeId dst = static_cast<NodeId>(key & 0xFFFFFFFFu);
+        state.UnfollowAdded(idx);
+        trace.mutations.push_back(EdgeMutation{false, src, dst});
+        ++trace.unfollows;
+      }
+      continue;
+    }
+
+    // Follow. Draw the branch decisions before the endpoints so a
+    // rejected draw costs a bounded number of RNG steps.
+    const bool want_reciprocal = rng.Bernoulli(config.reciprocation);
+    const bool want_preferential = rng.Bernoulli(config.preferential);
+    NodeId src = 0;
+    NodeId dst = 0;
+    if (want_reciprocal) {
+      // Follow-back: src returns one of its inbound base edges.
+      src = static_cast<NodeId>(rng.UniformU64(n));
+      const std::span<const NodeId> in = base.InNeighbors(src);
+      if (in.empty()) continue;
+      dst = in[rng.UniformU64(in.size())];
+    } else if (want_preferential) {
+      // Rich-get-richer: a uniform flat position in the in-CSR lands on
+      // dst with probability in_degree(dst) / m — in-degree-proportional
+      // sampling without a weight table.
+      src = static_cast<NodeId>(rng.UniformU64(n));
+      dst = RowOf(base.in_offsets(), rng.UniformU64(m));
+    } else {
+      src = static_cast<NodeId>(rng.UniformU64(n));
+      dst = static_cast<NodeId>(rng.UniformU64(n));
+    }
+    if (src == dst || state.Present(src, dst)) continue;
+    state.Follow(src, dst);
+    trace.mutations.push_back(EdgeMutation{true, src, dst});
+    ++trace.follows;
+    // Reciprocal at emission time (any branch can close a pair; the
+    // follow-back branch almost always does — unless the inbound edge
+    // was itself unfollowed earlier in the trace).
+    if (state.Present(dst, src)) ++trace.reciprocal_follows;
+  }
+  return trace;
+}
+
+}  // namespace gen
+}  // namespace elitenet

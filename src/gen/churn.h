@@ -1,0 +1,89 @@
+// Synthetic follow/unfollow churn over a generated verified network —
+// the replay workload for the live-mutation serving path.
+//
+// The trace models the drift the Evolving-Twitter literature reports for
+// follower networks between crawls (and that the paper's one-shot crawl
+// cannot show): *densification* — follows outnumber unfollows, so the
+// edge count grows — with rich-get-richer target choice (a new follow
+// lands on an account proportionally to its in-degree), and *reciprocity
+// drift* — a tunable share of new follows are follow-backs of an existing
+// inbound edge, pushing edge reciprocity up from the base network's
+// level.
+//
+// Determinism: the trace is a pure function of (base graph, config); the
+// generator draws every sample from one util::Rng seeded by config.seed.
+// Replaying the trace through serve::LiveGraph::Apply in order therefore
+// reproduces the same graph state, version numbering, and compacted
+// snapshot bytes on every run — the property bench_mutations' byte-
+// identity gate leans on.
+//
+// gen does not depend on serve: EdgeMutation mirrors serve::Mutation
+// structurally, and the callers (CLI, bench) convert when journaling a
+// trace via serve/mutation_log.h.
+
+#ifndef ELITENET_GEN_CHURN_H_
+#define ELITENET_GEN_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace gen {
+
+/// One directed follow (creates src -> dst) or unfollow (retracts it).
+struct EdgeMutation {
+  bool follow = true;
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+
+  bool operator==(const EdgeMutation&) const = default;
+};
+
+struct MutationTraceConfig {
+  uint32_t num_mutations = 100000;
+  uint64_t seed = 2018;
+
+  /// Share of mutations that retract a currently present edge. Below 0.5
+  /// the network densifies (the drift between successive crawls of the
+  /// same network that longitudinal Twitter studies measure).
+  double unfollow_fraction = 0.15;
+  /// Probability a follow picks its target proportionally to base
+  /// in-degree (preferential attachment); the rest target uniformly,
+  /// which is what lets fresh low-degree pairs appear at all.
+  double preferential = 0.7;
+  /// Probability a follow is a follow-back: src picks a target among its
+  /// base in-neighbors it does not follow yet. Raising this drives edge
+  /// reciprocity upward over the trace.
+  double reciprocation = 0.35;
+  /// Share of unfollows aimed at base edges (tombstones in the overlay);
+  /// the rest retract edges the trace itself added.
+  double base_unfollow_share = 0.7;
+};
+
+struct MutationTrace {
+  std::vector<EdgeMutation> mutations;
+  /// Tallies over `mutations` (every record changes state by
+  /// construction — the generator never emits a no-op).
+  uint64_t follows = 0;
+  uint64_t unfollows = 0;
+  /// Follows that closed a reciprocal pair at emission time.
+  uint64_t reciprocal_follows = 0;
+  /// Unfollows that retracted a base edge (vs a trace-added one).
+  uint64_t base_unfollows = 0;
+};
+
+/// Generates a churn trace against `base`. Every emitted mutation is
+/// effective (follows edges absent at that point, unfollows edges
+/// present), so replaying the trace changes state exactly
+/// `num_mutations` times. Deterministic in config.seed. InvalidArgument
+/// for an empty/edgeless base or out-of-range config fractions.
+Result<MutationTrace> GenerateMutationTrace(const graph::DiGraph& base,
+                                            const MutationTraceConfig& config);
+
+}  // namespace gen
+}  // namespace elitenet
+
+#endif  // ELITENET_GEN_CHURN_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -35,6 +37,34 @@ void AppendI64(std::string* out, int64_t v) { *out += std::to_string(v); }
 
 void AppendBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
 
+// Adjacency adapters so the bounded search runs over either a static
+// DiGraph or a live MVCC snapshot. Both iterate neighbors in ascending
+// id order, so the expansion order — and therefore the bytes of a
+// completed answer — is identical across the two backings.
+struct GraphAdj {
+  const DiGraph* g;
+  template <typename Fn>
+  void ForEachOut(NodeId u, Fn&& fn) const {
+    for (NodeId v : g->OutNeighbors(u)) fn(v);
+  }
+  template <typename Fn>
+  void ForEachIn(NodeId u, Fn&& fn) const {
+    for (NodeId v : g->InNeighbors(u)) fn(v);
+  }
+};
+
+struct SnapAdj {
+  const LiveSnapshot* s;
+  template <typename Fn>
+  void ForEachOut(NodeId u, Fn&& fn) const {
+    s->ForEachOut(u, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void ForEachIn(NodeId u, Fn&& fn) const {
+    s->ForEachIn(u, std::forward<Fn>(fn));
+  }
+};
+
 // Deadline-aware bounded bidirectional search. Identical expansion order
 // to analysis::BidirectionalDistance (advance the smaller frontier, finish
 // the level, take the best meeting) with one deadline poll per level, so a
@@ -50,8 +80,9 @@ struct BoundedDistanceResult {
   bool completed = true;
 };
 
+template <typename Adj>
 BoundedDistanceResult BoundedBidirectionalDistance(
-    const DiGraph& g, NodeId source, NodeId target,
+    const Adj& g, NodeId source, NodeId target,
     const util::Deadline& deadline, graph::ScratchArena* fwd,
     graph::ScratchArena* bwd) {
   BoundedDistanceResult out;
@@ -85,14 +116,14 @@ BoundedDistanceResult BoundedBidirectionalDistance(
       ++fwd_depth;
       for (NodeId u : fwd_frontier) {
         ++out.expanded;
-        for (NodeId v : g.OutNeighbors(u)) {
-          if (fwd->Visited(v)) continue;
+        g.ForEachOut(u, [&](NodeId v) {
+          if (fwd->Visited(v)) return;
           fwd->Visit(v, fwd_depth, u);
           if (bwd->Visited(v)) {
             best = std::min(best, fwd_depth + bwd->Distance(v));
           }
           next.push_back(v);
-        }
+        });
       }
       fwd_frontier.swap(next);
     } else {
@@ -101,14 +132,14 @@ BoundedDistanceResult BoundedBidirectionalDistance(
       ++bwd_depth;
       for (NodeId u : bwd_frontier) {
         ++out.expanded;
-        for (NodeId v : g.InNeighbors(u)) {
-          if (bwd->Visited(v)) continue;
+        g.ForEachIn(u, [&](NodeId v) {
+          if (bwd->Visited(v)) return;
           bwd->Visit(v, bwd_depth, u);
           if (fwd->Visited(v)) {
             best = std::min(best, bwd_depth + fwd->Distance(v));
           }
           next.push_back(v);
-        }
+        });
       }
       bwd_frontier.swap(next);
     }
@@ -123,6 +154,67 @@ BoundedDistanceResult BoundedBidirectionalDistance(
   }
   out.lower_bound = kUnset;  // exhausted a side: provably unreachable
   return out;
+}
+
+// The full warm-index build as a pure function of (graph, options) — the
+// Create() path runs it over the loaded base, and a live engine's
+// compactor runs the very same code over each freshly compacted base, so
+// a post-compaction engine serves exactly what a cold start from the
+// compacted file would.
+Status ComputeWarmIndexes(const DiGraph& g, const EngineOptions& options,
+                          WarmIndexes* warm) {
+  {
+    ELITENET_SPAN("serve.warm.degree");
+    warm->degree_stats = analysis::ComputeDegreeStats(g);
+    warm->reciprocity = analysis::ComputeReciprocity(g);
+    warm->mutual_degree.assign(g.num_nodes(), 0);
+    util::ParallelFor(0, g.num_nodes(), 0, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const NodeId u = static_cast<NodeId>(i);
+        uint32_t mutual = 0;
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (g.HasEdge(v, u)) ++mutual;
+        }
+        warm->mutual_degree[i] = mutual;
+      }
+    });
+  }
+  {
+    ELITENET_SPAN("serve.warm.components");
+    warm->wcc = analysis::WeaklyConnectedComponents(g);
+    warm->scc = analysis::StronglyConnectedComponents(g);
+  }
+  {
+    ELITENET_SPAN("serve.warm.pagerank");
+    auto pr = analysis::PageRank(g, options.pagerank);
+    if (!pr.ok()) return pr.status();
+    warm->pagerank = std::move(pr->scores);
+    warm->rank_order = analysis::TopKByScore(warm->pagerank, g.num_nodes());
+    warm->rank_of.assign(g.num_nodes(), 0);
+    for (size_t i = 0; i < warm->rank_order.size(); ++i) {
+      warm->rank_of[warm->rank_order[i]] = static_cast<uint32_t>(i + 1);
+    }
+  }
+  if (options.distance_oracle) {
+    // May return an unbuilt (empty) labeling when the pruned-label budget
+    // is exceeded; dist then serves via the BFS fallback. Either outcome
+    // is persisted as-is, so a restored engine behaves identically.
+    ELITENET_SPAN("serve.warm.dist_oracle");
+    warm->hub_labels = graph::BuildHubLabels(g);
+  }
+  {
+    ELITENET_SPAN("serve.warm.fingerprint");
+    auto fp = core::ComputeFingerprint(g, options.fingerprint);
+    if (fp.ok()) {
+      warm->fingerprint = *fp;
+      warm->fingerprint_similarity =
+          core::FingerprintSimilarity(*fp, core::PaperFingerprint());
+      warm->fingerprint_ok = true;
+    } else {
+      warm->fingerprint_error = fp.status().ToString();
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -140,6 +232,11 @@ struct QueryEngine::Impl {
     std::promise<QueryResponse> promise;
     uint64_t seq = 0;  ///< Telemetry sequence, assigned at submission.
     std::chrono::steady_clock::time_point submitted;
+    /// Live engines: MVCC snapshot captured at submission (see
+    /// RequestMeta::snap_resolved).
+    bool snap_resolved = false;
+    Status snap_status;
+    LiveSnapshot snap;
   };
 
   std::unique_ptr<util::ShardedLruCache<std::string, std::string>> cache;
@@ -168,7 +265,17 @@ QueryEngine::QueryEngine(DiGraph g, const EngineOptions& options)
 }
 
 QueryEngine::~QueryEngine() {
-  // Stop the exporter first: its final snapshot must run while the
+  // Stop the compactor first: it calls back into CompactNow, which needs
+  // live_ and the telemetry counters intact.
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(compactor_mutex_);
+      compactor_stop_ = true;
+    }
+    compactor_cv_.notify_all();
+    compactor_.join();
+  }
+  // Stop the exporter next: its final snapshot must run while the
   // engine (cache counters, inflight gauge) is still alive.
   exporter_.reset();
   {
@@ -197,6 +304,45 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
         engine->telemetry_.get(), options.metrics_path,
         options.metrics_interval_ms,
         [raw] { return raw->StatsContext(); });
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::CreateLive(
+    DiGraph g, const LiveEngineOptions& live, const EngineOptions& options) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot serve an empty graph");
+  }
+  std::unique_ptr<QueryEngine> engine(new QueryEngine(std::move(g), options));
+  EN_RETURN_IF_ERROR(engine->Warmup());
+  // The warm bundle moves into the epoch payload: requests reach it
+  // through their admission snapshot, so a compaction can publish a fresh
+  // bundle together with its base while in-flight requests keep reading
+  // the one their epoch owns.
+  auto payload = std::make_shared<const WarmIndexes>(std::move(engine->warm_));
+  engine->warm_ = WarmIndexes();
+  LiveGraphOptions lopt;
+  lopt.log_path = live.log_path;
+  lopt.sync_log = live.sync_log;
+  lopt.compact_stream = live.compact_stream;
+  // DiGraph copies share storage, so the overlay's base is the same CSR
+  // the engine's graph() exposes — no second copy of the graph.
+  auto lg = LiveGraph::Create(engine->graph_, lopt,
+                              std::shared_ptr<const void>(payload));
+  if (!lg.ok()) return lg.status();
+  engine->live_ = std::move(*lg);
+  engine->live_options_ = live;
+  engine->StartWorkers();
+  if (!options.metrics_path.empty()) {
+    util::SetMetricsEnabled(true);
+    QueryEngine* raw = engine.get();
+    engine->exporter_ = std::make_unique<TelemetryExporter>(
+        engine->telemetry_.get(), options.metrics_path,
+        options.metrics_interval_ms, [raw] { return raw->StatsContext(); });
+  }
+  if (live.compact_after > 0 && !live.compact_path.empty()) {
+    QueryEngine* raw = engine.get();
+    engine->compactor_ = std::thread([raw] { raw->CompactorLoop(); });
   }
   return engine;
 }
@@ -233,59 +379,7 @@ Status QueryEngine::Warmup() {
 }
 
 Status QueryEngine::BuildWarmIndexes() {
-  const DiGraph& g = graph_;
-  {
-    ELITENET_SPAN("serve.warm.degree");
-    warm_.degree_stats = analysis::ComputeDegreeStats(g);
-    warm_.reciprocity = analysis::ComputeReciprocity(g);
-    warm_.mutual_degree.assign(g.num_nodes(), 0);
-    util::ParallelFor(0, g.num_nodes(), 0, [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) {
-        const NodeId u = static_cast<NodeId>(i);
-        uint32_t mutual = 0;
-        for (NodeId v : g.OutNeighbors(u)) {
-          if (g.HasEdge(v, u)) ++mutual;
-        }
-        warm_.mutual_degree[i] = mutual;
-      }
-    });
-  }
-  {
-    ELITENET_SPAN("serve.warm.components");
-    warm_.wcc = analysis::WeaklyConnectedComponents(g);
-    warm_.scc = analysis::StronglyConnectedComponents(g);
-  }
-  {
-    ELITENET_SPAN("serve.warm.pagerank");
-    auto pr = analysis::PageRank(g, options_.pagerank);
-    if (!pr.ok()) return pr.status();
-    warm_.pagerank = std::move(pr->scores);
-    warm_.rank_order = analysis::TopKByScore(warm_.pagerank, g.num_nodes());
-    warm_.rank_of.assign(g.num_nodes(), 0);
-    for (size_t i = 0; i < warm_.rank_order.size(); ++i) {
-      warm_.rank_of[warm_.rank_order[i]] = static_cast<uint32_t>(i + 1);
-    }
-  }
-  if (options_.distance_oracle) {
-    // May return an unbuilt (empty) labeling when the pruned-label budget
-    // is exceeded; dist then serves via the BFS fallback. Either outcome
-    // is persisted as-is, so a restored engine behaves identically.
-    ELITENET_SPAN("serve.warm.dist_oracle");
-    warm_.hub_labels = graph::BuildHubLabels(g);
-  }
-  {
-    ELITENET_SPAN("serve.warm.fingerprint");
-    auto fp = core::ComputeFingerprint(g, options_.fingerprint);
-    if (fp.ok()) {
-      warm_.fingerprint = *fp;
-      warm_.fingerprint_similarity =
-          core::FingerprintSimilarity(*fp, core::PaperFingerprint());
-      warm_.fingerprint_ok = true;
-    } else {
-      warm_.fingerprint_error = fp.status().ToString();
-    }
-  }
-  return Status::OK();
+  return ComputeWarmIndexes(graph_, options_, &warm_);
 }
 
 void QueryEngine::StartWorkers() {
@@ -315,6 +409,9 @@ void QueryEngine::WorkerLoop() {
     RequestMeta meta;
     meta.seq = job.seq;
     meta.queued = true;
+    meta.snap_resolved = job.snap_resolved;
+    meta.snap_status = std::move(job.snap_status);
+    meta.snap = std::move(job.snap);
     meta.queue_wait_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - job.submitted)
@@ -333,6 +430,19 @@ std::future<QueryResponse> QueryEngine::Submit(const Request& r) {
   // replayed request stream maps to the same trace ids no matter how the
   // workers interleave.
   if (telemetry_->enabled()) job.seq = telemetry_->NextSeq();
+  if (live_ != nullptr) {
+    // Admission-time capture: the version a queued request answers at is
+    // fixed here, before any queueing delay — so a request admitted at
+    // version V answers at V no matter how long it waits or how many
+    // mutations land meanwhile.
+    job.snap_resolved = true;
+    auto snap = ResolveSnapshot(r);
+    if (snap.ok()) {
+      job.snap = std::move(*snap);
+    } else {
+      job.snap_status = snap.status();
+    }
+  }
   job.submitted = std::chrono::steady_clock::now();
   std::future<QueryResponse> fut = job.promise.get_future();
   {
@@ -414,6 +524,17 @@ void RecordLatency(RequestType type, uint64_t micros) {
   }
 }
 
+// Live result-cache key: the epoch disambiguates bases (the same version
+// number can name different logical states across compaction lineages of
+// different WALs), the resolved version makes unpinned requests cacheable
+// — two unpinned requests admitted at the same version share an entry.
+std::string LiveCacheKey(const LiveSnapshot& snap, const Request& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "e%" PRIu64 "@%" PRIu64 " ",
+                snap.epoch_seq(), snap.version());
+  return buf + CacheKey(r);
+}
+
 QueryResponse ErrorResponse(const Request& r, const Status& status) {
   ELITENET_COUNT("serve.errors", 1);
   QueryResponse resp;
@@ -459,24 +580,57 @@ QueryResponse QueryEngine::ExecuteWithDeadline(const Request& r,
   QueryResponse resp;
   {
     util::ScopedSpan span(SpanNameFor(r.type));
-    std::string key;
-    bool from_cache = false;
-    if (impl_->cache != nullptr) {
-      key = CacheKey(r);
-      std::string cached;
-      if (impl_->cache->Get(key, &cached)) {
-        ELITENET_COUNT("serve.cache.hit", 1);
-        resp.json = std::move(cached);
-        resp.cache_hit = true;
-        from_cache = true;
+    // Admission: live engines fix the MVCC snapshot (Submit resolved it
+    // already; synchronous Execute resolves here); static engines reject
+    // version pins — there is no version history to pin into.
+    Status admit;
+    LiveSnapshot snap;
+    if (live_ != nullptr) {
+      if (meta.snap_resolved) {
+        admit = meta.snap_status;
+        if (admit.ok()) snap = meta.snap;
       } else {
-        ELITENET_COUNT("serve.cache.miss", 1);
+        auto got = ResolveSnapshot(r);
+        if (got.ok()) {
+          snap = std::move(*got);
+        } else {
+          admit = got.status();
+        }
       }
+    } else if (r.version != 0) {
+      admit = Status::FailedPrecondition(
+          "version pins require a live engine (static graph has no "
+          "version history)");
     }
-    if (!from_cache) {
-      resp = Compute(r, deadline);
-      if (resp.ok && !resp.degraded && impl_->cache != nullptr) {
-        impl_->cache->Put(key, resp.json);
+    if (!admit.ok()) {
+      resp = ErrorResponse(r, admit);
+    } else {
+      QueryCtx ctx;
+      if (live_ != nullptr) {
+        ctx.snap = &snap;
+        ctx.warm = static_cast<const WarmIndexes*>(snap.warm_payload());
+      } else {
+        ctx.warm = &warm_;
+      }
+      std::string key;
+      bool from_cache = false;
+      if (impl_->cache != nullptr) {
+        key = live_ != nullptr ? LiveCacheKey(snap, r) : CacheKey(r);
+        std::string cached;
+        if (impl_->cache->Get(key, &cached)) {
+          ELITENET_COUNT("serve.cache.hit", 1);
+          resp.json = std::move(cached);
+          resp.cache_hit = true;
+          from_cache = true;
+        } else {
+          ELITENET_COUNT("serve.cache.miss", 1);
+        }
+      }
+      if (!from_cache) {
+        resp = Compute(r, deadline, ctx);
+        if (resp.ok && !resp.degraded && impl_->cache != nullptr) {
+          impl_->cache->Put(key, resp.json);
+        }
       }
     }
   }  // root span closes here so a sampled capture sees its duration
@@ -516,79 +670,137 @@ QueryResponse QueryEngine::ExecuteWithDeadline(const Request& r,
 }
 
 QueryResponse QueryEngine::Compute(const Request& r,
-                                   const util::Deadline& deadline) {
+                                   const util::Deadline& deadline,
+                                   const QueryCtx& ctx) {
   ELITENET_SPAN("serve.compute");
   switch (r.type) {
     case RequestType::kEgoSummary:
-      return DoEgoSummary(r);
+      return DoEgoSummary(r, ctx);
     case RequestType::kTopKRank:
-      return DoTopKRank(r);
+      return DoTopKRank(r, ctx);
     case RequestType::kDistance:
-      return DoDistance(r, deadline);
+      return DoDistance(r, deadline, ctx);
     case RequestType::kNeighbors:
-      return DoNeighbors(r);
+      return DoNeighbors(r, ctx);
     case RequestType::kFingerprint:
-      return DoFingerprint();
+      return DoFingerprint(ctx);
   }
   return ErrorResponse(r, Status::Internal("unhandled request type"));
 }
 
-QueryResponse QueryEngine::DoEgoSummary(const Request& r) {
+namespace {
+
+// Live responses carry the snapshot version they answered at and the
+// base version the epoch's warm indexes were computed at — the staleness
+// bound for warm-index fields. Static responses stay byte-for-byte what
+// they were before live mode existed.
+void AppendVersionFields(std::string* j, const LiveSnapshot* snap) {
+  if (snap == nullptr) return;
+  *j += ",\"version\":";
+  AppendU64(j, snap->version());
+  *j += ",\"as_of\":";
+  AppendU64(j, snap->base_version());
+}
+
+}  // namespace
+
+QueryResponse QueryEngine::DoEgoSummary(const Request& r, const QueryCtx& ctx) {
   const NodeId u = r.node;
   if (u >= graph_.num_nodes()) {
     return ErrorResponse(
         r, Status::NotFound("node " + std::to_string(u) + " not in graph"));
   }
+  const WarmIndexes& warm = *ctx.warm;
+  const LiveSnapshot* snap = ctx.snap;
   // Two-hop out-reach (distinct nodes within <= 2 follows, excluding u):
   // the per-user audience estimate verification-style lookups want. Marked
-  // in a pooled arena so hub queries do not allocate O(n) scratch.
+  // in a pooled arena so hub queries do not allocate O(n) scratch. Live
+  // engines traverse the snapshot — exact at the request's version even
+  // when only a neighbor-of-a-neighbor was touched.
   std::unique_ptr<Scratch> scratch = BorrowScratch();
   graph::ScratchArena& a = scratch->fwd;
   a.BeginEpoch();
   a.Visit(u, 0, graph::kNoParent);
   uint64_t reach = 0;
-  for (NodeId v : graph_.OutNeighbors(u)) {
-    if (!a.Visited(v)) {
-      a.Visit(v, 1, u);
-      ++reach;
-    }
-  }
-  for (NodeId v : graph_.OutNeighbors(u)) {
-    for (NodeId w : graph_.OutNeighbors(v)) {
-      if (!a.Visited(w)) {
-        a.Visit(w, 2, v);
+  uint32_t out_deg = 0;
+  uint32_t in_deg = 0;
+  uint64_t mutual = 0;
+  if (snap != nullptr) {
+    std::vector<NodeId> first;
+    snap->CollectOut(u, &first);
+    for (NodeId v : first) {
+      if (!a.Visited(v)) {
+        a.Visit(v, 1, u);
         ++reach;
       }
     }
+    for (NodeId v : first) {
+      snap->ForEachOut(v, [&](NodeId w) {
+        if (!a.Visited(w)) {
+          a.Visit(w, 2, v);
+          ++reach;
+        }
+      });
+    }
+    out_deg = static_cast<uint32_t>(first.size());
+    in_deg = snap->InDegree(u);
+    if (snap->Touched(u)) {
+      // Either direction at u changed: the warm count may be stale, so
+      // recount at the snapshot version (deg(u) containment probes).
+      for (NodeId v : first) {
+        if (snap->HasEdge(v, u)) ++mutual;
+      }
+    } else {
+      // Untouched in both directions at this version: neither u's
+      // follows nor its followers changed, so the warm count is exact.
+      mutual = warm.mutual_degree[u];
+    }
+  } else {
+    for (NodeId v : graph_.OutNeighbors(u)) {
+      if (!a.Visited(v)) {
+        a.Visit(v, 1, u);
+        ++reach;
+      }
+    }
+    for (NodeId v : graph_.OutNeighbors(u)) {
+      for (NodeId w : graph_.OutNeighbors(v)) {
+        if (!a.Visited(w)) {
+          a.Visit(w, 2, v);
+          ++reach;
+        }
+      }
+    }
+    out_deg = graph_.OutDegree(u);
+    in_deg = graph_.InDegree(u);
+    mutual = warm.mutual_degree[u];
   }
   ReturnScratch(std::move(scratch));
 
-  const uint32_t out_deg = graph_.OutDegree(u);
-  const uint32_t in_deg = graph_.InDegree(u);
   QueryResponse resp;
   std::string& j = resp.json;
   j = "{\"type\":\"ego\",\"node\":";
   AppendU64(&j, u);
+  AppendVersionFields(&j, snap);
   j += ",\"out_degree\":";
   AppendU64(&j, out_deg);
   j += ",\"in_degree\":";
   AppendU64(&j, in_deg);
   j += ",\"mutual\":";
-  AppendU64(&j, warm_.mutual_degree[u]);
+  AppendU64(&j, mutual);
   j += ",\"reach_2hop\":";
   AppendU64(&j, reach);
   j += ",\"pagerank\":";
-  j += JsonDouble(warm_.pagerank[u]);
+  j += JsonDouble(warm.pagerank[u]);
   j += ",\"rank\":";
-  AppendU64(&j, warm_.rank_of[u]);
+  AppendU64(&j, warm.rank_of[u]);
   j += ",\"wcc_id\":";
-  AppendU64(&j, warm_.wcc.label[u]);
+  AppendU64(&j, warm.wcc.label[u]);
   j += ",\"wcc_size\":";
-  AppendU64(&j, warm_.wcc.sizes[warm_.wcc.label[u]]);
+  AppendU64(&j, warm.wcc.sizes[warm.wcc.label[u]]);
   j += ",\"scc_id\":";
-  AppendU64(&j, warm_.scc.label[u]);
+  AppendU64(&j, warm.scc.label[u]);
   j += ",\"scc_size\":";
-  AppendU64(&j, warm_.scc.sizes[warm_.scc.label[u]]);
+  AppendU64(&j, warm.scc.sizes[warm.scc.label[u]]);
   j += ",\"is_sink\":";
   AppendBool(&j, out_deg == 0 && in_deg > 0);
   j += ",\"is_isolated\":";
@@ -597,29 +809,35 @@ QueryResponse QueryEngine::DoEgoSummary(const Request& r) {
   return resp;
 }
 
-QueryResponse QueryEngine::DoTopKRank(const Request& r) {
+QueryResponse QueryEngine::DoTopKRank(const Request& r, const QueryCtx& ctx) {
+  const WarmIndexes& warm = *ctx.warm;
   const uint32_t returned =
-      std::min<uint32_t>(r.k, static_cast<uint32_t>(warm_.rank_order.size()));
+      std::min<uint32_t>(r.k, static_cast<uint32_t>(warm.rank_order.size()));
   QueryResponse resp;
   std::string& j = resp.json;
   j = "{\"type\":\"topk\",\"k\":";
   AppendU64(&j, r.k);
   j += ",\"returned\":";
   AppendU64(&j, returned);
+  AppendVersionFields(&j, ctx.snap);
   j += ",\"rows\":[";
   for (uint32_t i = 0; i < returned; ++i) {
-    const NodeId u = warm_.rank_order[i];
+    const NodeId u = warm.rank_order[i];
     if (i > 0) j += ',';
     j += "{\"rank\":";
     AppendU64(&j, i + 1);
     j += ",\"node\":";
     AppendU64(&j, u);
     j += ",\"score\":";
-    j += JsonDouble(warm_.pagerank[u]);
+    j += JsonDouble(warm.pagerank[u]);
     j += ",\"in_degree\":";
-    AppendU64(&j, graph_.InDegree(u));
+    // Ordering and scores are as-of the epoch base ("as_of"); the degree
+    // columns are exact at the snapshot version.
+    AppendU64(&j, ctx.snap != nullptr ? ctx.snap->InDegree(u)
+                                      : graph_.InDegree(u));
     j += ",\"out_degree\":";
-    AppendU64(&j, graph_.OutDegree(u));
+    AppendU64(&j, ctx.snap != nullptr ? ctx.snap->OutDegree(u)
+                                      : graph_.OutDegree(u));
     j += '}';
   }
   j += "],\"degraded\":false}";
@@ -627,24 +845,42 @@ QueryResponse QueryEngine::DoTopKRank(const Request& r) {
 }
 
 QueryResponse QueryEngine::DoDistance(const Request& r,
-                                      const util::Deadline& deadline) {
+                                      const util::Deadline& deadline,
+                                      const QueryCtx& ctx) {
   if (r.node >= graph_.num_nodes() || r.target >= graph_.num_nodes()) {
     return ErrorResponse(r, Status::NotFound("distance endpoint not in graph"));
   }
+  const WarmIndexes& warm = *ctx.warm;
+  // The hub-label oracle answers as-of the epoch base. On a live engine
+  // it stays in charge only while both endpoints are untouched at the
+  // snapshot version (bounded staleness: intermediate churn may shift the
+  // true distance, endpoint churn may not go unseen); a touched endpoint
+  // routes to the overlay-aware BFS, exact at the snapshot version. The
+  // choice is a pure function of (epoch, version, request), so pinned
+  // replays stay deterministic.
+  const bool oracle_ok =
+      !warm.hub_labels.empty() &&
+      (ctx.snap == nullptr ||
+       (!ctx.snap->Touched(r.node) && !ctx.snap->Touched(r.target)));
   BoundedDistanceResult d;
-  if (!warm_.hub_labels.empty()) {
+  if (oracle_ok) {
     // Oracle fast path: exact distance by label intersection, no graph
     // traversal, no deadline interaction — it cannot degrade.
     ELITENET_COUNT("serve.dist.oracle_hit", 1);
     util::SpanTimer intersect_timer;
-    d.distance = warm_.hub_labels.Distance(r.node, r.target);
+    d.distance = warm.hub_labels.Distance(r.node, r.target);
     ELITENET_HISTOGRAM("serve.dist.intersect_us",
                        static_cast<uint64_t>(intersect_timer.Seconds() * 1e6));
   } else {
     ELITENET_COUNT("serve.dist.bfs_fallback", 1);
     std::unique_ptr<Scratch> scratch = BorrowScratch();
-    d = BoundedBidirectionalDistance(graph_, r.node, r.target, deadline,
-                                     &scratch->fwd, &scratch->bwd);
+    if (ctx.snap != nullptr) {
+      d = BoundedBidirectionalDistance(SnapAdj{ctx.snap}, r.node, r.target,
+                                       deadline, &scratch->fwd, &scratch->bwd);
+    } else {
+      d = BoundedBidirectionalDistance(GraphAdj{&graph_}, r.node, r.target,
+                                       deadline, &scratch->fwd, &scratch->bwd);
+    }
     ReturnScratch(std::move(scratch));
   }
 
@@ -656,6 +892,7 @@ QueryResponse QueryEngine::DoDistance(const Request& r,
   AppendU64(&j, r.node);
   j += ",\"dst\":";
   AppendU64(&j, r.target);
+  AppendVersionFields(&j, ctx.snap);
   if (d.completed) {
     // Note: no traversal-cost field here — a completed answer must be a
     // pure function of (graph, request) so the oracle and BFS paths stay
@@ -681,20 +918,33 @@ QueryResponse QueryEngine::DoDistance(const Request& r,
   return resp;
 }
 
-QueryResponse QueryEngine::DoNeighbors(const Request& r) {
+QueryResponse QueryEngine::DoNeighbors(const Request& r, const QueryCtx& ctx) {
   const NodeId u = r.node;
   if (u >= graph_.num_nodes()) {
     return ErrorResponse(
         r, Status::NotFound("node " + std::to_string(u) + " not in graph"));
   }
+  // Live engines materialize the merged row at the snapshot version; its
+  // order (ascending) matches the static CSR row, so a node untouched
+  // since the base was built lists identically on both paths.
+  std::vector<NodeId> merged;
+  if (ctx.snap != nullptr) {
+    if (r.direction == NeighborDirection::kOut) {
+      ctx.snap->CollectOut(u, &merged);
+    } else {
+      ctx.snap->CollectIn(u, &merged);
+    }
+  }
   const std::span<const NodeId> all =
-      r.direction == NeighborDirection::kOut ? graph_.OutNeighbors(u)
-                                             : graph_.InNeighbors(u);
+      ctx.snap != nullptr ? std::span<const NodeId>(merged)
+      : r.direction == NeighborDirection::kOut ? graph_.OutNeighbors(u)
+                                               : graph_.InNeighbors(u);
   const size_t returned = std::min<size_t>(r.limit, all.size());
   QueryResponse resp;
   std::string& j = resp.json;
   j = "{\"type\":\"neighbors\",\"node\":";
   AppendU64(&j, u);
+  AppendVersionFields(&j, ctx.snap);
   j += ",\"dir\":\"";
   j += r.direction == NeighborDirection::kOut ? "out" : "in";
   j += "\",\"total\":";
@@ -710,34 +960,40 @@ QueryResponse QueryEngine::DoNeighbors(const Request& r) {
   return resp;
 }
 
-QueryResponse QueryEngine::DoFingerprint() {
-  if (!warm_.fingerprint_ok) {
+QueryResponse QueryEngine::DoFingerprint(const QueryCtx& ctx) {
+  const WarmIndexes& warm = *ctx.warm;
+  if (!warm.fingerprint_ok) {
     Request r;
     r.type = RequestType::kFingerprint;
     return ErrorResponse(
         r, Status::FailedPrecondition("fingerprint unavailable: " +
-                                      warm_.fingerprint_error));
+                                      warm.fingerprint_error));
   }
   QueryResponse resp;
   std::string& j = resp.json;
-  j = "{\"type\":\"fingerprint\",\"density\":";
-  j += JsonDouble(warm_.fingerprint.density);
+  // Every fingerprint field is a whole-graph statistic as-of the epoch
+  // base — "as_of" is the honest timestamp; "version" says when it was
+  // asked.
+  j = "{\"type\":\"fingerprint\"";
+  AppendVersionFields(&j, ctx.snap);
+  j += ",\"density\":";
+  j += JsonDouble(warm.fingerprint.density);
   j += ",\"reciprocity\":";
-  j += JsonDouble(warm_.fingerprint.reciprocity);
+  j += JsonDouble(warm.fingerprint.reciprocity);
   j += ",\"clustering\":";
-  j += JsonDouble(warm_.fingerprint.clustering);
+  j += JsonDouble(warm.fingerprint.clustering);
   j += ",\"assortativity\":";
-  j += JsonDouble(warm_.fingerprint.assortativity);
+  j += JsonDouble(warm.fingerprint.assortativity);
   j += ",\"giant_scc_fraction\":";
-  j += JsonDouble(warm_.fingerprint.giant_scc_fraction);
+  j += JsonDouble(warm.fingerprint.giant_scc_fraction);
   j += ",\"mean_distance\":";
-  j += JsonDouble(warm_.fingerprint.mean_distance);
+  j += JsonDouble(warm.fingerprint.mean_distance);
   j += ",\"powerlaw_alpha\":";
-  j += JsonDouble(warm_.fingerprint.powerlaw_alpha);
+  j += JsonDouble(warm.fingerprint.powerlaw_alpha);
   j += ",\"attracting_fraction\":";
-  j += JsonDouble(warm_.fingerprint.attracting_fraction);
+  j += JsonDouble(warm.fingerprint.attracting_fraction);
   j += ",\"similarity_to_paper\":";
-  j += JsonDouble(warm_.fingerprint_similarity);
+  j += JsonDouble(warm.fingerprint_similarity);
   j += ",\"degraded\":false}";
   return resp;
 }
@@ -779,6 +1035,95 @@ void QueryEngine::SetTelemetryEnabled(bool on) {
   telemetry_->set_enabled(on);
 }
 
+bool QueryEngine::distance_oracle_active() const {
+  if (live_ != nullptr) {
+    const LiveSnapshot snap = live_->Snapshot();
+    const auto* warm = static_cast<const WarmIndexes*>(snap.warm_payload());
+    return warm != nullptr && !warm->hub_labels.empty();
+  }
+  return !warm_.hub_labels.empty();
+}
+
+Result<LiveSnapshot> QueryEngine::ResolveSnapshot(const Request& r) const {
+  if (r.version == 0) return live_->Snapshot();
+  return live_->SnapshotAt(r.version);
+}
+
+Result<ApplyOutcome> QueryEngine::Apply(const Mutation& m) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutations require a live engine (CreateLive)");
+  }
+  auto out = live_->Apply(m);
+  if (out.ok() && compactor_.joinable() &&
+      out->version - live_->base_version() >= live_options_.compact_after) {
+    compactor_cv_.notify_one();
+  }
+  return out;
+}
+
+Result<CompactionStats> QueryEngine::CompactNow() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "compaction requires a live engine (CreateLive)");
+  }
+  if (live_options_.compact_path.empty()) {
+    return Status::FailedPrecondition(
+        "no compact_path configured in LiveEngineOptions");
+  }
+  const std::string path = live_options_.compact_path;
+  return live_->Compact(
+      path,
+      [this, &path](const DiGraph& g) -> Result<std::shared_ptr<const void>> {
+        WarmIndexes w;
+        EN_RETURN_IF_ERROR(ComputeWarmIndexes(g, options_, &w));
+        // Best-effort sidecar next to the snapshot: a restart from the
+        // compacted file warm-starts instead of recomputing.
+        WarmIndexKey key;
+        key.graph_checksum = graph::GraphChecksum(g);
+        key.config_hash = WarmConfigHash(options_.pagerank,
+                                         options_.fingerprint,
+                                         options_.distance_oracle);
+        (void)SaveWarmIndexes(path + ".widx", key, w);
+        return std::shared_ptr<const void>(
+            std::make_shared<const WarmIndexes>(std::move(w)));
+      });
+}
+
+void QueryEngine::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(compactor_mutex_);
+  for (;;) {
+    compactor_cv_.wait(lock, [this] {
+      return compactor_stop_ ||
+             live_->applied_version() - live_->base_version() >=
+                 live_options_.compact_after;
+    });
+    if (compactor_stop_) return;
+    lock.unlock();
+    auto done = CompactNow();
+    lock.lock();
+    if (!done.ok()) {
+      ELITENET_COUNT("serve.compact.errors", 1);
+      // The trigger condition is still true; back off instead of spinning
+      // against a persistently failing disk.
+      compactor_cv_.wait_for(lock, std::chrono::milliseconds(200),
+                             [this] { return compactor_stop_; });
+    }
+  }
+}
+
+OverlayStats QueryEngine::overlay_stats() const {
+  return live_ != nullptr ? live_->Stats() : OverlayStats();
+}
+
+uint64_t QueryEngine::applied_version() const {
+  return live_ != nullptr ? live_->applied_version() : 0;
+}
+
+LiveSnapshot QueryEngine::live_snapshot() const {
+  return live_ != nullptr ? live_->Snapshot() : LiveSnapshot();
+}
+
 EngineStatsContext QueryEngine::StatsContext() const {
   EngineStatsContext ctx;
   ctx.nodes = graph_.num_nodes();
@@ -790,6 +1135,11 @@ EngineStatsContext QueryEngine::StatsContext() const {
   ctx.warmup_seconds = warmup_seconds_;
   ctx.warm_from_cache = warm_from_cache_;
   ctx.inflight = impl_->inflight.load(std::memory_order_relaxed);
+  if (live_ != nullptr) {
+    ctx.live = true;
+    ctx.overlay = live_->Stats();
+    ctx.edges = ctx.overlay.live_edges;
+  }
   return ctx;
 }
 
@@ -805,6 +1155,10 @@ std::string QueryEngine::AdminResponse(const AdminCommand& cmd) const {
       return RenderSlowJson(*telemetry_, cmd.n);
     case AdminCommand::Kind::kTrace:
       return RenderTraceJson(*telemetry_, cmd.trace_id);
+    case AdminCommand::Kind::kVersion:
+      return RenderVersionJson(StatsContext());
+    case AdminCommand::Kind::kOverlay:
+      return RenderOverlayJson(StatsContext());
   }
   return "{\"type\":\"error\",\"code\":\"internal\",\"message\":\"unhandled "
          "admin command\"}";

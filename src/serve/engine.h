@@ -36,16 +36,21 @@
 #ifndef ELITENET_SERVE_ENGINE_H_
 #define ELITENET_SERVE_ENGINE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/centrality.h"
 #include "core/fingerprint.h"
 #include "graph/digraph.h"
+#include "serve/delta_overlay.h"
+#include "serve/mutation_log.h"
 #include "serve/request.h"
 #include "serve/telemetry.h"
 #include "serve/warm_index_cache.h"
@@ -86,6 +91,25 @@ struct EngineOptions {
   int metrics_interval_ms = 1000;
 };
 
+/// Configuration for a live (mutable) engine — see CreateLive.
+struct LiveEngineOptions {
+  /// Write-ahead log for applied mutations; replayed at CreateLive when
+  /// the file exists. Empty disables journaling.
+  std::string log_path;
+  /// fsync the WAL after every append.
+  bool sync_log = false;
+  /// Where compaction writes the fresh ENG2 snapshot (a ".widx" warm
+  /// sidecar rides next to it). Required for CompactNow / auto
+  /// compaction.
+  std::string compact_path;
+  /// Sorter budget / temp dir for the compaction writer.
+  graph::StreamWriteOptions compact_stream;
+  /// Auto-compaction trigger: the background compactor folds the overlay
+  /// once this many versions sit above the epoch base. 0 = manual
+  /// CompactNow() only (no compactor thread).
+  uint64_t compact_after = 0;
+};
+
 struct QueryResponse {
   /// Single-line JSON. Errors render as {"type":"error",...}.
   std::string json;
@@ -108,7 +132,22 @@ class QueryEngine {
   static Result<std::unique_ptr<QueryEngine>> Create(
       graph::DiGraph g, const EngineOptions& options = {});
 
-  /// Stops the executor and joins its workers.
+  /// Like Create, but the graph accepts live follow/unfollow mutations
+  /// through Apply(): the loaded graph becomes the immutable base of a
+  /// LiveGraph delta overlay, every request captures an MVCC snapshot at
+  /// admission, and responses carry `"version"` (the snapshot's graph
+  /// version) and `"as_of"` (the base version the expensive warm indexes
+  /// were computed at — the staleness bound for PageRank/component/rank
+  /// fields). Cheap facts (degrees, neighbor lists, mutual counts, 2-hop
+  /// reach) are exact at the snapshot version; dist falls back from the
+  /// hub-label oracle to overlay-aware bidirectional BFS when either
+  /// endpoint was touched since the base was built.
+  static Result<std::unique_ptr<QueryEngine>> CreateLive(
+      graph::DiGraph g, const LiveEngineOptions& live,
+      const EngineOptions& options = {});
+
+  /// Stops the executor and joins its workers (and, for live engines, the
+  /// background compactor).
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
@@ -128,6 +167,30 @@ class QueryEngine {
 
   const graph::DiGraph& graph() const { return graph_; }
   int threads() const;
+
+  /// True for engines built by CreateLive.
+  bool is_live() const { return live_ != nullptr; }
+
+  /// Applies one follow/unfollow on a live engine (total order; safe from
+  /// any thread — the overlay serializes writers). FailedPrecondition on
+  /// static engines. May wake the background compactor.
+  Result<ApplyOutcome> Apply(const Mutation& m);
+
+  /// Folds the overlay into a fresh ENG2 at live.compact_path (plus a
+  /// ".widx" warm sidecar) and swaps it in as the new base epoch.
+  /// FailedPrecondition on static engines or when no compact_path was
+  /// configured.
+  Result<CompactionStats> CompactNow();
+
+  /// Current overlay counters (zero-valued on static engines).
+  OverlayStats overlay_stats() const;
+
+  /// Last applied graph version (0 on static engines).
+  uint64_t applied_version() const;
+
+  /// Captures the current MVCC snapshot (tests/benches; invalid() on
+  /// static engines).
+  LiveSnapshot live_snapshot() const;
 
   /// Result-cache tallies since startup (also exported as the
   /// serve.cache.hit / serve.cache.miss metrics counters).
@@ -151,13 +214,16 @@ class QueryEngine {
   /// instead of computed (diagnostic; the served bytes are identical).
   bool warm_index_from_cache() const { return warm_from_cache_; }
 
-  /// The warm-index bundle (immutable after Create).
+  /// The warm-index bundle (immutable after Create). Static engines only:
+  /// a live engine hangs its bundle off the current epoch (so compaction
+  /// can swap base and indexes atomically) and this returns an empty one.
   const WarmIndexes& warm_indexes() const { return warm_; }
 
   /// True when dist queries are answered by the hub-label oracle; false
   /// when it is disabled by options or construction blew its budget (in
-  /// which case dist uses the bidirectional-BFS fallback).
-  bool distance_oracle_active() const { return !warm_.hub_labels.empty(); }
+  /// which case dist uses the bidirectional-BFS fallback). Live engines
+  /// consult the current epoch's bundle.
+  bool distance_oracle_active() const;
 
   /// The engine's telemetry plane (always present; inert when
   /// options.telemetry.enabled is false).
@@ -178,21 +244,40 @@ class QueryEngine {
   Status BuildWarmIndexes();
   void StartWorkers();
   void WorkerLoop();
+  void CompactorLoop();
+
+  /// What one request reads: the warm bundle and (live engines only) the
+  /// MVCC snapshot it was admitted against.
+  struct QueryCtx {
+    const WarmIndexes* warm = nullptr;
+    const LiveSnapshot* snap = nullptr;  ///< Null on static engines.
+  };
+
+  /// The snapshot a request executes against (honours "@<version>" pins).
+  /// Live engines only.
+  Result<LiveSnapshot> ResolveSnapshot(const Request& r) const;
 
   /// Computes (never consults the cache) — the miss path.
-  QueryResponse Compute(const Request& r, const util::Deadline& deadline);
+  QueryResponse Compute(const Request& r, const util::Deadline& deadline,
+                        const QueryCtx& ctx);
 
-  QueryResponse DoEgoSummary(const Request& r);
-  QueryResponse DoTopKRank(const Request& r);
-  QueryResponse DoDistance(const Request& r, const util::Deadline& deadline);
-  QueryResponse DoNeighbors(const Request& r);
-  QueryResponse DoFingerprint();
+  QueryResponse DoEgoSummary(const Request& r, const QueryCtx& ctx);
+  QueryResponse DoTopKRank(const Request& r, const QueryCtx& ctx);
+  QueryResponse DoDistance(const Request& r, const util::Deadline& deadline,
+                           const QueryCtx& ctx);
+  QueryResponse DoNeighbors(const Request& r, const QueryCtx& ctx);
+  QueryResponse DoFingerprint(const QueryCtx& ctx);
 
   /// Executor-side facts about a request that exist before execution.
   struct RequestMeta {
     uint64_t seq = 0;  ///< Pre-assigned sequence number (0 = assign now).
     uint64_t queue_wait_us = 0;
     bool queued = false;
+    /// Live engines resolve the MVCC snapshot at submission (Submit), so
+    /// time spent queued never moves the version a request observes.
+    bool snap_resolved = false;
+    Status snap_status;
+    LiveSnapshot snap;
   };
 
   QueryResponse ExecuteWithDeadline(const Request& r,
@@ -217,6 +302,14 @@ class QueryEngine {
 
   struct Impl;  // executor queue, scratch pool, cache
   std::unique_ptr<Impl> impl_;
+
+  // Live-mutation plane (CreateLive only; null on static engines).
+  std::unique_ptr<LiveGraph> live_;
+  LiveEngineOptions live_options_;
+  std::mutex compactor_mutex_;
+  std::condition_variable compactor_cv_;
+  bool compactor_stop_ = false;  ///< Guarded by compactor_mutex_.
+  std::thread compactor_;
 
   std::unique_ptr<Telemetry> telemetry_;
   // Declared (and reset in ~QueryEngine) after everything it reads.

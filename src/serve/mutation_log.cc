@@ -1,0 +1,227 @@
+#include "serve/mutation_log.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace elitenet {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'U', 'T'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kRecordBytes = 16;
+
+}  // namespace
+
+uint32_t MutationRecordChecksum(uint64_t index, const Mutation& m) {
+  // FNV-1a (32-bit) over the record position and payload fields, each in
+  // little-endian byte order. Including `index` makes records
+  // position-dependent: a valid record copied to another offset fails.
+  uint32_t h = 2166136261u;
+  auto mix = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 16777619u;
+    }
+  };
+  mix(&index, sizeof(index));
+  const uint32_t op = static_cast<uint32_t>(m.op);
+  mix(&op, sizeof(op));
+  mix(&m.src, sizeof(m.src));
+  mix(&m.dst, sizeof(m.dst));
+  return h;
+}
+
+namespace {
+
+void EncodeRecord(uint64_t index, const Mutation& m, unsigned char out[16]) {
+  const uint32_t fields[4] = {static_cast<uint32_t>(m.op), m.src, m.dst,
+                              MutationRecordChecksum(index, m)};
+  std::memcpy(out, fields, sizeof(fields));
+}
+
+Status DecodeRecord(uint64_t index, const unsigned char in[16],
+                    Mutation* out) {
+  uint32_t fields[4];
+  std::memcpy(fields, in, sizeof(fields));
+  if (fields[0] > static_cast<uint32_t>(MutationOp::kUnfollow)) {
+    return Status::Corruption("mutation log record " + std::to_string(index) +
+                              ": unknown op " + std::to_string(fields[0]));
+  }
+  Mutation m;
+  m.op = static_cast<MutationOp>(fields[0]);
+  m.src = fields[1];
+  m.dst = fields[2];
+  if (fields[3] != MutationRecordChecksum(index, m)) {
+    return Status::Corruption("mutation log record " + std::to_string(index) +
+                              ": checksum mismatch");
+  }
+  *out = m;
+  return Status::OK();
+}
+
+Status WriteHeader(std::FILE* f) {
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  std::memcpy(header + 4, &kFormatVersion, sizeof(kFormatVersion));
+  if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
+    return Status::IoError("mutation log: header write failed");
+  }
+  return Status::OK();
+}
+
+/// Validates the header and that the payload is whole records; returns
+/// the record count.
+Result<uint64_t> ValidateShape(std::FILE* f, const std::string& path) {
+  unsigned char header[kHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    return Status::Corruption("mutation log " + path + ": truncated header");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("mutation log " + path + ": bad magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, header + 4, sizeof(version));
+  if (version != kFormatVersion) {
+    return Status::NotSupported("mutation log " + path + ": format version " +
+                                std::to_string(version));
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("mutation log " + path + ": seek failed");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) return Status::IoError("mutation log " + path + ": tell failed");
+  const uint64_t payload = static_cast<uint64_t>(end) - kHeaderBytes;
+  if (payload % kRecordBytes != 0) {
+    return Status::Corruption("mutation log " + path +
+                              ": truncated mid-record (" +
+                              std::to_string(payload % kRecordBytes) +
+                              " trailing bytes)");
+  }
+  return payload / kRecordBytes;
+}
+
+}  // namespace
+
+MutationLogWriter::MutationLogWriter(std::string path, std::FILE* f,
+                                     uint64_t next_index, bool sync_each)
+    : path_(std::move(path)),
+      file_(f),
+      next_index_(next_index),
+      sync_each_(sync_each) {}
+
+MutationLogWriter::~MutationLogWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<MutationLogWriter>> MutationLogWriter::Open(
+    const std::string& path, bool sync_each) {
+  // Resume path: an existing file must be a valid log; appends continue
+  // its record numbering so checksums stay position-correct.
+  if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+    auto count = ValidateShape(existing, path);
+    std::fclose(existing);
+    if (!count.ok()) return count.status();
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::IoError("mutation log " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::unique_ptr<MutationLogWriter>(
+        new MutationLogWriter(path, f, *count, sync_each));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("mutation log " + path + ": " +
+                           std::strerror(errno));
+  }
+  const Status header = WriteHeader(f);
+  if (!header.ok()) {
+    std::fclose(f);
+    return header;
+  }
+  return std::unique_ptr<MutationLogWriter>(
+      new MutationLogWriter(path, f, 0, sync_each));
+}
+
+Status MutationLogWriter::Append(const Mutation& m) {
+  unsigned char record[kRecordBytes];
+  EncodeRecord(next_index_, m, record);
+  if (std::fwrite(record, 1, sizeof(record), file_) != sizeof(record)) {
+    return Status::IoError("mutation log " + path_ + ": append failed");
+  }
+  ++next_index_;
+  if (sync_each_) return Flush();
+  return Status::OK();
+}
+
+Status MutationLogWriter::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("mutation log " + path_ + ": flush failed");
+  }
+#ifndef _WIN32
+  if (sync_each_ && ::fsync(fileno(file_)) != 0) {
+    return Status::IoError("mutation log " + path_ + ": fsync failed");
+  }
+#endif
+  return Status::OK();
+}
+
+Result<std::vector<Mutation>> ReadMutationLog(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("mutation log " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto count = ValidateShape(f, path);
+  if (!count.ok()) {
+    std::fclose(f);
+    return count.status();
+  }
+  if (std::fseek(f, kHeaderBytes, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("mutation log " + path + ": seek failed");
+  }
+  std::vector<Mutation> out;
+  out.reserve(static_cast<size_t>(*count));
+  unsigned char record[kRecordBytes];
+  for (uint64_t i = 0; i < *count; ++i) {
+    if (std::fread(record, 1, sizeof(record), f) != sizeof(record)) {
+      std::fclose(f);
+      return Status::IoError("mutation log " + path + ": short read");
+    }
+    Mutation m;
+    const Status decoded = DecodeRecord(i, record, &m);
+    if (!decoded.ok()) {
+      std::fclose(f);
+      return decoded;
+    }
+    out.push_back(m);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status WriteMutationLog(const std::string& path,
+                        const std::vector<Mutation>& mutations) {
+  std::remove(path.c_str());
+  auto writer = MutationLogWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const Mutation& m : mutations) {
+    EN_RETURN_IF_ERROR((*writer)->Append(m));
+  }
+  return (*writer)->Flush();
+}
+
+}  // namespace serve
+}  // namespace elitenet

@@ -1,0 +1,111 @@
+// Durable append-only mutation log — the write-ahead journal and the
+// on-disk trace format for live graph mutations (serve/delta_overlay.h).
+//
+// A mutation is one follow or unfollow of a directed edge. The log gives
+// the live graph its replay determinism: mutations are appended in apply
+// order, so re-reading the file and re-applying every record onto the
+// same base snapshot reconstructs the exact overlay state (including the
+// version numbering — no-ops consume a version too, and they are logged).
+//
+// File layout ("EMUT", little-endian):
+//   header (16 B): magic "EMUT" | u32 format_version=1 | u64 reserved=0
+//   records:       16 B each { u32 op | u32 src | u32 dst | u32 checksum }
+//
+// The checksum is FNV-1a over (record index, op, src, dst), so a record
+// spliced in from another position — not just a flipped byte — fails
+// validation. There is no trailing count or footer: the record count is
+// (file size - 16) / 16, which is what makes the format append-only. A
+// file whose tail is not a whole record (torn final write, truncation
+// mid-record) reads back as kCorruption, never as a silently shorter
+// trace.
+//
+// The same format serves two roles:
+//   * WAL: LiveGraph appends through MutationLogWriter as it applies;
+//   * trace: gen::GenerateMutationTrace writes a churn workload with
+//     WriteMutationLog, and `elitenet_cli mutate` / bench_mutations
+//     replay it with ReadMutationLog.
+
+#ifndef ELITENET_SERVE_MUTATION_LOG_H_
+#define ELITENET_SERVE_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace elitenet {
+namespace serve {
+
+enum class MutationOp : uint8_t {
+  kFollow = 0,    ///< add edge src -> dst (no-op if present)
+  kUnfollow = 1,  ///< remove edge src -> dst (no-op if absent)
+};
+
+/// One totally-ordered follow/unfollow. Idempotent by construction: the
+/// overlay applies it as "set presence to (op == kFollow)", so replaying
+/// a prefix twice cannot diverge.
+struct Mutation {
+  MutationOp op = MutationOp::kFollow;
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+
+  bool operator==(const Mutation&) const = default;
+};
+
+/// Checksum of the record at 0-based position `index` in a log.
+uint32_t MutationRecordChecksum(uint64_t index, const Mutation& m);
+
+/// Appends mutations to a log file, creating it (with header) when absent
+/// and validating header + record alignment when resuming an existing
+/// one. Not thread-safe; LiveGraph serializes appends behind its writer
+/// mutex.
+class MutationLogWriter {
+ public:
+  /// `sync_each` additionally fsyncs after every Append — crash-durable
+  /// but syscall-bound; the default buffers through stdio and makes the
+  /// bytes durable at Flush()/destruction.
+  static Result<std::unique_ptr<MutationLogWriter>> Open(
+      const std::string& path, bool sync_each = false);
+
+  /// Flushes and closes (errors are swallowed; call Flush() to observe
+  /// them).
+  ~MutationLogWriter();
+
+  MutationLogWriter(const MutationLogWriter&) = delete;
+  MutationLogWriter& operator=(const MutationLogWriter&) = delete;
+
+  Status Append(const Mutation& m);
+  Status Flush();
+
+  /// Records in the file, counting any it was reopened over.
+  uint64_t size() const { return next_index_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MutationLogWriter(std::string path, std::FILE* f, uint64_t next_index,
+                    bool sync_each);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t next_index_ = 0;
+  bool sync_each_ = false;
+};
+
+/// Reads a whole log/trace. IoError when the file cannot be opened;
+/// Corruption for a bad magic/version, a size that is not header + whole
+/// records (truncation mid-record), or any per-record checksum mismatch.
+Result<std::vector<Mutation>> ReadMutationLog(const std::string& path);
+
+/// Writes a complete log in one shot (header + records + flush) — the
+/// trace-file writer. Overwrites `path`.
+Status WriteMutationLog(const std::string& path,
+                        const std::vector<Mutation>& mutations);
+
+}  // namespace serve
+}  // namespace elitenet
+
+#endif  // ELITENET_SERVE_MUTATION_LOG_H_

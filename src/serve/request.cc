@@ -50,11 +50,21 @@ const char* RequestTypeName(RequestType type) {
 }
 
 Result<Request> ParseRequest(std::string_view line) {
-  const std::vector<std::string> tokens =
+  std::vector<std::string> tokens =
       util::SplitWhitespace(util::StripAsciiWhitespace(line));
   if (tokens.empty()) return BadRequest("empty request");
-  const std::string& verb = tokens[0];
   Request r;
+  // A trailing "@<version>" pin composes with every verb, so it is
+  // peeled before the per-verb arity checks.
+  if (tokens.size() > 1 && tokens.back().size() > 1 &&
+      tokens.back().front() == '@') {
+    const std::string pin = tokens.back().substr(1);
+    if (!ParseBounded(pin, UINT64_MAX, &r.version) || r.version == 0) {
+      return BadRequest("bad version pin: " + tokens.back());
+    }
+    tokens.pop_back();
+  }
+  const std::string& verb = tokens[0];
 
   if (verb == "ego") {
     if (tokens.size() != 2) return BadRequest("usage: ego <node>");
@@ -157,6 +167,11 @@ std::string CanonicalEncoding(const Request& r) {
   if (r.type == RequestType::kDistance && r.deadline_us != 0) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), " %" PRIu64, r.deadline_us);
+    s += buf;
+  }
+  if (r.version != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " @%" PRIu64, r.version);
     s += buf;
   }
   return s;

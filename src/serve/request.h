@@ -6,7 +6,9 @@
 //
 //   * wire form     — what clients type: "ego 5", "topk 20",
 //                     "dist 3 9 [deadline_us]", "neighbors 4 out 16",
-//                     "fingerprint". Forgiving about whitespace.
+//                     "fingerprint". Forgiving about whitespace. Any verb
+//                     may carry a trailing "@<version>" token to pin the
+//                     answer to one MVCC graph version on a live engine.
 //   * canonical form — the normalized wire form. Parse(Canonical(r)) == r
 //                     for every valid request (round-trip tested).
 //   * cache key     — canonical form minus the deadline, because the
@@ -56,6 +58,11 @@ struct Request {
   NeighborDirection direction = NeighborDirection::kOut;
   /// Execution budget in microseconds; 0 = no deadline.
   uint64_t deadline_us = 0;
+  /// Graph-version pin for live engines: a trailing "@<v>" token on any
+  /// verb answers against the MVCC snapshot at version v. 0 = unpinned
+  /// (the engine captures the current version at admission). Static
+  /// engines reject pinned requests with FailedPrecondition.
+  uint64_t version = 0;
 
   bool operator==(const Request&) const = default;
 };
@@ -68,7 +75,11 @@ Result<Request> ParseRequest(std::string_view line);
 /// Normalized wire form; ParseRequest(CanonicalEncoding(r)) == r.
 std::string CanonicalEncoding(const Request& r);
 
-/// Canonical form without the deadline — the result-cache key.
+/// Canonical form without the deadline or version pin — the result-cache
+/// key. The deadline never changes result bytes; the version does, but a
+/// live engine keys its cache under an "e<epoch>@<resolved version>"
+/// prefix it derives at admission (engine.cc), which also covers unpinned
+/// requests.
 std::string CacheKey(const Request& r);
 
 /// Escapes a string for embedding in a JSON string literal (quotes,

@@ -186,9 +186,12 @@ Result<AdminCommand> ParseAdminLine(std::string_view line) {
   rest = util::StripAsciiWhitespace(rest);
 
   AdminCommand cmd;
-  if (verb == "stats" || verb == "healthz") {
-    cmd.kind = verb == "stats" ? AdminCommand::Kind::kStats
-                               : AdminCommand::Kind::kHealthz;
+  if (verb == "stats" || verb == "healthz" || verb == "version" ||
+      verb == "overlay") {
+    cmd.kind = verb == "stats"     ? AdminCommand::Kind::kStats
+               : verb == "healthz" ? AdminCommand::Kind::kHealthz
+               : verb == "version" ? AdminCommand::Kind::kVersion
+                                   : AdminCommand::Kind::kOverlay;
     if (!rest.empty()) {
       return Status::InvalidArgument("#" + std::string(verb) +
                                      " takes no arguments");
@@ -353,7 +356,29 @@ std::string RenderStatsJson(const Telemetry& t, const EngineStatsContext& ctx) {
     AppendSketchJson(&j, t.latency_sketch(type));
     j += '}';
   }
-  j += "},\"queue_wait\":";
+  j += '}';
+  if (ctx.live) {
+    // The exporter embeds this snapshot, so the mutation plane rides in
+    // every scrape without a second admin round-trip.
+    j += ",\"live\":{\"version\":";
+    AppendU64(&j, ctx.overlay.applied);
+    j += ",\"base_version\":";
+    AppendU64(&j, ctx.overlay.base_version);
+    j += ",\"epoch\":";
+    AppendU64(&j, ctx.overlay.epoch_seq);
+    j += ",\"overlay_rows\":";
+    AppendU64(&j, ctx.overlay.overlay_rows_fwd + ctx.overlay.overlay_rows_rev);
+    j += ",\"overlay_entries\":";
+    AppendU64(&j, ctx.overlay.overlay_entries);
+    j += ",\"tombstones\":";
+    AppendU64(&j, ctx.overlay.tombstones);
+    j += ",\"compactions\":";
+    AppendU64(&j, ctx.overlay.compactions);
+    j += ",\"seconds_since_compaction\":";
+    j += JsonDouble(ctx.overlay.seconds_since_compaction);
+    j += '}';
+  }
+  j += ",\"queue_wait\":";
   AppendSketchJson(&j, t.queue_wait_sketch());
   j += ",\"recorder\":{\"capacity\":";
   AppendU64(&j, t.recent().capacity());
@@ -386,6 +411,71 @@ std::string RenderHealthzJson(const Telemetry& t,
   AppendU64(&j, totals.degraded);
   j += ",\"deadline_miss\":";
   AppendU64(&j, totals.deadline_miss);
+  j += '}';
+  return j;
+}
+
+std::string RenderVersionJson(const EngineStatsContext& ctx) {
+  std::string j = "{\"type\":\"version\",\"live\":";
+  AppendBool(&j, ctx.live);
+  j += ",\"version\":";
+  AppendU64(&j, ctx.overlay.applied);
+  j += ",\"base_version\":";
+  AppendU64(&j, ctx.overlay.base_version);
+  j += ",\"epoch\":";
+  AppendU64(&j, ctx.overlay.epoch_seq);
+  j += ",\"nodes\":";
+  AppendU64(&j, ctx.nodes);
+  j += ",\"edges\":";
+  AppendU64(&j, ctx.edges);
+  j += ",\"base_edges\":";
+  AppendU64(&j, ctx.live ? ctx.overlay.base_edges : ctx.edges);
+  j += ",\"compactions\":";
+  AppendU64(&j, ctx.overlay.compactions);
+  j += ",\"seconds_since_compaction\":";
+  j += JsonDouble(ctx.overlay.seconds_since_compaction);
+  j += ",\"recovered\":";
+  AppendU64(&j, ctx.overlay.recovered);
+  j += '}';
+  return j;
+}
+
+std::string RenderOverlayJson(const EngineStatsContext& ctx) {
+  const OverlayStats& o = ctx.overlay;
+  std::string j = "{\"type\":\"overlay\",\"live\":";
+  AppendBool(&j, ctx.live);
+  j += ",\"applied\":";
+  AppendU64(&j, o.applied);
+  j += ",\"follows\":";
+  AppendU64(&j, o.follows);
+  j += ",\"unfollows\":";
+  AppendU64(&j, o.unfollows);
+  j += ",\"noops\":";
+  AppendU64(&j, o.noops);
+  j += ",\"edges\":";
+  AppendU64(&j, ctx.live ? o.live_edges : ctx.edges);
+  j += ",\"reciprocity\":";
+  j += JsonDouble(o.live_edges > 0 ? static_cast<double>(o.reciprocated_edges) /
+                                         static_cast<double>(o.live_edges)
+                                   : 0.0);
+  j += ",\"rows_fwd\":";
+  AppendU64(&j, o.overlay_rows_fwd);
+  j += ",\"rows_rev\":";
+  AppendU64(&j, o.overlay_rows_rev);
+  j += ",\"entries\":";
+  AppendU64(&j, o.overlay_entries);
+  j += ",\"tombstones\":";
+  AppendU64(&j, o.tombstones);
+  j += ",\"overlay_adds\":";
+  AppendU64(&j, o.overlay_adds);
+  j += ",\"retired_rows\":";
+  AppendU64(&j, o.retired_rows);
+  j += ",\"hw_rows\":";
+  AppendU64(&j, o.hw_rows);
+  j += ",\"hw_entries\":";
+  AppendU64(&j, o.hw_entries);
+  j += ",\"seconds_since_compaction\":";
+  j += JsonDouble(o.seconds_since_compaction);
   j += '}';
   return j;
 }

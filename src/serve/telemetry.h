@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/delta_overlay.h"
 #include "serve/request.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -211,7 +212,15 @@ class Telemetry {
 // Admin introspection (the '#'-prefixed line-protocol commands).
 
 struct AdminCommand {
-  enum class Kind : uint8_t { kStats, kHealthz, kRecent, kSlow, kTrace };
+  enum class Kind : uint8_t {
+    kStats,
+    kHealthz,
+    kRecent,
+    kSlow,
+    kTrace,
+    kVersion,  ///< #version — graph version / epoch / compaction facts.
+    kOverlay,  ///< #overlay — live overlay row/tombstone counters.
+  };
   Kind kind = Kind::kStats;
   size_t n = 16;          ///< #recent / #slow record count.
   uint64_t trace_id = 0;  ///< #trace argument.
@@ -235,6 +244,12 @@ struct EngineStatsContext {
   double warmup_seconds = 0.0;
   bool warm_from_cache = false;
   int64_t inflight = 0;
+  /// Live-engine facts (engine.cc fills them from LiveGraph::Stats).
+  /// When false the #version/#overlay verbs still answer — with
+  /// live:false and the static graph identity — and RenderStatsJson
+  /// omits its "live" block.
+  bool live = false;
+  OverlayStats overlay;
 };
 
 /// All renderers emit exactly one line of JSON (no trailing newline) —
@@ -243,6 +258,11 @@ struct EngineStatsContext {
 std::string RenderStatsJson(const Telemetry& t, const EngineStatsContext& ctx);
 std::string RenderHealthzJson(const Telemetry& t,
                               const EngineStatsContext& ctx);
+/// #version: graph version, epoch, base version, compaction recency.
+std::string RenderVersionJson(const EngineStatsContext& ctx);
+/// #overlay: overlay rows/entries/tombstones, high-water marks, churn
+/// tallies, current reciprocity.
+std::string RenderOverlayJson(const EngineStatsContext& ctx);
 std::string RenderRecentJson(const Telemetry& t, size_t n);
 std::string RenderSlowJson(const Telemetry& t, size_t n);
 std::string RenderTraceJson(const Telemetry& t, uint64_t trace_id);

@@ -1,0 +1,150 @@
+#include "serve/mutation_log.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace elitenet {
+namespace serve {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<Mutation> SampleTrace() {
+  return {
+      {MutationOp::kFollow, 1, 2},   {MutationOp::kFollow, 2, 1},
+      {MutationOp::kUnfollow, 1, 2}, {MutationOp::kFollow, 0, 3},
+      {MutationOp::kUnfollow, 4, 0},
+  };
+}
+
+// Reads the raw file, applies `edit`, writes it back.
+void EditFile(const std::string& path,
+              const std::function<void(std::string*)>& edit) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  edit(&bytes);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(MutationLogTest, RoundTrip) {
+  const std::string path = TmpPath("roundtrip.emut");
+  const std::vector<Mutation> trace = SampleTrace();
+  ASSERT_TRUE(WriteMutationLog(path, trace).ok());
+  auto back = ReadMutationLog(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, trace);
+}
+
+TEST(MutationLogTest, HeaderOnlyLogIsEmpty) {
+  const std::string path = TmpPath("empty.emut");
+  ASSERT_TRUE(WriteMutationLog(path, {}).ok());
+  auto back = ReadMutationLog(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(MutationLogTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadMutationLog(TmpPath("nonexistent.emut")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(MutationLogTest, AppendAcrossReopen) {
+  const std::string path = TmpPath("reopen.emut");
+  std::remove(path.c_str());
+  const std::vector<Mutation> trace = SampleTrace();
+  {
+    auto w = MutationLogWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    for (size_t i = 0; i < 3; ++i) ASSERT_TRUE((*w)->Append(trace[i]).ok());
+    EXPECT_EQ((*w)->size(), 3u);
+  }
+  {
+    auto w = MutationLogWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ((*w)->size(), 3u);  // resumed past the existing records
+    for (size_t i = 3; i < trace.size(); ++i) {
+      ASSERT_TRUE((*w)->Append(trace[i]).ok());
+    }
+  }
+  auto back = ReadMutationLog(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, trace);
+}
+
+TEST(MutationLogTest, TruncationMidRecordIsCorruption) {
+  const std::string path = TmpPath("truncated.emut");
+  ASSERT_TRUE(WriteMutationLog(path, SampleTrace()).ok());
+  // Header (16) + one whole record (16) + half a record: the tail is not
+  // a whole record, which must read as corruption, not a shorter trace.
+  EditFile(path, [](std::string* bytes) { bytes->resize(16 + 16 + 8); });
+  EXPECT_EQ(ReadMutationLog(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MutationLogTest, WholeRecordTruncationStillReads) {
+  // Chopping whole records is indistinguishable from a shorter log by
+  // design (append-only format, no footer) — it must parse.
+  const std::string path = TmpPath("short.emut");
+  const std::vector<Mutation> trace = SampleTrace();
+  ASSERT_TRUE(WriteMutationLog(path, trace).ok());
+  EditFile(path, [](std::string* bytes) { bytes->resize(16 + 2 * 16); });
+  auto back = ReadMutationLog(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], trace[0]);
+  EXPECT_EQ((*back)[1], trace[1]);
+}
+
+TEST(MutationLogTest, BadMagicIsCorruption) {
+  const std::string path = TmpPath("badmagic.emut");
+  ASSERT_TRUE(WriteMutationLog(path, SampleTrace()).ok());
+  EditFile(path, [](std::string* bytes) { (*bytes)[0] = 'X'; });
+  EXPECT_EQ(ReadMutationLog(path).status().code(), StatusCode::kCorruption);
+  // The writer must refuse to append to it too.
+  EXPECT_EQ(MutationLogWriter::Open(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(MutationLogTest, FlippedPayloadByteIsCorruption) {
+  const std::string path = TmpPath("bitflip.emut");
+  ASSERT_TRUE(WriteMutationLog(path, SampleTrace()).ok());
+  // Flip a byte of record 2's dst field (offset 16 + 2*16 + 8).
+  EditFile(path, [](std::string* bytes) { (*bytes)[16 + 32 + 8] ^= 0x01; });
+  EXPECT_EQ(ReadMutationLog(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MutationLogTest, SplicedRecordIsCorruption) {
+  // The checksum binds a record to its position: swapping two valid
+  // records yields per-record checksum failures.
+  const std::string path = TmpPath("spliced.emut");
+  ASSERT_TRUE(WriteMutationLog(path, SampleTrace()).ok());
+  EditFile(path, [](std::string* bytes) {
+    std::string r0 = bytes->substr(16, 16);
+    std::string r1 = bytes->substr(32, 16);
+    bytes->replace(16, 16, r1);
+    bytes->replace(32, 16, r0);
+  });
+  EXPECT_EQ(ReadMutationLog(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MutationLogTest, ChecksumIsPositionDependent) {
+  const Mutation m{MutationOp::kFollow, 7, 9};
+  EXPECT_NE(MutationRecordChecksum(0, m), MutationRecordChecksum(1, m));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace elitenet

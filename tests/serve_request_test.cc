@@ -65,6 +65,56 @@ TEST(RequestCodecTest, CacheKeyDistinguishesEverythingElse) {
             CacheKey(MustParse("neighbors 1 out 16")));
 }
 
+TEST(RequestCodecTest, VersionPinComposesWithEveryVerb) {
+  const char* lines[] = {
+      "ego 42 @7",
+      "topk 25 @1",
+      "dist 3 9000 @12",
+      "dist 3 9000 1500 @12",
+      "neighbors 7 out 64 @3",
+      "fingerprint @2",
+  };
+  for (const char* line : lines) {
+    const Request req = MustParse(line);
+    EXPECT_NE(req.version, 0u) << line;
+    const std::string canonical = CanonicalEncoding(req);
+    const Request again = MustParse(canonical);
+    EXPECT_EQ(req, again) << line;
+    EXPECT_EQ(CanonicalEncoding(again), canonical) << line;
+  }
+  EXPECT_EQ(MustParse("ego 42 @7").version, 7u);
+  EXPECT_EQ(CanonicalEncoding(MustParse("  ego  42   @7 ")), "ego 42 @7");
+  // The pin composes with a distance deadline; the deadline stays first.
+  const Request d = MustParse("dist 3 9000 1500 @12");
+  EXPECT_EQ(d.deadline_us, 1500u);
+  EXPECT_EQ(d.version, 12u);
+  EXPECT_EQ(CanonicalEncoding(d), "dist 3 9000 1500 @12");
+}
+
+TEST(RequestCodecTest, VersionPinStaysOutOfCacheKey) {
+  // The live engine resolves the pin into its own epoch-qualified cache
+  // prefix; the request-level key must not duplicate it.
+  EXPECT_EQ(CacheKey(MustParse("ego 1 @5")), CacheKey(MustParse("ego 1")));
+  EXPECT_EQ(CacheKey(MustParse("ego 1 @5")), "ego 1");
+}
+
+TEST(RequestCodecTest, RejectsBadVersionPins) {
+  const char* bad[] = {
+      "ego 1 @",       // empty pin
+      "ego 1 @0",      // 0 means "unpinned"; spelling it out is an error
+      "ego 1 @x",      // not a number
+      "ego 1 @-3",     // negative
+      "ego 1 @5 @6",   // only one trailing pin is peeled
+      "@5",            // a pin is not a verb
+      "ego @5",        // pin cannot replace a required argument
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: \"" << line << "\"";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
 TEST(RequestCodecTest, RejectsMalformedLines) {
   const char* bad[] = {
       "",

@@ -1,0 +1,121 @@
+#include "analysis/streamed_stats.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/assortativity.h"
+#include "analysis/degree.h"
+#include "analysis/reciprocity.h"
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace elitenet {
+namespace analysis {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph Build(NodeId n,
+              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  EXPECT_TRUE(b.AddEdges(edges).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// Bit-exact comparison against the three standalone kernels. The fused
+// pass promises byte-identical CSV output, so every floating-point field
+// is compared with == (through EXPECT_EQ), not a tolerance.
+void ExpectMatchesKernels(const DiGraph& g, NodeId window_nodes) {
+  const StreamedBasicStats s = ComputeStreamedBasicStats(g, window_nodes);
+  const DegreeStats d = ComputeDegreeStats(g);
+  const ReciprocityStats r = ComputeReciprocity(g);
+  const AssortativityReport a = ComputeAssortativity(g);
+
+  EXPECT_EQ(s.degrees.min_out_degree, d.min_out_degree);
+  EXPECT_EQ(s.degrees.max_out_degree, d.max_out_degree);
+  EXPECT_EQ(s.degrees.argmax_out_degree, d.argmax_out_degree);
+  EXPECT_EQ(s.degrees.avg_out_degree, d.avg_out_degree);
+  EXPECT_EQ(s.degrees.min_in_degree, d.min_in_degree);
+  EXPECT_EQ(s.degrees.max_in_degree, d.max_in_degree);
+  EXPECT_EQ(s.degrees.argmax_in_degree, d.argmax_in_degree);
+  EXPECT_EQ(s.degrees.avg_in_degree, d.avg_in_degree);
+  EXPECT_EQ(s.degrees.isolated_nodes, d.isolated_nodes);
+  EXPECT_EQ(s.degrees.sink_nodes, d.sink_nodes);
+  EXPECT_EQ(s.degrees.source_nodes, d.source_nodes);
+  EXPECT_EQ(s.degrees.density, d.density);
+
+  EXPECT_EQ(s.reciprocity.total_edges, r.total_edges);
+  EXPECT_EQ(s.reciprocity.reciprocated_edges, r.reciprocated_edges);
+  EXPECT_EQ(s.reciprocity.mutual_pairs, r.mutual_pairs);
+  EXPECT_EQ(s.reciprocity.rate, r.rate);
+
+  EXPECT_EQ(s.assortativity.out_in, a.out_in);
+  EXPECT_EQ(s.assortativity.out_out, a.out_out);
+  EXPECT_EQ(s.assortativity.in_in, a.in_in);
+  EXPECT_EQ(s.assortativity.in_out, a.in_out);
+  EXPECT_EQ(s.assortativity.total, a.total);
+}
+
+TEST(StreamedStatsTest, EmptyGraph) {
+  const DiGraph g;
+  for (NodeId w : {NodeId{0}, NodeId{1}, NodeId{64}}) {
+    ExpectMatchesKernels(g, w);
+    EXPECT_EQ(ComputeStreamedBasicStats(g, w).windows, 0u);
+  }
+}
+
+TEST(StreamedStatsTest, SingleIsolatedNode) {
+  const DiGraph g = Build(1, {});
+  ExpectMatchesKernels(g, 0);
+  ExpectMatchesKernels(g, 1);
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 1).windows, 1u);
+}
+
+TEST(StreamedStatsTest, SmallMixedGraphAtEveryWindowSize) {
+  // Mutual pair, a chain, a sink, a source, and an isolated node — every
+  // degree-stat branch is exercised.
+  const DiGraph g = Build(
+      7, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {5, 0}});
+  for (NodeId w = 0; w <= 8; ++w) ExpectMatchesKernels(g, w);
+}
+
+TEST(StreamedStatsTest, WindowCountIsCeilOfNodesOverWindow) {
+  const DiGraph g = Build(10, {{0, 1}});
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 0).windows, 1u);   // 0 = one pass
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 10).windows, 1u);
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 3).windows, 4u);
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 1).windows, 10u);
+  EXPECT_EQ(ComputeStreamedBasicStats(g, 999).windows, 1u);  // window > n
+}
+
+TEST(StreamedStatsTest, RandomGraphBitIdenticalAcrossWindowSizes) {
+  util::Rng rng(2018);
+  auto g = gen::ErdosRenyi(500, 4000, &rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId w : {NodeId{0}, NodeId{1}, NodeId{7}, NodeId{64},
+                   NodeId{500}, NodeId{1000}}) {
+    ExpectMatchesKernels(*g, w);
+  }
+}
+
+TEST(StreamedStatsTest, SkewedGraphBitIdenticalAcrossWindowSizes) {
+  // Preferential attachment gives heavy-tailed degrees, the regime where
+  // naive accumulation-order changes would show up in the correlations.
+  util::Rng rng(7);
+  auto g = gen::PreferentialAttachment(800, 5, &rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId w : {NodeId{0}, NodeId{1}, NodeId{13}, NodeId{100}}) {
+    ExpectMatchesKernels(*g, w);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace elitenet
